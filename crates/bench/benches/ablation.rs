@@ -1,0 +1,175 @@
+//! Ablations of the design decisions DESIGN.md calls out, measured on this
+//! host:
+//!
+//! 1. **Entry packing** — the paper's tight 24-byte entry vs a padded
+//!    32-byte entry (fewer entries per cache line);
+//! 2. **Hole handling** — searching an LLA riddled with interior holes vs
+//!    a compact one (the §3.1 in-band hole design keeps traversal cheap);
+//! 3. **Element pool** — LLA node allocation from the pool vs the baseline
+//!    list's per-entry heap allocation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spc_core::entry::{Element, Envelope, PostedEntry, ProbeKey, RecvSpec};
+use spc_core::list::{BaselineList, Lla, MatchList};
+use spc_core::NullSink;
+use std::hint::black_box;
+
+/// A deliberately padded 32-byte entry: what the PRQ element would look
+/// like without the paper's careful packing (only 2 per line of the
+/// baseline's 96-byte request... and only 2 per line in LLA nodes too).
+#[repr(C)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct PaddedEntry {
+    inner: PostedEntry,
+    _pad: u64,
+}
+
+const _: () = assert!(core::mem::size_of::<PaddedEntry>() == 32);
+
+impl Element for PaddedEntry {
+    type Probe = Envelope;
+
+    fn matches(&self, probe: &Envelope) -> bool {
+        self.inner.matches(probe)
+    }
+
+    fn hole() -> Self {
+        Self { inner: PostedEntry::hole(), _pad: 0 }
+    }
+
+    fn is_hole(&self) -> bool {
+        self.inner.is_hole()
+    }
+
+    fn id(&self) -> u64 {
+        self.inner.id()
+    }
+
+    fn bin_source(&self) -> Option<i32> {
+        self.inner.bin_source()
+    }
+
+    fn full_key(&self) -> Option<(u16, i32, i32)> {
+        ProbeKey::full_key(&Envelope {
+            rank: self.inner.rank as i32,
+            tag: self.inner.tag,
+            context_id: self.inner.context_id,
+        })
+    }
+}
+
+const DEPTH: i32 = 4096;
+
+fn entry_packing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_entry_packing");
+    let mut sink = NullSink;
+    let probe = Envelope::new(1, DEPTH - 1, 0);
+
+    let mut tight = Lla::<PostedEntry, 8>::new();
+    for i in 0..DEPTH {
+        tight.append(PostedEntry::from_spec(RecvSpec::new(1, i, 0), i as u64), &mut sink);
+    }
+    group.bench_function("24B_entries", |b| {
+        b.iter(|| {
+            let r = tight.search_remove(black_box(&probe), &mut sink);
+            tight.append(r.found.expect("present"), &mut sink);
+            black_box(r.depth)
+        })
+    });
+
+    let mut padded = Lla::<PaddedEntry, 8>::new();
+    for i in 0..DEPTH {
+        padded.append(
+            PaddedEntry {
+                inner: PostedEntry::from_spec(RecvSpec::new(1, i, 0), i as u64),
+                _pad: 0,
+            },
+            &mut sink,
+        );
+    }
+    group.bench_function("32B_entries", |b| {
+        b.iter(|| {
+            let r = padded.search_remove(black_box(&probe), &mut sink);
+            padded.append(r.found.expect("present"), &mut sink);
+            black_box(r.depth)
+        })
+    });
+    group.finish();
+}
+
+fn hole_handling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_holes");
+    let mut sink = NullSink;
+    let probe = Envelope::new(1, DEPTH - 1, 0);
+
+    // Compact list of DEPTH live entries.
+    let mut compact = Lla::<PostedEntry, 8>::new();
+    for i in 0..DEPTH {
+        compact.append(PostedEntry::from_spec(RecvSpec::new(1, i, 0), i as u64), &mut sink);
+    }
+    group.bench_function("compact", |b| {
+        b.iter(|| {
+            let r = compact.search_remove(black_box(&probe), &mut sink);
+            compact.append(r.found.expect("present"), &mut sink);
+            black_box(r.depth)
+        })
+    });
+
+    // Same live count, but every other slot was deleted (interior holes).
+    let mut holey = Lla::<PostedEntry, 8>::new();
+    for i in 0..DEPTH * 2 {
+        holey.append(PostedEntry::from_spec(RecvSpec::new(1, i, 0), i as u64), &mut sink);
+    }
+    for i in 0..DEPTH {
+        holey.remove_by_id((2 * i) as u64, &mut sink);
+    }
+    assert_eq!(holey.len(), DEPTH as usize);
+    let holey_probe = Envelope::new(1, 2 * DEPTH - 1, 0);
+    group.bench_function("half_holes", |b| {
+        b.iter(|| {
+            let r = holey.search_remove(black_box(&holey_probe), &mut sink);
+            holey.append(r.found.expect("present"), &mut sink);
+            black_box(r.depth)
+        })
+    });
+    group.finish();
+}
+
+fn allocation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_allocation");
+    let mut sink = NullSink;
+    group.bench_function("pool_append_remove", |b| {
+        let mut list = Lla::<PostedEntry, 2>::new();
+        let mut i = 0i32;
+        b.iter(|| {
+            list.append(PostedEntry::from_spec(RecvSpec::new(0, i, 0), i as u64), &mut sink);
+            if i % 32 == 31 {
+                for j in (i - 31)..=i {
+                    list.remove_by_id(j as u64, &mut sink);
+                }
+            }
+            i += 1;
+        })
+    });
+    group.bench_function("heap_append_remove", |b| {
+        let mut list = BaselineList::<PostedEntry>::new();
+        let mut i = 0i32;
+        b.iter(|| {
+            list.append(PostedEntry::from_spec(RecvSpec::new(0, i, 0), i as u64), &mut sink);
+            if i % 32 == 31 {
+                for j in (i - 31)..=i {
+                    list.remove_by_id(j as u64, &mut sink);
+                }
+            }
+            i += 1;
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = entry_packing, hole_handling, allocation
+}
+criterion_main!(benches);

@@ -1,0 +1,125 @@
+//! Native (this machine) microbenchmarks of the match-list structures:
+//! the real-hardware complement to the simulator figures. Measures the
+//! operations on the paper's critical path — append, search-to-depth,
+//! miss-scan — for every structure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spc_core::entry::{Envelope, PostedEntry, RecvSpec};
+use spc_core::list::{BaselineList, HashBins, Lla, MatchList, RankTrie, SourceBins};
+use spc_core::NullSink;
+use std::hint::black_box;
+
+const RANKS: i32 = 64;
+
+fn fill<L: MatchList<PostedEntry>>(list: &mut L, n: i32) {
+    let mut sink = NullSink;
+    for i in 0..n {
+        list.append(
+            PostedEntry::from_spec(RecvSpec::new(i % RANKS, i, 0), i as u64),
+            &mut sink,
+        );
+    }
+}
+
+/// Search that matches the last-appended entry (depth == list length for
+/// the linear structures), then re-append it: steady-state deep search.
+fn bench_deep_search<L: MatchList<PostedEntry>>(
+    c: &mut Criterion,
+    group: &str,
+    name: &str,
+    mut list: L,
+    depth: i32,
+) {
+    fill(&mut list, depth);
+    let target = depth - 1;
+    let probe = Envelope::new(target % RANKS, target, 0);
+    let mut sink = NullSink;
+    c.benchmark_group(group).bench_function(BenchmarkId::new(name, depth), |b| {
+        b.iter(|| {
+            let r = list.search_remove(black_box(&probe), &mut sink);
+            let e = r.found.expect("present");
+            list.append(e, &mut sink);
+            black_box(r.depth)
+        })
+    });
+}
+
+fn deep_search(c: &mut Criterion) {
+    for depth in [64, 1024] {
+        bench_deep_search(c, "deep_search", "baseline", BaselineList::new(), depth);
+        bench_deep_search(c, "deep_search", "lla2", Lla::<PostedEntry, 2>::new(), depth);
+        bench_deep_search(c, "deep_search", "lla8", Lla::<PostedEntry, 8>::new(), depth);
+        bench_deep_search(c, "deep_search", "lla32", Lla::<PostedEntry, 32>::new(), depth);
+        bench_deep_search(c, "deep_search", "source_bins", SourceBins::new(RANKS as usize), depth);
+        bench_deep_search(c, "deep_search", "hash_bins", HashBins::new(), depth);
+        bench_deep_search(c, "deep_search", "rank_trie", RankTrie::new(RANKS as usize), depth);
+    }
+}
+
+/// Full-miss scan: what every unexpected arrival pays on the PRQ.
+fn miss_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("miss_scan_1024");
+    let probe = Envelope::new(0, i32::MAX - 1, 0);
+    let mut sink = NullSink;
+
+    let mut baseline = BaselineList::new();
+    fill(&mut baseline, 1024);
+    group.bench_function("baseline", |b| {
+        b.iter(|| black_box(baseline.search_remove(black_box(&probe), &mut sink).depth))
+    });
+
+    let mut lla8 = Lla::<PostedEntry, 8>::new();
+    fill(&mut lla8, 1024);
+    group.bench_function("lla8", |b| {
+        b.iter(|| black_box(lla8.search_remove(black_box(&probe), &mut sink).depth))
+    });
+
+    let mut hash = HashBins::new();
+    fill(&mut hash, 1024);
+    group.bench_function("hash_bins", |b| {
+        b.iter(|| black_box(hash.search_remove(black_box(&probe), &mut sink).depth))
+    });
+    group.finish();
+}
+
+/// Append+cancel cycle: queue growth and MPI_Cancel.
+fn append_cancel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("append_cancel");
+    group.bench_function("baseline", |b| {
+        let mut list = BaselineList::new();
+        let mut sink = NullSink;
+        let mut i = 0i32;
+        b.iter(|| {
+            list.append(PostedEntry::from_spec(RecvSpec::new(0, i, 0), i as u64), &mut sink);
+            if i % 64 == 63 {
+                // Periodically drain from the head to keep length bounded.
+                for j in (i - 63)..=i {
+                    list.remove_by_id(j as u64, &mut sink);
+                }
+            }
+            i += 1;
+        })
+    });
+    group.bench_function("lla8", |b| {
+        let mut list = Lla::<PostedEntry, 8>::new();
+        let mut sink = NullSink;
+        let mut i = 0i32;
+        b.iter(|| {
+            list.append(PostedEntry::from_spec(RecvSpec::new(0, i, 0), i as u64), &mut sink);
+            if i % 64 == 63 {
+                for j in (i - 63)..=i {
+                    list.remove_by_id(j as u64, &mut sink);
+                }
+            }
+            i += 1;
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = deep_search, miss_scan, append_cancel
+}
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Native spacial-locality benchmark: the LLA arity sweep of Figures 4/5
+//! run on *this* machine's memory hierarchy.
+//!
+//! Each iteration walks a deep posted-receive queue to its tail, exactly
+//! the Figure 4b/5b operating point. The absolute numbers are the host's;
+//! the *ordering* (baseline slowest, gains saturating with arity) is the
+//! paper's spacial-locality result wherever the queue spills out of L1.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spc_core::entry::{Envelope, PostedEntry, RecvSpec};
+use spc_core::list::{BaselineList, Lla, MatchList};
+use spc_core::NullSink;
+use std::hint::black_box;
+
+const DEPTH: i32 = 4096;
+
+fn fill<L: MatchList<PostedEntry>>(list: &mut L) {
+    let mut sink = NullSink;
+    for i in 0..DEPTH {
+        list.append(PostedEntry::from_spec(RecvSpec::new(1, i, 0), i as u64), &mut sink);
+    }
+}
+
+fn sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spacial_sweep");
+    group.throughput(Throughput::Elements(DEPTH as u64));
+    let probe = Envelope::new(1, DEPTH - 1, 0);
+    let mut sink = NullSink;
+
+    macro_rules! bench_lla {
+        ($n:literal) => {{
+            let mut list = Lla::<PostedEntry, $n>::new();
+            fill(&mut list);
+            group.bench_function(BenchmarkId::new("lla", $n), |b| {
+                b.iter(|| {
+                    let r = list.search_remove(black_box(&probe), &mut sink);
+                    list.append(r.found.expect("present"), &mut sink);
+                    black_box(r.depth)
+                })
+            });
+        }};
+    }
+
+    let mut baseline = BaselineList::new();
+    fill(&mut baseline);
+    group.bench_function("baseline", |b| {
+        b.iter(|| {
+            let r = baseline.search_remove(black_box(&probe), &mut sink);
+            baseline.append(r.found.expect("present"), &mut sink);
+            black_box(r.depth)
+        })
+    });
+    bench_lla!(2);
+    bench_lla!(4);
+    bench_lla!(8);
+    bench_lla!(16);
+    bench_lla!(32);
+    bench_lla!(512);
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = sweep
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Benchmarks the Table 1 machinery: the decomposition analysis itself and
+//! the real-threads corroboration mode (scheduler contention on a shared
+//! engine).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spc_motifs::decomp::{analyze, analyze_threaded, Decomp, Stencil};
+use std::hint::black_box;
+
+fn analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_analyze");
+    for (dims, stencil, name) in [
+        ([32, 32, 1], Stencil::S5, "32x32_5pt"),
+        ([32, 32, 1], Stencil::S9, "32x32_9pt"),
+        ([8, 8, 4], Stencil::S27, "8x8x4_27pt"),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            let d = Decomp { dims, stencil };
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(analyze(d, 1, seed).mean_search_depth)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn threaded(c: &mut Criterion) {
+    c.bench_function("table1_threaded_8x8_9pt", |b| {
+        let d = Decomp { dims: [8, 8, 1], stencil: Stencil::S9 };
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(analyze_threaded(d, seed))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = analysis, threaded
+}
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Native temporal-locality benchmark: deep searches with the *real*
+//! heater thread touching the element pool, versus without.
+//!
+//! On a multi-core host with a shared LLC this is the paper's §4.3
+//! experiment; on a single-core container the heater competes for the one
+//! core, so treat the comparison as functional coverage of the heated code
+//! path (the architectural result lives in the `fig6`/`fig7` binaries).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spc_core::entry::{Envelope, PostedEntry, RecvSpec};
+use spc_core::heater::{CoreBinding, Heater, HeaterConfig};
+use spc_core::list::{Lla, MatchList};
+use spc_core::NullSink;
+use std::hint::black_box;
+
+const DEPTH: i32 = 2048;
+
+fn build() -> Lla<PostedEntry, 2> {
+    let mut list = Lla::new();
+    let mut sink = NullSink;
+    for i in 0..DEPTH {
+        list.append(PostedEntry::from_spec(RecvSpec::new(1, i, 0), i as u64), &mut sink);
+    }
+    list
+}
+
+fn search_loop(list: &mut Lla<PostedEntry, 2>) -> u32 {
+    let mut sink = NullSink;
+    let probe = Envelope::new(1, DEPTH - 1, 0);
+    let r = list.search_remove(black_box(&probe), &mut sink);
+    let e = r.found.expect("present");
+    list.append(e, &mut sink);
+    r.depth
+}
+
+fn heated_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("temporal");
+
+    let mut cold = build();
+    group.bench_function("deep_search_no_heater", |b| b.iter(|| black_box(search_loop(&mut cold))));
+
+    let mut hot = build();
+    let heater = Heater::spawn(HeaterConfig {
+        period: Duration::from_micros(100),
+        binding: CoreBinding::SharedLlc,
+    });
+    let ids: Vec<_> = hot
+        .real_regions()
+        .iter()
+        // SAFETY: pool chunks outlive the deregistration below.
+        .map(|(p, l)| unsafe { heater.register_raw(*p, *l) })
+        .collect();
+    heater.wait_passes(3);
+    group.bench_function("deep_search_heated", |b| b.iter(|| black_box(search_loop(&mut hot))));
+    for id in ids {
+        heater.deregister(id);
+    }
+    drop(hot);
+
+    group.finish();
+}
+
+/// Cost of the heater machinery itself: pass rate over a large region set
+/// (the denominator of the paper's interference discussion).
+fn heater_pass_rate(c: &mut Criterion) {
+    let heater = Heater::spawn(HeaterConfig {
+        period: Duration::from_nanos(1),
+        binding: CoreBinding::Unbound,
+    });
+    let buf = spc_core::heater::HeatBuffer::new(1 << 20); // 16 Ki lines
+    heater.register_buffer(buf);
+    c.bench_function("heater_full_pass_1MiB", |b| {
+        b.iter(|| {
+            let start = heater.stats().passes;
+            heater.wait_passes(1);
+            black_box(heater.stats().passes - start)
+        })
+    });
+    heater.shutdown();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(Duration::from_secs(3));
+    targets = heated_search, heater_pass_rate
+}
+criterion_main!(benches);

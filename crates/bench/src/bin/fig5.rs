@@ -1,0 +1,15 @@
+//! Regenerates **Figure 5**: impact of spacial locality on the Broadwell
+//! architecture (same sweeps as Figure 4 over the Broadwell/OmniPath
+//! profiles).
+
+use spc_bench::figures::spacial;
+use spc_osu::bw::OsuConfig;
+
+fn main() {
+    spacial("Figure 5", OsuConfig::broadwell);
+    println!(
+        "\npaper shape: as on Sandy Bridge — up to ~2x for small/medium \
+         messages, convergence at the wire limit, and the 8-entries-per-array \
+         knee — at Broadwell's lower small-message rates."
+    );
+}

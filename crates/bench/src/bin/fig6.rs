@@ -1,0 +1,14 @@
+//! Regenerates **Figure 6**: impact of temporal locality on the Sandy
+//! Bridge architecture — baseline, hot caching (HC), LLA, and HC+LLA.
+
+use spc_bench::figures::temporal;
+use spc_osu::bw::OsuConfig;
+
+fn main() {
+    temporal("Figure 6", OsuConfig::sandy_bridge);
+    println!(
+        "\npaper shape: HC beats its baseline at small-to-medium queue \
+         lengths and converges at large ones; HC+LLA leads; large messages \
+         converge at the wire limit."
+    );
+}

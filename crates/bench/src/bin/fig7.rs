@@ -1,0 +1,16 @@
+//! Regenerates **Figure 7**: impact of temporal locality on the Broadwell
+//! architecture — where hot caching turns into a slight loss (the
+//! decoupled, higher-latency L3 narrows the window the heater can win,
+//! and its snoops demote the list out of the fast private caches).
+
+use spc_bench::figures::temporal;
+use spc_osu::bw::OsuConfig;
+
+fn main() {
+    temporal("Figure 7", OsuConfig::broadwell);
+    println!(
+        "\npaper shape: a slight performance drop from HC relative to its \
+         baseline (clearest at medium-to-long queue lengths), while LLA \
+         retains its spacial-locality gains."
+    );
+}

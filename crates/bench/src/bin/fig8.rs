@@ -1,0 +1,30 @@
+//! Regenerates **Figure 8**: AMG2013 weak-scaling results on Broadwell,
+//! baseline vs linked list of arrays (first spacial-locality level).
+
+use spc_bench::print_table;
+use spc_cachesim::LocalityConfig;
+use spc_miniapps::amg::{figure8_ranks, run, AmgParams};
+
+fn main() {
+    let rows: Vec<Vec<String>> = figure8_ranks()
+        .into_iter()
+        .map(|ranks| {
+            let p = AmgParams::paper_scale(ranks);
+            let base = run(p, LocalityConfig::baseline());
+            let lla = run(p, LocalityConfig::lla(2));
+            vec![
+                ranks.to_string(),
+                format!("{:.2}", base.seconds),
+                format!("{:.2}", lla.seconds),
+                format!("{:.2}%", (base.seconds - lla.seconds) / base.seconds * 100.0),
+                base.max_neighbors.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 8: AMG2013 execution time (s), Broadwell",
+        &["procs", "baseline", "LLA", "gain", "coarse-level neighbors"],
+        &rows,
+    );
+    println!("\npaper: ~13-14 s runtimes; 2.9% improvement at 1024 processes.");
+}

@@ -1,0 +1,53 @@
+//! The modified `osu_latency` companion (the paper ran "the OSU
+//! micro-benchmarks for MPI bandwidth and latency", §4.1, though it plots
+//! only bandwidth): ping-pong latency vs message size and vs padded queue
+//! depth, for both testbeds and all four locality configurations.
+
+use spc_bench::{fmt_bytes, print_table};
+use spc_cachesim::LocalityConfig;
+use spc_osu::bw::{latency_us, osu_depths, osu_sizes, OsuConfig};
+
+fn main() {
+    for (name, mk) in [
+        ("Sandy Bridge / QLogic QDR", OsuConfig::sandy_bridge as fn(_) -> OsuConfig),
+        ("Broadwell / OmniPath", OsuConfig::broadwell as fn(_) -> OsuConfig),
+    ] {
+        let configs = [
+            LocalityConfig::baseline(),
+            LocalityConfig::hc(),
+            LocalityConfig::lla(2),
+            LocalityConfig::hc_lla(2),
+        ];
+        let headers: Vec<String> =
+            std::iter::once("x".into()).chain(configs.iter().map(|c| c.label())).collect();
+
+        let rows: Vec<Vec<String>> = osu_sizes()
+            .into_iter()
+            .step_by(2)
+            .map(|size| {
+                let mut row = vec![fmt_bytes(size)];
+                for &loc in &configs {
+                    row.push(format!("{:.2}", latency_us(&mk(loc), size, 128)));
+                }
+                row
+            })
+            .collect();
+        print_table(&format!("{name}: latency (us) vs msg size, depth 128"), &headers, &rows);
+
+        let rows: Vec<Vec<String>> = osu_depths()
+            .into_iter()
+            .map(|depth| {
+                let mut row = vec![depth.to_string()];
+                for &loc in &configs {
+                    row.push(format!("{:.2}", latency_us(&mk(loc), 8, depth)));
+                }
+                row
+            })
+            .collect();
+        print_table(
+            &format!("{name}: latency (us) vs PRQ search length, 8 B msgs"),
+            &headers,
+            &rows,
+        );
+    }
+}

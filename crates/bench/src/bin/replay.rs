@@ -1,0 +1,108 @@
+//! Trace-driven matching-engine shootout (the Ferreira et al. methodology,
+//! reference 12): record one rank's matching traffic, replay it against
+//! every structure, and price it on a chosen architecture.
+//!
+//! Usage:
+//!   replay [trace.txt]      replay a saved trace file
+//!   replay --record out.txt record a representative-rank halo-exchange
+//!                           trace to a file, then evaluate it
+//!   replay                  evaluate a built-in adversarial trace
+//!
+//! Output: per structure — match counts, mean search depth, distinct cache
+//! lines touched, and the cold matching time on the Sandy Bridge profile.
+
+use spc_bench::print_table;
+use spc_cachesim::{ArchProfile, MemSim};
+use spc_core::dynengine::{DynEngine, EngineKind};
+use spc_core::replay::MatchTrace;
+use spc_core::CountingSink;
+use spc_mpisim::{SimWorld, WorldConfig};
+
+/// Records a representative interior rank of a small halo exchange: a
+/// 26-neighbour exchange with adversarially ordered arrivals.
+fn record_halo_trace() -> MatchTrace {
+    let mut world = SimWorld::new(WorldConfig::untimed(6 * 6 * 6, 5));
+    // Interior rank: (3,3,3) in a 6x6x6 grid.
+    world.record_rank((3 * 6 + 3) * 6 + 3);
+    let dirs: Vec<(i64, i64, i64)> = (-1..=1)
+        .flat_map(|x| (-1..=1).flat_map(move |y| (-1..=1).map(move |z| (x, y, z))))
+        .filter(|&(x, y, z)| (x, y, z) != (0, 0, 0))
+        .collect();
+    let me = (3 * 6 + 3) * 6 + 3u32;
+    let at = |x: i64, y: i64, z: i64| ((z * 6 + y) * 6 + x) as u32;
+    for _iter in 0..3 {
+        for (d, &(x, y, z)) in dirs.iter().enumerate() {
+            world.post_recv(me, at(3 - x, 3 - y, 3 - z) as i32, d as i32, 0);
+        }
+        // Arrivals in reverse direction order (adversarial-ish).
+        for (d, &(x, y, z)) in dirs.iter().enumerate().rev() {
+            world.send(at(3 - x, 3 - y, 3 - z), me, d as i32, 0, 1024);
+        }
+        world.barrier();
+    }
+    world.recorded_trace().expect("recording enabled").clone()
+}
+
+fn evaluate(trace: &MatchTrace) {
+    println!("trace: {} operations", trace.len());
+    let kinds = [
+        EngineKind::Baseline,
+        EngineKind::Lla { arity: 2 },
+        EngineKind::Lla { arity: 8 },
+        EngineKind::Lla { arity: 512 },
+        EngineKind::SourceBins { comm_size: 1 << 16 },
+        EngineKind::HashBins { bins: 256 },
+        EngineKind::RankTrie { capacity: 1 << 16 },
+    ];
+    let rows: Vec<Vec<String>> = kinds
+        .iter()
+        .map(|&kind| {
+            // Pass 1: counts + lines.
+            let mut eng = DynEngine::new(kind);
+            let mut counting = CountingSink::new();
+            let rep = trace.replay_sink(&mut eng, &mut counting);
+            // Pass 2: cold timing on Sandy Bridge.
+            let mut eng = DynEngine::new(kind);
+            let mut mem = MemSim::new(ArchProfile::sandy_bridge());
+            trace.replay_sink(&mut eng, &mut mem);
+            vec![
+                kind.label(),
+                rep.prq_hits.to_string(),
+                rep.umq_hits.to_string(),
+                format!("{:.1}", rep.prq_depths.mean()),
+                counting.distinct_lines().to_string(),
+                format!("{:.1}", mem.time_ns() / 1000.0),
+            ]
+        })
+        .collect();
+    print_table(
+        "trace replay across structures (timing: cold Sandy Bridge)",
+        &["structure", "prq hits", "umq hits", "mean depth", "lines", "match time (us)"],
+        &rows,
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let trace = match args.as_slice() {
+        [flag, path] if flag == "--record" => {
+            let t = record_halo_trace();
+            std::fs::write(path, t.to_text()).expect("write trace file");
+            println!("recorded {} ops to {path}", t.len());
+            t
+        }
+        [path] => {
+            let text = std::fs::read_to_string(path).expect("read trace file");
+            MatchTrace::from_text(&text).expect("parse trace file")
+        }
+        [] => {
+            println!("(no trace file given: recording a 6x6x6 halo-exchange rank)");
+            record_halo_trace()
+        }
+        _ => {
+            eprintln!("usage: replay [trace.txt] | replay --record out.txt");
+            std::process::exit(2);
+        }
+    };
+    evaluate(&trace);
+}

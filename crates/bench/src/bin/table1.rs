@@ -1,0 +1,57 @@
+//! Regenerates **Table 1**: queue lengths and mean search depths for the
+//! 2-D and 3-D thread decompositions (§2.3).
+//!
+//! `tr`, `ts` and the length are exact combinatorial quantities and must
+//! match the paper digit for digit; the mean search depth is a 10-trial
+//! average over scheduler interleavings (the paper's numbers were likewise
+//! 10-trial averages on a Cray XC40/KNL, so expect the same ~0.2–0.26 ×
+//! length magnitude, not identical decimals).
+
+use spc_bench::print_table;
+use spc_motifs::decomp::{analyze, table1_rows};
+
+fn main() {
+    let trials = 10;
+    let rows: Vec<Vec<String>> = table1_rows()
+        .into_iter()
+        .map(|d| {
+            let r = analyze(d, trials, 0x7AB1E1);
+            vec![
+                d.label(),
+                d.stencil.label().to_owned(),
+                r.tr.to_string(),
+                r.ts.to_string(),
+                r.length.to_string(),
+                format!("{:.2}", r.mean_search_depth),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 1: queue lengths and mean search depths (10 trials)",
+        &["Decomp.", "Stencil", "tr", "ts", "Length", "Search depth"],
+        &rows,
+    );
+    println!("\npaper reference rows (tr, ts, length, depth):");
+    for (d, p) in table1_rows().iter().zip([
+        (124, 128, 128, 32.51),
+        (188, 192, 192, 48.22),
+        (124, 132, 380, 85.18),
+        (188, 196, 572, 127.24),
+        (184, 256, 256, 65.85),
+        (128, 514, 514, 132.27),
+        (256, 1026, 1026, 259.08),
+        (184, 344, 2072, 410.02),
+        (128, 1042, 3074, 596.85),
+        (256, 2066, 6146, 1294.49),
+    ]) {
+        println!(
+            "  {:>12} {:>4}: {:>4} {:>5} {:>5} {:>8.2}",
+            d.label(),
+            d.stencil.label(),
+            p.0,
+            p.1,
+            p.2,
+            p.3
+        );
+    }
+}

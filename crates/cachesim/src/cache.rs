@@ -1,0 +1,301 @@
+//! A set-associative, true-LRU cache level.
+
+use crate::config::CacheConfig;
+
+/// Cache line size in bytes (all modelled architectures use 64).
+pub const LINE: usize = 64;
+
+/// Invalid tag marker (no real line address maps to it: addresses are
+/// region-based and far below this).
+const INVALID: u64 = u64::MAX;
+
+/// One cache level: `sets × ways` tags with LRU stamps.
+pub struct CacheLevel {
+    cfg: CacheConfig,
+    sets: usize,
+    /// Tag storage, `sets * ways` entries; tag is the full line address.
+    tags: Vec<u64>,
+    /// LRU stamps parallel to `tags`; larger is more recent.
+    stamps: Vec<u64>,
+    /// Hits observed.
+    pub hits: u64,
+    /// Misses observed.
+    pub misses: u64,
+}
+
+impl CacheLevel {
+    /// Builds an empty level from its geometry.
+    pub fn new(cfg: CacheConfig) -> Self {
+        let sets = cfg.sets();
+        assert!(sets > 0, "cache must have at least one set");
+        Self {
+            cfg,
+            sets,
+            tags: vec![INVALID; sets * cfg.ways],
+            stamps: vec![0; sets * cfg.ways],
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Geometry this level was built with.
+    pub fn config(&self) -> CacheConfig {
+        self.cfg
+    }
+
+    #[inline]
+    fn set_range(&self, line: u64) -> core::ops::Range<usize> {
+        self.set_range_ways(line, 0..self.cfg.ways)
+    }
+
+    /// Slot range of `line`'s set restricted to the given way subrange —
+    /// the primitive behind CAT-style way partitioning.
+    #[inline]
+    fn set_range_ways(&self, line: u64, ways: core::ops::Range<usize>) -> core::ops::Range<usize> {
+        debug_assert!(ways.end <= self.cfg.ways);
+        // Modulo rather than a mask: real LLCs (e.g. Broadwell's 45 MiB,
+        // 20-way) have non-power-of-two set counts.
+        let set = (line as usize) % self.sets;
+        let start = set * self.cfg.ways;
+        start + ways.start..start + ways.end
+    }
+
+    /// Looks up `line`, refreshing its recency on a hit. `now` is a
+    /// monotonically increasing stamp supplied by the hierarchy.
+    pub fn lookup(&mut self, line: u64, now: u64) -> bool {
+        self.lookup_ways(line, now, 0..self.cfg.ways)
+    }
+
+    /// Way-partitioned lookup: only the given ways of the set are searched.
+    pub fn lookup_ways(&mut self, line: u64, now: u64, ways: core::ops::Range<usize>) -> bool {
+        let range = self.set_range_ways(line, ways);
+        for i in range {
+            if self.tags[i] == line {
+                self.stamps[i] = now;
+                self.hits += 1;
+                return true;
+            }
+        }
+        self.misses += 1;
+        false
+    }
+
+    /// Whether `line` is resident, without touching recency or counters.
+    pub fn contains(&self, line: u64) -> bool {
+        self.set_range(line).clone().any(|i| self.tags[i] == line)
+    }
+
+    /// Inserts `line` (evicting the set's LRU victim if needed) and returns
+    /// the evicted line, if any. Inserting a resident line just refreshes
+    /// its recency.
+    pub fn insert(&mut self, line: u64, now: u64) -> Option<u64> {
+        self.insert_ways(line, now, 0..self.cfg.ways)
+    }
+
+    /// Way-partitioned insert: the victim is chosen from the given ways
+    /// only, so lines outside the partition are never displaced.
+    pub fn insert_ways(
+        &mut self,
+        line: u64,
+        now: u64,
+        ways: core::ops::Range<usize>,
+    ) -> Option<u64> {
+        let range = self.set_range_ways(line, ways);
+        let mut victim = range.start;
+        let mut victim_stamp = u64::MAX;
+        for i in range {
+            if self.tags[i] == line {
+                self.stamps[i] = now;
+                return None;
+            }
+            if self.tags[i] == INVALID {
+                // Prefer an empty way; stamp 0 loses to any real entry.
+                if victim_stamp != 0 {
+                    victim = i;
+                    victim_stamp = 0;
+                }
+            } else if self.stamps[i] < victim_stamp {
+                victim = i;
+                victim_stamp = self.stamps[i];
+            }
+        }
+        let evicted = (self.tags[victim] != INVALID).then_some(self.tags[victim]);
+        self.tags[victim] = line;
+        self.stamps[victim] = now;
+        evicted
+    }
+
+    /// Refreshes `line`'s recency if resident (the heater's effect on the
+    /// eviction metadata); returns whether it was resident.
+    pub fn touch(&mut self, line: u64, now: u64) -> bool {
+        let range = self.set_range(line);
+        for i in range {
+            if self.tags[i] == line {
+                self.stamps[i] = now;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Removes `line` if resident.
+    pub fn invalidate(&mut self, line: u64) {
+        for i in self.set_range(line) {
+            if self.tags[i] == line {
+                self.tags[i] = INVALID;
+                self.stamps[i] = 0;
+                return;
+            }
+        }
+    }
+
+    /// Empties the level (the paper's "cleared the cache between each
+    /// iteration" benchmark modification).
+    pub fn flush(&mut self) {
+        self.tags.fill(INVALID);
+        self.stamps.fill(0);
+    }
+
+    /// Number of resident lines (test/diagnostic helper).
+    pub fn resident(&self) -> usize {
+        self.tags.iter().filter(|&&t| t != INVALID).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CacheLevel {
+        // 4 sets × 2 ways of 64 B lines = 512 B.
+        CacheLevel::new(CacheConfig { size: 512, ways: 2, latency: 1 })
+    }
+
+    #[test]
+    fn hit_after_insert() {
+        let mut c = tiny();
+        assert!(!c.lookup(7, 1));
+        c.insert(7, 2);
+        assert!(c.lookup(7, 3));
+        assert_eq!(c.hits, 1);
+        assert_eq!(c.misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent_within_set() {
+        let mut c = tiny();
+        // Lines 0, 4, 8 all map to set 0 (4 sets).
+        c.insert(0, 1);
+        c.insert(4, 2);
+        assert!(c.lookup(0, 3)); // 0 now more recent than 4
+        let evicted = c.insert(8, 4);
+        assert_eq!(evicted, Some(4));
+        assert!(c.contains(0));
+        assert!(c.contains(8));
+        assert!(!c.contains(4));
+    }
+
+    #[test]
+    fn touch_refreshes_recency_like_a_heater() {
+        let mut c = tiny();
+        c.insert(0, 1);
+        c.insert(4, 2);
+        // Heater keeps touching line 0...
+        assert!(c.touch(0, 3));
+        // ...so the *newer* line 4 is the LRU victim.
+        assert_eq!(c.insert(8, 4), Some(4));
+        assert!(c.contains(0), "heated line survives");
+    }
+
+    #[test]
+    fn touch_of_absent_line_reports_false() {
+        let mut c = tiny();
+        assert!(!c.touch(99, 1));
+    }
+
+    #[test]
+    fn insert_is_idempotent_for_resident_lines() {
+        let mut c = tiny();
+        c.insert(0, 1);
+        assert_eq!(c.insert(0, 2), None);
+        assert_eq!(c.resident(), 1);
+    }
+
+    #[test]
+    fn different_sets_do_not_interfere() {
+        let mut c = tiny();
+        for line in 0..4 {
+            c.insert(line, line + 1);
+        }
+        assert_eq!(c.resident(), 4);
+        for line in 0..4 {
+            assert!(c.contains(line));
+        }
+    }
+
+    #[test]
+    fn flush_and_invalidate() {
+        let mut c = tiny();
+        c.insert(1, 1);
+        c.insert(2, 2);
+        c.invalidate(1);
+        assert!(!c.contains(1));
+        assert!(c.contains(2));
+        c.flush();
+        assert_eq!(c.resident(), 0);
+    }
+
+    #[test]
+    fn empty_ways_fill_before_eviction() {
+        let mut c = tiny();
+        assert_eq!(c.insert(0, 5), None);
+        assert_eq!(c.insert(4, 1), None, "second way is free; nothing evicted");
+    }
+}
+
+#[cfg(test)]
+mod partition_tests {
+    use super::*;
+
+    fn tiny() -> CacheLevel {
+        // 4 sets × 4 ways.
+        CacheLevel::new(CacheConfig { size: 1024, ways: 4, latency: 1 })
+    }
+
+    #[test]
+    fn partitioned_inserts_never_evict_the_other_partition() {
+        let mut c = tiny();
+        // "Network" partition: ways 0..2. Fill it for set 0.
+        c.insert_ways(0, 1, 0..2);
+        c.insert_ways(4, 2, 0..2);
+        // "Compute" traffic floods ways 2..4 of the same set.
+        for (i, line) in [8u64, 12, 16, 20, 24, 28].iter().enumerate() {
+            c.insert_ways(*line, 10 + i as u64, 2..4);
+        }
+        assert!(c.contains(0), "network line survived compute flood");
+        assert!(c.contains(4), "network line survived compute flood");
+        // And the flood did evict within its own partition.
+        assert!(!c.contains(8));
+    }
+
+    #[test]
+    fn partitioned_lookup_only_sees_its_ways() {
+        let mut c = tiny();
+        c.insert_ways(0, 1, 0..2);
+        assert!(c.lookup_ways(0, 2, 0..2));
+        assert!(!c.lookup_ways(0, 3, 2..4), "other partition must not hit");
+        assert!(c.contains(0));
+    }
+
+    #[test]
+    fn partition_evictions_stay_inside_the_partition() {
+        let mut c = tiny();
+        c.insert_ways(0, 1, 0..2);
+        c.insert_ways(4, 2, 0..2);
+        // Third network line in a 2-way partition: evicts the partition's
+        // LRU (line 0), not anything else.
+        let evicted = c.insert_ways(8, 3, 0..2);
+        assert_eq!(evicted, Some(0));
+        assert!(c.contains(4) && c.contains(8));
+    }
+}

@@ -1,0 +1,252 @@
+//! Thread-safe matching engine for `MPI_THREAD_MULTIPLE`-style use.
+//!
+//! The paper's motivation (§2.3): "the MPI standard permits multithreaded
+//! communication ... Since multithreaded communication increases message
+//! counts while introducing nondeterminacy through scheduling and lock
+//! contention, list lengths and search depths are anticipated to grow."
+//!
+//! [`SharedEngine`] is the single-match-engine design MPICH-derived
+//! implementations use: one lock around the engine, every thread funnels
+//! through it. It instruments exactly what the paper says matters —
+//! how often threads *contend* for the engine — so the
+//! thread-decomposition benchmark (`spc-motifs::decomp`) and the tests
+//! below can quantify the effect alongside the search-depth growth.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::engine::{ArrivalOutcome, MatchEngine, RecvOutcome};
+use crate::entry::{Envelope, PostedEntry, RecvSpec, UnexpectedEntry};
+use crate::list::MatchList;
+use crate::stats::EngineStats;
+
+/// Contention counters for the engine lock.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LockStats {
+    /// Total acquisitions.
+    pub acquisitions: u64,
+    /// Acquisitions that found the lock held and had to wait.
+    pub contended: u64,
+}
+
+impl LockStats {
+    /// Fraction of acquisitions that contended (0.0 when idle).
+    pub fn contention_ratio(&self) -> f64 {
+        if self.acquisitions == 0 {
+            0.0
+        } else {
+            self.contended as f64 / self.acquisitions as f64
+        }
+    }
+}
+
+/// A matching engine shared by many communication threads through a single
+/// lock (the traditional "one match engine per process" design).
+pub struct SharedEngine<P, U>
+where
+    P: MatchList<PostedEntry>,
+    U: MatchList<UnexpectedEntry>,
+{
+    inner: Mutex<MatchEngine<P, U>>,
+    acquisitions: AtomicU64,
+    contended: AtomicU64,
+}
+
+impl<P, U> SharedEngine<P, U>
+where
+    P: MatchList<PostedEntry> + Send,
+    U: MatchList<UnexpectedEntry> + Send,
+{
+    /// Wraps an engine for shared use.
+    pub fn new(engine: MatchEngine<P, U>) -> Self {
+        Self { inner: Mutex::new(engine), acquisitions: AtomicU64::new(0), contended: AtomicU64::new(0) }
+    }
+
+    fn lock(&self) -> parking_lot::MutexGuard<'_, MatchEngine<P, U>> {
+        self.acquisitions.fetch_add(1, Ordering::Relaxed);
+        if let Some(g) = self.inner.try_lock() {
+            return g;
+        }
+        self.contended.fetch_add(1, Ordering::Relaxed);
+        self.inner.lock()
+    }
+
+    /// Thread-safe [`MatchEngine::post_recv`].
+    pub fn post_recv(&self, spec: RecvSpec, request: u64) -> RecvOutcome {
+        self.lock().post_recv(spec, request)
+    }
+
+    /// Thread-safe [`MatchEngine::arrival`].
+    pub fn arrival(&self, env: Envelope, payload: u64) -> ArrivalOutcome {
+        self.lock().arrival(env, payload)
+    }
+
+    /// Thread-safe [`MatchEngine::cancel_recv`].
+    pub fn cancel_recv(&self, request: u64) -> bool {
+        self.lock().cancel_recv(request)
+    }
+
+    /// Current queue lengths `(prq, umq)`.
+    pub fn queue_lens(&self) -> (usize, usize) {
+        let g = self.lock();
+        (g.prq_len(), g.umq_len())
+    }
+
+    /// Snapshot of the engine statistics.
+    pub fn stats(&self) -> EngineStats {
+        self.lock().stats().clone()
+    }
+
+    /// Lock-contention counters (not affected by the snapshot calls'
+    /// own acquisitions being counted — interpret relative to workload
+    /// operation counts).
+    pub fn lock_stats(&self) -> LockStats {
+        LockStats {
+            acquisitions: self.acquisitions.load(Ordering::Relaxed),
+            contended: self.contended.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Consumes the wrapper, returning the inner engine.
+    pub fn into_inner(self) -> MatchEngine<P, U> {
+        self.inner.into_inner()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::list::{BaselineList, Lla};
+
+    type TestEngine =
+        SharedEngine<Lla<PostedEntry, 2>, Lla<UnexpectedEntry, 3>>;
+
+    fn engine() -> TestEngine {
+        SharedEngine::new(MatchEngine::new(Lla::new(), Lla::new()))
+    }
+
+    #[test]
+    fn every_message_matches_exactly_once_across_threads() {
+        // tr poster threads, ts sender threads, disjoint tag ranges per
+        // thread; every send must find exactly one posted receive.
+        const POSTERS: usize = 4;
+        const SENDERS: usize = 4;
+        const PER_THREAD: i32 = 500;
+        let eng = engine();
+        let matched = AtomicU64::new(0);
+        let unexpected = AtomicU64::new(0);
+
+        std::thread::scope(|s| {
+            for t in 0..POSTERS {
+                let eng = &eng;
+                s.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        let tag = (t as i32) * PER_THREAD + i;
+                        eng.post_recv(RecvSpec::new(1, tag, 0), tag as u64);
+                    }
+                });
+            }
+            for t in 0..SENDERS {
+                let eng = &eng;
+                let matched = &matched;
+                let unexpected = &unexpected;
+                s.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        let tag = (t as i32) * PER_THREAD + i;
+                        match eng.arrival(Envelope::new(1, tag, 0), tag as u64) {
+                            ArrivalOutcome::MatchedPosted { request, .. } => {
+                                assert_eq!(request, tag as u64);
+                                matched.fetch_add(1, Ordering::Relaxed);
+                            }
+                            ArrivalOutcome::Queued => {
+                                unexpected.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+
+        // Unexpected arrivals must pair with a still-posted receive: drain.
+        let (prq, umq) = eng.queue_lens();
+        assert_eq!(
+            matched.load(Ordering::Relaxed) + unexpected.load(Ordering::Relaxed),
+            (SENDERS as u64) * PER_THREAD as u64
+        );
+        assert_eq!(prq as u64, unexpected.load(Ordering::Relaxed));
+        assert_eq!(umq, 0, "posts ran first per tag or queued; no stray messages");
+        let ls = eng.lock_stats();
+        assert!(ls.acquisitions >= 2 * (POSTERS as u64) * PER_THREAD as u64);
+    }
+
+    #[test]
+    fn interleaved_posts_and_arrivals_balance() {
+        // Threads that both post and send with racing tags: at the end,
+        // leftover PRQ entries equal leftover... everything must pair off
+        // because each tag gets exactly one post and one arrival.
+        const THREADS: i32 = 8;
+        const PER: i32 = 300;
+        let eng = engine();
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let eng = &eng;
+                s.spawn(move || {
+                    for i in 0..PER {
+                        let tag = t * PER + i;
+                        // Even threads post-then-send their tag; odd
+                        // threads send-then-post a *peer* thread's tag
+                        // pattern, creating unexpected traffic.
+                        if t % 2 == 0 {
+                            eng.post_recv(RecvSpec::new(0, tag, 0), tag as u64);
+                            eng.arrival(Envelope::new(0, tag, 0), tag as u64);
+                        } else {
+                            eng.arrival(Envelope::new(0, tag, 0), tag as u64);
+                            eng.post_recv(RecvSpec::new(0, tag, 0), tag as u64);
+                        }
+                    }
+                });
+            }
+        });
+        let (prq, umq) = eng.queue_lens();
+        assert_eq!(prq, 0, "every tag posted once and arrived once");
+        assert_eq!(umq, 0);
+        let stats = eng.stats();
+        assert_eq!(
+            stats.prq_hits + stats.umq_hits,
+            (THREADS as u64) * PER as u64,
+            "every message matched exactly once"
+        );
+    }
+
+    #[test]
+    fn works_with_baseline_lists_too() {
+        let eng: SharedEngine<BaselineList<PostedEntry>, BaselineList<UnexpectedEntry>> =
+            SharedEngine::new(MatchEngine::new(BaselineList::new(), BaselineList::new()));
+        std::thread::scope(|s| {
+            for t in 0..4i32 {
+                let eng = &eng;
+                s.spawn(move || {
+                    for i in 0..200 {
+                        let tag = t * 200 + i;
+                        eng.post_recv(RecvSpec::new(2, tag, 1), tag as u64);
+                        assert!(matches!(
+                            eng.arrival(Envelope::new(2, tag, 1), 0),
+                            ArrivalOutcome::MatchedPosted { .. }
+                        ));
+                    }
+                });
+            }
+        });
+        assert_eq!(eng.queue_lens(), (0, 0));
+    }
+
+    #[test]
+    fn contention_ratio_is_sane() {
+        let eng = engine();
+        eng.post_recv(RecvSpec::new(0, 0, 0), 0);
+        let ls = eng.lock_stats();
+        assert!(ls.contention_ratio() <= 1.0);
+        assert!(ls.acquisitions >= 1);
+    }
+}

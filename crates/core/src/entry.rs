@@ -1,0 +1,467 @@
+//! Match-entry types and matching semantics.
+//!
+//! The layouts here follow §3.1 and Figure 2 of the paper exactly:
+//!
+//! * a **posted-receive** entry is 24 bytes — 4 B tag, 2 B rank, 2 B context
+//!   id, 8 B of bit masks (4 B tag mask + 4 B rank mask) and an 8 B request
+//!   pointer;
+//! * an **unexpected-message** entry is 16 bytes — no masks are needed because
+//!   an already-received message has fully concrete source/tag/context.
+//!
+//! Holes (entries deleted from the middle of a linked-list-of-arrays node) are
+//! represented *in band*, as the paper describes: "ensuring tags and sources
+//! are invalid and all bitmask fields are set". A reserved context id
+//! guarantees a hole can never match any probe.
+
+/// MPI wildcard source rank (`MPI_ANY_SOURCE`).
+pub const ANY_SOURCE: i32 = -1;
+/// MPI wildcard tag (`MPI_ANY_TAG`).
+pub const ANY_TAG: i32 = -1;
+
+/// Reserved context id used to mark holes; real communicators never use it.
+pub(crate) const HOLE_CONTEXT: u16 = u16::MAX;
+
+/// Opaque handle to a posted-receive request (in a real MPI library this is
+/// the pointer to the request object; here it indexes the caller's table).
+pub type RequestHandle = u64;
+/// Opaque handle to a buffered unexpected-message payload.
+pub type PayloadHandle = u64;
+
+/// The matching header of an incoming message: fully concrete source rank,
+/// tag, and communicator context id. This is what a posted-receive queue is
+/// searched *with*.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Envelope {
+    /// Source rank within the communicator.
+    pub rank: i32,
+    /// Message tag chosen by the sender.
+    pub tag: i32,
+    /// Communicator context id.
+    pub context_id: u16,
+}
+
+impl Envelope {
+    /// Creates an envelope. `rank` and `tag` must be concrete (non-wildcard):
+    /// a message on the wire always knows where it came from.
+    #[inline]
+    pub fn new(rank: i32, tag: i32, context_id: u16) -> Self {
+        debug_assert!(rank >= 0, "an envelope's source rank is always concrete");
+        debug_assert!(tag >= 0, "an envelope's tag is always concrete");
+        Self { rank, tag, context_id }
+    }
+}
+
+/// What a receive call asks for: possibly-wildcard source and tag plus a
+/// concrete context id. This is what an unexpected-message queue is searched
+/// *with*, and what gets turned into a [`PostedEntry`] when no unexpected
+/// message matches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct RecvSpec {
+    /// Requested source rank, or [`ANY_SOURCE`].
+    pub rank: i32,
+    /// Requested tag, or [`ANY_TAG`].
+    pub tag: i32,
+    /// Communicator context id.
+    pub context_id: u16,
+}
+
+impl RecvSpec {
+    /// Creates a receive specification; `rank`/`tag` may be the wildcards
+    /// [`ANY_SOURCE`]/[`ANY_TAG`].
+    #[inline]
+    pub fn new(rank: i32, tag: i32, context_id: u16) -> Self {
+        Self { rank, tag, context_id }
+    }
+
+    /// Receive from any source with any tag.
+    #[inline]
+    pub fn any(context_id: u16) -> Self {
+        Self { rank: ANY_SOURCE, tag: ANY_TAG, context_id }
+    }
+
+    /// True if the source is wildcarded.
+    #[inline]
+    pub fn wild_source(&self) -> bool {
+        self.rank == ANY_SOURCE
+    }
+
+    /// True if the tag is wildcarded.
+    #[inline]
+    pub fn wild_tag(&self) -> bool {
+        self.tag == ANY_TAG
+    }
+}
+
+/// A posted-receive queue entry: the paper's 24-byte PRQ element (Figure 2).
+///
+/// Matching uses the mask form: an envelope matches when
+/// `(entry.tag ^ env.tag) & tag_mask == 0` and likewise for the rank, with an
+/// all-zero mask implementing a wildcard. The context id is always compared
+/// exactly.
+///
+/// The rank field is the layout's 2-byte slot, so ranks compare **modulo
+/// 2¹⁶**: two ranks exactly 65536 apart alias. That is the documented cost
+/// of the packed 24-byte entry (nearest-neighbour patterns never alias;
+/// structures that bin by full-width rank assert `comm size ≤ 65536`).
+#[repr(C)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PostedEntry {
+    /// Requested tag (meaningless bits when masked off).
+    pub tag: i32,
+    /// Requested source rank, truncated to 16 bits as in the paper's layout.
+    pub rank: u16,
+    /// Communicator context id.
+    pub context_id: u16,
+    /// Bits of the tag that must compare equal; `0` means `MPI_ANY_TAG`.
+    pub tag_mask: u32,
+    /// Bits of the rank that must compare equal; `0` means `MPI_ANY_SOURCE`.
+    pub rank_mask: u32,
+    /// Handle of the receive request this entry will complete.
+    pub request: RequestHandle,
+}
+
+// The 24-byte layout is a load-bearing property (two entries plus the node
+// header fill one 64-byte cache line); fail the build if it drifts.
+const _: () = assert!(core::mem::size_of::<PostedEntry>() == 24);
+const _: () = assert!(core::mem::align_of::<PostedEntry>() == 8);
+
+impl PostedEntry {
+    /// Builds a PRQ entry from a receive specification, translating wildcards
+    /// into mask form.
+    #[inline]
+    pub fn from_spec(spec: RecvSpec, request: RequestHandle) -> Self {
+        let (rank, rank_mask) = if spec.rank == ANY_SOURCE {
+            (0, 0)
+        } else {
+            (spec.rank as u16, u32::MAX)
+        };
+        let (tag, tag_mask) = if spec.tag == ANY_TAG { (0, 0) } else { (spec.tag, u32::MAX) };
+        Self { tag, rank, context_id: spec.context_id, tag_mask, rank_mask, request }
+    }
+
+    /// Whether this posted entry matches an incoming envelope. Ranks are
+    /// compared in the entry's 16-bit domain.
+    #[inline]
+    pub fn matches(&self, env: &Envelope) -> bool {
+        self.context_id == env.context_id
+            && ((self.tag ^ env.tag) as u32) & self.tag_mask == 0
+            && ((self.rank as u32) ^ (env.rank as u32 & 0xFFFF)) & self.rank_mask == 0
+    }
+
+    /// True if this entry has any wildcard (relevant for binned structures,
+    /// which must keep wildcard receives on a separate channel).
+    #[inline]
+    pub fn has_wildcard(&self) -> bool {
+        self.tag_mask == 0 || self.rank_mask == 0
+    }
+
+    /// Source rank if concrete; `None` for `MPI_ANY_SOURCE`.
+    #[inline]
+    pub fn source(&self) -> Option<i32> {
+        (self.rank_mask != 0).then_some(self.rank as i32)
+    }
+}
+
+/// An unexpected-message queue entry: the paper's 16-byte UMQ element.
+#[repr(C)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UnexpectedEntry {
+    /// Tag carried by the message.
+    pub tag: i32,
+    /// Source rank of the message, truncated to 16 bits.
+    pub rank: u16,
+    /// Communicator context id.
+    pub context_id: u16,
+    /// Handle of the buffered payload (or rendezvous metadata).
+    pub payload: PayloadHandle,
+}
+
+const _: () = assert!(core::mem::size_of::<UnexpectedEntry>() == 16);
+const _: () = assert!(core::mem::align_of::<UnexpectedEntry>() == 8);
+
+impl UnexpectedEntry {
+    /// Builds a UMQ entry from a message envelope.
+    #[inline]
+    pub fn from_envelope(env: Envelope, payload: PayloadHandle) -> Self {
+        Self { tag: env.tag, rank: env.rank as u16, context_id: env.context_id, payload }
+    }
+
+    /// Whether this buffered message satisfies a receive specification
+    /// (ranks compared in the 16-bit domain).
+    #[inline]
+    pub fn matches(&self, spec: &RecvSpec) -> bool {
+        self.context_id == spec.context_id
+            && (spec.tag == ANY_TAG || spec.tag == self.tag)
+            && (spec.rank == ANY_SOURCE
+                || (spec.rank as u32 & 0xFFFF) == self.rank as u32)
+    }
+}
+
+/// Unifies [`PostedEntry`] and [`UnexpectedEntry`] so every list structure in
+/// [`crate::list`] can be written once and instantiated for both queues.
+pub trait Element: Copy + core::fmt::Debug + 'static {
+    /// The key the queue is searched with ([`Envelope`] for the PRQ,
+    /// [`RecvSpec`] for the UMQ).
+    type Probe: Copy + core::fmt::Debug + ProbeKey;
+
+    /// Whether this stored element satisfies the probe.
+    fn matches(&self, probe: &Self::Probe) -> bool;
+
+    /// An in-band hole marker that can never match any probe.
+    fn hole() -> Self;
+
+    /// Whether this element is a hole marker.
+    fn is_hole(&self) -> bool;
+
+    /// Opaque identity used by `remove_by_id` (cancellation); the request or
+    /// payload handle.
+    fn id(&self) -> u64;
+
+    /// Source rank for binning, or `None` if this element wildcards the
+    /// source and must live on the structure's wildcard channel.
+    fn bin_source(&self) -> Option<i32>;
+
+    /// Fully-concrete matching key `(context, rank, tag)` for hash binning,
+    /// or `None` if any component is wildcarded.
+    fn full_key(&self) -> Option<(u16, i32, i32)>;
+}
+
+/// Search-key counterpart of [`Element::bin_source`]/[`Element::full_key`]:
+/// what a probe can tell a binned structure about where to look.
+pub trait ProbeKey: Copy {
+    /// Source rank the probe names, or `None` if it wildcards the source (so
+    /// every bin must be considered, in global FIFO order).
+    fn bin_source(&self) -> Option<i32>;
+    /// Fully-concrete `(context, rank, tag)`, or `None` if any component is
+    /// wildcarded.
+    fn full_key(&self) -> Option<(u16, i32, i32)>;
+    /// Context id (always concrete).
+    fn context(&self) -> u16;
+}
+
+impl Element for PostedEntry {
+    type Probe = Envelope;
+
+    #[inline]
+    fn matches(&self, probe: &Envelope) -> bool {
+        PostedEntry::matches(self, probe)
+    }
+
+    #[inline]
+    fn hole() -> Self {
+        // Tags/sources invalid, all bitmask fields set (§3.1): with full
+        // masks, matching would require tag/rank equality, and the reserved
+        // context id rules out even that.
+        Self {
+            tag: -1,
+            rank: u16::MAX,
+            context_id: HOLE_CONTEXT,
+            tag_mask: u32::MAX,
+            rank_mask: u32::MAX,
+            request: u64::MAX,
+        }
+    }
+
+    #[inline]
+    fn is_hole(&self) -> bool {
+        self.context_id == HOLE_CONTEXT
+    }
+
+    #[inline]
+    fn id(&self) -> u64 {
+        self.request
+    }
+
+    #[inline]
+    fn bin_source(&self) -> Option<i32> {
+        self.source()
+    }
+
+    #[inline]
+    fn full_key(&self) -> Option<(u16, i32, i32)> {
+        if self.has_wildcard() {
+            None
+        } else {
+            Some((self.context_id, self.rank as i32, self.tag))
+        }
+    }
+}
+
+impl Element for UnexpectedEntry {
+    type Probe = RecvSpec;
+
+    #[inline]
+    fn matches(&self, probe: &RecvSpec) -> bool {
+        UnexpectedEntry::matches(self, probe)
+    }
+
+    #[inline]
+    fn hole() -> Self {
+        Self { tag: -1, rank: u16::MAX, context_id: HOLE_CONTEXT, payload: u64::MAX }
+    }
+
+    #[inline]
+    fn is_hole(&self) -> bool {
+        self.context_id == HOLE_CONTEXT
+    }
+
+    #[inline]
+    fn id(&self) -> u64 {
+        self.payload
+    }
+
+    #[inline]
+    fn bin_source(&self) -> Option<i32> {
+        // A buffered message always has a concrete source.
+        Some(self.rank as i32)
+    }
+
+    #[inline]
+    fn full_key(&self) -> Option<(u16, i32, i32)> {
+        Some((self.context_id, self.rank as i32, self.tag))
+    }
+}
+
+impl ProbeKey for Envelope {
+    #[inline]
+    fn bin_source(&self) -> Option<i32> {
+        Some(self.rank)
+    }
+
+    #[inline]
+    fn full_key(&self) -> Option<(u16, i32, i32)> {
+        Some((self.context_id, self.rank, self.tag))
+    }
+
+    #[inline]
+    fn context(&self) -> u16 {
+        self.context_id
+    }
+}
+
+impl ProbeKey for RecvSpec {
+    #[inline]
+    fn bin_source(&self) -> Option<i32> {
+        (self.rank != ANY_SOURCE).then_some(self.rank)
+    }
+
+    #[inline]
+    fn full_key(&self) -> Option<(u16, i32, i32)> {
+        if self.rank == ANY_SOURCE || self.tag == ANY_TAG {
+            None
+        } else {
+            Some((self.context_id, self.rank, self.tag))
+        }
+    }
+
+    #[inline]
+    fn context(&self) -> u16 {
+        self.context_id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_matches_figure_2() {
+        // Figure 2: each PRQ entry is 24 bytes, each UMQ entry 16 bytes.
+        assert_eq!(core::mem::size_of::<PostedEntry>(), 24);
+        assert_eq!(core::mem::size_of::<UnexpectedEntry>(), 16);
+    }
+
+    #[test]
+    fn exact_posted_entry_matches_only_its_envelope() {
+        let e = PostedEntry::from_spec(RecvSpec::new(5, 9, 2), 1);
+        assert!(e.matches(&Envelope::new(5, 9, 2)));
+        assert!(!e.matches(&Envelope::new(6, 9, 2)), "wrong rank");
+        assert!(!e.matches(&Envelope::new(5, 8, 2)), "wrong tag");
+        assert!(!e.matches(&Envelope::new(5, 9, 3)), "wrong communicator");
+    }
+
+    #[test]
+    fn any_source_matches_all_ranks_same_tag() {
+        let e = PostedEntry::from_spec(RecvSpec::new(ANY_SOURCE, 9, 2), 1);
+        assert!(e.matches(&Envelope::new(0, 9, 2)));
+        assert!(e.matches(&Envelope::new(4093, 9, 2)));
+        assert!(!e.matches(&Envelope::new(0, 8, 2)));
+        assert!(e.has_wildcard());
+        assert_eq!(e.source(), None);
+    }
+
+    #[test]
+    fn any_tag_matches_all_tags_same_rank() {
+        let e = PostedEntry::from_spec(RecvSpec::new(5, ANY_TAG, 2), 1);
+        assert!(e.matches(&Envelope::new(5, 0, 2)));
+        assert!(e.matches(&Envelope::new(5, i32::MAX, 2)));
+        assert!(!e.matches(&Envelope::new(6, 0, 2)));
+    }
+
+    #[test]
+    fn fully_wild_matches_everything_in_communicator() {
+        let e = PostedEntry::from_spec(RecvSpec::any(7), 1);
+        assert!(e.matches(&Envelope::new(123, 456, 7)));
+        assert!(!e.matches(&Envelope::new(123, 456, 8)));
+    }
+
+    #[test]
+    fn holes_never_match() {
+        let hole = PostedEntry::hole();
+        assert!(hole.is_hole());
+        for rank in [0, 1, -1_i32, 65_535] {
+            for tag in [0, -1, 7] {
+                // Use raw struct construction: hole must not match even
+                // degenerate envelopes.
+                let env = Envelope { rank, tag, context_id: HOLE_CONTEXT - 1 };
+                assert!(!hole.matches(&env));
+            }
+        }
+        let uhole = UnexpectedEntry::hole();
+        assert!(uhole.is_hole());
+        assert!(!uhole.matches(&RecvSpec::new(-1, -1, 0)));
+    }
+
+    #[test]
+    fn unexpected_matching_honours_wildcards_on_probe_side() {
+        let m = UnexpectedEntry::from_envelope(Envelope::new(3, 11, 0), 42);
+        assert!(m.matches(&RecvSpec::new(3, 11, 0)));
+        assert!(m.matches(&RecvSpec::new(ANY_SOURCE, 11, 0)));
+        assert!(m.matches(&RecvSpec::new(3, ANY_TAG, 0)));
+        assert!(m.matches(&RecvSpec::any(0)));
+        assert!(!m.matches(&RecvSpec::new(4, 11, 0)));
+        assert!(!m.matches(&RecvSpec::new(3, 12, 0)));
+        assert!(!m.matches(&RecvSpec::any(1)));
+    }
+
+    #[test]
+    fn ranks_beyond_i16_match_correctly() {
+        // Regression: ranks in 32768..65536 must round-trip through the
+        // 2-byte field without sign-extension corruption (they broke 64 Ki
+        // -rank motif runs before the unsigned fix).
+        for rank in [32_768, 40_000, 65_535] {
+            let e = PostedEntry::from_spec(RecvSpec::new(rank, 3, 0), 1);
+            assert!(e.matches(&Envelope::new(rank, 3, 0)), "rank {rank}");
+            assert!(!e.matches(&Envelope::new(rank - 1, 3, 0)));
+            let u = UnexpectedEntry::from_envelope(Envelope::new(rank, 3, 0), 9);
+            assert!(u.matches(&RecvSpec::new(rank, 3, 0)));
+            assert!(!u.matches(&RecvSpec::new(rank - 1, 3, 0)));
+        }
+    }
+
+    #[test]
+    fn rank_aliasing_is_modulo_2_16_by_design() {
+        // Documented layout cost: ranks 65536 apart alias.
+        let e = PostedEntry::from_spec(RecvSpec::new(5, 3, 0), 1);
+        assert!(e.matches(&Envelope::new(5 + 65_536, 3, 0)));
+    }
+
+    #[test]
+    fn probe_keys_report_binnability() {
+        assert_eq!(Envelope::new(3, 1, 0).bin_source(), Some(3));
+        assert_eq!(RecvSpec::new(ANY_SOURCE, 1, 0).bin_source(), None);
+        assert_eq!(RecvSpec::new(2, ANY_TAG, 0).bin_source(), Some(2));
+        assert_eq!(RecvSpec::new(2, ANY_TAG, 0).full_key(), None);
+        assert_eq!(RecvSpec::new(2, 5, 9).full_key(), Some((9, 2, 5)));
+    }
+}

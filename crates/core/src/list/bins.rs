@@ -1,0 +1,289 @@
+//! Open MPI-style hierarchical match structure (§2.2).
+//!
+//! One short FIFO per source rank gives O(1) access to the only entries a
+//! concrete-source message can match, at the cost of O(ranks) memory per
+//! communicator per process — the paper's scalability criticism (O(N²)
+//! job-wide). Wildcard (`MPI_ANY_SOURCE`) receives live on a separate
+//! channel; global sequence numbers arbitrate FIFO order between a bin and
+//! the wildcard channel, preserving MPI non-overtaking.
+
+use crate::addr::fresh_region_base;
+use crate::entry::{Element, ProbeKey};
+use crate::list::{
+    collect_metas, global_search_with, merged_search_remove, Footprint, MatchList, Search, SeqFifo,
+};
+use crate::sink::AccessSink;
+
+/// Simulated bytes reserved per bin so bins never alias.
+const BIN_REGION: u64 = 64 * 1024;
+
+/// Per-source-rank binned match queue (Open MPI style).
+pub struct SourceBins<E: Element> {
+    bins: Vec<SeqFifo<E>>,
+    wild: SeqFifo<E>,
+    next_seq: u64,
+    len: usize,
+}
+
+impl<E: Element> SourceBins<E> {
+    /// Creates the structure for a communicator of `comm_size` ranks. The
+    /// bin array is allocated eagerly, as Open MPI does — this is exactly
+    /// the O(ranks) cost [`MatchList::footprint`] reports.
+    pub fn new(comm_size: usize) -> Self {
+        assert!(
+            comm_size <= 1 << 16,
+            "per-source bins key on the entry's 16-bit rank field; larger \
+             communicators would alias bins"
+        );
+        let base = fresh_region_base();
+        let bins =
+            (0..comm_size).map(|i| SeqFifo::new(base + i as u64 * BIN_REGION)).collect();
+        Self {
+            bins,
+            wild: SeqFifo::new(base + comm_size as u64 * BIN_REGION),
+            next_seq: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of source bins (the communicator size).
+    pub fn comm_size(&self) -> usize {
+        self.bins.len()
+    }
+
+    fn channel(&self, ci: usize) -> &SeqFifo<E> {
+        if ci < self.bins.len() {
+            &self.bins[ci]
+        } else {
+            &self.wild
+        }
+    }
+
+    fn channel_mut(&mut self, ci: usize) -> &mut SeqFifo<E> {
+        if ci < self.bins.len() {
+            &mut self.bins[ci]
+        } else {
+            &mut self.wild
+        }
+    }
+}
+
+impl<E: Element> MatchList<E> for SourceBins<E> {
+    fn append<S: AccessSink>(&mut self, e: E, sink: &mut S) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        match e.bin_source() {
+            Some(src) => {
+                let src = usize::try_from(src).expect("source rank must be non-negative");
+                assert!(src < self.bins.len(), "rank {src} outside communicator");
+                self.bins[src].push(seq, e, sink);
+            }
+            None => self.wild.push(seq, e, sink),
+        }
+        self.len += 1;
+    }
+
+    fn search_remove<S: AccessSink>(&mut self, probe: &E::Probe, sink: &mut S) -> Search<E> {
+        let r = match probe.bin_source() {
+            Some(src) => {
+                let src = usize::try_from(src).expect("source rank must be non-negative");
+                assert!(src < self.bins.len(), "rank {src} outside communicator");
+                // Split borrow: bin and wildcard channel are disjoint fields.
+                let (bins, wild) = (&mut self.bins, &mut self.wild);
+                merged_search_remove(&mut bins[src], wild, probe, sink)
+            }
+            None => {
+                // Wildcard-source receive: the structure degenerates to a
+                // global sequence-ordered scan.
+                let mut metas =
+                    collect_metas(self.bins.iter().chain(core::iter::once(&self.wild)));
+                let (hit, depth) = global_search_with(
+                    &mut metas,
+                    |ci, pos| self.channel(ci).iter().nth(pos).expect("meta position valid").1,
+                    probe,
+                    sink,
+                );
+                match hit {
+                    Some((ci, pos)) => {
+                        let (_, e) = self.channel_mut(ci).remove(pos);
+                        Search::hit(e, depth)
+                    }
+                    None => Search::miss(depth),
+                }
+            }
+        };
+        if r.found.is_some() {
+            self.len -= 1;
+        }
+        r
+    }
+
+    fn remove_by_id<S: AccessSink>(&mut self, id: u64, _sink: &mut S) -> Option<E> {
+        // Ids are unique, so the earliest-seq rule reduces to "whichever
+        // channel has it"; still check all channels and take the minimum
+        // sequence to be safe under id reuse.
+        let mut best: Option<(u64, usize)> = None;
+        for ci in 0..=self.bins.len() {
+            if let Some(seq) = self
+                .channel(ci)
+                .iter()
+                .filter(|(_, e)| e.id() == id)
+                .map(|(s, _)| *s)
+                .min()
+            {
+                if best.is_none_or(|(bs, _)| seq < bs) {
+                    best = Some((seq, ci));
+                }
+            }
+        }
+        let (_, ci) = best?;
+        let (_, e) = self.channel_mut(ci).remove_by_id(id)?;
+        self.len -= 1;
+        Some(e)
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn snapshot(&self) -> Vec<E> {
+        let mut all: Vec<(u64, E)> = Vec::with_capacity(self.len);
+        for ci in 0..=self.bins.len() {
+            all.extend(self.channel(ci).iter().copied());
+        }
+        all.sort_unstable_by_key(|(seq, _)| *seq);
+        all.into_iter().map(|(_, e)| e).collect()
+    }
+
+    fn clear(&mut self) {
+        for b in &mut self.bins {
+            b.clear();
+        }
+        self.wild.clear();
+        self.len = 0;
+    }
+
+    fn footprint(&self) -> Footprint {
+        // The bin array itself is the O(ranks) term.
+        let array = (self.bins.len() * core::mem::size_of::<SeqFifo<E>>()) as u64;
+        let storage: u64 =
+            self.bins.iter().map(SeqFifo::bytes).sum::<u64>() + self.wild.bytes();
+        Footprint { bytes: array + storage, allocations: self.bins.len() as u64 + 1 }
+    }
+
+    fn heat_regions(&self, out: &mut Vec<(u64, u64)>) {
+        for b in self.bins.iter().chain(core::iter::once(&self.wild)) {
+            let (base, len) = b.region();
+            if len > 0 {
+                out.push((base, len));
+            }
+        }
+    }
+
+    fn kind_name(&self) -> String {
+        format!("source-bins({})", self.bins.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::{Envelope, PostedEntry, RecvSpec, UnexpectedEntry, ANY_SOURCE, ANY_TAG};
+    use crate::sink::NullSink;
+
+    fn post(rank: i32, tag: i32, req: u64) -> PostedEntry {
+        PostedEntry::from_spec(RecvSpec::new(rank, tag, 0), req)
+    }
+
+    #[test]
+    fn concrete_search_is_depth_one_regardless_of_other_sources() {
+        let mut l: SourceBins<PostedEntry> = SourceBins::new(64);
+        let mut s = NullSink;
+        // 63 entries from other ranks...
+        for r in 1..64 {
+            l.append(post(r, 0, r as u64), &mut s);
+        }
+        // ...then the one we want.
+        l.append(post(0, 0, 999), &mut s);
+        let r = l.search_remove(&Envelope::new(0, 0, 0), &mut s);
+        assert_eq!(r.found.unwrap().request, 999);
+        assert_eq!(r.depth, 1, "O(1) bin access: only rank 0's bin is scanned");
+    }
+
+    #[test]
+    fn wildcard_posted_before_concrete_wins() {
+        let mut l: SourceBins<PostedEntry> = SourceBins::new(8);
+        let mut s = NullSink;
+        l.append(PostedEntry::from_spec(RecvSpec::new(ANY_SOURCE, 5, 0), 1), &mut s);
+        l.append(post(2, 5, 2), &mut s);
+        let r = l.search_remove(&Envelope::new(2, 5, 0), &mut s);
+        assert_eq!(r.found.unwrap().request, 1, "wildcard has the earlier sequence number");
+        let r = l.search_remove(&Envelope::new(2, 5, 0), &mut s);
+        assert_eq!(r.found.unwrap().request, 2);
+    }
+
+    #[test]
+    fn concrete_posted_before_wildcard_wins() {
+        let mut l: SourceBins<PostedEntry> = SourceBins::new(8);
+        let mut s = NullSink;
+        l.append(post(2, 5, 1), &mut s);
+        l.append(PostedEntry::from_spec(RecvSpec::new(ANY_SOURCE, 5, 0), 2), &mut s);
+        let r = l.search_remove(&Envelope::new(2, 5, 0), &mut s);
+        assert_eq!(r.found.unwrap().request, 1);
+    }
+
+    #[test]
+    fn any_source_probe_scans_in_global_fifo_order() {
+        let mut l: SourceBins<UnexpectedEntry> = SourceBins::new(8);
+        let mut s = NullSink;
+        // Unexpected messages from several sources with the same tag.
+        for (i, src) in [3, 1, 7, 1].iter().enumerate() {
+            l.append(
+                UnexpectedEntry::from_envelope(Envelope::new(*src, 9, 0), i as u64),
+                &mut s,
+            );
+        }
+        // ANY_SOURCE receive must take the earliest *arrived*, not bin 1
+        // first.
+        let r = l.search_remove(&RecvSpec::new(ANY_SOURCE, 9, 0), &mut s);
+        assert_eq!(r.found.unwrap().payload, 0, "message from rank 3 arrived first");
+        let r = l.search_remove(&RecvSpec::new(ANY_SOURCE, ANY_TAG, 0), &mut s);
+        assert_eq!(r.found.unwrap().payload, 1);
+        assert_eq!(l.len(), 2);
+    }
+
+    #[test]
+    fn footprint_scales_with_communicator_size() {
+        let small: SourceBins<PostedEntry> = SourceBins::new(16);
+        let large: SourceBins<PostedEntry> = SourceBins::new(4096);
+        assert!(large.footprint().bytes >= 200 * small.footprint().bytes,
+            "O(ranks) bin array dominates: {} vs {}", large.footprint().bytes, small.footprint().bytes);
+    }
+
+    #[test]
+    fn snapshot_is_global_fifo_order_and_clear_empties() {
+        let mut l: SourceBins<PostedEntry> = SourceBins::new(4);
+        let mut s = NullSink;
+        l.append(post(3, 0, 0), &mut s);
+        l.append(post(1, 0, 1), &mut s);
+        l.append(PostedEntry::from_spec(RecvSpec::new(ANY_SOURCE, 0, 0), 2), &mut s);
+        l.append(post(1, 1, 3), &mut s);
+        let snap: Vec<u64> = l.snapshot().iter().map(|e| e.request).collect();
+        assert_eq!(snap, vec![0, 1, 2, 3]);
+        l.clear();
+        assert_eq!(l.len(), 0);
+        assert!(l.snapshot().is_empty());
+    }
+
+    #[test]
+    fn remove_by_id_works_across_channels() {
+        let mut l: SourceBins<PostedEntry> = SourceBins::new(4);
+        let mut s = NullSink;
+        l.append(post(1, 0, 10), &mut s);
+        l.append(PostedEntry::from_spec(RecvSpec::new(ANY_SOURCE, 0, 0), 11), &mut s);
+        assert_eq!(l.remove_by_id(11, &mut s).unwrap().request, 11);
+        assert_eq!(l.remove_by_id(10, &mut s).unwrap().request, 10);
+        assert!(l.remove_by_id(10, &mut s).is_none());
+        assert_eq!(l.len(), 0);
+    }
+}

@@ -1,0 +1,477 @@
+//! Linked list of arrays (LLA) — the paper's spacial-locality structure
+//! (§3.1, Figure 2).
+//!
+//! Each linked-list node stores `N` match entries in contiguous memory, plus
+//! a small header (head/tail indexes into the used range) and a next link.
+//! With the paper's 24-byte posted-receive entries, `N = 2` packs a node into
+//! exactly one 64-byte cache line; with the 16-byte unexpected-message
+//! entries, `N = 3` does. Larger `N` trades per-node pointer chases for
+//! longer contiguous runs the hardware prefetchers can stream.
+//!
+//! Deletions from the middle of a node leave an in-band *hole* ("ensuring
+//! tags and sources are invalid and all bitmask fields are set"); the
+//! head/tail indexes trim holes at the node boundaries, and a fully-emptied
+//! node is unlinked and returned to the element pool.
+
+use crate::addr::AddrSpace;
+use crate::entry::{Element, PostedEntry, UnexpectedEntry};
+use crate::list::{Footprint, MatchList, Search};
+use crate::pool::{Pool, NIL};
+use crate::sink::AccessSink;
+
+/// One LLA node: header (8 B) + `N` entries + next link, padded to a
+/// multiple of 64 bytes by the alignment.
+#[repr(C, align(64))]
+#[derive(Clone, Copy, Debug)]
+pub struct LlaNode<E: Element, const N: usize> {
+    /// Index of the first live slot (holes before it have been trimmed).
+    head: u32,
+    /// One past the last used slot.
+    tail: u32,
+    /// The packed entries; slots in `head..tail` may contain holes.
+    entries: [E; N],
+    /// Pool id of the next node, or [`NIL`].
+    next: u32,
+}
+
+// Figure 2's load-bearing arithmetic: 2 posted entries (24 B each) or 3
+// unexpected entries (16 B each) plus the header fit exactly one cache line.
+const _: () = assert!(core::mem::size_of::<LlaNode<PostedEntry, 2>>() == 64);
+const _: () = assert!(core::mem::size_of::<LlaNode<UnexpectedEntry, 3>>() == 64);
+const _: () = assert!(core::mem::size_of::<LlaNode<PostedEntry, 8>>() == 256);
+
+impl<E: Element, const N: usize> LlaNode<E, N> {
+    fn empty() -> Self {
+        Self { head: 0, tail: 0, entries: [E::hole(); N], next: NIL }
+    }
+
+    /// Byte offset of `entries[i]` within the node (repr(C): header is 8 B).
+    #[inline]
+    fn entry_offset(i: usize) -> u64 {
+        8 + (i * core::mem::size_of::<E>()) as u64
+    }
+
+    /// Byte offset of the `next` link within the node.
+    #[inline]
+    fn next_offset() -> u64 {
+        Self::entry_offset(N)
+    }
+}
+
+/// The linked-list-of-arrays match queue.
+///
+/// `N` is the number of entries per node (the paper sweeps 2, 4, 8, 16, 32
+/// and a "large arrays" configuration). Nodes come from a chunked element
+/// pool whose storage never moves, so a hot-caching heater can be pointed at
+/// [`Lla::real_regions`] safely.
+pub struct Lla<E: Element, const N: usize> {
+    pool: Pool<LlaNode<E, N>>,
+    addr: AddrSpace,
+    head: u32,
+    tail: u32,
+    len: usize,
+}
+
+impl<E: Element, const N: usize> Lla<E, N> {
+    /// Creates an empty queue drawing simulated addresses from `addr`.
+    pub fn with_addr(addr: AddrSpace) -> Self {
+        assert!(N >= 1, "an LLA node must hold at least one entry");
+        Self { pool: Pool::new(LlaNode::empty()), addr, head: NIL, tail: NIL, len: 0 }
+    }
+
+    /// Creates an empty queue in a fresh, non-overlapping simulated region.
+    pub fn new() -> Self {
+        Self::with_addr(AddrSpace::contiguous(crate::addr::fresh_region_base()))
+    }
+
+    /// Real `(pointer, len)` chunk regions for the hot-caching heater.
+    pub fn real_regions(&self) -> Vec<(*const u8, usize)> {
+        self.pool.real_regions()
+    }
+
+    /// Entries per node.
+    pub const fn arity(&self) -> usize {
+        N
+    }
+
+    /// Number of nodes currently linked into the list.
+    pub fn node_count(&self) -> usize {
+        self.pool.live()
+    }
+
+    /// Unlinks `cur` (whose predecessor is `prev`) and returns it to the pool.
+    fn unlink(&mut self, prev: u32, cur: u32) {
+        let next = self.pool.get(cur).next;
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.pool.get_mut(prev).next = next;
+        }
+        if self.tail == cur {
+            self.tail = prev;
+        }
+        self.pool.dealloc(cur);
+    }
+
+    /// Removes the entry at `idx` in node `cur`, maintaining the hole/trim
+    /// invariants and unlinking the node if it empties.
+    fn remove_at<S: AccessSink>(&mut self, prev: u32, cur: u32, idx: u32, sink: &mut S) {
+        let node_addr = self.pool.sim_addr(cur);
+        let node = self.pool.get_mut(cur);
+        node.entries[idx as usize] = E::hole();
+        sink.write(node_addr + LlaNode::<E, N>::entry_offset(idx as usize), {
+            core::mem::size_of::<E>() as u32
+        });
+        // Trim holes at the boundaries so head/tail tightly bound live data.
+        while node.head < node.tail && node.entries[node.head as usize].is_hole() {
+            node.head += 1;
+        }
+        while node.tail > node.head && node.entries[node.tail as usize - 1].is_hole() {
+            node.tail -= 1;
+        }
+        sink.write(node_addr, 8);
+        let empty = node.head == node.tail;
+        self.len -= 1;
+        if empty {
+            self.unlink(prev, cur);
+        }
+    }
+
+    /// Walks the list calling `test` on each live entry; on `true`, removes
+    /// that entry and returns it with the inspection depth.
+    fn walk_remove<S: AccessSink>(
+        &mut self,
+        sink: &mut S,
+        mut test: impl FnMut(&E) -> bool,
+    ) -> Search<E> {
+        let mut depth = 0u32;
+        let mut prev = NIL;
+        let mut cur = self.head;
+        while cur != NIL {
+            let node_addr = self.pool.sim_addr(cur);
+            sink.read(node_addr, 8); // head/tail indexes
+            let (h, t) = {
+                let n = self.pool.get(cur);
+                (n.head, n.tail)
+            };
+            for i in h..t {
+                let e = self.pool.get(cur).entries[i as usize];
+                sink.read(
+                    node_addr + LlaNode::<E, N>::entry_offset(i as usize),
+                    core::mem::size_of::<E>() as u32,
+                );
+                if e.is_hole() {
+                    continue;
+                }
+                depth += 1;
+                if test(&e) {
+                    self.remove_at(prev, cur, i, sink);
+                    return Search::hit(e, depth);
+                }
+            }
+            sink.read(node_addr + LlaNode::<E, N>::next_offset(), 4);
+            let next = self.pool.get(cur).next;
+            prev = cur;
+            cur = next;
+        }
+        Search::miss(depth)
+    }
+}
+
+impl<E: Element, const N: usize> Default for Lla<E, N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E: Element, const N: usize> MatchList<E> for Lla<E, N> {
+    fn append<S: AccessSink>(&mut self, e: E, sink: &mut S) {
+        // Fast path: room at the tail node.
+        if self.tail != NIL {
+            let tail_addr = self.pool.sim_addr(self.tail);
+            let node = self.pool.get_mut(self.tail);
+            if (node.tail as usize) < N {
+                let i = node.tail as usize;
+                node.entries[i] = e;
+                node.tail += 1;
+                sink.write(tail_addr + LlaNode::<E, N>::entry_offset(i), {
+                    core::mem::size_of::<E>() as u32
+                });
+                sink.write(tail_addr, 8);
+                self.len += 1;
+                return;
+            }
+        }
+        // Grow: take a node from the pool and link it at the tail.
+        let mut node = LlaNode::empty();
+        node.entries[0] = e;
+        node.tail = 1;
+        let id = self.pool.alloc(node, &mut self.addr);
+        let addr = self.pool.sim_addr(id);
+        sink.write(addr, core::mem::size_of::<LlaNode<E, N>>() as u32);
+        if self.tail == NIL {
+            self.head = id;
+        } else {
+            let prev_addr = self.pool.sim_addr(self.tail);
+            self.pool.get_mut(self.tail).next = id;
+            sink.write(prev_addr + LlaNode::<E, N>::next_offset(), 4);
+        }
+        self.tail = id;
+        self.len += 1;
+    }
+
+    fn search_remove<S: AccessSink>(&mut self, probe: &E::Probe, sink: &mut S) -> Search<E> {
+        self.walk_remove(sink, |e| e.matches(probe))
+    }
+
+    fn remove_by_id<S: AccessSink>(&mut self, id: u64, sink: &mut S) -> Option<E> {
+        self.walk_remove(sink, |e| e.id() == id).found
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn snapshot(&self) -> Vec<E> {
+        let mut out = Vec::with_capacity(self.len);
+        let mut cur = self.head;
+        while cur != NIL {
+            let n = self.pool.get(cur);
+            out.extend(n.entries[n.head as usize..n.tail as usize]
+                .iter()
+                .filter(|e| !e.is_hole()));
+            cur = n.next;
+        }
+        out
+    }
+
+    fn clear(&mut self) {
+        self.pool.reset();
+        self.head = NIL;
+        self.tail = NIL;
+        self.len = 0;
+    }
+
+    fn footprint(&self) -> Footprint {
+        Footprint { bytes: self.pool.bytes(), allocations: self.pool.allocations() }
+    }
+
+    fn heat_regions(&self, out: &mut Vec<(u64, u64)>) {
+        self.pool.sim_regions(out);
+    }
+
+    fn kind_name(&self) -> String {
+        format!("LLA-{N}")
+    }
+}
+
+/// The paper's cache-line posted-receive configuration: 2 entries per node.
+pub fn posted_cacheline() -> Lla<PostedEntry, 2> {
+    Lla::new()
+}
+
+/// The paper's cache-line unexpected-message configuration: 3 entries per
+/// node.
+pub fn unexpected_cacheline() -> Lla<UnexpectedEntry, 3> {
+    Lla::new()
+}
+
+/// The "linked list of large arrays" configuration used for the FDS study at
+/// 8192 processes (§4.5).
+pub fn posted_large() -> Lla<PostedEntry, 512> {
+    Lla::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::{Envelope, RecvSpec};
+    use crate::sink::{CountingSink, NullSink};
+
+    fn post(rank: i32, tag: i32, req: u64) -> PostedEntry {
+        PostedEntry::from_spec(RecvSpec::new(rank, tag, 0), req)
+    }
+
+    #[test]
+    fn node_layouts_match_figure_2() {
+        assert_eq!(core::mem::size_of::<LlaNode<PostedEntry, 2>>(), 64);
+        assert_eq!(core::mem::size_of::<LlaNode<UnexpectedEntry, 3>>(), 64);
+        assert_eq!(core::mem::size_of::<LlaNode<PostedEntry, 4>>(), 128);
+        assert_eq!(core::mem::size_of::<LlaNode<PostedEntry, 8>>(), 256);
+        assert_eq!(core::mem::align_of::<LlaNode<PostedEntry, 2>>(), 64);
+    }
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let mut l: Lla<PostedEntry, 2> = Lla::new();
+        let mut s = NullSink;
+        for i in 0..10 {
+            l.append(post(1, i, i as u64), &mut s);
+        }
+        let snap = l.snapshot();
+        assert_eq!(snap.len(), 10);
+        for (i, e) in snap.iter().enumerate() {
+            assert_eq!(e.tag, i as i32);
+        }
+    }
+
+    #[test]
+    fn search_finds_earliest_match_and_reports_depth() {
+        let mut l: Lla<PostedEntry, 4> = Lla::new();
+        let mut s = NullSink;
+        l.append(post(1, 10, 0), &mut s);
+        l.append(post(2, 20, 1), &mut s);
+        l.append(post(2, 20, 2), &mut s); // same key, posted later
+        let r = l.search_remove(&Envelope::new(2, 20, 0), &mut s);
+        assert_eq!(r.found.unwrap().request, 1, "earliest posted wins");
+        assert_eq!(r.depth, 2);
+        assert_eq!(l.len(), 2);
+        // Second search should find the later one.
+        let r = l.search_remove(&Envelope::new(2, 20, 0), &mut s);
+        assert_eq!(r.found.unwrap().request, 2);
+    }
+
+    #[test]
+    fn middle_removal_leaves_hole_then_skips_it() {
+        let mut l: Lla<PostedEntry, 4> = Lla::new();
+        let mut s = NullSink;
+        for i in 0..4 {
+            l.append(post(i, i, i as u64), &mut s);
+        }
+        // Remove entry in the middle of the node.
+        assert!(l.search_remove(&Envelope::new(1, 1, 0), &mut s).found.is_some());
+        assert_eq!(l.len(), 3);
+        let snap = l.snapshot();
+        assert_eq!(snap.iter().map(|e| e.request).collect::<Vec<_>>(), vec![0, 2, 3]);
+        // A subsequent full-miss search inspects only live entries.
+        let r = l.search_remove(&Envelope::new(9, 9, 0), &mut s);
+        assert_eq!(r.depth, 3);
+    }
+
+    #[test]
+    fn emptied_node_is_unlinked_and_reused() {
+        let mut l: Lla<PostedEntry, 2> = Lla::new();
+        let mut s = NullSink;
+        for i in 0..6 {
+            l.append(post(0, i, i as u64), &mut s);
+        }
+        assert_eq!(l.node_count(), 3);
+        // Drain the middle node (tags 2 and 3).
+        l.search_remove(&Envelope::new(0, 2, 0), &mut s).found.unwrap();
+        l.search_remove(&Envelope::new(0, 3, 0), &mut s).found.unwrap();
+        assert_eq!(l.node_count(), 2);
+        assert_eq!(l.snapshot().iter().map(|e| e.tag).collect::<Vec<_>>(), vec![0, 1, 4, 5]);
+        // Appends still work and traversal still terminates.
+        l.append(post(0, 99, 99), &mut s);
+        assert_eq!(l.len(), 5);
+        assert_eq!(l.snapshot().last().unwrap().tag, 99);
+    }
+
+    #[test]
+    fn draining_head_and_tail_nodes_keeps_links_consistent() {
+        let mut l: Lla<PostedEntry, 2> = Lla::new();
+        let mut s = NullSink;
+        for i in 0..6 {
+            l.append(post(0, i, i as u64), &mut s);
+        }
+        // Drain the head node.
+        l.search_remove(&Envelope::new(0, 0, 0), &mut s).found.unwrap();
+        l.search_remove(&Envelope::new(0, 1, 0), &mut s).found.unwrap();
+        // Drain the tail node.
+        l.search_remove(&Envelope::new(0, 4, 0), &mut s).found.unwrap();
+        l.search_remove(&Envelope::new(0, 5, 0), &mut s).found.unwrap();
+        assert_eq!(l.snapshot().iter().map(|e| e.tag).collect::<Vec<_>>(), vec![2, 3]);
+        l.append(post(0, 7, 7), &mut s);
+        assert_eq!(l.snapshot().iter().map(|e| e.tag).collect::<Vec<_>>(), vec![2, 3, 7]);
+    }
+
+    #[test]
+    fn wildcard_entries_match_any_source() {
+        let mut l: Lla<PostedEntry, 2> = Lla::new();
+        let mut s = NullSink;
+        l.append(PostedEntry::from_spec(RecvSpec::new(crate::ANY_SOURCE, 5, 0), 1), &mut s);
+        let r = l.search_remove(&Envelope::new(42, 5, 0), &mut s);
+        assert_eq!(r.found.unwrap().request, 1);
+    }
+
+    #[test]
+    fn remove_by_id_cancels_the_right_entry() {
+        let mut l: Lla<PostedEntry, 2> = Lla::new();
+        let mut s = NullSink;
+        for i in 0..5 {
+            l.append(post(0, 1, 100 + i), &mut s);
+        }
+        let e = l.remove_by_id(102, &mut s).unwrap();
+        assert_eq!(e.request, 102);
+        assert!(l.remove_by_id(102, &mut s).is_none());
+        assert_eq!(l.len(), 4);
+    }
+
+    #[test]
+    fn clear_resets_but_keeps_pool_storage() {
+        let mut l: Lla<PostedEntry, 2> = Lla::new();
+        let mut s = NullSink;
+        for i in 0..100 {
+            l.append(post(0, i, i as u64), &mut s);
+        }
+        let bytes = l.footprint().bytes;
+        l.clear();
+        assert_eq!(l.len(), 0);
+        assert!(l.is_empty());
+        assert_eq!(l.footprint().bytes, bytes, "chunks are retained for the heater");
+        l.append(post(0, 1, 1), &mut s);
+        assert_eq!(l.len(), 1);
+    }
+
+    #[test]
+    fn packing_touches_fewer_lines_than_one_per_entry() {
+        // 64 entries at 2/node = 32 nodes = 32 lines; scanning all of them
+        // must touch exactly 32 distinct lines (contiguous pool).
+        let mut l: Lla<PostedEntry, 2> = Lla::with_addr(AddrSpace::contiguous(1 << 30));
+        let mut s = NullSink;
+        for i in 0..64 {
+            l.append(post(0, i, i as u64), &mut s);
+        }
+        let mut c = CountingSink::new();
+        let r = l.search_remove(&Envelope::new(7, 7, 7), &mut c); // guaranteed miss
+        assert!(r.found.is_none());
+        assert_eq!(r.depth, 64);
+        assert_eq!(c.distinct_lines(), 32);
+
+        // With 8 entries per node the same 64 entries sit in 8 × 256-byte
+        // nodes = 32 lines as well, but header overhead amortizes; with the
+        // 16-byte unexpected entries, 3 per line beats 1 per line by 3x.
+        let mut l8: Lla<PostedEntry, 8> = Lla::with_addr(AddrSpace::contiguous(1 << 31));
+        for i in 0..64 {
+            l8.append(post(0, i, i as u64), &mut s);
+        }
+        let mut c8 = CountingSink::new();
+        l8.search_remove(&Envelope::new(7, 7, 7), &mut c8);
+        assert_eq!(c8.distinct_lines(), 32);
+    }
+
+    #[test]
+    fn heat_regions_report_pool_chunks() {
+        let mut l: Lla<PostedEntry, 2> = Lla::new();
+        let mut s = NullSink;
+        l.append(post(0, 0, 0), &mut s);
+        let mut regions = Vec::new();
+        l.heat_regions(&mut regions);
+        assert_eq!(regions.len(), 1);
+        assert_eq!(regions[0].1, (crate::pool::nodes_per_chunk(64) * 64) as u64);
+        assert_eq!(l.real_regions().len(), 1);
+    }
+
+    #[test]
+    fn unexpected_queue_variant_works() {
+        let mut l: Lla<UnexpectedEntry, 3> = Lla::new();
+        let mut s = NullSink;
+        for i in 0..7 {
+            l.append(UnexpectedEntry::from_envelope(Envelope::new(i, i, 0), i as u64), &mut s);
+        }
+        let r = l.search_remove(&RecvSpec::new(crate::ANY_SOURCE, 4, 0), &mut s);
+        assert_eq!(r.found.unwrap().payload, 4);
+        assert_eq!(r.depth, 5);
+        assert_eq!(l.len(), 6);
+    }
+}

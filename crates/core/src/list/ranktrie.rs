@@ -1,0 +1,367 @@
+//! Zounmevo/Afsahi-style 4-dimensional rank decomposition (§5, reference 28 in the
+//! paper).
+//!
+//! The source rank is decomposed into four digits; each digit indexes a
+//! lazily-allocated table level, and the leaf holds the short per-rank FIFO.
+//! Regions of the rank space with no posted entries are skipped in O(1),
+//! which is the structure's whole point — speed *and* memory scale with the
+//! number of communicating peers rather than the communicator size.
+//!
+//! Wildcard entries live on a separate channel ordered by global sequence
+//! numbers, exactly as in [`crate::list::SourceBins`].
+
+use crate::addr::fresh_region_base;
+use crate::entry::{Element, ProbeKey};
+use crate::list::{
+    collect_metas, global_search_with, merged_search_remove, Footprint, MatchList, Search, SeqFifo,
+};
+use crate::sink::AccessSink;
+
+/// "No child" marker in trie tables.
+const NONE: u32 = u32::MAX;
+/// Simulated bytes reserved per leaf FIFO.
+const LEAF_REGION: u64 = 64 * 1024;
+
+/// Four-level rank-decomposed match queue.
+pub struct RankTrie<E: Element> {
+    /// Digit width per level; `dims[0]` is the most-significant digit.
+    dims: [u32; 4],
+    /// Level-1 table: digit → index into `l2`.
+    root: Vec<u32>,
+    /// Levels 2–4: each entry is a table of child indices.
+    l2: Vec<Vec<u32>>,
+    l3: Vec<Vec<u32>>,
+    l4: Vec<Vec<u32>>,
+    /// Leaf FIFOs, one per active rank.
+    leaves: Vec<SeqFifo<E>>,
+    wild: SeqFifo<E>,
+    /// Simulated base for trie tables (charged one read per level hop).
+    table_base: u64,
+    region_base: u64,
+    next_seq: u64,
+    len: usize,
+}
+
+impl<E: Element> RankTrie<E> {
+    /// Creates a trie able to hold ranks `0..capacity`, decomposed into four
+    /// near-equal digits.
+    pub fn new(capacity: usize) -> Self {
+        assert!(
+            capacity <= 1 << 16,
+            "the trie keys on the entry's 16-bit rank field; larger \
+             communicators would alias leaves"
+        );
+        let capacity = capacity.max(1) as u64;
+        // Smallest d with d^4 >= capacity.
+        let mut d = 1u32;
+        while (d as u64).pow(4) < capacity {
+            d += 1;
+        }
+        let base = fresh_region_base();
+        Self {
+            dims: [d; 4],
+            root: vec![NONE; d as usize],
+            l2: Vec::new(),
+            l3: Vec::new(),
+            l4: Vec::new(),
+            leaves: Vec::new(),
+            wild: SeqFifo::new(base),
+            table_base: base + LEAF_REGION,
+            region_base: base + 2 * LEAF_REGION,
+            next_seq: 0,
+            len: 0,
+        }
+    }
+
+    /// Decomposes a rank into its four digits.
+    fn digits(&self, rank: u32) -> [usize; 4] {
+        let [_, d2, d3, d4] = self.dims;
+        let (d2, d3, d4) = (d2, d3, d4);
+        let i4 = rank % d4;
+        let i3 = (rank / d4) % d3;
+        let i2 = (rank / (d4 * d3)) % d2;
+        let i1 = rank / (d4 * d3 * d2);
+        [i1 as usize, i2 as usize, i3 as usize, i4 as usize]
+    }
+
+    /// Walks to the leaf for `rank`, charging one table read per level;
+    /// returns the leaf index if every level exists.
+    fn find_leaf<S: AccessSink>(&self, rank: u32, sink: &mut S) -> Option<usize> {
+        let [i1, i2, i3, i4] = self.digits(rank);
+        sink.read(self.table_base + i1 as u64 * 4, 4);
+        let t2 = *self.root.get(i1)?;
+        if t2 == NONE {
+            return None;
+        }
+        sink.read(self.table_base + 0x1000 + i2 as u64 * 4, 4);
+        let t3 = self.l2[t2 as usize][i2];
+        if t3 == NONE {
+            return None;
+        }
+        sink.read(self.table_base + 0x2000 + i3 as u64 * 4, 4);
+        let t4 = self.l3[t3 as usize][i3];
+        if t4 == NONE {
+            return None;
+        }
+        sink.read(self.table_base + 0x3000 + i4 as u64 * 4, 4);
+        let leaf = self.l4[t4 as usize][i4];
+        (leaf != NONE).then_some(leaf as usize)
+    }
+
+    /// Walks to the leaf for `rank`, creating missing levels.
+    fn find_or_create_leaf<S: AccessSink>(&mut self, rank: u32, sink: &mut S) -> usize {
+        let [i1, i2, i3, i4] = self.digits(rank);
+        sink.read(self.table_base + i1 as u64 * 4, 4);
+        assert!(i1 < self.root.len(), "rank {rank} exceeds trie capacity");
+        if self.root[i1] == NONE {
+            self.l2.push(vec![NONE; self.dims[1] as usize]);
+            self.root[i1] = (self.l2.len() - 1) as u32;
+        }
+        let t2 = self.root[i1] as usize;
+        if self.l2[t2][i2] == NONE {
+            self.l3.push(vec![NONE; self.dims[2] as usize]);
+            self.l2[t2][i2] = (self.l3.len() - 1) as u32;
+        }
+        let t3 = self.l2[t2][i2] as usize;
+        if self.l3[t3][i3] == NONE {
+            self.l4.push(vec![NONE; self.dims[3] as usize]);
+            self.l3[t3][i3] = (self.l4.len() - 1) as u32;
+        }
+        let t4 = self.l3[t3][i3] as usize;
+        if self.l4[t4][i4] == NONE {
+            let leaf_base = self.region_base + self.leaves.len() as u64 * LEAF_REGION;
+            self.leaves.push(SeqFifo::new(leaf_base));
+            self.l4[t4][i4] = (self.leaves.len() - 1) as u32;
+        }
+        self.l4[t4][i4] as usize
+    }
+
+    fn channel(&self, ci: usize) -> &SeqFifo<E> {
+        if ci < self.leaves.len() {
+            &self.leaves[ci]
+        } else {
+            &self.wild
+        }
+    }
+
+    fn channel_mut(&mut self, ci: usize) -> &mut SeqFifo<E> {
+        if ci < self.leaves.len() {
+            &mut self.leaves[ci]
+        } else {
+            &mut self.wild
+        }
+    }
+}
+
+impl<E: Element> MatchList<E> for RankTrie<E> {
+    fn append<S: AccessSink>(&mut self, e: E, sink: &mut S) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        match e.bin_source() {
+            Some(src) => {
+                let leaf =
+                    self.find_or_create_leaf(u32::try_from(src).expect("rank >= 0"), sink);
+                self.leaves[leaf].push(seq, e, sink);
+            }
+            None => self.wild.push(seq, e, sink),
+        }
+        self.len += 1;
+    }
+
+    fn search_remove<S: AccessSink>(&mut self, probe: &E::Probe, sink: &mut S) -> Search<E> {
+        let r = match probe.bin_source() {
+            Some(src) => {
+                match self.find_leaf(u32::try_from(src).expect("rank >= 0"), sink) {
+                    Some(leaf) => {
+                        let (leaves, wild) = (&mut self.leaves, &mut self.wild);
+                        merged_search_remove(&mut leaves[leaf], wild, probe, sink)
+                    }
+                    None => {
+                        // No per-rank entries: only the wildcard channel can
+                        // match. This is the structure's O(1) skip.
+                        let (hit, depth) = self.wild.find(probe, None, sink);
+                        match hit {
+                            Some(pos) => {
+                                let (_, e) = self.wild.remove(pos);
+                                Search::hit(e, depth)
+                            }
+                            None => Search::miss(depth),
+                        }
+                    }
+                }
+            }
+            None => {
+                let mut metas =
+                    collect_metas(self.leaves.iter().chain(core::iter::once(&self.wild)));
+                let (hit, depth) = global_search_with(
+                    &mut metas,
+                    |ci, pos| self.channel(ci).iter().nth(pos).expect("meta position valid").1,
+                    probe,
+                    sink,
+                );
+                match hit {
+                    Some((ci, pos)) => {
+                        let (_, e) = self.channel_mut(ci).remove(pos);
+                        Search::hit(e, depth)
+                    }
+                    None => Search::miss(depth),
+                }
+            }
+        };
+        if r.found.is_some() {
+            self.len -= 1;
+        }
+        r
+    }
+
+    fn remove_by_id<S: AccessSink>(&mut self, id: u64, _sink: &mut S) -> Option<E> {
+        let mut best: Option<(u64, usize)> = None;
+        for ci in 0..=self.leaves.len() {
+            if let Some(seq) =
+                self.channel(ci).iter().filter(|(_, e)| e.id() == id).map(|(s, _)| *s).min()
+            {
+                if best.is_none_or(|(bs, _)| seq < bs) {
+                    best = Some((seq, ci));
+                }
+            }
+        }
+        let (_, ci) = best?;
+        let (_, e) = self.channel_mut(ci).remove_by_id(id)?;
+        self.len -= 1;
+        Some(e)
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn snapshot(&self) -> Vec<E> {
+        let mut all: Vec<(u64, E)> = Vec::with_capacity(self.len);
+        for ci in 0..=self.leaves.len() {
+            all.extend(self.channel(ci).iter().copied());
+        }
+        all.sort_unstable_by_key(|(seq, _)| *seq);
+        all.into_iter().map(|(_, e)| e).collect()
+    }
+
+    fn clear(&mut self) {
+        for leaf in &mut self.leaves {
+            leaf.clear();
+        }
+        self.wild.clear();
+        self.len = 0;
+    }
+
+    fn footprint(&self) -> Footprint {
+        let tables = (self.root.len()
+            + self.l2.iter().map(Vec::len).sum::<usize>()
+            + self.l3.iter().map(Vec::len).sum::<usize>()
+            + self.l4.iter().map(Vec::len).sum::<usize>()) as u64
+            * 4;
+        let storage: u64 =
+            self.leaves.iter().map(SeqFifo::bytes).sum::<u64>() + self.wild.bytes();
+        Footprint {
+            bytes: tables + storage,
+            allocations: (1 + self.l2.len() + self.l3.len() + self.l4.len() + self.leaves.len())
+                as u64,
+        }
+    }
+
+    fn heat_regions(&self, out: &mut Vec<(u64, u64)>) {
+        for leaf in self.leaves.iter().chain(core::iter::once(&self.wild)) {
+            let (base, len) = leaf.region();
+            if len > 0 {
+                out.push((base, len));
+            }
+        }
+    }
+
+    fn kind_name(&self) -> String {
+        format!("rank-trie({}^4)", self.dims[0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::{Envelope, PostedEntry, RecvSpec, ANY_SOURCE};
+    use crate::sink::{CountingSink, NullSink};
+
+    fn post(rank: i32, tag: i32, req: u64) -> PostedEntry {
+        PostedEntry::from_spec(RecvSpec::new(rank, tag, 0), req)
+    }
+
+    #[test]
+    fn digit_decomposition_is_a_bijection() {
+        let t: RankTrie<PostedEntry> = RankTrie::new(10_000);
+        let mut seen = std::collections::HashSet::new();
+        for rank in 0..10_000u32 {
+            assert!(seen.insert(t.digits(rank)), "digits collide for rank {rank}");
+        }
+    }
+
+    #[test]
+    fn sparse_ranks_keep_memory_small() {
+        let mut t: RankTrie<PostedEntry> = RankTrie::new(1 << 16);
+        let mut s = NullSink;
+        // Only 3 peers out of a 64Ki-rank capacity.
+        for (i, r) in [5, 40_000, 65_535].iter().enumerate() {
+            t.append(post(*r, 0, i as u64), &mut s);
+        }
+        assert!(t.footprint().bytes < 8 * 1024, "footprint {} too big", t.footprint().bytes);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn search_hits_the_right_leaf_in_constant_depth() {
+        let mut t: RankTrie<PostedEntry> = RankTrie::new(65_536);
+        let mut s = NullSink;
+        for r in 0..256 {
+            t.append(post(r, 0, r as u64), &mut s);
+        }
+        let res = t.search_remove(&Envelope::new(200, 0, 0), &mut s);
+        assert_eq!(res.found.unwrap().request, 200);
+        assert_eq!(res.depth, 1, "per-rank leaf holds exactly one entry");
+    }
+
+    #[test]
+    fn miss_on_unpopulated_rank_skips_everything() {
+        let mut t: RankTrie<PostedEntry> = RankTrie::new(65_536);
+        let mut s = NullSink;
+        for r in 0..100 {
+            t.append(post(r, 0, r as u64), &mut s);
+        }
+        let mut c = CountingSink::new();
+        let res = t.search_remove(&Envelope::new(60_000, 0, 0), &mut c);
+        assert!(res.found.is_none());
+        assert_eq!(res.depth, 0, "no entries are inspected for an empty region");
+        assert!(c.reads <= 4, "at most the four table hops are read");
+    }
+
+    #[test]
+    fn wildcard_ordering_against_leaves() {
+        let mut t: RankTrie<PostedEntry> = RankTrie::new(1024);
+        let mut s = NullSink;
+        t.append(PostedEntry::from_spec(RecvSpec::new(ANY_SOURCE, 5, 0), 1), &mut s);
+        t.append(post(9, 5, 2), &mut s);
+        let r = t.search_remove(&Envelope::new(9, 5, 0), &mut s);
+        assert_eq!(r.found.unwrap().request, 1, "earlier wildcard wins");
+        let r = t.search_remove(&Envelope::new(9, 5, 0), &mut s);
+        assert_eq!(r.found.unwrap().request, 2);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn snapshot_global_order_and_cancel() {
+        let mut t: RankTrie<PostedEntry> = RankTrie::new(1024);
+        let mut s = NullSink;
+        for (i, r) in [500, 2, 2, 900].iter().enumerate() {
+            t.append(post(*r, i as i32, i as u64), &mut s);
+        }
+        assert_eq!(t.snapshot().iter().map(|e| e.request).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        assert_eq!(t.remove_by_id(2, &mut s).unwrap().request, 2);
+        assert_eq!(t.len(), 3);
+        t.clear();
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,346 @@
+//! Match-traffic traces: record one process's matching operations, then
+//! replay them against any structure, architecture or locality
+//! configuration.
+//!
+//! This is the methodology of Ferreira et al. ("Characterizing MPI matching
+//! via trace-based simulation", EuroMPI'17 — reference 12 in the paper):
+//! capture the *workload* once, then evaluate *engines* offline. Combined
+//! with this crate's structures and `spc-cachesim`, it turns any recorded
+//! application into a locality benchmark.
+//!
+//! Traces serialize to a line-oriented text format (one op per line):
+//!
+//! ```text
+//! # spc-match-trace v1
+//! P <rank> <tag> <ctx> <request>    # post a receive (rank/tag may be -1)
+//! A <rank> <tag> <ctx> <payload>    # message arrival
+//! C <request>                       # cancel a posted receive
+//! ```
+
+use crate::engine::{ArrivalOutcome, RecvOutcome};
+use crate::entry::{Envelope, RecvSpec};
+use crate::sink::AccessSink;
+use crate::stats::{DepthStats, EngineStats};
+
+/// One recorded matching operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceOp {
+    /// A receive was posted.
+    Post {
+        /// The receive specification (wildcards allowed).
+        spec: RecvSpec,
+        /// Request handle.
+        request: u64,
+    },
+    /// A message arrived from the network.
+    Arrival {
+        /// The message envelope.
+        env: Envelope,
+        /// Payload handle.
+        payload: u64,
+    },
+    /// A posted receive was cancelled.
+    Cancel {
+        /// Request handle to cancel.
+        request: u64,
+    },
+}
+
+/// A recorded stream of matching operations for one process.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MatchTrace {
+    ops: Vec<TraceOp>,
+}
+
+/// Error parsing a serialized trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+impl MatchTrace {
+    /// New, empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a posted receive.
+    pub fn post(&mut self, spec: RecvSpec, request: u64) {
+        self.ops.push(TraceOp::Post { spec, request });
+    }
+
+    /// Records a message arrival.
+    pub fn arrival(&mut self, env: Envelope, payload: u64) {
+        self.ops.push(TraceOp::Arrival { env, payload });
+    }
+
+    /// Records a cancellation.
+    pub fn cancel(&mut self, request: u64) {
+        self.ops.push(TraceOp::Cancel { request });
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The operations, in program order.
+    pub fn ops(&self) -> &[TraceOp] {
+        &self.ops
+    }
+
+    /// Serializes to the line-oriented text format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::with_capacity(16 + self.ops.len() * 24);
+        out.push_str("# spc-match-trace v1\n");
+        for op in &self.ops {
+            match op {
+                TraceOp::Post { spec, request } => {
+                    out.push_str(&format!(
+                        "P {} {} {} {}\n",
+                        spec.rank, spec.tag, spec.context_id, request
+                    ));
+                }
+                TraceOp::Arrival { env, payload } => {
+                    out.push_str(&format!(
+                        "A {} {} {} {}\n",
+                        env.rank, env.tag, env.context_id, payload
+                    ));
+                }
+                TraceOp::Cancel { request } => {
+                    out.push_str(&format!("C {request}\n"));
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses the text format (comments and blank lines are skipped).
+    pub fn from_text(text: &str) -> Result<Self, TraceParseError> {
+        let mut trace = Self::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let err = |message: String| TraceParseError { line: idx + 1, message };
+            let mut parts = line.split_ascii_whitespace();
+            let kind = parts.next().expect("non-empty line has a first token");
+            let fields: Vec<&str> = parts.collect();
+            let want = |n: usize| {
+                if fields.len() == n {
+                    Ok(())
+                } else {
+                    Err(err(format!("expected {n} fields after '{kind}', got {}", fields.len())))
+                }
+            };
+            let num = |s: &str| -> Result<i64, TraceParseError> {
+                s.parse::<i64>().map_err(|e| err(format!("bad number {s:?}: {e}")))
+            };
+            match kind {
+                "P" => {
+                    want(4)?;
+                    trace.post(
+                        RecvSpec::new(
+                            num(fields[0])? as i32,
+                            num(fields[1])? as i32,
+                            num(fields[2])? as u16,
+                        ),
+                        num(fields[3])? as u64,
+                    );
+                }
+                "A" => {
+                    want(4)?;
+                    trace.arrival(
+                        Envelope::new(
+                            num(fields[0])? as i32,
+                            num(fields[1])? as i32,
+                            num(fields[2])? as u16,
+                        ),
+                        num(fields[3])? as u64,
+                    );
+                }
+                "C" => {
+                    want(1)?;
+                    trace.cancel(num(fields[0])? as u64);
+                }
+                other => return Err(err(format!("unknown op kind {other:?}"))),
+            }
+        }
+        Ok(trace)
+    }
+
+    /// Replays against a matching engine, reporting accesses to `sink`.
+    /// Returns the replay report.
+    pub fn replay_sink<S: AccessSink>(
+        &self,
+        engine: &mut crate::dynengine::DynEngine,
+        sink: &mut S,
+    ) -> ReplayReport {
+        let mut report = ReplayReport::default();
+        for op in &self.ops {
+            match *op {
+                TraceOp::Post { spec, request } => {
+                    match engine.post_recv_sink(spec, request, sink) {
+                        RecvOutcome::MatchedUnexpected { depth, .. } => {
+                            report.umq_hits += 1;
+                            report.umq_depths.record(depth as u64);
+                        }
+                        RecvOutcome::Posted => report.posted += 1,
+                    }
+                }
+                TraceOp::Arrival { env, payload } => {
+                    match engine.arrival_sink(env, payload, sink) {
+                        ArrivalOutcome::MatchedPosted { depth, .. } => {
+                            report.prq_hits += 1;
+                            report.prq_depths.record(depth as u64);
+                        }
+                        ArrivalOutcome::Queued => report.queued += 1,
+                    }
+                }
+                TraceOp::Cancel { request } => {
+                    if engine.cancel_recv(request) {
+                        report.cancelled += 1;
+                    }
+                }
+            }
+        }
+        report.final_prq_len = engine.prq_len();
+        report.final_umq_len = engine.umq_len();
+        report.engine_stats = engine.stats().clone();
+        report
+    }
+
+    /// Replays without instrumentation.
+    pub fn replay(&self, engine: &mut crate::dynengine::DynEngine) -> ReplayReport {
+        self.replay_sink(engine, &mut crate::sink::NullSink)
+    }
+}
+
+/// What a replay observed.
+#[derive(Clone, Debug, Default)]
+pub struct ReplayReport {
+    /// Arrivals that matched a posted receive, and their search depths.
+    pub prq_hits: u64,
+    /// PRQ search-depth summary.
+    pub prq_depths: DepthStats,
+    /// Posts that matched an unexpected message, and their search depths.
+    pub umq_hits: u64,
+    /// UMQ search-depth summary.
+    pub umq_depths: DepthStats,
+    /// Posts that went onto the PRQ.
+    pub posted: u64,
+    /// Arrivals that went onto the UMQ.
+    pub queued: u64,
+    /// Successful cancellations.
+    pub cancelled: u64,
+    /// PRQ length at end of replay.
+    pub final_prq_len: usize,
+    /// UMQ length at end of replay.
+    pub final_umq_len: usize,
+    /// The engine's own accumulated statistics.
+    pub engine_stats: EngineStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dynengine::{DynEngine, EngineKind};
+    use crate::entry::{ANY_SOURCE, ANY_TAG};
+
+    fn sample_trace() -> MatchTrace {
+        let mut t = MatchTrace::new();
+        t.post(RecvSpec::new(1, 5, 0), 10);
+        t.post(RecvSpec::new(ANY_SOURCE, ANY_TAG, 0), 11);
+        t.arrival(Envelope::new(1, 5, 0), 100);
+        t.arrival(Envelope::new(2, 9, 0), 101);
+        t.cancel(11); // already matched by arrival 101? no: 101 matched req 11
+        t.arrival(Envelope::new(3, 3, 0), 102); // queued
+        t.post(RecvSpec::new(3, 3, 0), 12); // drains it
+        t
+    }
+
+    #[test]
+    fn text_roundtrip_is_lossless() {
+        let t = sample_trace();
+        let text = t.to_text();
+        let back = MatchTrace::from_text(&text).expect("parse");
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(MatchTrace::from_text("P 1 2 3").unwrap_err().message.contains("expected 4"));
+        assert!(MatchTrace::from_text("X 1").unwrap_err().message.contains("unknown op"));
+        assert!(MatchTrace::from_text("P a b c d").unwrap_err().message.contains("bad number"));
+        let e = MatchTrace::from_text("# ok\n\nC zzz").unwrap_err();
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn replay_reports_the_protocol_outcomes() {
+        let t = sample_trace();
+        let mut eng = DynEngine::new(EngineKind::Lla { arity: 2 });
+        let r = t.replay(&mut eng);
+        assert_eq!(r.prq_hits, 2); // arrivals 100 (req 10) and 101 (wildcard req 11)
+        assert_eq!(r.queued, 1); // arrival 102
+        assert_eq!(r.umq_hits, 1); // post 12 drained it
+        assert_eq!(r.cancelled, 0, "request 11 was already consumed");
+        assert_eq!(r.final_prq_len, 0);
+        assert_eq!(r.final_umq_len, 0);
+    }
+
+    #[test]
+    fn same_trace_same_matches_across_structures() {
+        let t = sample_trace();
+        let reports: Vec<_> = [
+            EngineKind::Baseline,
+            EngineKind::Lla { arity: 8 },
+            EngineKind::HashBins { bins: 4 },
+            EngineKind::SourceBins { comm_size: 8 },
+        ]
+        .into_iter()
+        .map(|k| {
+            let mut eng = DynEngine::new(k);
+            let r = t.replay(&mut eng);
+            (r.prq_hits, r.umq_hits, r.queued, r.final_prq_len, r.final_umq_len)
+        })
+        .collect();
+        assert!(reports.windows(2).all(|w| w[0] == w[1]), "{reports:?}");
+    }
+
+    #[test]
+    fn replay_depths_differ_by_structure_but_counts_do_not() {
+        // Deep adversarial trace: structures agree on *what* matches but
+        // differ on *how deep* they search.
+        let mut t = MatchTrace::new();
+        for i in 0..256 {
+            t.post(RecvSpec::new(i % 16, i, 0), i as u64);
+        }
+        for i in (0..256).rev() {
+            t.arrival(Envelope::new(i % 16, i, 0), 1000 + i as u64);
+        }
+        let mut base = DynEngine::new(EngineKind::Baseline);
+        let mut bins = DynEngine::new(EngineKind::SourceBins { comm_size: 16 });
+        let rb = t.replay(&mut base);
+        let rs = t.replay(&mut bins);
+        assert_eq!(rb.prq_hits, rs.prq_hits);
+        assert!(rb.prq_depths.mean() > 5.0 * rs.prq_depths.mean());
+    }
+}

@@ -1,0 +1,204 @@
+//! Memory-access instrumentation.
+//!
+//! Every list structure reports the (simulated) addresses it touches through
+//! an [`AccessSink`]. Native benchmarks pass [`NullSink`], which the compiler
+//! removes entirely; the locality study passes sinks that count cache lines
+//! or drive the `spc-cachesim` hierarchy model.
+
+use crate::CACHE_LINE;
+
+/// Receives the memory accesses a match-list traversal performs.
+///
+/// Addresses are *simulated* addresses produced by [`crate::addr::AddrSpace`];
+/// in native runs they are still assigned (cheaply) but a [`NullSink`] ignores
+/// them.
+pub trait AccessSink {
+    /// A read of `len` bytes starting at `addr`.
+    fn read(&mut self, addr: u64, len: u32);
+    /// A write of `len` bytes starting at `addr`.
+    fn write(&mut self, addr: u64, len: u32);
+}
+
+/// Zero-cost sink for native execution; all methods compile to nothing.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSink;
+
+impl AccessSink for NullSink {
+    #[inline(always)]
+    fn read(&mut self, _addr: u64, _len: u32) {}
+    #[inline(always)]
+    fn write(&mut self, _addr: u64, _len: u32) {}
+}
+
+/// Counts accesses and *distinct cache lines* touched since the last reset.
+///
+/// This is the measurement behind the paper's packing arithmetic: a baseline
+/// node costs more than one line per entry, while an LLA node serves
+/// `N` entries from `ceil(node_size / 64)` lines.
+#[derive(Clone, Debug, Default)]
+pub struct CountingSink {
+    /// Number of read operations.
+    pub reads: u64,
+    /// Number of write operations.
+    pub writes: u64,
+    /// Total bytes read.
+    pub bytes_read: u64,
+    /// Total bytes written.
+    pub bytes_written: u64,
+    lines: Vec<u64>,
+}
+
+impl CountingSink {
+    /// New, empty counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct cache lines touched since construction/reset.
+    pub fn distinct_lines(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Clears all counters.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+
+    fn note_lines(&mut self, addr: u64, len: u32) {
+        let first = addr / CACHE_LINE as u64;
+        let last = (addr + len.max(1) as u64 - 1) / CACHE_LINE as u64;
+        for line in first..=last {
+            // Sorted insertion keeps lookup O(log n) with no hashing and no
+            // extra dependencies; traversals touch at most a few thousand
+            // lines.
+            if let Err(pos) = self.lines.binary_search(&line) {
+                self.lines.insert(pos, line);
+            }
+        }
+    }
+}
+
+impl AccessSink for CountingSink {
+    #[inline]
+    fn read(&mut self, addr: u64, len: u32) {
+        self.reads += 1;
+        self.bytes_read += len as u64;
+        self.note_lines(addr, len);
+    }
+
+    #[inline]
+    fn write(&mut self, addr: u64, len: u32) {
+        self.writes += 1;
+        self.bytes_written += len as u64;
+        self.note_lines(addr, len);
+    }
+}
+
+/// One recorded access, for [`TraceSink`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Access {
+    /// Simulated byte address.
+    pub addr: u64,
+    /// Access length in bytes.
+    pub len: u32,
+    /// True for writes.
+    pub is_write: bool,
+}
+
+/// Records the full access trace, for feeding a cache simulator or asserting
+/// traversal order in tests.
+#[derive(Clone, Debug, Default)]
+pub struct TraceSink {
+    /// The accesses, in program order.
+    pub trace: Vec<Access>,
+}
+
+impl TraceSink {
+    /// New, empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears the trace, keeping its allocation.
+    pub fn clear(&mut self) {
+        self.trace.clear();
+    }
+
+    /// Distinct cache lines in the trace.
+    pub fn distinct_lines(&self) -> usize {
+        let mut lines: Vec<u64> = self
+            .trace
+            .iter()
+            .flat_map(|a| {
+                let first = a.addr / CACHE_LINE as u64;
+                let last = (a.addr + a.len.max(1) as u64 - 1) / CACHE_LINE as u64;
+                first..=last
+            })
+            .collect();
+        lines.sort_unstable();
+        lines.dedup();
+        lines.len()
+    }
+}
+
+impl AccessSink for TraceSink {
+    #[inline]
+    fn read(&mut self, addr: u64, len: u32) {
+        self.trace.push(Access { addr, len, is_write: false });
+    }
+
+    #[inline]
+    fn write(&mut self, addr: u64, len: u32) {
+        self.trace.push(Access { addr, len, is_write: true });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_sink_counts_distinct_lines() {
+        let mut s = CountingSink::new();
+        s.read(0, 8);
+        s.read(8, 8);
+        s.read(56, 16); // straddles lines 0 and 1
+        s.write(128, 4);
+        assert_eq!(s.reads, 3);
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.bytes_read, 32);
+        assert_eq!(s.bytes_written, 4);
+        assert_eq!(s.distinct_lines(), 3); // lines 0, 1, 2
+    }
+
+    #[test]
+    fn counting_sink_zero_len_touches_one_line() {
+        let mut s = CountingSink::new();
+        s.read(64, 0);
+        assert_eq!(s.distinct_lines(), 1);
+    }
+
+    #[test]
+    fn trace_sink_preserves_order() {
+        let mut s = TraceSink::new();
+        s.read(100, 24);
+        s.write(200, 8);
+        assert_eq!(
+            s.trace,
+            vec![
+                Access { addr: 100, len: 24, is_write: false },
+                Access { addr: 200, len: 8, is_write: true }
+            ]
+        );
+        assert_eq!(s.distinct_lines(), 2); // 100..124 is within line 1; 200..208 is line 3
+    }
+
+    #[test]
+    fn trace_sink_distinct_lines_dedups() {
+        let mut s = TraceSink::new();
+        s.read(0, 4);
+        s.read(4, 4);
+        s.read(64, 4);
+        assert_eq!(s.distinct_lines(), 2);
+    }
+}

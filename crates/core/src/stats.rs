@@ -1,0 +1,232 @@
+//! Search-depth and queue-length statistics.
+//!
+//! These are the paper's measurement primitives: Table 1 reports *mean
+//! search depths*, Figure 1 reports *queue-length histograms* sampled at
+//! every list addition and deletion.
+
+/// Running summary of search depths (or any non-negative metric).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DepthStats {
+    /// Number of recorded observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Largest observation.
+    pub max: u64,
+    /// Smallest observation (0 when empty).
+    pub min: u64,
+}
+
+impl DepthStats {
+    /// New, empty summary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, v: u64) {
+        if self.count == 0 || v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+        self.count += 1;
+        self.sum += v;
+    }
+
+    /// Arithmetic mean, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Merges another summary into this one.
+    pub fn merge(&mut self, other: &DepthStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        self.min = self.min.min(other.min);
+    }
+}
+
+/// Fixed-width bucketed histogram, as used for Figure 1's queue-length
+/// distributions (bucket widths 20, 10 and 5 for AMR, Sweep3D and Halo3D).
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    width: u64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given bucket width (> 0).
+    pub fn new(width: u64) -> Self {
+        assert!(width > 0, "bucket width must be positive");
+        Self { width, counts: Vec::new(), total: 0 }
+    }
+
+    /// Bucket width.
+    pub fn width(&self) -> u64 {
+        self.width
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, v: u64) {
+        let b = (v / self.width) as usize;
+        if b >= self.counts.len() {
+            self.counts.resize(b + 1, 0);
+        }
+        self.counts[b] += 1;
+        self.total += 1;
+    }
+
+    /// Total observations recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Iterates `(bucket_lo, bucket_hi_inclusive, count)` rows, including
+    /// empty interior buckets.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(move |(i, &c)| (i as u64 * self.width, (i as u64 + 1) * self.width - 1, c))
+    }
+
+    /// Count in the bucket containing `v`.
+    pub fn count_for(&self, v: u64) -> u64 {
+        self.counts.get((v / self.width) as usize).copied().unwrap_or(0)
+    }
+
+    /// Largest recorded value's bucket upper bound, or 0 when empty.
+    pub fn max_bucket_hi(&self) -> u64 {
+        (self.counts.len() as u64) * self.width
+    }
+
+    /// Merges another histogram (same width) into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.width, other.width, "bucket widths must agree");
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+}
+
+/// Statistics an engine keeps about its two queues.
+#[derive(Clone, Debug, Default)]
+pub struct EngineStats {
+    /// Depths of posted-receive-queue searches (message arrivals).
+    pub prq_search: DepthStats,
+    /// Depths of unexpected-message-queue searches (receive posts).
+    pub umq_search: DepthStats,
+    /// Number of arrivals that matched a posted receive.
+    pub prq_hits: u64,
+    /// Number of arrivals queued as unexpected.
+    pub umq_appends: u64,
+    /// Number of receive posts that matched an unexpected message.
+    pub umq_hits: u64,
+    /// Number of receive posts appended to the PRQ.
+    pub prq_appends: u64,
+}
+
+impl EngineStats {
+    /// New, zeroed statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Merges another engine's statistics (e.g. across ranks).
+    pub fn merge(&mut self, other: &EngineStats) {
+        self.prq_search.merge(&other.prq_search);
+        self.umq_search.merge(&other.umq_search);
+        self.prq_hits += other.prq_hits;
+        self.umq_appends += other.umq_appends;
+        self.umq_hits += other.umq_hits;
+        self.prq_appends += other.prq_appends;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_stats_mean_min_max() {
+        let mut d = DepthStats::new();
+        assert_eq!(d.mean(), 0.0);
+        for v in [3, 1, 8] {
+            d.record(v);
+        }
+        assert_eq!(d.count, 3);
+        assert_eq!(d.min, 1);
+        assert_eq!(d.max, 8);
+        assert!((d.mean() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn depth_stats_merge() {
+        let mut a = DepthStats::new();
+        a.record(2);
+        let mut b = DepthStats::new();
+        b.record(10);
+        b.record(4);
+        a.merge(&b);
+        assert_eq!(a.count, 3);
+        assert_eq!(a.max, 10);
+        assert_eq!(a.min, 2);
+        let mut empty = DepthStats::new();
+        empty.merge(&a);
+        assert_eq!(empty, a);
+    }
+
+    #[test]
+    fn histogram_buckets_follow_paper_convention() {
+        let mut h = Histogram::new(20);
+        h.record(0);
+        h.record(19);
+        h.record(20);
+        h.record(439);
+        let rows: Vec<_> = h.buckets().collect();
+        assert_eq!(rows[0], (0, 19, 2));
+        assert_eq!(rows[1], (20, 39, 1));
+        assert_eq!(rows.last().copied().unwrap(), (420, 439, 1));
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.count_for(25), 1);
+    }
+
+    #[test]
+    fn histogram_merge_resizes() {
+        let mut a = Histogram::new(5);
+        a.record(3);
+        let mut b = Histogram::new(5);
+        b.record(99);
+        a.merge(&b);
+        assert_eq!(a.total(), 2);
+        assert_eq!(a.count_for(99), 1);
+        assert_eq!(a.count_for(3), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket widths must agree")]
+    fn histogram_merge_rejects_mismatched_widths() {
+        let mut a = Histogram::new(5);
+        let b = Histogram::new(10);
+        a.merge(&b);
+    }
+}

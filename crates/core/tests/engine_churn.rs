@@ -1,0 +1,159 @@
+//! Engine-level churn and failure-injection tests: long random operation
+//! streams, unexpected-message floods, cancel storms — checking the
+//! engine's global invariants rather than single-call behaviour.
+
+use proptest::prelude::*;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use spc_core::dynengine::{DynEngine, EngineKind};
+use spc_core::engine::{ArrivalOutcome, RecvOutcome};
+use spc_core::entry::{Envelope, RecvSpec, ANY_SOURCE, ANY_TAG};
+
+fn all_kinds() -> Vec<EngineKind> {
+    vec![
+        EngineKind::Baseline,
+        EngineKind::Lla { arity: 2 },
+        EngineKind::Lla { arity: 8 },
+        EngineKind::SourceBins { comm_size: 16 },
+        EngineKind::HashBins { bins: 8 },
+        EngineKind::RankTrie { capacity: 16 },
+    ]
+}
+
+/// Long seeded churn: posts, arrivals and cancels in random order. After
+/// every operation the conservation law holds:
+/// `prq_appends - prq_hits - cancels = prq_len` and likewise for the UMQ.
+#[test]
+fn conservation_holds_under_churn() {
+    for kind in all_kinds() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xC0FFEE);
+        let mut eng = DynEngine::new(kind);
+        let mut cancels = 0u64;
+        let mut next_req = 0u64;
+        let mut posted_reqs: Vec<u64> = Vec::new();
+        for _ in 0..5000 {
+            match rng.gen_range(0..10) {
+                0..=3 => {
+                    let spec = RecvSpec::new(rng.gen_range(0..16), rng.gen_range(0..8), 0);
+                    if matches!(eng.post_recv(spec, next_req), RecvOutcome::Posted) {
+                        posted_reqs.push(next_req);
+                    }
+                    next_req += 1;
+                }
+                4..=7 => {
+                    let env = Envelope::new(rng.gen_range(0..16), rng.gen_range(0..8), 0);
+                    if let ArrivalOutcome::MatchedPosted { request, .. } =
+                        eng.arrival(env, next_req)
+                    {
+                        posted_reqs.retain(|&r| r != request);
+                    }
+                    next_req += 1;
+                }
+                _ => {
+                    if let Some(&r) = posted_reqs.as_slice().choose(&mut rng) {
+                        if eng.cancel_recv(r) {
+                            cancels += 1;
+                            posted_reqs.retain(|&x| x != r);
+                        }
+                    }
+                }
+            }
+            let s = eng.stats();
+            assert_eq!(
+                s.prq_appends - s.prq_hits - cancels,
+                eng.prq_len() as u64,
+                "{}: PRQ conservation",
+                kind.label()
+            );
+            assert_eq!(
+                s.umq_appends - s.umq_hits,
+                eng.umq_len() as u64,
+                "{}: UMQ conservation",
+                kind.label()
+            );
+        }
+    }
+}
+
+/// Unexpected flood then wildcard drain: messages must come back in exact
+/// arrival order, for every structure.
+#[test]
+fn flood_then_wildcard_drain_is_fifo() {
+    for kind in all_kinds() {
+        let mut eng = DynEngine::new(kind);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for payload in 0..2000u64 {
+            let env = Envelope::new(rng.gen_range(0..16), rng.gen_range(0..4), 0);
+            assert!(matches!(eng.arrival(env, payload), ArrivalOutcome::Queued));
+        }
+        for expect in 0..2000u64 {
+            match eng.post_recv(RecvSpec::new(ANY_SOURCE, ANY_TAG, 0), expect) {
+                RecvOutcome::MatchedUnexpected { payload, .. } => {
+                    assert_eq!(payload, expect, "{}: FIFO drain order", kind.label())
+                }
+                other => panic!("{}: drain miss {other:?}", kind.label()),
+            }
+        }
+        assert_eq!(eng.umq_len(), 0);
+    }
+}
+
+/// Cancel storm: cancelling every other posted receive, the arrivals for
+/// cancelled requests must queue unexpected rather than match.
+#[test]
+fn cancelled_receives_never_match() {
+    for kind in all_kinds() {
+        let mut eng = DynEngine::new(kind);
+        for i in 0..400 {
+            eng.post_recv(RecvSpec::new(1, i, 0), i as u64);
+        }
+        for i in (0..400).step_by(2) {
+            assert!(eng.cancel_recv(i as u64), "{}", kind.label());
+        }
+        for i in 0..400 {
+            let out = eng.arrival(Envelope::new(1, i, 0), 1000 + i as u64);
+            if i % 2 == 0 {
+                assert!(
+                    matches!(out, ArrivalOutcome::Queued),
+                    "{}: cancelled receive {i} must not match",
+                    kind.label()
+                );
+            } else {
+                assert!(
+                    matches!(out, ArrivalOutcome::MatchedPosted { request, .. } if request == i as u64),
+                    "{}: live receive {i} must match",
+                    kind.label()
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any interleaving of a posts-then-arrivals script leaves every engine
+    /// kind with identical final queue lengths (structure-independence of
+    /// queue dynamics — the assumption behind the Figure 1 study).
+    #[test]
+    fn final_lengths_are_structure_independent(
+        script in prop::collection::vec((0i32..12, 0i32..6, any::<bool>()), 1..150)
+    ) {
+        let mut lens = Vec::new();
+        for kind in all_kinds() {
+            let mut eng = DynEngine::new(kind);
+            for (n, &(rank, tag, is_post)) in script.iter().enumerate() {
+                if is_post {
+                    eng.post_recv(RecvSpec::new(rank, tag, 0), n as u64);
+                } else {
+                    eng.arrival(Envelope::new(rank, tag, 0), n as u64);
+                }
+            }
+            lens.push((eng.prq_len(), eng.umq_len()));
+        }
+        prop_assert!(
+            lens.windows(2).all(|w| w[0] == w[1]),
+            "queue lengths diverged across structures: {lens:?}"
+        );
+    }
+}

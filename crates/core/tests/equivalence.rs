@@ -1,0 +1,274 @@
+//! Property tests: every match-list structure is behaviourally equivalent
+//! to the reference [`BaselineList`] under arbitrary operation sequences.
+//!
+//! "Behaviourally equivalent" means: the same probe returns the same element
+//! (by id), `len` agrees, and `snapshot` returns the same elements in the
+//! same FIFO order. Search *depth* is allowed to differ — that is exactly
+//! the performance property the paper studies.
+
+use proptest::prelude::*;
+use spc_core::entry::{Envelope, PostedEntry, RecvSpec, UnexpectedEntry, ANY_SOURCE, ANY_TAG};
+use spc_core::list::{BaselineList, HashBins, Lla, MatchList, RankTrie, SourceBins};
+use spc_core::NullSink;
+
+const RANKS: i32 = 8;
+const TAGS: i32 = 4;
+const CTXS: u16 = 2;
+
+#[derive(Clone, Debug)]
+enum PostedOp {
+    Append { rank: Option<i32>, tag: Option<i32>, ctx: u16 },
+    Search { rank: i32, tag: i32, ctx: u16 },
+    Cancel { nth: u64 },
+}
+
+fn posted_op() -> impl Strategy<Value = PostedOp> {
+    prop_oneof![
+        3 => (
+            prop::option::weighted(0.8, 0..RANKS),
+            prop::option::weighted(0.8, 0..TAGS),
+            0..CTXS
+        )
+            .prop_map(|(rank, tag, ctx)| PostedOp::Append { rank, tag, ctx }),
+        2 => (0..RANKS, 0..TAGS, 0..CTXS)
+            .prop_map(|(rank, tag, ctx)| PostedOp::Search { rank, tag, ctx }),
+        1 => (0u64..40).prop_map(|nth| PostedOp::Cancel { nth }),
+    ]
+}
+
+/// Replays `ops` against `list`, returning an event log of observable
+/// outcomes.
+fn run_posted<L: MatchList<PostedEntry>>(list: &mut L, ops: &[PostedOp]) -> Vec<String> {
+    let mut sink = NullSink;
+    let mut log = Vec::new();
+    let mut next_req = 0u64;
+    for op in ops {
+        match op {
+            PostedOp::Append { rank, tag, ctx } => {
+                let spec =
+                    RecvSpec::new(rank.unwrap_or(ANY_SOURCE), tag.unwrap_or(ANY_TAG), *ctx);
+                list.append(PostedEntry::from_spec(spec, next_req), &mut sink);
+                next_req += 1;
+            }
+            PostedOp::Search { rank, tag, ctx } => {
+                let r = list.search_remove(&Envelope::new(*rank, *tag, *ctx), &mut sink);
+                log.push(format!("search -> {:?}", r.found.map(|e| e.request)));
+            }
+            PostedOp::Cancel { nth } => {
+                let r = list.remove_by_id(*nth, &mut sink);
+                log.push(format!("cancel -> {:?}", r.map(|e| e.request)));
+            }
+        }
+        log.push(format!("len {}", list.len()));
+    }
+    log.push(format!(
+        "final {:?}",
+        list.snapshot().iter().map(|e| e.request).collect::<Vec<_>>()
+    ));
+    log
+}
+
+#[derive(Clone, Debug)]
+enum UmqOp {
+    Arrive { rank: i32, tag: i32, ctx: u16 },
+    Recv { rank: Option<i32>, tag: Option<i32>, ctx: u16 },
+}
+
+fn umq_op() -> impl Strategy<Value = UmqOp> {
+    prop_oneof![
+        3 => (0..RANKS, 0..TAGS, 0..CTXS)
+            .prop_map(|(rank, tag, ctx)| UmqOp::Arrive { rank, tag, ctx }),
+        2 => (
+            prop::option::weighted(0.7, 0..RANKS),
+            prop::option::weighted(0.7, 0..TAGS),
+            0..CTXS
+        )
+            .prop_map(|(rank, tag, ctx)| UmqOp::Recv { rank, tag, ctx }),
+    ]
+}
+
+fn run_umq<L: MatchList<UnexpectedEntry>>(list: &mut L, ops: &[UmqOp]) -> Vec<String> {
+    let mut sink = NullSink;
+    let mut log = Vec::new();
+    let mut next_payload = 0u64;
+    for op in ops {
+        match op {
+            UmqOp::Arrive { rank, tag, ctx } => {
+                list.append(
+                    UnexpectedEntry::from_envelope(Envelope::new(*rank, *tag, *ctx), next_payload),
+                    &mut sink,
+                );
+                next_payload += 1;
+            }
+            UmqOp::Recv { rank, tag, ctx } => {
+                let spec =
+                    RecvSpec::new(rank.unwrap_or(ANY_SOURCE), tag.unwrap_or(ANY_TAG), *ctx);
+                let r = list.search_remove(&spec, &mut sink);
+                log.push(format!("recv -> {:?}", r.found.map(|e| e.payload)));
+            }
+        }
+        log.push(format!("len {}", list.len()));
+    }
+    log.push(format!(
+        "final {:?}",
+        list.snapshot().iter().map(|e| e.payload).collect::<Vec<_>>()
+    ));
+    log
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn posted_lla2_matches_baseline(ops in prop::collection::vec(posted_op(), 1..120)) {
+        let reference = run_posted(&mut BaselineList::new(), &ops);
+        prop_assert_eq!(run_posted(&mut Lla::<PostedEntry, 2>::new(), &ops), reference);
+    }
+
+    #[test]
+    fn posted_lla8_matches_baseline(ops in prop::collection::vec(posted_op(), 1..120)) {
+        let reference = run_posted(&mut BaselineList::new(), &ops);
+        prop_assert_eq!(run_posted(&mut Lla::<PostedEntry, 8>::new(), &ops), reference);
+    }
+
+    #[test]
+    fn posted_lla512_matches_baseline(ops in prop::collection::vec(posted_op(), 1..120)) {
+        let reference = run_posted(&mut BaselineList::new(), &ops);
+        prop_assert_eq!(run_posted(&mut Lla::<PostedEntry, 512>::new(), &ops), reference);
+    }
+
+    #[test]
+    fn posted_source_bins_matches_baseline(ops in prop::collection::vec(posted_op(), 1..120)) {
+        let reference = run_posted(&mut BaselineList::new(), &ops);
+        prop_assert_eq!(
+            run_posted(&mut SourceBins::<PostedEntry>::new(RANKS as usize), &ops),
+            reference
+        );
+    }
+
+    #[test]
+    fn posted_hash_bins_matches_baseline(ops in prop::collection::vec(posted_op(), 1..120)) {
+        let reference = run_posted(&mut BaselineList::new(), &ops);
+        // Few bins on purpose: force collisions and the merge path.
+        prop_assert_eq!(
+            run_posted(&mut HashBins::<PostedEntry>::with_bins(4), &ops),
+            reference
+        );
+    }
+
+    #[test]
+    fn posted_rank_trie_matches_baseline(ops in prop::collection::vec(posted_op(), 1..120)) {
+        let reference = run_posted(&mut BaselineList::new(), &ops);
+        prop_assert_eq!(
+            run_posted(&mut RankTrie::<PostedEntry>::new(RANKS as usize), &ops),
+            reference
+        );
+    }
+
+    #[test]
+    fn umq_lla3_matches_baseline(ops in prop::collection::vec(umq_op(), 1..120)) {
+        let reference = run_umq(&mut BaselineList::new(), &ops);
+        prop_assert_eq!(run_umq(&mut Lla::<UnexpectedEntry, 3>::new(), &ops), reference);
+    }
+
+    #[test]
+    fn umq_source_bins_matches_baseline(ops in prop::collection::vec(umq_op(), 1..120)) {
+        let reference = run_umq(&mut BaselineList::new(), &ops);
+        prop_assert_eq!(
+            run_umq(&mut SourceBins::<UnexpectedEntry>::new(RANKS as usize), &ops),
+            reference
+        );
+    }
+
+    #[test]
+    fn umq_hash_bins_matches_baseline(ops in prop::collection::vec(umq_op(), 1..120)) {
+        let reference = run_umq(&mut BaselineList::new(), &ops);
+        prop_assert_eq!(
+            run_umq(&mut HashBins::<UnexpectedEntry>::with_bins(4), &ops),
+            reference
+        );
+    }
+
+    #[test]
+    fn umq_rank_trie_matches_baseline(ops in prop::collection::vec(umq_op(), 1..120)) {
+        let reference = run_umq(&mut BaselineList::new(), &ops);
+        prop_assert_eq!(
+            run_umq(&mut RankTrie::<UnexpectedEntry>::new(RANKS as usize), &ops),
+            reference
+        );
+    }
+
+    /// Search depth on the baseline equals the 1-based position of the match
+    /// in FIFO order — the definitional property Table 1 relies on.
+    #[test]
+    fn baseline_depth_is_fifo_position(ops in prop::collection::vec(posted_op(), 1..80)) {
+        let mut list = BaselineList::new();
+        let mut sink = NullSink;
+        let mut next_req = 0u64;
+        for op in &ops {
+            match op {
+                PostedOp::Append { rank, tag, ctx } => {
+                    let spec = RecvSpec::new(
+                        rank.unwrap_or(ANY_SOURCE),
+                        tag.unwrap_or(ANY_TAG),
+                        *ctx,
+                    );
+                    list.append(PostedEntry::from_spec(spec, next_req), &mut sink);
+                    next_req += 1;
+                }
+                PostedOp::Search { rank, tag, ctx } => {
+                    let snap = list.snapshot();
+                    let env = Envelope::new(*rank, *tag, *ctx);
+                    let expected_pos = snap.iter().position(|e| e.matches(&env));
+                    let r = list.search_remove(&env, &mut sink);
+                    match expected_pos {
+                        Some(p) => {
+                            prop_assert_eq!(r.depth as usize, p + 1);
+                            prop_assert_eq!(
+                                r.found.map(|e| e.request),
+                                Some(snap[p].request)
+                            );
+                        }
+                        None => {
+                            prop_assert_eq!(r.depth as usize, snap.len());
+                            prop_assert!(r.found.is_none());
+                        }
+                    }
+                }
+                PostedOp::Cancel { nth } => {
+                    list.remove_by_id(*nth, &mut sink);
+                }
+            }
+        }
+    }
+
+    /// LLA holes never change observable contents: interleaved removals keep
+    /// snapshot == the baseline's snapshot (already covered) *and* its len
+    /// always equals the snapshot length.
+    #[test]
+    fn lla_len_equals_snapshot_len(ops in prop::collection::vec(posted_op(), 1..150)) {
+        let mut list = Lla::<PostedEntry, 4>::new();
+        let mut sink = NullSink;
+        let mut next_req = 0u64;
+        for op in &ops {
+            match op {
+                PostedOp::Append { rank, tag, ctx } => {
+                    let spec = RecvSpec::new(
+                        rank.unwrap_or(ANY_SOURCE),
+                        tag.unwrap_or(ANY_TAG),
+                        *ctx,
+                    );
+                    list.append(PostedEntry::from_spec(spec, next_req), &mut sink);
+                    next_req += 1;
+                }
+                PostedOp::Search { rank, tag, ctx } => {
+                    list.search_remove(&Envelope::new(*rank, *tag, *ctx), &mut sink);
+                }
+                PostedOp::Cancel { nth } => {
+                    list.remove_by_id(*nth, &mut sink);
+                }
+            }
+            prop_assert_eq!(list.len(), list.snapshot().len());
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! AMG2013 proxy: algebraic multigrid V-cycles (Figure 8).
+//!
+//! AMG weak-scales with "relatively trivial load balancing"; its defining
+//! communication property is that *coarse* grid levels densify the
+//! communication graph — each coarsening roughly doubles a rank's neighbour
+//! count while halving its compute — so the matching engine sees its
+//! deepest queues near the bottom of the V-cycle, and the effect grows with
+//! job size. The DOE-recommended configuration is bandwidth-sensitive
+//! rather than message-rate-sensitive, which is why the paper reports only
+//! a modest (2.9% at 1024 ranks) gain from spacial locality.
+
+use spc_cachesim::{ArchProfile, LocalityConfig};
+use spc_simnet::NetProfile;
+
+use crate::common::{AppSetup, ArrivalOrder, RepRank};
+
+/// AMG proxy parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct AmgParams {
+    /// Total ranks (the paper scales 128 → 1024).
+    pub ranks: u32,
+    /// V-cycles per solve.
+    pub cycles: u32,
+    /// Fine-level neighbours (the 3-D 7-point coupling of the recommended
+    /// problem).
+    pub base_neighbors: u32,
+    /// Neighbour cap at coarse levels (a rank cannot exchange with more
+    /// than half the job).
+    pub max_neighbors_fraction: f64,
+    /// Fine-level compute per rank per cycle, nanoseconds.
+    pub compute_ns: f64,
+    /// Fine-level message payload bytes.
+    pub bytes_per_msg: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl AmgParams {
+    /// The paper's recommended large problem, weak-scaled.
+    pub fn paper_scale(ranks: u32) -> Self {
+        Self {
+            ranks,
+            cycles: 30,
+            base_neighbors: 6,
+            max_neighbors_fraction: 0.35,
+            compute_ns: 108e6,
+            bytes_per_msg: 64 * 1024,
+            seed: 0xA319,
+        }
+    }
+
+    /// Fast test configuration.
+    pub fn small(ranks: u32) -> Self {
+        Self { cycles: 3, compute_ns: 5e6, ..Self::paper_scale(ranks) }
+    }
+
+    /// Multigrid depth: levels until the coarse problem is one block per
+    /// rank-neighbourhood (grows logarithmically with job size).
+    pub fn levels(&self) -> u32 {
+        let l = 32 - (self.ranks.max(2) - 1).leading_zeros();
+        (l / 2 + 4).min(10)
+    }
+
+    /// Neighbour count at level `l` (level 0 is finest).
+    pub fn neighbors_at(&self, l: u32) -> u32 {
+        let cap = (self.ranks as f64 * self.max_neighbors_fraction) as u32;
+        (self.base_neighbors << l).min(cap.max(self.base_neighbors))
+    }
+}
+
+/// Result of one proxy run.
+#[derive(Clone, Copy, Debug)]
+pub struct AmgResult {
+    /// Total execution time, seconds.
+    pub seconds: f64,
+    /// Time spent in matching, seconds.
+    pub match_seconds: f64,
+    /// Deepest level's neighbour count (match-list scale indicator).
+    pub max_neighbors: u32,
+}
+
+/// Runs the proxy on Broadwell/OmniPath under the given locality
+/// configuration.
+pub fn run(p: AmgParams, locality: LocalityConfig) -> AmgResult {
+    run_on(p, AppSetup { arch: ArchProfile::broadwell(), net: NetProfile::omnipath(), locality })
+}
+
+/// Runs the proxy on an explicit setup.
+pub fn run_on(p: AmgParams, setup: AppSetup) -> AmgResult {
+    let mut rank = RepRank::new(setup, 0, p.seed);
+    let mut total_ns = 0.0;
+    let mut match_ns = 0.0;
+    let levels = p.levels();
+    for _cycle in 0..p.cycles {
+        // Down-sweep and up-sweep each exchange at every level.
+        for half in 0..2 {
+            for l in 0..levels {
+                let n = p.neighbors_at(l);
+                // Coarse arrivals come from many loosely-synchronized
+                // peers: scheduler-random order.
+                let m = rank.exchange(n, ArrivalOrder::Shuffled);
+                match_ns += m;
+                // Compute halves per level; message size shrinks per level.
+                let bytes = (p.bytes_per_msg >> l).max(64);
+                let wire = setup.net.wire_ns(n as u64 * bytes) + setup.net.latency_ns;
+                total_ns += m + wire + p.compute_ns / (1 << l) as f64;
+                let _ = half;
+            }
+        }
+        // Residual-norm check.
+        total_ns += setup.net.tree_collective_ns(p.ranks, 8);
+    }
+    AmgResult {
+        seconds: total_ns / 1e9,
+        match_seconds: match_ns / 1e9,
+        max_neighbors: p.neighbors_at(levels - 1),
+    }
+}
+
+/// The Figure 8 x-axis (weak-scaling process counts).
+pub fn figure8_ranks() -> Vec<u32> {
+    vec![128, 256, 512, 1024]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coarse_levels_densify_and_cap() {
+        let p = AmgParams::paper_scale(1024);
+        assert_eq!(p.neighbors_at(0), 6);
+        assert!(p.neighbors_at(p.levels() - 1) > 100);
+        assert!(p.neighbors_at(p.levels() - 1) <= 512);
+        // Small jobs cap earlier.
+        let s = AmgParams::paper_scale(128);
+        assert!(s.neighbors_at(s.levels() - 1) <= 64);
+    }
+
+    #[test]
+    fn lla_gain_at_1024_matches_papers_band() {
+        // Figure 8: "runtime improvements for increased spacial locality
+        // at 2.9%" at 1024 ranks.
+        // Relative gain is invariant to the cycle count; use fewer cycles
+        // for test speed.
+        let p = AmgParams { cycles: 2, ..AmgParams::paper_scale(1024) };
+        let base = run(p, LocalityConfig::baseline());
+        let lla = run(p, LocalityConfig::lla(2));
+        let gain = (base.seconds - lla.seconds) / base.seconds;
+        assert!(
+            (0.01..0.08).contains(&gain),
+            "gain {gain:.4} (base {:.1}s lla {:.1}s)",
+            base.seconds,
+            lla.seconds
+        );
+    }
+
+    #[test]
+    fn gain_grows_with_scale() {
+        let gain = |ranks| {
+            let p = AmgParams { cycles: 2, ..AmgParams::paper_scale(ranks) };
+            let b = run(p, LocalityConfig::baseline());
+            let l = run(p, LocalityConfig::lla(2));
+            (b.seconds - l.seconds) / b.seconds
+        };
+        assert!(gain(1024) > gain(128));
+    }
+
+    #[test]
+    fn runtime_in_papers_range_and_weakly_scaling() {
+        // Figure 8 shows ~12–15 s across 128–1024 ranks; check a 2-cycle
+        // slice of the 30-cycle solve (runtime is linear in cycles).
+        let r128 = run(
+            AmgParams { cycles: 2, ..AmgParams::paper_scale(128) },
+            LocalityConfig::baseline(),
+        );
+        let r1024 = run(
+            AmgParams { cycles: 2, ..AmgParams::paper_scale(1024) },
+            LocalityConfig::baseline(),
+        );
+        assert!((8.0..20.0).contains(&(r128.seconds * 15.0)), "{:.1}", r128.seconds);
+        assert!((8.0..20.0).contains(&(r1024.seconds * 15.0)), "{:.1}", r1024.seconds);
+        assert!(r1024.seconds > r128.seconds, "coarse-level comm grows with scale");
+    }
+
+    #[test]
+    fn small_configuration_is_fast_and_consistent() {
+        let r = run(AmgParams::small(64), LocalityConfig::baseline());
+        assert!(r.seconds > 0.0);
+        assert!(r.match_seconds < r.seconds);
+    }
+}

@@ -1,0 +1,243 @@
+//! The representative-rank execution engine shared by the proxies.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use spc_cachesim::{ArchProfile, HotCacheConfig, LocalityConfig, MemSim, Structure};
+use spc_core::dynengine::{DynEngine, EngineKind};
+use spc_core::engine::ArrivalOutcome;
+use spc_core::entry::{Envelope, RecvSpec};
+use spc_simnet::NetProfile;
+
+/// Machine + fabric + locality configuration for one app run.
+#[derive(Clone, Copy, Debug)]
+pub struct AppSetup {
+    /// Processor/memory model.
+    pub arch: ArchProfile,
+    /// Interconnect model.
+    pub net: NetProfile,
+    /// Queue structure + hot caching.
+    pub locality: LocalityConfig,
+}
+
+impl AppSetup {
+    /// Engine kind matching the locality structure.
+    pub fn engine_kind(&self) -> EngineKind {
+        match self.locality.structure {
+            Structure::Baseline => EngineKind::Baseline,
+            Structure::Lla(n) => EngineKind::Lla { arity: n },
+        }
+    }
+
+    fn hot_config(&self) -> Option<HotCacheConfig> {
+        if !self.locality.hot_cache {
+            return None;
+        }
+        Some(match self.locality.structure {
+            Structure::Lla(_) => HotCacheConfig::with_element_pool(),
+            Structure::Baseline => HotCacheConfig::default(),
+        })
+    }
+}
+
+/// Cost in nanoseconds, per active region, of removing an element from the
+/// heater's region list, charged on queue *removals* when hot caching runs
+/// without the element pool: the remover must wait out the heater's pass
+/// over the region queue under the spin lock before MPI may deallocate the
+/// node (§4.5: "lock contention as we must remove elements from the hot
+/// caching list"), and both the pass and the removal search scale with the
+/// region-queue length.
+const HC_LOCK_NS_PER_REGION: f64 = 150.0;
+/// Flat registration cost of an insertion (append to the region list).
+const HC_LOCK_INSERT_NS: f64 = 60.0;
+
+/// One rank's matching engine driven over the cache simulator, with
+/// hot-cache bookkeeping. All BSP ranks in these proxies do statistically
+/// identical work, so one representative rank prices the per-rank CPU cost
+/// exactly.
+pub struct RepRank {
+    setup: AppSetup,
+    eng: DynEngine,
+    mem: MemSim,
+    rng: rand::rngs::StdRng,
+}
+
+impl RepRank {
+    /// Builds the representative rank; `pad` pre-loads the PRQ with
+    /// unmatched entries (the paper's queue-length knob).
+    pub fn new(setup: AppSetup, pad: usize, seed: u64) -> Self {
+        let mut eng = DynEngine::new(setup.engine_kind());
+        eng.pad_prq(pad);
+        let mem = match setup.hot_config() {
+            Some(h) => {
+                let mut m = MemSim::with_hot_cache(setup.arch, h);
+                m.set_heat_regions(&eng.heat_regions());
+                m
+            }
+            None => MemSim::new(setup.arch),
+        };
+        Self { setup, eng, mem, rng: rand::rngs::StdRng::seed_from_u64(seed) }
+    }
+
+    /// Hot-cache overhead of appending one entry.
+    fn hc_insert_ns(&self) -> f64 {
+        if !self.setup.locality.hot_cache {
+            return 0.0;
+        }
+        match self.setup.locality.structure {
+            Structure::Lla(_) => HotCacheConfig::with_element_pool().mutation_overhead_ns,
+            Structure::Baseline => HC_LOCK_INSERT_NS,
+        }
+    }
+
+    /// Hot-cache overhead of removing one entry at the current region-queue
+    /// length.
+    fn hc_remove_ns(&self) -> f64 {
+        if !self.setup.locality.hot_cache {
+            return 0.0;
+        }
+        match self.setup.locality.structure {
+            // Element pool: whole chunks stay registered; removal is free.
+            Structure::Lla(_) => HotCacheConfig::with_element_pool().mutation_overhead_ns,
+            // Baseline: every node is its own region; the remover waits out
+            // the heater's pass over the whole region queue.
+            Structure::Baseline => {
+                HC_LOCK_NS_PER_REGION * (1.0 + self.eng.prq_len() as f64)
+            }
+        }
+    }
+
+    /// Runs one communication phase: `n` receives are posted, then `n`
+    /// matching messages arrive in the given order, with application
+    /// compute *between* arrivals.
+    ///
+    /// That interleaved compute is what makes matching memory-latency-bound
+    /// in real applications: each arrival finds the match list evicted by
+    /// the intervening computation's working set (modelled by
+    /// [`MemSim::evict_regions`]), while the heater — if active — has had
+    /// time to pull the list back into the shared L3.
+    ///
+    /// Returns this rank's matching CPU time in nanoseconds, including
+    /// hot-cache region-list synchronization.
+    pub fn exchange(&mut self, n: u32, order: ArrivalOrder) -> f64 {
+        // Compute phase boundary.
+        self.mem.flush();
+        self.mem
+            .advance(self.setup.hot_config().map_or(1.0, |h| h.period_ns + 1.0));
+
+        let t0 = self.mem.time_ns();
+        let mut overhead = 0.0;
+        // Post receives (tags 0..n from the peer set, modelled as rank 1).
+        for m in 0..n {
+            self.eng.post_recv(RecvSpec::new(1, m as i32, 0), m as u64);
+            overhead += self.hc_insert_ns();
+        }
+        // Arrivals, with the list cold (and re-heated, if hot caching is
+        // on) before each one.
+        let mut arrivals: Vec<u32> = (0..n).collect();
+        match order {
+            ArrivalOrder::InOrder => {}
+            ArrivalOrder::Reversed => arrivals.reverse(),
+            ArrivalOrder::Shuffled => arrivals.shuffle(&mut self.rng),
+        }
+        for m in arrivals {
+            let regions = self.eng.heat_regions();
+            self.mem.evict_regions(&regions);
+            if self.setup.locality.hot_cache {
+                self.mem.set_heat_regions(&regions);
+                self.mem.heat_now();
+            }
+            overhead += self.hc_remove_ns();
+            let out = self.eng.arrival_sink(Envelope::new(1, m as i32, 0), m as u64, &mut self.mem);
+            debug_assert!(matches!(out, ArrivalOutcome::MatchedPosted { .. }));
+        }
+        (self.mem.time_ns() - t0) + overhead
+    }
+
+    /// Current PRQ length (pads persist across exchanges).
+    pub fn prq_len(&self) -> usize {
+        self.eng.prq_len()
+    }
+
+    /// Mean PRQ search depth observed so far.
+    pub fn mean_depth(&self) -> f64 {
+        self.eng.stats().prq_search.mean()
+    }
+}
+
+/// How an exchange's arrivals are ordered relative to the posting order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ArrivalOrder {
+    /// Arrivals match head-first (well-synchronized neighbours).
+    InOrder,
+    /// Arrivals match tail-first — FDS's "does not typically match the
+    /// first element in the list".
+    Reversed,
+    /// Scheduler-random (multithreaded senders).
+    Shuffled,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(loc: LocalityConfig) -> AppSetup {
+        AppSetup {
+            arch: ArchProfile::nehalem(),
+            net: NetProfile::mellanox_qdr(),
+            locality: loc,
+        }
+    }
+
+    #[test]
+    fn exchange_returns_positive_time_and_drains() {
+        let mut r = RepRank::new(setup(LocalityConfig::baseline()), 0, 1);
+        let t = r.exchange(32, ArrivalOrder::Shuffled);
+        assert!(t > 0.0);
+        assert_eq!(r.prq_len(), 0);
+    }
+
+    #[test]
+    fn reversed_arrivals_search_deeper_than_in_order() {
+        let mut a = RepRank::new(setup(LocalityConfig::baseline()), 0, 1);
+        let mut b = RepRank::new(setup(LocalityConfig::baseline()), 0, 1);
+        a.exchange(64, ArrivalOrder::InOrder);
+        b.exchange(64, ArrivalOrder::Reversed);
+        assert!(b.mean_depth() > 5.0 * a.mean_depth());
+    }
+
+    #[test]
+    fn padding_persists_and_deepens_searches() {
+        let mut r = RepRank::new(setup(LocalityConfig::baseline()), 100, 1);
+        r.exchange(4, ArrivalOrder::InOrder);
+        assert_eq!(r.prq_len(), 100);
+        assert!(r.mean_depth() > 100.0);
+    }
+
+    #[test]
+    fn lla_exchange_is_cheaper_at_depth() {
+        let mut base = RepRank::new(setup(LocalityConfig::baseline()), 0, 1);
+        let mut lla = RepRank::new(setup(LocalityConfig::lla(2)), 0, 1);
+        let tb = base.exchange(256, ArrivalOrder::Reversed);
+        let tl = lla.exchange(256, ArrivalOrder::Reversed);
+        assert!(tl < tb, "LLA {tl:.0} vs baseline {tb:.0}");
+    }
+
+    #[test]
+    fn hc_lock_overhead_scales_with_queue_length() {
+        let hc = setup(LocalityConfig::hc());
+        let mut short = RepRank::new(hc, 0, 1);
+        let mut long = RepRank::new(hc, 512, 1);
+        short.exchange(1, ArrivalOrder::InOrder);
+        long.exchange(1, ArrivalOrder::InOrder);
+        assert!(long.hc_remove_ns() > 100.0 * short.hc_remove_ns() / 2.0);
+    }
+
+    #[test]
+    fn hc_with_pool_has_flat_tiny_overhead() {
+        let mut r = RepRank::new(setup(LocalityConfig::hc_lla(2)), 2048, 1);
+        assert!(r.hc_remove_ns() < 10.0);
+        r.exchange(16, ArrivalOrder::InOrder);
+        assert!(r.hc_remove_ns() < 10.0);
+    }
+}

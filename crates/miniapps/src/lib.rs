@@ -1,0 +1,31 @@
+//! # spc-miniapps — proxy applications (§4.4, §4.5)
+//!
+//! Proxies for the three codes the paper measures, built on the
+//! representative-rank method: the matching path runs as *real*
+//! `spc-core` engine operations over the `spc-cachesim` hierarchy for one
+//! representative rank per configuration (all ranks do identical work in
+//! these BSP codes), while compute phases and collectives are charged from
+//! calibrated analytic models. This keeps the locality-dependent part —
+//! the entire subject of the paper — fully mechanistic while letting the
+//! proxies run at 8192-rank scale in seconds.
+//!
+//! * [`amg`] — AMG2013: weak-scaling algebraic multigrid V-cycles whose
+//!   coarse levels densify the communication graph (Figure 8);
+//! * [`minife`] — MiniFE: conjugate-gradient halo exchange at 512 ranks
+//!   with padded match lists (Figure 9);
+//! * [`minimd`] — MiniMD: staged molecular-dynamics ghost exchange, the
+//!   short-ordered-list workload where locality buys nothing (§4.4 names it
+//!   but publishes no figure — the null result);
+//! * [`fds`] — Fire Dynamics Simulator: pressure-solver exchanges whose
+//!   match lists grow with scale and are searched deep ("does not
+//!   typically match the first element"), Figure 10.
+
+#![warn(missing_docs)]
+
+pub mod amg;
+pub mod common;
+pub mod fds;
+pub mod minife;
+pub mod minimd;
+
+pub use common::{AppSetup, RepRank};

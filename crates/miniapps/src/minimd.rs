@@ -1,0 +1,146 @@
+//! MiniMD proxy: molecular-dynamics spatial decomposition (§4.4 names
+//! MiniMD among the examined mini-apps but plots no figure for it — the
+//! expected null result this proxy documents).
+//!
+//! LAMMPS-style staged exchange: each timestep swaps ghost atoms with two
+//! neighbours per dimension, one dimension at a time, *waiting between
+//! stages* (the staged scheme needs forwarded corners). Match lists
+//! therefore never exceed two entries and always match in order — the
+//! best-case workload for the traditional list, where locality engineering
+//! has nothing to win.
+
+use spc_cachesim::{ArchProfile, LocalityConfig};
+use spc_simnet::NetProfile;
+
+use crate::common::{AppSetup, ArrivalOrder, RepRank};
+
+/// MiniMD proxy parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct MiniMdParams {
+    /// Total ranks.
+    pub ranks: u32,
+    /// Timesteps to run.
+    pub steps: u32,
+    /// Neighbour-list rebuild interval (rebuild steps exchange twice:
+    /// borders + ghosts).
+    pub rebuild_every: u32,
+    /// Ghost-atom message payload bytes.
+    pub bytes_per_msg: u64,
+    /// Force computation per rank per step, nanoseconds.
+    pub compute_ns: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl MiniMdParams {
+    /// A representative Lennard-Jones run shape.
+    pub fn paper_scale(ranks: u32) -> Self {
+        Self {
+            ranks,
+            steps: 1000,
+            rebuild_every: 20,
+            bytes_per_msg: 48 * 1024,
+            compute_ns: 4.5e6,
+            seed: 0x3D,
+        }
+    }
+
+    /// Fast test configuration.
+    pub fn small(ranks: u32) -> Self {
+        Self { steps: 50, compute_ns: 1e5, ..Self::paper_scale(ranks) }
+    }
+}
+
+/// Result of one proxy run.
+#[derive(Clone, Copy, Debug)]
+pub struct MiniMdResult {
+    /// Total execution time, seconds.
+    pub seconds: f64,
+    /// Time spent in matching, seconds.
+    pub match_seconds: f64,
+    /// Mean PRQ search depth (stays ~1 by construction).
+    pub mean_depth: f64,
+}
+
+/// Runs the proxy on Broadwell/OmniPath under the given locality
+/// configuration.
+pub fn run(p: MiniMdParams, locality: LocalityConfig) -> MiniMdResult {
+    run_on(p, AppSetup { arch: ArchProfile::broadwell(), net: NetProfile::omnipath(), locality })
+}
+
+/// Runs the proxy on an explicit setup.
+pub fn run_on(p: MiniMdParams, setup: AppSetup) -> MiniMdResult {
+    let mut rank = RepRank::new(setup, 0, p.seed);
+    let mut total_ns = 0.0;
+    let mut match_ns = 0.0;
+    for step in 0..p.steps {
+        let exchanges = if step % p.rebuild_every == 0 { 2 } else { 1 };
+        for _ in 0..exchanges {
+            // Three staged swaps of two messages each; the stage boundary
+            // means at most two receives are ever outstanding.
+            for _dim in 0..3 {
+                let m = rank.exchange(2, ArrivalOrder::InOrder);
+                match_ns += m;
+                let wire = setup.net.wire_ns(2 * p.bytes_per_msg) + setup.net.latency_ns;
+                total_ns += m + wire;
+            }
+        }
+        total_ns += p.compute_ns;
+        // Thermostat / energy reduction every few steps.
+        if step % 10 == 0 {
+            total_ns += setup.net.tree_collective_ns(p.ranks, 16);
+        }
+    }
+    MiniMdResult {
+        seconds: total_ns / 1e9,
+        match_seconds: match_ns / 1e9,
+        mean_depth: rank.mean_depth(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn match_lists_stay_trivially_short() {
+        let r = run(MiniMdParams::small(512), LocalityConfig::baseline());
+        assert!(r.mean_depth <= 2.0, "staged exchange keeps depth ~1, got {}", r.mean_depth);
+    }
+
+    #[test]
+    fn locality_buys_nothing_here() {
+        // The null result: with two-entry in-order lists, LLA and baseline
+        // are indistinguishable at the application level — consistent with
+        // the paper examining MiniMD but publishing no figure for it.
+        let p = MiniMdParams { steps: 200, ..MiniMdParams::small(512) };
+        let base = run(p, LocalityConfig::baseline());
+        let lla = run(p, LocalityConfig::lla(2));
+        let gain = (base.seconds - lla.seconds) / base.seconds;
+        assert!(
+            gain.abs() < 0.005,
+            "gain {gain:.5} should be negligible (base {:.4}s lla {:.4}s)",
+            base.seconds,
+            lla.seconds
+        );
+    }
+
+    #[test]
+    fn matching_is_an_insignificant_fraction() {
+        let r = run(MiniMdParams::small(512), LocalityConfig::baseline());
+        assert!(r.match_seconds / r.seconds < 0.02, "{}", r.match_seconds / r.seconds);
+    }
+
+    #[test]
+    fn rebuild_steps_do_extra_communication() {
+        let no_rebuild = run(
+            MiniMdParams { rebuild_every: u32::MAX, ..MiniMdParams::small(512) },
+            LocalityConfig::baseline(),
+        );
+        let frequent = run(
+            MiniMdParams { rebuild_every: 2, ..MiniMdParams::small(512) },
+            LocalityConfig::baseline(),
+        );
+        assert!(frequent.seconds > no_rebuild.seconds);
+    }
+}

@@ -1,0 +1,201 @@
+//! AMR: adaptive-mesh-refinement communication motif (Figure 1a).
+//!
+//! Refinement makes neighbour counts wildly non-uniform: most ranks talk to
+//! a handful of same-level neighbours, while ranks on refinement boundaries
+//! exchange with many fine blocks. The motif draws per-rank degrees from a
+//! truncated power law and wires ranks together with a configuration-model
+//! multigraph, regenerating the graph at each regrid. The resulting
+//! match-list length distribution has the paper's shape: mass concentrated
+//! at small-to-mid lengths, a thinning tail out to the mid-400s.
+
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use spc_mpisim::{QueueTrace, SimWorld, TraceConfig, WorldConfig};
+
+/// AMR motif parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct AmrParams {
+    /// Number of ranks.
+    pub ranks: u32,
+    /// Communication iterations.
+    pub iterations: u32,
+    /// Regenerate the refinement graph every this many iterations.
+    pub regrid_interval: u32,
+    /// Minimum neighbour-message degree (uniform base exchange).
+    pub min_degree: u32,
+    /// Maximum degree (deeply refined boundary ranks).
+    pub max_degree: u32,
+    /// Power-law exponent of the degree distribution (larger = thinner
+    /// tail).
+    pub alpha: f64,
+    /// Message payload bytes.
+    pub bytes: u64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Histogram bucket width (the paper uses 20 for AMR).
+    pub trace_width: u64,
+}
+
+impl AmrParams {
+    /// The paper's scale: 64 Ki ranks, lengths out to the mid-400s.
+    pub fn paper_scale() -> Self {
+        Self {
+            ranks: 64 * 1024,
+            iterations: 12,
+            regrid_interval: 4,
+            min_degree: 6,
+            max_degree: 440,
+            alpha: 2.4,
+            bytes: 4096,
+            seed: 0xA317,
+            trace_width: 20,
+        }
+    }
+
+    /// Laptop-scale configuration with the same shape.
+    pub fn small() -> Self {
+        Self { ranks: 512, iterations: 6, ..Self::paper_scale() }
+    }
+}
+
+/// Draws a degree from the truncated power law `P(d) ∝ d^-alpha` on
+/// `[min, max]` by inverse-CDF sampling.
+fn draw_degree(rng: &mut impl Rng, min: u32, max: u32, alpha: f64) -> u32 {
+    let (a, b) = (min as f64, max as f64 + 1.0);
+    let e = 1.0 - alpha;
+    let u: f64 = rng.gen();
+    // Inverse CDF of the continuous truncated power law.
+    let d = (u * (b.powf(e) - a.powf(e)) + a.powf(e)).powf(1.0 / e);
+    (d as u32).clamp(min, max)
+}
+
+/// Builds a configuration-model multigraph: each rank gets `deg[r]`
+/// half-edges, which are shuffled and paired. Self-loops are dropped.
+fn build_edges(degrees: &[u32], rng: &mut impl Rng) -> Vec<(u32, u32)> {
+    let mut stubs: Vec<u32> = Vec::with_capacity(degrees.iter().map(|&d| d as usize).sum());
+    for (r, &d) in degrees.iter().enumerate() {
+        stubs.extend(std::iter::repeat_n(r as u32, d as usize));
+    }
+    if stubs.len() % 2 == 1 {
+        stubs.pop();
+    }
+    stubs.shuffle(rng);
+    stubs
+        .chunks_exact(2)
+        .filter(|c| c[0] != c[1])
+        .map(|c| (c[0], c[1]))
+        .collect()
+}
+
+/// Runs the motif and returns the queue trace.
+pub fn run(p: AmrParams) -> QueueTrace {
+    let mut world = SimWorld::new(WorldConfig {
+        trace: Some(TraceConfig::uniform(p.trace_width)),
+        ..WorldConfig::untimed(p.ranks, p.trace_width)
+    });
+    let mut rng = rand::rngs::StdRng::seed_from_u64(p.seed);
+    let mut adjacency: Vec<Vec<(u32, u32)>> = Vec::new(); // (peer, edge id)
+    let mut order: Vec<u32> = (0..p.ranks).collect();
+
+    for iter in 0..p.iterations {
+        if iter % p.regrid_interval == 0 || adjacency.is_empty() {
+            // Regrid: refinement levels changed; redraw the exchange graph.
+            let degrees: Vec<u32> = (0..p.ranks)
+                .map(|_| draw_degree(&mut rng, p.min_degree, p.max_degree, p.alpha))
+                .collect();
+            let edges = build_edges(&degrees, &mut rng);
+            adjacency = vec![Vec::new(); p.ranks as usize];
+            for (eid, &(a, b)) in edges.iter().enumerate() {
+                adjacency[a as usize].push((b, eid as u32));
+                adjacency[b as usize].push((a, eid as u32));
+            }
+        }
+        order.shuffle(&mut rng);
+        for &rank in &order {
+            for &(peer, eid) in &adjacency[rank as usize] {
+                world.post_recv(rank, peer as i32, eid as i32, 0);
+            }
+            for &(peer, eid) in &adjacency[rank as usize] {
+                world.send(rank, peer, eid as i32, 0, p.bytes);
+            }
+        }
+        world.barrier();
+    }
+    world.trace().expect("tracing enabled").clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+
+    #[test]
+    fn degree_distribution_spans_and_decays() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0u32; 3]; // small / medium / large
+        for _ in 0..20_000 {
+            let d = draw_degree(&mut rng, 6, 440, 2.4);
+            assert!((6..=440).contains(&d));
+            match d {
+                0..=20 => counts[0] += 1,
+                21..=100 => counts[1] += 1,
+                _ => counts[2] += 1,
+            }
+        }
+        assert!(counts[0] > counts[1] && counts[1] > counts[2], "{counts:?}");
+        assert!(counts[2] > 0, "the tail must be reachable");
+    }
+
+    #[test]
+    fn configuration_model_respects_degree_budget() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let degrees = vec![3, 1, 2, 2];
+        let edges = build_edges(&degrees, &mut rng);
+        assert!(edges.len() <= 4);
+        let mut got = [0u32; 4];
+        for &(a, b) in &edges {
+            got[a as usize] += 1;
+            got[b as usize] += 1;
+        }
+        for (g, d) in got.iter().zip(&degrees) {
+            assert!(g <= d);
+        }
+    }
+
+    #[test]
+    fn motif_produces_tail_beyond_base_degree() {
+        let trace = run(AmrParams::small());
+        assert!(trace.posted.total() > 0);
+        // The tail extends well past the uniform base exchange.
+        assert!(
+            trace.posted.max_bucket_hi() > 100,
+            "tail reaches only {}",
+            trace.posted.max_bucket_hi()
+        );
+        // ...but the mass is at small lengths (Figure 1a's decay).
+        let low: u64 = trace.posted.buckets().take(3).map(|(_, _, c)| c).sum();
+        assert!(low * 2 > trace.posted.total());
+    }
+
+    #[test]
+    fn queues_return_to_empty_each_iteration() {
+        let trace = run(AmrParams { ranks: 128, iterations: 2, ..AmrParams::small() });
+        assert!(trace.posted.count_for(0) > 0);
+    }
+
+    #[test]
+    fn deterministic_for_seed_and_sensitive_to_it() {
+        let a = run(AmrParams { ranks: 128, iterations: 2, ..AmrParams::small() });
+        let b = run(AmrParams { ranks: 128, iterations: 2, ..AmrParams::small() });
+        assert_eq!(
+            a.posted.buckets().collect::<Vec<_>>(),
+            b.posted.buckets().collect::<Vec<_>>()
+        );
+        let c = run(AmrParams { ranks: 128, iterations: 2, seed: 9, ..AmrParams::small() });
+        assert_ne!(
+            a.posted.buckets().collect::<Vec<_>>(),
+            c.posted.buckets().collect::<Vec<_>>()
+        );
+    }
+}

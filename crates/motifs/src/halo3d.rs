@@ -1,0 +1,244 @@
+//! Halo3D: nearest-neighbour halo exchange (Figure 1c).
+//!
+//! Ranks form a non-periodic 3-D process grid; each iteration every rank
+//! posts receives for each neighbour and variable, then sends its halo
+//! faces. Ranks enter the phase in a scheduler-shuffled order, so a rank
+//! whose neighbour has not yet taken its turn receives *unexpected*
+//! messages — producing the UMQ samples the paper's trace shows. Queue
+//! lengths stay small ("relatively few elements in the queue and many very
+//! small queue length operations"), peaking at `neighbours × variables`.
+
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use spc_core::stats::Histogram;
+use spc_mpisim::{QueueTrace, SimWorld, TraceConfig, WorldConfig};
+
+/// Neighbour shape of the exchange.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HaloStencil {
+    /// Faces only (7-point stencil: 6 neighbours).
+    Faces6,
+    /// Faces, edges and corners (27-point stencil: 26 neighbours).
+    Full26,
+}
+
+/// Halo3D motif parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct Halo3dParams {
+    /// Process-grid extents.
+    pub grid: [u32; 3],
+    /// Exchange shape.
+    pub stencil: HaloStencil,
+    /// Variables exchanged per neighbour per iteration (each is one
+    /// message).
+    pub vars: u32,
+    /// Iterations to run.
+    pub iterations: u32,
+    /// Message payload bytes (affects nothing in untimed tracing).
+    pub bytes: u64,
+    /// Fraction of ranks whose per-iteration direction schedule is
+    /// decorrelated from the bulk (OS noise / load imbalance); these
+    /// stragglers produce the distribution's tail.
+    pub straggler_fraction: f64,
+    /// Shuffle seed.
+    pub seed: u64,
+    /// Histogram bucket width (the paper uses 5 for Halo3D).
+    pub trace_width: u64,
+}
+
+impl Halo3dParams {
+    /// The paper's scale: 256 Ki ranks (64×64×64), 27-point, a few
+    /// variables.
+    pub fn paper_scale() -> Self {
+        Self {
+            grid: [64, 64, 64],
+            stencil: HaloStencil::Full26,
+            vars: 4,
+            iterations: 4,
+            bytes: 8 * 1024,
+            straggler_fraction: 0.25,
+            seed: 0x4a10,
+            trace_width: 5,
+        }
+    }
+
+    /// A laptop-scale configuration with the same shape (for tests).
+    pub fn small() -> Self {
+        Self { grid: [8, 8, 8], ..Self::paper_scale() }
+    }
+
+    /// Total ranks.
+    pub fn ranks(&self) -> u32 {
+        self.grid.iter().product()
+    }
+}
+
+fn offsets(stencil: HaloStencil) -> Vec<[i64; 3]> {
+    let mut out = Vec::new();
+    for dx in -1..=1i64 {
+        for dy in -1..=1i64 {
+            for dz in -1..=1i64 {
+                if (dx, dy, dz) == (0, 0, 0) {
+                    continue;
+                }
+                let manhattan = dx.abs() + dy.abs() + dz.abs();
+                match stencil {
+                    HaloStencil::Faces6 if manhattan == 1 => out.push([dx, dy, dz]),
+                    HaloStencil::Full26 => out.push([dx, dy, dz]),
+                    _ => {}
+                }
+            }
+        }
+    }
+    out
+}
+
+fn rank_of(grid: [u32; 3], p: [i64; 3]) -> Option<u32> {
+    for i in 0..3 {
+        if p[i] < 0 || p[i] >= grid[i] as i64 {
+            return None;
+        }
+    }
+    Some(((p[2] as u32 * grid[1] + p[1] as u32) * grid[0]) + p[0] as u32)
+}
+
+fn coords_of(grid: [u32; 3], rank: u32) -> [i64; 3] {
+    let x = rank % grid[0];
+    let y = (rank / grid[0]) % grid[1];
+    let z = rank / (grid[0] * grid[1]);
+    [x as i64, y as i64, z as i64]
+}
+
+/// Runs the motif, returning the queue-length trace.
+///
+/// Each iteration proceeds in `neighbours × vars` *slots*. In a slot, every
+/// rank (in a scheduler-shuffled order) posts the receive for one
+/// (direction, variable) pair of its schedule and sends the corresponding
+/// halo message. Bulk ranks process the schedule in the common order, so
+/// their queues hover near zero — the paper's "many very small queue length
+/// operations". Straggler ranks use a private permutation, decorrelating
+/// their posts from the bulk's sends and producing the tail out to
+/// `neighbours × vars`.
+pub fn run(p: Halo3dParams) -> QueueTrace {
+    let mut world = SimWorld::new(WorldConfig {
+        trace: Some(TraceConfig::uniform(p.trace_width)),
+        ..WorldConfig::untimed(p.ranks(), p.trace_width)
+    });
+    let offs = offsets(p.stencil);
+    let nslots = (offs.len() as u32 * p.vars) as usize;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(p.seed);
+    let mut order: Vec<u32> = (0..p.ranks()).collect();
+
+    for _iter in 0..p.iterations {
+        // Per-iteration schedules: identity for the bulk, shuffled for
+        // stragglers.
+        let schedules: Vec<Option<Vec<u32>>> = (0..p.ranks())
+            .map(|_| {
+                if rng.gen_bool(p.straggler_fraction) {
+                    let mut perm: Vec<u32> = (0..nslots as u32).collect();
+                    perm.shuffle(&mut rng);
+                    Some(perm)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        for slot in 0..nslots {
+            order.shuffle(&mut rng);
+            for &rank in &order {
+                let k = match &schedules[rank as usize] {
+                    Some(perm) => perm[slot] as usize,
+                    None => slot,
+                };
+                let (di, v) = (k / p.vars as usize, (k % p.vars as usize) as u32);
+                let off = offs[di];
+                let c = coords_of(p.grid, rank);
+                // Post the receive for the message arriving *from* `off`.
+                let from = [c[0] - off[0], c[1] - off[1], c[2] - off[2]];
+                if let Some(src) = rank_of(p.grid, from) {
+                    world.post_recv(rank, src as i32, (di as u32 * p.vars + v) as i32, 0);
+                }
+                // Send this rank's face *towards* `off`.
+                let to = [c[0] + off[0], c[1] + off[1], c[2] + off[2]];
+                if let Some(dst) = rank_of(p.grid, to) {
+                    world.send(rank, dst, (di as u32 * p.vars + v) as i32, 0, p.bytes);
+                }
+            }
+        }
+        world.barrier();
+    }
+    world.trace().expect("tracing enabled").clone()
+}
+
+/// Convenience: run and return just the posted-queue histogram.
+pub fn posted_histogram(p: Halo3dParams) -> Histogram {
+    run(p).posted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queues_drain_completely() {
+        let p = Halo3dParams { grid: [4, 4, 4], iterations: 2, ..Halo3dParams::small() };
+        let trace = run(p);
+        // Every send has a receive: the motif is balanced, so the samples
+        // of additions equal the samples of deletions per queue... and the
+        // final sample of each fully-drained rank is 0.
+        assert!(trace.posted.total() > 0);
+        assert!(trace.posted.count_for(0) > 0, "queues return to empty");
+    }
+
+    #[test]
+    fn lengths_bounded_by_neighbors_times_vars() {
+        let p = Halo3dParams::small();
+        let trace = run(p);
+        let max_possible = 26 * p.vars as u64;
+        assert!(
+            trace.posted.max_bucket_hi() <= max_possible + p.trace_width,
+            "max bucket {} exceeds {}",
+            trace.posted.max_bucket_hi(),
+            max_possible
+        );
+    }
+
+    #[test]
+    fn shuffled_entry_produces_unexpected_messages() {
+        let trace = run(Halo3dParams::small());
+        assert!(
+            trace.unexpected.total() > 0,
+            "ranks later in the schedule must see unexpected arrivals"
+        );
+    }
+
+    #[test]
+    fn distribution_is_bottom_heavy() {
+        // Figure 1c: "many very small queue length operations".
+        let trace = run(Halo3dParams::small());
+        let small: u64 = trace.posted.buckets().take(2).map(|(_, _, c)| c).sum();
+        assert!(
+            small * 2 > trace.posted.total(),
+            "most samples in the lowest buckets: {small} of {}",
+            trace.posted.total()
+        );
+    }
+
+    #[test]
+    fn faces6_produces_fewer_messages_than_full26() {
+        let base = Halo3dParams { grid: [4, 4, 4], iterations: 1, ..Halo3dParams::small() };
+        let t6 = run(Halo3dParams { stencil: HaloStencil::Faces6, ..base });
+        let t26 = run(Halo3dParams { stencil: HaloStencil::Full26, ..base });
+        assert!(t26.posted.total() > 2 * t6.posted.total());
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = run(Halo3dParams::small());
+        let b = run(Halo3dParams::small());
+        let rows_a: Vec<_> = a.posted.buckets().collect();
+        let rows_b: Vec<_> = b.posted.buckets().collect();
+        assert_eq!(rows_a, rows_b);
+    }
+}

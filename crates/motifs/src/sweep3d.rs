@@ -1,0 +1,225 @@
+//! Sweep3D: KBA wavefront sweep motif (Figure 1b).
+//!
+//! A 3-D transport sweep decomposed over a 2-D process grid: for each of the
+//! eight octants, a wavefront moves diagonally across the grid, each rank
+//! receiving per-z-block messages from its two upstream neighbours and
+//! forwarding downstream. Interior ranks post receives just-in-time (their
+//! queues stay very short — the bulk of Figure 1b's samples at 0–9), while
+//! ranks on the sweep's inflow boundaries pre-post entire octant windows,
+//! producing the thinning tail out to ~100.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use spc_mpisim::{QueueTrace, SimWorld, TraceConfig, WorldConfig};
+
+/// Sweep3D motif parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct Sweep3dParams {
+    /// Process grid (the KBA decomposition is 2-D).
+    pub grid: [u32; 2],
+    /// Number of z-blocks pipelined per octant.
+    pub blocks: u32,
+    /// Octants swept per iteration (the full sweep is 8).
+    pub octants: u32,
+    /// How many octants' windows may overlap in flight.
+    pub overlap: u32,
+    /// Sweep iterations.
+    pub iterations: u32,
+    /// Message payload bytes.
+    pub bytes: u64,
+    /// RNG seed (posting jitter).
+    pub seed: u64,
+    /// Histogram bucket width (the paper uses 10 for Sweep3D).
+    pub trace_width: u64,
+}
+
+impl Sweep3dParams {
+    /// The paper's scale: 128 Ki ranks (512×256).
+    pub fn paper_scale() -> Self {
+        Self {
+            grid: [512, 256],
+            blocks: 48,
+            octants: 8,
+            overlap: 2,
+            iterations: 2,
+            bytes: 2048,
+            seed: 0x53D3,
+            trace_width: 10,
+        }
+    }
+
+    /// Laptop-scale configuration with the same shape.
+    pub fn small() -> Self {
+        Self { grid: [16, 8], iterations: 2, ..Self::paper_scale() }
+    }
+
+    /// Total ranks.
+    pub fn ranks(&self) -> u32 {
+        self.grid[0] * self.grid[1]
+    }
+}
+
+/// The four sweep directions of the 2-D KBA grid (each covers two octants,
+/// ±z being pipelined through the same wavefront).
+const DIRS: [[i64; 2]; 4] = [[1, 1], [-1, 1], [1, -1], [-1, -1]];
+
+fn rank_of(grid: [u32; 2], x: i64, y: i64) -> Option<u32> {
+    if x < 0 || y < 0 || x >= grid[0] as i64 || y >= grid[1] as i64 {
+        return None;
+    }
+    Some(y as u32 * grid[0] + x as u32)
+}
+
+/// A rank is on an octant's inflow boundary when at least one of its
+/// upstream neighbours falls outside the grid.
+fn on_inflow_boundary(grid: [u32; 2], dir: [i64; 2], x: i64, y: i64) -> bool {
+    rank_of(grid, x - dir[0], y).is_none() || rank_of(grid, x, y - dir[1]).is_none()
+}
+
+/// Runs the motif and returns the queue trace.
+pub fn run(p: Sweep3dParams) -> QueueTrace {
+    let mut world = SimWorld::new(WorldConfig {
+        trace: Some(TraceConfig::uniform(p.trace_width)),
+        ..WorldConfig::untimed(p.ranks(), p.trace_width)
+    });
+    let mut rng = rand::rngs::StdRng::seed_from_u64(p.seed);
+    let (px, py) = (p.grid[0] as i64, p.grid[1] as i64);
+
+    for _iter in 0..p.iterations {
+        let mut oct = 0;
+        while oct < p.octants {
+            let group_end = (oct + p.overlap).min(p.octants);
+            // Phase 1: pre-post. Inflow-boundary ranks post their whole
+            // octant window; interior ranks post a short just-in-time
+            // window (the rest are posted as the wave reaches them — for
+            // queue-length purposes the arrivals then match immediately,
+            // so we model only the pre-posted portion).
+            let mut posts: Vec<(u32, i32, i32)> = Vec::new(); // (rank, src, tag)
+            for o in oct..group_end {
+                let dir = DIRS[(o % 4) as usize];
+                for y in 0..py {
+                    for x in 0..px {
+                        let rank = rank_of(p.grid, x, y).expect("in grid");
+                        let upstream =
+                            [rank_of(p.grid, x - dir[0], y), rank_of(p.grid, x, y - dir[1])];
+                        let window = if on_inflow_boundary(p.grid, dir, x, y) {
+                            p.blocks
+                        } else {
+                            2.min(p.blocks)
+                        };
+                        for up in upstream.into_iter().flatten() {
+                            for b in 0..window {
+                                posts.push((rank, up as i32, (o * p.blocks + b) as i32));
+                            }
+                        }
+                    }
+                }
+            }
+            posts.shuffle(&mut rng);
+            for (rank, src, tag) in posts {
+                world.post_recv(rank, src, tag, 0);
+            }
+            // Phase 2: the wavefronts. Ranks forward block messages in
+            // sweep order; a receiver beyond its pre-post window posts the
+            // receive just-in-time, immediately before the arrival — which
+            // is why interior queues stay tiny.
+            for o in oct..group_end {
+                let dir = DIRS[(o % 4) as usize];
+                for b in 0..p.blocks {
+                    for sy in 0..py {
+                        for sx in 0..px {
+                            let x = if dir[0] > 0 { sx } else { px - 1 - sx };
+                            let y = if dir[1] > 0 { sy } else { py - 1 - sy };
+                            let rank = rank_of(p.grid, x, y).expect("in grid");
+                            let tag = (o * p.blocks + b) as i32;
+                            for (dx, dy) in [(dir[0], 0), (0, dir[1])] {
+                                let Some(dst) = rank_of(p.grid, x + dx, y + dy) else {
+                                    continue;
+                                };
+                                let window = if on_inflow_boundary(p.grid, dir, x + dx, y + dy)
+                                {
+                                    p.blocks
+                                } else {
+                                    2.min(p.blocks)
+                                };
+                                if b >= window {
+                                    world.post_recv(dst, rank as i32, tag, 0);
+                                }
+                                world.send(rank, dst, tag, 0, p.bytes);
+                            }
+                        }
+                    }
+                }
+            }
+            world.barrier();
+            oct = group_end;
+        }
+    }
+    world.trace().expect("tracing enabled").clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundary_predicate_matches_geometry() {
+        let grid = [4, 4];
+        // Sweeping +x,+y: inflow boundary is the x=0 column and y=0 row.
+        assert!(on_inflow_boundary(grid, [1, 1], 0, 2));
+        assert!(on_inflow_boundary(grid, [1, 1], 2, 0));
+        assert!(!on_inflow_boundary(grid, [1, 1], 2, 2));
+        // Sweeping -x,-y: opposite edges.
+        assert!(on_inflow_boundary(grid, [-1, -1], 3, 1));
+        assert!(!on_inflow_boundary(grid, [-1, -1], 1, 1));
+    }
+
+    #[test]
+    fn queues_drain_and_umq_stays_bounded() {
+        let trace = run(Sweep3dParams::small());
+        assert!(trace.posted.total() > 0);
+        assert!(trace.posted.count_for(0) > 0, "queues return to empty");
+        // JIT posting happens immediately before the send, so nothing goes
+        // unexpected in this motif's deterministic schedule.
+        assert_eq!(trace.unexpected.total(), 0);
+    }
+
+    #[test]
+    fn interior_mass_small_with_tail_to_window_depth() {
+        let p = Sweep3dParams::small();
+        let trace = run(p);
+        // Mass concentrated at 0-19 (paper: most samples at 0-9 with
+        // width-10 buckets).
+        let low: u64 = trace.posted.buckets().take(2).map(|(_, _, c)| c).sum();
+        assert!(
+            low * 2 > trace.posted.total(),
+            "low buckets hold {low} of {}",
+            trace.posted.total()
+        );
+        // Tail reaches the boundary ranks' pre-posted window (2 upstreams ×
+        // blocks × overlap is the ceiling; at least blocks must be seen).
+        assert!(
+            trace.posted.max_bucket_hi() as u32 >= p.blocks,
+            "tail reaches only {}",
+            trace.posted.max_bucket_hi()
+        );
+    }
+
+    #[test]
+    fn more_blocks_deepen_the_tail() {
+        let a = run(Sweep3dParams { blocks: 4, ..Sweep3dParams::small() });
+        let b = run(Sweep3dParams { blocks: 24, ..Sweep3dParams::small() });
+        assert!(b.posted.max_bucket_hi() > a.posted.max_bucket_hi());
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = run(Sweep3dParams::small());
+        let b = run(Sweep3dParams::small());
+        assert_eq!(
+            a.posted.buckets().collect::<Vec<_>>(),
+            b.posted.buckets().collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,17 @@
+//! Regression: the AMR motif at 64 Ki ranks must keep its match-list tail
+//! within the refinement-degree cap. Before ranks compared in an unsigned
+//! 16-bit domain, entries for ranks ≥ 32768 never matched and queues leaked
+//! unboundedly (tails past 1400 instead of the paper's mid-400s).
+
+#[test]
+fn amr_at_64ki_ranks_respects_the_degree_cap() {
+    use spc_motifs::amr::*;
+    let p = AmrParams { iterations: 4, ..AmrParams::paper_scale() };
+    let t = run(p);
+    let (lo, _, _) = t.posted.buckets().filter(|(_, _, c)| *c > 0).last().expect("data");
+    assert!(
+        lo <= p.max_degree as u64 + p.trace_width,
+        "posted tail {lo} exceeds max degree {}",
+        p.max_degree
+    );
+}

@@ -1,0 +1,239 @@
+//! Communicator management: MPI's isolation mechanism (§2.1 — "a special
+//! isolation mechanism that allows a defined set of processes to send
+//! messages to each other").
+//!
+//! Each communicator owns a distinct context id; the matching engines
+//! compare it exactly, so traffic in one communicator can never match
+//! receives of another — even with wildcard source *and* tag. Ranks are
+//! communicator-local and translated to world ranks at the boundary, as in
+//! a real MPI implementation.
+
+use crate::world::SimWorld;
+use spc_core::engine::{ArrivalOutcome, RecvOutcome};
+use spc_core::entry::ANY_SOURCE;
+
+/// Handle to a communicator in a [`CommTable`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CommId(usize);
+
+struct CommMeta {
+    context_id: u16,
+    /// World rank of each communicator-local rank.
+    members: Vec<u32>,
+}
+
+/// The job's communicators: context-id allocation, membership, and
+/// rank translation. Kept separate from [`SimWorld`] so worlds that only
+/// ever use `MPI_COMM_WORLD` (the motifs) pay nothing.
+pub struct CommTable {
+    comms: Vec<CommMeta>,
+    next_context: u16,
+}
+
+impl CommTable {
+    /// Creates the table with `MPI_COMM_WORLD` over `ranks` ranks
+    /// (context id 0, identity rank mapping).
+    pub fn new(ranks: u32) -> Self {
+        Self {
+            comms: vec![CommMeta { context_id: 0, members: (0..ranks).collect() }],
+            next_context: 1,
+        }
+    }
+
+    /// The world communicator.
+    pub fn world(&self) -> CommId {
+        CommId(0)
+    }
+
+    /// Number of ranks in `comm`.
+    pub fn size(&self, comm: CommId) -> u32 {
+        self.comms[comm.0].members.len() as u32
+    }
+
+    /// Context id of `comm`.
+    pub fn context_id(&self, comm: CommId) -> u16 {
+        self.comms[comm.0].context_id
+    }
+
+    /// World rank of `comm`-local rank `local`.
+    pub fn world_rank(&self, comm: CommId, local: u32) -> u32 {
+        self.comms[comm.0].members[local as usize]
+    }
+
+    /// `comm`-local rank of `world` rank, if a member.
+    pub fn local_rank(&self, comm: CommId, world: u32) -> Option<u32> {
+        self.comms[comm.0].members.iter().position(|&w| w == world).map(|p| p as u32)
+    }
+
+    /// Creates a communicator from an explicit member list
+    /// (`MPI_Comm_create` over a group). Members are world ranks; their
+    /// order defines the new local ranks.
+    pub fn create(&mut self, members: Vec<u32>) -> CommId {
+        assert!(!members.is_empty(), "a communicator needs at least one rank");
+        assert!(
+            self.next_context < spc_core::dynengine::PAD_CONTEXT,
+            "context ids exhausted"
+        );
+        let context_id = self.next_context;
+        self.next_context += 1;
+        self.comms.push(CommMeta { context_id, members });
+        CommId(self.comms.len() - 1)
+    }
+
+    /// Splits `comm` by color (`MPI_Comm_split` with key = old rank):
+    /// returns the new communicators sorted by color, each containing the
+    /// members with that color in old-rank order.
+    pub fn split(&mut self, comm: CommId, colors: &[u32]) -> Vec<CommId> {
+        assert_eq!(
+            colors.len(),
+            self.size(comm) as usize,
+            "one color per member of the parent communicator"
+        );
+        let mut palette: Vec<u32> = colors.to_vec();
+        palette.sort_unstable();
+        palette.dedup();
+        palette
+            .into_iter()
+            .map(|c| {
+                let members: Vec<u32> = colors
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &col)| col == c)
+                    .map(|(local, _)| self.world_rank(comm, local as u32))
+                    .collect();
+                self.create(members)
+            })
+            .collect()
+    }
+}
+
+/// Communicator-aware operations over a [`SimWorld`].
+///
+/// A thin translation layer: local ranks and the communicator's context id
+/// are resolved, then the world's plain operations run. Free functions (not
+/// `SimWorld` methods) so the borrow of the table and the world stay
+/// independent.
+pub fn post_recv(
+    world: &mut SimWorld,
+    comms: &CommTable,
+    comm: CommId,
+    local: u32,
+    src_local: i32,
+    tag: i32,
+) -> RecvOutcome {
+    let rank = comms.world_rank(comm, local);
+    let src = if src_local == ANY_SOURCE {
+        ANY_SOURCE
+    } else {
+        comms.world_rank(comm, src_local as u32) as i32
+    };
+    world.post_recv(rank, src, tag, comms.context_id(comm))
+}
+
+/// Sends within a communicator (local ranks).
+pub fn send(
+    world: &mut SimWorld,
+    comms: &CommTable,
+    comm: CommId,
+    src_local: u32,
+    dst_local: u32,
+    tag: i32,
+    bytes: u64,
+) -> ArrivalOutcome {
+    let src = comms.world_rank(comm, src_local);
+    let dst = comms.world_rank(comm, dst_local);
+    world.send(src, dst, tag, comms.context_id(comm), bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::WorldConfig;
+    use spc_core::entry::ANY_TAG;
+
+    fn world(n: u32) -> SimWorld {
+        SimWorld::new(WorldConfig::untimed(n, 5))
+    }
+
+    #[test]
+    fn world_comm_is_identity() {
+        let t = CommTable::new(8);
+        let w = t.world();
+        assert_eq!(t.size(w), 8);
+        assert_eq!(t.context_id(w), 0);
+        assert_eq!(t.world_rank(w, 5), 5);
+        assert_eq!(t.local_rank(w, 5), Some(5));
+    }
+
+    #[test]
+    fn split_partitions_and_orders_members() {
+        let mut t = CommTable::new(8);
+        // Even/odd split.
+        let colors: Vec<u32> = (0..8).map(|r| r % 2).collect();
+        let subs = t.split(t.world(), &colors);
+        assert_eq!(subs.len(), 2);
+        let even = subs[0];
+        let odd = subs[1];
+        assert_eq!(t.size(even), 4);
+        assert_eq!(t.world_rank(even, 2), 4);
+        assert_eq!(t.world_rank(odd, 0), 1);
+        assert_ne!(t.context_id(even), t.context_id(odd));
+        assert_ne!(t.context_id(even), 0);
+        assert_eq!(t.local_rank(even, 1), None, "odd world rank not in even comm");
+    }
+
+    #[test]
+    fn communicators_isolate_matching() {
+        let mut w = world(8);
+        let mut t = CommTable::new(8);
+        let subs = t.split(t.world(), &(0..8).map(|r| r % 2).collect::<Vec<_>>());
+        let (even, _odd) = (subs[0], subs[1]);
+
+        // World rank 2 (= even-local 1) posts a fully wild receive on the
+        // even communicator.
+        post_recv(&mut w, &t, even, 1, ANY_SOURCE, ANY_TAG);
+        // A message on the odd communicator to the same *world* rank can't
+        // exist (rank 2 is not a member) — but a world-comm message to rank
+        // 2 must not match the even-comm receive either.
+        let out = w.send(0, 2, 7, 0, 64);
+        assert!(
+            matches!(out, ArrivalOutcome::Queued),
+            "world-context message must not match an even-comm wildcard"
+        );
+        // The matching even-comm message does.
+        let out = send(&mut w, &t, even, 0, 1, 7, 64);
+        assert!(matches!(out, ArrivalOutcome::MatchedPosted { .. }));
+    }
+
+    #[test]
+    fn rank_translation_routes_to_the_right_process() {
+        let mut w = world(6);
+        let mut t = CommTable::new(6);
+        // Sub-communicator of world ranks {5, 3, 1} in that order.
+        let sub = t.create(vec![5, 3, 1]);
+        // sub-local 2 (= world 1) posts from sub-local 0 (= world 5).
+        post_recv(&mut w, &t, sub, 2, 0, 9);
+        assert_eq!(w.prq_len(1), 1, "posted on world rank 1's engine");
+        let out = send(&mut w, &t, sub, 0, 2, 9, 8);
+        assert!(matches!(out, ArrivalOutcome::MatchedPosted { .. }));
+        assert_eq!(w.prq_len(1), 0);
+    }
+
+    #[test]
+    fn context_ids_are_unique_and_bounded() {
+        let mut t = CommTable::new(4);
+        let mut seen = std::collections::HashSet::new();
+        seen.insert(0u16);
+        for _ in 0..100 {
+            let c = t.create(vec![0, 1]);
+            assert!(seen.insert(t.context_id(c)), "context id reused");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one color per member")]
+    fn split_requires_full_coloring() {
+        let mut t = CommTable::new(4);
+        t.split(t.world(), &[0, 1]);
+    }
+}

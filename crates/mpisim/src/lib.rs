@@ -1,0 +1,26 @@
+//! # spc-mpisim — deterministic rank-level MPI simulator
+//!
+//! Simulates a job of MPI ranks, each owning a *real* [`spc_core`] matching
+//! engine, with per-rank clocks advanced by a calibrated cost model:
+//!
+//! * matching costs come from [`spc_cachesim::CostModel`] (the cache
+//!   simulator, memoized per search depth);
+//! * transfer and collective costs come from [`spc_simnet::NetProfile`];
+//! * compute phases are charged explicitly by the workload.
+//!
+//! The programming model is bulk-synchronous and caller-driven: workloads
+//! (motifs in `spc-motifs`, proxy apps in `spc-miniapps`) issue
+//! `post_recv`/`send`/`compute` operations in a deterministic order and
+//! close phases with `barrier`/`allreduce`. Queue-length tracing (Figure 1)
+//! samples both queues at every addition and deletion, exactly as the
+//! paper's SST instrumentation does.
+
+#![warn(missing_docs)]
+
+pub mod comm;
+pub mod trace;
+pub mod world;
+
+pub use comm::{CommId, CommTable};
+pub use trace::{QueueTrace, TraceConfig};
+pub use world::{Completion, Request, SimWorld, WorldConfig, WorldStats};

@@ -1,0 +1,89 @@
+//! Queue-length tracing (the paper's SST instrumentation, Figure 1).
+
+use spc_core::stats::Histogram;
+
+/// Bucket widths for the two queue histograms. The paper uses width 20 for
+/// AMR, 10 for Sweep3D and 5 for Halo3D.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Posted-receive-queue histogram bucket width.
+    pub posted_width: u64,
+    /// Unexpected-message-queue histogram bucket width.
+    pub unexpected_width: u64,
+}
+
+impl TraceConfig {
+    /// Same width for both queues.
+    pub fn uniform(width: u64) -> Self {
+        Self { posted_width: width, unexpected_width: width }
+    }
+}
+
+/// Accumulated queue-length samples: one sample per queue per addition or
+/// deletion, "such that all list additions and deletions are captured".
+#[derive(Clone, Debug)]
+pub struct QueueTrace {
+    /// PRQ length distribution.
+    pub posted: Histogram,
+    /// UMQ length distribution.
+    pub unexpected: Histogram,
+}
+
+impl QueueTrace {
+    /// Creates empty histograms with the configured widths.
+    pub fn new(cfg: TraceConfig) -> Self {
+        Self {
+            posted: Histogram::new(cfg.posted_width),
+            unexpected: Histogram::new(cfg.unexpected_width),
+        }
+    }
+
+    /// Records a PRQ mutation that left the queue at `len`.
+    #[inline]
+    pub fn sample_posted(&mut self, len: usize) {
+        self.posted.record(len as u64);
+    }
+
+    /// Records a UMQ mutation that left the queue at `len`.
+    #[inline]
+    pub fn sample_unexpected(&mut self, len: usize) {
+        self.unexpected.record(len as u64);
+    }
+
+    /// Merges another trace (same widths) into this one.
+    pub fn merge(&mut self, other: &QueueTrace) {
+        self.posted.merge(&other.posted);
+        self.unexpected.merge(&other.unexpected);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_land_in_buckets() {
+        let mut t = QueueTrace::new(TraceConfig::uniform(5));
+        t.sample_posted(0);
+        t.sample_posted(4);
+        t.sample_posted(5);
+        t.sample_unexpected(12);
+        assert_eq!(t.posted.count_for(0), 2);
+        assert_eq!(t.posted.count_for(5), 1);
+        assert_eq!(t.unexpected.count_for(12), 1);
+        assert_eq!(t.posted.total(), 3);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let cfg = TraceConfig { posted_width: 20, unexpected_width: 10 };
+        let mut a = QueueTrace::new(cfg);
+        let mut b = QueueTrace::new(cfg);
+        a.sample_posted(100);
+        b.sample_posted(100);
+        b.sample_unexpected(3);
+        a.merge(&b);
+        assert_eq!(a.posted.count_for(100), 2);
+        assert_eq!(a.unexpected.total(), 1);
+    }
+}

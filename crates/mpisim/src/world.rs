@@ -1,0 +1,508 @@
+//! The simulated world: ranks, clocks, and the BSP operation set.
+
+use spc_cachesim::{ArchProfile, CostModel, LocalityConfig};
+use spc_core::dynengine::{DynEngine, EngineKind};
+use spc_core::engine::{ArrivalOutcome, RecvOutcome};
+use spc_core::entry::{Envelope, RecvSpec};
+use spc_core::stats::EngineStats;
+use spc_simnet::NetProfile;
+
+use crate::trace::{QueueTrace, TraceConfig};
+
+/// Handle to a pending nonblocking receive (`MPI_Irecv` analogue).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Request {
+    rank: u32,
+    id: u64,
+}
+
+/// What a completed receive delivered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Completion {
+    /// Source rank of the matched message.
+    pub source: u32,
+    /// Tag of the matched message.
+    pub tag: i32,
+    /// Payload handle carried by the message.
+    pub payload: u64,
+}
+
+/// World construction parameters.
+#[derive(Clone, Debug)]
+pub struct WorldConfig {
+    /// Number of ranks.
+    pub ranks: u32,
+    /// Queue structure per rank.
+    pub engine: EngineKind,
+    /// Price matching with this locality configuration on this
+    /// architecture; `None` runs untimed (pure queue-behaviour studies like
+    /// Figure 1, where only lengths matter).
+    pub timing: Option<(ArchProfile, LocalityConfig)>,
+    /// Network model.
+    pub net: NetProfile,
+    /// Queue-length tracing configuration, if wanted.
+    pub trace: Option<TraceConfig>,
+}
+
+impl WorldConfig {
+    /// Untimed world for queue-length studies.
+    pub fn untimed(ranks: u32, trace_width: u64) -> Self {
+        Self {
+            ranks,
+            engine: EngineKind::Baseline,
+            timing: None,
+            net: NetProfile::test_net(),
+            trace: Some(TraceConfig::uniform(trace_width)),
+        }
+    }
+
+    /// Timed world with the given locality configuration.
+    pub fn timed(
+        ranks: u32,
+        engine: EngineKind,
+        arch: ArchProfile,
+        locality: LocalityConfig,
+        net: NetProfile,
+    ) -> Self {
+        Self { ranks, engine, timing: Some((arch, locality)), net, trace: None }
+    }
+}
+
+struct Rank {
+    engine: DynEngine,
+    clock_ns: f64,
+    /// Bytes received since the last barrier (drained into the clock then).
+    phase_bytes_in: u64,
+    msgs_sent: u64,
+    msgs_received: u64,
+}
+
+/// Aggregated post-run statistics.
+#[derive(Clone, Debug, Default)]
+pub struct WorldStats {
+    /// Merged matching-engine statistics across ranks.
+    pub engine: EngineStats,
+    /// Total messages sent.
+    pub msgs_sent: u64,
+    /// Simulated wall time (max rank clock), nanoseconds.
+    pub elapsed_ns: f64,
+}
+
+/// A deterministic BSP world of MPI ranks.
+pub struct SimWorld {
+    cfg: WorldConfig,
+    ranks: Vec<Rank>,
+    cost: Option<CostModel>,
+    trace: Option<QueueTrace>,
+    next_payload: u64,
+    /// Completions of nonblocking receives, keyed by request id.
+    completions: std::collections::HashMap<u64, Completion>,
+    /// Optional per-rank operation recording (trace-based methodology).
+    recording: Option<(u32, spc_core::replay::MatchTrace)>,
+}
+
+impl SimWorld {
+    /// Builds the world; engines are empty, clocks at zero.
+    pub fn new(cfg: WorldConfig) -> Self {
+        let ranks = (0..cfg.ranks)
+            .map(|_| Rank {
+                engine: DynEngine::new(cfg.engine),
+                clock_ns: 0.0,
+                phase_bytes_in: 0,
+                msgs_sent: 0,
+                msgs_received: 0,
+            })
+            .collect();
+        let cost = cfg.timing.map(|(arch, loc)| CostModel::new(arch, loc));
+        let trace = cfg.trace.map(QueueTrace::new);
+        Self {
+            cfg,
+            ranks,
+            cost,
+            trace,
+            next_payload: 0,
+            completions: std::collections::HashMap::new(),
+            recording: None,
+        }
+    }
+
+    /// Starts recording rank `rank`'s matching operations into a
+    /// [`spc_core::replay::MatchTrace`] (retrieve it with
+    /// [`SimWorld::recorded_trace`]). Recording one representative rank of
+    /// a motif turns it into an offline matching benchmark.
+    pub fn record_rank(&mut self, rank: u32) {
+        self.recording = Some((rank, spc_core::replay::MatchTrace::new()));
+    }
+
+    /// The trace recorded so far, if recording was enabled.
+    pub fn recorded_trace(&self) -> Option<&spc_core::replay::MatchTrace> {
+        self.recording.as_ref().map(|(_, t)| t)
+    }
+
+    /// Number of ranks.
+    pub fn nranks(&self) -> u32 {
+        self.cfg.ranks
+    }
+
+    /// Posts a receive on `rank` for (`src`, `tag`, `ctx`); returns the
+    /// engine outcome.
+    pub fn post_recv(&mut self, rank: u32, src: i32, tag: i32, ctx: u16) -> RecvOutcome {
+        self.irecv(rank, src, tag, ctx);
+        // The request id the irecv used is `next_payload - 1`; reconstruct
+        // the outcome for callers that only need it coarsely.
+        let id = self.next_payload - 1;
+        if let Some(c) = self.completions.get(&id) {
+            RecvOutcome::MatchedUnexpected { payload: c.payload, depth: 0 }
+        } else {
+            RecvOutcome::Posted
+        }
+    }
+
+    /// Nonblocking receive: posts and returns a [`Request`] that completes
+    /// when a matching send is issued (`MPI_Irecv`).
+    pub fn irecv(&mut self, rank: u32, src: i32, tag: i32, ctx: u16) -> Request {
+        let id = self.next_payload;
+        if let Some((rec, trace)) = &mut self.recording {
+            if *rec == rank {
+                trace.post(RecvSpec::new(src, tag, ctx), id);
+            }
+        }
+        let r = &mut self.ranks[rank as usize];
+        let out = r.engine.post_recv(RecvSpec::new(src, tag, ctx), id);
+        self.next_payload += 1;
+        match out {
+            RecvOutcome::Posted => {
+                if let Some(c) = &mut self.cost {
+                    r.clock_ns += c.append_ns();
+                }
+                if let Some(t) = &mut self.trace {
+                    t.sample_posted(r.engine.prq_len());
+                }
+            }
+            RecvOutcome::MatchedUnexpected { depth, payload } => {
+                if let Some(c) = &mut self.cost {
+                    r.clock_ns += c.arrival_ns(depth);
+                }
+                if let Some(t) = &mut self.trace {
+                    t.sample_unexpected(r.engine.umq_len());
+                }
+                // The message had already arrived: complete immediately.
+                // Source/tag details live with the sender; for unexpected
+                // completions the payload identifies the message.
+                self.completions.insert(
+                    id,
+                    Completion { source: u32::MAX, tag: -1, payload },
+                );
+            }
+        }
+        Request { rank, id }
+    }
+
+    /// Nonblocking completion check (`MPI_Test`): `Some` once the matching
+    /// send has been issued.
+    pub fn test(&mut self, req: Request) -> Option<Completion> {
+        self.completions.get(&req.id).copied()
+    }
+
+    /// Completion wait (`MPI_Wait`). The world is deterministic and
+    /// caller-driven, so an incomplete request cannot complete "later" by
+    /// itself — waiting on one is a deadlock, reported by panic exactly the
+    /// way a hung `MPI_Wait` would be. Requests must be waited before the
+    /// phase's [`SimWorld::barrier`], which releases completion records.
+    pub fn wait(&mut self, req: Request) -> Completion {
+        self.test(req).unwrap_or_else(|| {
+            panic!(
+                "MPI_Wait deadlock: request {} on rank {} has no matching send",
+                req.id, req.rank
+            )
+        })
+    }
+
+    /// Waits on many requests (`MPI_Waitall`).
+    pub fn waitall(&mut self, reqs: &[Request]) -> Vec<Completion> {
+        reqs.iter().map(|&r| self.wait(r)).collect()
+    }
+
+    /// Sends `bytes` from `src` to `dst` with (`tag`, `ctx`). Delivery is
+    /// immediate (BSP phases pre-post receives; unexpected arrivals queue).
+    pub fn send(&mut self, src: u32, dst: u32, tag: i32, ctx: u16, bytes: u64) -> ArrivalOutcome {
+        let payload = self.next_payload;
+        self.next_payload += 1;
+        if let Some((rec, trace)) = &mut self.recording {
+            if *rec == dst {
+                trace.arrival(Envelope::new(src as i32, tag, ctx), payload);
+            }
+        }
+        {
+            let s = &mut self.ranks[src as usize];
+            s.msgs_sent += 1;
+            s.clock_ns += self.cfg.net.send_overhead_ns;
+        }
+        let d = &mut self.ranks[dst as usize];
+        d.msgs_received += 1;
+        d.phase_bytes_in += bytes;
+        let out = d.engine.arrival(Envelope::new(src as i32, tag, ctx), payload);
+        match out {
+            ArrivalOutcome::MatchedPosted { depth, request } => {
+                self.completions.insert(request, Completion { source: src, tag, payload });
+                d.clock_ns += self.cfg.net.recv_overhead_ns;
+                if let Some(c) = &mut self.cost {
+                    d.clock_ns += c.arrival_ns(depth);
+                }
+                if let Some(t) = &mut self.trace {
+                    t.sample_posted(d.engine.prq_len());
+                }
+            }
+            ArrivalOutcome::Queued => {
+                d.clock_ns += self.cfg.net.recv_overhead_ns;
+                if let Some(c) = &mut self.cost {
+                    // The miss walked the whole PRQ, then appended.
+                    let depth = d.engine.prq_len() as u32;
+                    d.clock_ns += c.cold_search_ns(depth) + c.append_ns();
+                }
+                if let Some(t) = &mut self.trace {
+                    t.sample_unexpected(d.engine.umq_len());
+                }
+            }
+        }
+        out
+    }
+
+    /// Charges `ns` of computation to `rank`.
+    pub fn compute(&mut self, rank: u32, ns: f64) {
+        self.ranks[rank as usize].clock_ns += ns;
+    }
+
+    /// Charges `ns` of computation to every rank.
+    pub fn compute_all(&mut self, ns: f64) {
+        for r in &mut self.ranks {
+            r.clock_ns += ns;
+        }
+    }
+
+    /// Closes a communication phase: drains per-rank wire time, then
+    /// synchronizes all clocks to the maximum plus the barrier cost.
+    ///
+    /// Completion records are released here: in this BSP world a request
+    /// must be waited within its phase (as the proxies do), which keeps the
+    /// completion table bounded at 256 Ki-rank motif scales.
+    pub fn barrier(&mut self) {
+        self.completions.clear();
+        let mut max = 0.0f64;
+        for r in &mut self.ranks {
+            r.clock_ns += self.cfg.net.wire_ns(r.phase_bytes_in)
+                + if r.phase_bytes_in > 0 { self.cfg.net.latency_ns } else { 0.0 };
+            r.phase_bytes_in = 0;
+            max = max.max(r.clock_ns);
+        }
+        let after = max + self.cfg.net.barrier_ns(self.cfg.ranks);
+        for r in &mut self.ranks {
+            r.clock_ns = after;
+        }
+    }
+
+    /// Allreduce of `bytes` per rank: synchronizes to max plus the
+    /// log-tree collective cost.
+    pub fn allreduce(&mut self, bytes: u64) {
+        let max = self.ranks.iter().map(|r| r.clock_ns).fold(0.0, f64::max);
+        let after = max + self.cfg.net.tree_collective_ns(self.cfg.ranks, bytes);
+        for r in &mut self.ranks {
+            r.clock_ns = after;
+        }
+    }
+
+    /// Pre-loads every rank's PRQ with `n` unmatched entries (§4.1 padding).
+    pub fn pad_all(&mut self, n: usize) {
+        for r in &mut self.ranks {
+            r.engine.pad_prq(n);
+        }
+    }
+
+    /// Simulated wall time so far (max rank clock), nanoseconds.
+    pub fn elapsed_ns(&self) -> f64 {
+        self.ranks.iter().map(|r| r.clock_ns).fold(0.0, f64::max)
+    }
+
+    /// Current PRQ length of `rank`.
+    pub fn prq_len(&self, rank: u32) -> usize {
+        self.ranks[rank as usize].engine.prq_len()
+    }
+
+    /// Current UMQ length of `rank`.
+    pub fn umq_len(&self, rank: u32) -> usize {
+        self.ranks[rank as usize].engine.umq_len()
+    }
+
+    /// The queue trace, if tracing was enabled.
+    pub fn trace(&self) -> Option<&QueueTrace> {
+        self.trace.as_ref()
+    }
+
+    /// Merged statistics.
+    pub fn stats(&self) -> WorldStats {
+        let mut engine = EngineStats::new();
+        let mut msgs_sent = 0;
+        for r in &self.ranks {
+            engine.merge(r.engine.stats());
+            msgs_sent += r.msgs_sent;
+        }
+        WorldStats { engine, msgs_sent, elapsed_ns: self.elapsed_ns() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_timed(engine: EngineKind, loc: LocalityConfig) -> SimWorld {
+        SimWorld::new(WorldConfig::timed(
+            4,
+            engine,
+            ArchProfile::test_tiny(),
+            loc,
+            NetProfile::test_net(),
+        ))
+    }
+
+    #[test]
+    fn preposted_receive_matches_on_send() {
+        let mut w = tiny_timed(EngineKind::Baseline, LocalityConfig::baseline());
+        w.post_recv(1, 0, 5, 0);
+        let out = w.send(0, 1, 5, 0, 64);
+        assert!(matches!(out, ArrivalOutcome::MatchedPosted { .. }));
+        assert_eq!(w.prq_len(1), 0);
+        let s = w.stats();
+        assert_eq!(s.msgs_sent, 1);
+        assert_eq!(s.engine.prq_hits, 1);
+        assert!(s.elapsed_ns > 0.0);
+    }
+
+    #[test]
+    fn unexpected_send_then_recv() {
+        let mut w = tiny_timed(EngineKind::Lla { arity: 2 }, LocalityConfig::lla(2));
+        let out = w.send(2, 3, 9, 0, 8);
+        assert!(matches!(out, ArrivalOutcome::Queued));
+        assert_eq!(w.umq_len(3), 1);
+        let out = w.post_recv(3, 2, 9, 0);
+        assert!(matches!(out, RecvOutcome::MatchedUnexpected { .. }));
+        assert_eq!(w.umq_len(3), 0);
+    }
+
+    #[test]
+    fn barrier_synchronizes_clocks() {
+        let mut w = tiny_timed(EngineKind::Baseline, LocalityConfig::baseline());
+        w.compute(0, 10_000.0);
+        w.compute(1, 500.0);
+        w.barrier();
+        let t = w.elapsed_ns();
+        assert!(t >= 10_000.0);
+        // All ranks share the post-barrier clock: another compute on the
+        // fast rank advances global time from the barrier point.
+        w.compute(1, 1.0);
+        assert!(w.elapsed_ns() >= t + 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn deeper_queues_cost_more_time() {
+        let run = |pad: usize| {
+            let mut w = tiny_timed(EngineKind::Baseline, LocalityConfig::baseline());
+            w.pad_all(pad);
+            for _ in 0..32 {
+                w.post_recv(1, 0, 7, 0);
+                w.send(0, 1, 7, 0, 8);
+            }
+            w.elapsed_ns()
+        };
+        let shallow = run(0);
+        let deep = run(512);
+        assert!(deep > 2.0 * shallow, "pad 512: {deep} vs pad 0: {shallow}");
+    }
+
+    #[test]
+    fn lla_world_is_faster_than_baseline_world_at_depth() {
+        let run = |engine, loc| {
+            let mut w = tiny_timed(engine, loc);
+            w.pad_all(256);
+            for _ in 0..16 {
+                w.post_recv(1, 0, 7, 0);
+                w.send(0, 1, 7, 0, 8);
+            }
+            w.elapsed_ns()
+        };
+        let base = run(EngineKind::Baseline, LocalityConfig::baseline());
+        let lla = run(EngineKind::Lla { arity: 8 }, LocalityConfig::lla(8));
+        assert!(lla < base, "LLA {lla} should beat baseline {base}");
+    }
+
+    #[test]
+    fn tracing_captures_additions_and_deletions() {
+        let mut w = SimWorld::new(WorldConfig::untimed(2, 5));
+        w.post_recv(1, 0, 1, 0); // PRQ 0→1
+        w.post_recv(1, 0, 2, 0); // PRQ 1→2
+        w.send(0, 1, 1, 0, 8); // PRQ 2→1
+        w.send(0, 1, 9, 0, 8); // UMQ 0→1
+        let t = w.trace().unwrap();
+        assert_eq!(t.posted.total(), 3);
+        assert_eq!(t.unexpected.total(), 1);
+    }
+
+    #[test]
+    fn irecv_test_wait_roundtrip() {
+        let mut w = tiny_timed(EngineKind::Baseline, LocalityConfig::baseline());
+        let req = w.irecv(1, 0, 5, 0);
+        assert_eq!(w.test(req), None, "nothing sent yet");
+        w.send(0, 1, 5, 0, 64);
+        let c = w.wait(req);
+        assert_eq!(c.source, 0);
+        assert_eq!(c.tag, 5);
+    }
+
+    #[test]
+    fn irecv_completes_immediately_on_unexpected() {
+        let mut w = tiny_timed(EngineKind::Baseline, LocalityConfig::baseline());
+        w.send(2, 1, 9, 0, 8); // arrives unexpected at rank 1
+        let req = w.irecv(1, 2, 9, 0);
+        assert!(w.test(req).is_some(), "message was already buffered");
+    }
+
+    #[test]
+    fn waitall_collects_in_request_order() {
+        let mut w = tiny_timed(EngineKind::Lla { arity: 2 }, LocalityConfig::lla(2));
+        let reqs: Vec<_> = (0..4).map(|t| w.irecv(1, 0, t, 0)).collect();
+        for t in (0..4).rev() {
+            w.send(0, 1, t, 0, 8);
+        }
+        let cs = w.waitall(&reqs);
+        assert_eq!(cs.iter().map(|c| c.tag).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "MPI_Wait deadlock")]
+    fn wait_without_sender_panics() {
+        let mut w = tiny_timed(EngineKind::Baseline, LocalityConfig::baseline());
+        let req = w.irecv(0, 1, 1, 0);
+        w.wait(req);
+    }
+
+    #[test]
+    fn barrier_releases_completions() {
+        let mut w = tiny_timed(EngineKind::Baseline, LocalityConfig::baseline());
+        let req = w.irecv(1, 0, 5, 0);
+        w.send(0, 1, 5, 0, 8);
+        w.barrier();
+        assert_eq!(w.test(req), None, "completion records end with the phase");
+    }
+
+    #[test]
+    fn allreduce_moves_all_clocks_together() {
+        let mut w = tiny_timed(EngineKind::Baseline, LocalityConfig::baseline());
+        w.compute(2, 5_000.0);
+        w.allreduce(8);
+        let t = w.elapsed_ns();
+        assert!(t > 5_000.0);
+        for r in 0..4 {
+            w.compute(r, 0.0);
+        }
+        assert_eq!(w.elapsed_ns(), t);
+    }
+}

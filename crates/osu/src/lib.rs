@@ -1,0 +1,21 @@
+//! # spc-osu — the modified OSU microbenchmarks (§4.1)
+//!
+//! Reimplements the paper's modified `osu_bw`/`osu_latency` semantics:
+//!
+//! 1. an MPI barrier guarantees receives are **pre-posted** (fast path);
+//! 2. the cache is **cleared between iterations**, emulating a computation
+//!    phase in a bulk-synchronous application;
+//! 3. the master thread is pinned (here: the one simulated compute core);
+//! 4. **unmatched entries pad the queue** to the configured search length.
+//!
+//! The receiver's matching work runs as real `spc-core` engine operations
+//! over the `spc-cachesim` hierarchy; transfer time comes from
+//! `spc-simnet`. The result is the bandwidth/latency surface of
+//! Figures 4–7: locality configurations separate at small messages and
+//! deep queues, and converge once the wire saturates.
+
+#![warn(missing_docs)]
+
+pub mod bw;
+
+pub use bw::{bandwidth_mibps, latency_us, window_recv_costs, OsuConfig};

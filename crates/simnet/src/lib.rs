@@ -1,0 +1,187 @@
+//! # spc-simnet — LogGP-style network timing model
+//!
+//! The paper's three clusters are modelled as LogGP parameter sets:
+//! wire latency `L`, send/receive CPU overheads `o`, and long-message
+//! bandwidth `1/G`. This captures exactly the behaviour the paper's
+//! bandwidth figures show — small-message rates are CPU-bound (so matching
+//! cost dominates and locality matters), large messages saturate the wire
+//! (so "the network's data transfer speed becomes the bottleneck" and all
+//! configurations converge).
+//!
+//! Bandwidth plateaus are calibrated to the paper's measured large-message
+//! plateaus rather than the links' marketing numbers (a single rank does not
+//! saturate a QDR link through MVAPICH).
+
+#![warn(missing_docs)]
+
+/// One interconnect + software-stack profile.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NetProfile {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// One-way wire/switch latency in nanoseconds (`L`).
+    pub latency_ns: f64,
+    /// Sender CPU overhead per message in nanoseconds (`o_s`).
+    pub send_overhead_ns: f64,
+    /// Receiver CPU overhead per message in nanoseconds (`o_r`), excluding
+    /// matching (that is what `spc-core`/`spc-cachesim` price).
+    pub recv_overhead_ns: f64,
+    /// Large-message streaming bandwidth in bytes per nanosecond (`1/G`).
+    pub bandwidth_bpns: f64,
+}
+
+impl NetProfile {
+    /// QLogic InfiniBand QDR — the Sandy Bridge system's fabric.
+    pub fn qlogic_qdr() -> Self {
+        Self {
+            name: "QLogic-QDR",
+            latency_ns: 1_300.0,
+            send_overhead_ns: 250.0,
+            recv_overhead_ns: 250.0,
+            // Paper Fig. 4a plateau: ~3.3 GiB/s observed.
+            bandwidth_bpns: 3.46,
+        }
+    }
+
+    /// Intel OmniPath — the Broadwell system's fabric.
+    pub fn omnipath() -> Self {
+        Self {
+            name: "OmniPath",
+            latency_ns: 1_000.0,
+            send_overhead_ns: 300.0,
+            recv_overhead_ns: 300.0,
+            // Paper Fig. 5a plateau: ~3.0 GiB/s observed.
+            bandwidth_bpns: 3.15,
+        }
+    }
+
+    /// Mellanox QDR — the Nehalem cluster's fabric.
+    pub fn mellanox_qdr() -> Self {
+        Self {
+            name: "Mellanox-QDR",
+            latency_ns: 1_500.0,
+            send_overhead_ns: 300.0,
+            recv_overhead_ns: 300.0,
+            bandwidth_bpns: 3.2,
+        }
+    }
+
+    /// Fast, readable parameters for unit tests.
+    pub fn test_net() -> Self {
+        Self {
+            name: "TestNet",
+            latency_ns: 100.0,
+            send_overhead_ns: 10.0,
+            recv_overhead_ns: 10.0,
+            bandwidth_bpns: 1.0,
+        }
+    }
+
+    /// Pure wire (serialization) time for `bytes`.
+    pub fn wire_ns(&self, bytes: u64) -> f64 {
+        bytes as f64 / self.bandwidth_bpns
+    }
+
+    /// End-to-end time of one isolated message of `bytes`, excluding
+    /// receiver-side matching.
+    pub fn msg_ns(&self, bytes: u64) -> f64 {
+        self.latency_ns + self.send_overhead_ns + self.recv_overhead_ns + self.wire_ns(bytes)
+    }
+
+    /// Time for a *pipelined window* of `n` messages of `bytes` each, where
+    /// the receiver additionally spends `recv_cpu_ns` of CPU per message
+    /// (matching + completion). The window is limited by whichever resource
+    /// saturates: sender CPU, wire, or receiver CPU.
+    pub fn window_ns(&self, n: u64, bytes: u64, recv_cpu_ns: f64) -> f64 {
+        let n = n as f64;
+        let sender = n * self.send_overhead_ns;
+        let wire = n * self.wire_ns(bytes);
+        let receiver = n * (self.recv_overhead_ns + recv_cpu_ns);
+        self.latency_ns + sender.max(wire).max(receiver)
+    }
+
+    /// Log-tree collective cost for `ranks` participants moving `bytes`
+    /// per stage (allreduce, broadcast...).
+    pub fn tree_collective_ns(&self, ranks: u32, bytes: u64) -> f64 {
+        if ranks <= 1 {
+            return 0.0;
+        }
+        let stages = 32 - (ranks - 1).leading_zeros();
+        stages as f64 * self.msg_ns(bytes)
+    }
+
+    /// Barrier: a tree collective carrying no payload.
+    pub fn barrier_ns(&self, ranks: u32) -> f64 {
+        self.tree_collective_ns(ranks, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_time_scales_linearly() {
+        let n = NetProfile::test_net();
+        assert_eq!(n.wire_ns(0), 0.0);
+        assert_eq!(n.wire_ns(1000), 1000.0);
+        assert_eq!(n.msg_ns(1000), 100.0 + 10.0 + 10.0 + 1000.0);
+    }
+
+    #[test]
+    fn window_is_bound_by_the_slowest_resource() {
+        let n = NetProfile::test_net();
+        // Tiny messages, expensive receiver: receiver-bound.
+        let t = n.window_ns(10, 1, 1000.0);
+        assert_eq!(t, 100.0 + 10.0 * (10.0 + 1000.0));
+        // Large messages, cheap receiver: wire-bound.
+        let t = n.window_ns(10, 10_000, 0.0);
+        assert_eq!(t, 100.0 + 10.0 * 10_000.0);
+    }
+
+    #[test]
+    fn large_message_bandwidth_hits_the_plateau() {
+        // Effective bandwidth of a 1 MiB window transfer approaches the
+        // configured plateau — the paper's converged large-message regime.
+        let n = NetProfile::qlogic_qdr();
+        let bytes = 1u64 << 20;
+        let t = n.window_ns(64, bytes, 500.0);
+        let bw_bpns = (64 * bytes) as f64 / t;
+        assert!((bw_bpns / n.bandwidth_bpns) > 0.95, "got {bw_bpns} vs {}", n.bandwidth_bpns);
+    }
+
+    #[test]
+    fn small_message_rate_is_cpu_bound() {
+        // With a heavy matching cost, message rate is set by the receiver,
+        // so halving match cost nearly doubles bandwidth — the locality
+        // effect the paper measures.
+        let n = NetProfile::qlogic_qdr();
+        let slow = n.window_ns(64, 1, 20_000.0);
+        let fast = n.window_ns(64, 1, 10_000.0);
+        let ratio = slow / fast;
+        assert!(ratio > 1.8 && ratio < 2.1, "ratio {ratio}");
+    }
+
+    #[test]
+    fn collectives_grow_logarithmically() {
+        let n = NetProfile::test_net();
+        let b2 = n.barrier_ns(2);
+        let b1024 = n.barrier_ns(1024);
+        assert!((b1024 / b2 - 10.0).abs() < 1e-9, "log2(1024)=10 stages");
+        assert_eq!(n.barrier_ns(1), 0.0);
+        // Non-power-of-two rounds up.
+        assert_eq!(n.barrier_ns(1025), 11.0 * n.msg_ns(0));
+    }
+
+    #[test]
+    fn profiles_are_distinct_and_sane() {
+        for p in [
+            NetProfile::qlogic_qdr(),
+            NetProfile::omnipath(),
+            NetProfile::mellanox_qdr(),
+        ] {
+            assert!(p.latency_ns > 0.0 && p.bandwidth_bpns > 0.0, "{}", p.name);
+            assert!(p.msg_ns(1) > p.wire_ns(1));
+        }
+    }
+}

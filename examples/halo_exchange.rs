@@ -1,0 +1,100 @@
+//! Halo exchange on the rank simulator: the workload from the paper's
+//! motivation study (§2.3, Figure 1c), at laptop scale.
+//!
+//! Runs a 3-D halo exchange over 512 simulated ranks twice — once with
+//! baseline queues, once with linked-list-of-arrays queues — and compares
+//! simulated execution times and queue statistics.
+//!
+//! Run with: `cargo run --release --example halo_exchange`
+
+use semiperm::cachesim::{ArchProfile, LocalityConfig};
+use semiperm::core::dynengine::EngineKind;
+use semiperm::motifs::halo3d::{run, Halo3dParams, HaloStencil};
+use semiperm::mpisim::{SimWorld, WorldConfig};
+use semiperm::simnet::NetProfile;
+
+fn timed_exchange(engine: EngineKind, locality: LocalityConfig) -> f64 {
+    // An 8x8x8 grid with 6-neighbour exchange and pre-padded queues (a
+    // finer-grained-messaging future, per the paper's motivation).
+    let mut world = SimWorld::new(WorldConfig::timed(
+        512,
+        engine,
+        ArchProfile::broadwell(),
+        locality,
+        NetProfile::omnipath(),
+    ));
+    world.pad_all(256);
+    let dims = [8i64, 8, 8];
+    let rank_of = |x: i64, y: i64, z: i64| -> Option<u32> {
+        if x < 0 || y < 0 || z < 0 || x >= dims[0] || y >= dims[1] || z >= dims[2] {
+            None
+        } else {
+            Some(((z * dims[1] + y) * dims[0] + x) as u32)
+        }
+    };
+    for _iter in 0..4 {
+        for z in 0..dims[2] {
+            for y in 0..dims[1] {
+                for x in 0..dims[0] {
+                    let me = rank_of(x, y, z).expect("in grid");
+                    for (d, (dx, dy, dz)) in
+                        [(1, 0, 0), (-1, 0, 0), (0, 1, 0), (0, -1, 0), (0, 0, 1), (0, 0, -1)]
+                            .into_iter()
+                            .enumerate()
+                    {
+                        if let Some(src) = rank_of(x - dx, y - dy, z - dz) {
+                            world.post_recv(me, src as i32, d as i32, 0);
+                        }
+                    }
+                }
+            }
+        }
+        for z in 0..dims[2] {
+            for y in 0..dims[1] {
+                for x in 0..dims[0] {
+                    let me = rank_of(x, y, z).expect("in grid");
+                    for (d, (dx, dy, dz)) in
+                        [(1, 0, 0), (-1, 0, 0), (0, 1, 0), (0, -1, 0), (0, 0, 1), (0, 0, -1)]
+                            .into_iter()
+                            .enumerate()
+                    {
+                        if let Some(dst) = rank_of(x + dx, y + dy, z + dz) {
+                            world.send(me, dst, d as i32, 0, 8192);
+                        }
+                    }
+                }
+            }
+        }
+        world.compute_all(1_000_000.0);
+        world.barrier();
+    }
+    let stats = world.stats();
+    println!(
+        "  {:>9}: {:>8.3} ms simulated, {} messages, mean PRQ search depth {:.1}",
+        locality.label(),
+        stats.elapsed_ns / 1e6,
+        stats.msgs_sent,
+        stats.engine.prq_search.mean()
+    );
+    stats.elapsed_ns
+}
+
+fn main() {
+    println!("halo exchange, 512 ranks, PRQ padded to 256 entries:");
+    let base = timed_exchange(EngineKind::Baseline, LocalityConfig::baseline());
+    let lla = timed_exchange(EngineKind::Lla { arity: 8 }, LocalityConfig::lla(8));
+    println!("  speedup from spacial locality: {:.2}x", base / lla);
+
+    println!("\nqueue-length trace of the untimed motif (Figure 1c shape):");
+    let trace = run(Halo3dParams {
+        grid: [8, 8, 8],
+        stencil: HaloStencil::Faces6,
+        iterations: 2,
+        ..Halo3dParams::small()
+    });
+    for (lo, hi, c) in trace.posted.buckets() {
+        if c > 0 {
+            println!("  PRQ length {lo:>3}-{hi:<3}: {c} samples");
+        }
+    }
+}

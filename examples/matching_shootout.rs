@@ -1,0 +1,70 @@
+//! Matching-structure shootout: every implementation in the library on one
+//! adversarial workload, comparing search depths, distinct cache lines
+//! touched, and memory footprints.
+//!
+//! This is the "tools to assess existing schemes" use the paper proposes:
+//! the structures are behaviourally interchangeable (property-tested), so
+//! the differences below are pure locality and algorithmics.
+//!
+//! Run with: `cargo run --release --example matching_shootout`
+
+use semiperm::core::entry::{Envelope, PostedEntry, RecvSpec};
+use semiperm::core::list::{BaselineList, HashBins, Lla, MatchList, RankTrie, SourceBins};
+use semiperm::core::CountingSink;
+
+const RANKS: i32 = 64;
+const ENTRIES: i32 = 1024;
+
+fn drive<L: MatchList<PostedEntry>>(name: &str, mut list: L) {
+    let mut sink = CountingSink::new();
+    // Post 1024 receives round-robin across 64 sources, a few wildcards.
+    for i in 0..ENTRIES {
+        let spec = if i % 97 == 0 {
+            RecvSpec::new(semiperm::core::ANY_SOURCE, i, 0)
+        } else {
+            RecvSpec::new(i % RANKS, i, 0)
+        };
+        list.append(PostedEntry::from_spec(spec, i as u64), &mut sink);
+    }
+    let fp = list.footprint();
+    sink.reset();
+
+    // Adversarial arrivals: reverse order, so naive lists search deep.
+    let mut total_depth = 0u64;
+    for i in (0..ENTRIES).rev() {
+        let r = list.search_remove(&Envelope::new(i % RANKS, i, 0), &mut sink);
+        assert!(r.found.is_some(), "{name}: entry {i} must match");
+        total_depth += r.depth as u64;
+    }
+    println!(
+        "  {:<18} mean depth {:>7.1}   lines touched {:>7}   footprint {:>8} B in {:>4} allocs",
+        name,
+        total_depth as f64 / ENTRIES as f64,
+        sink.distinct_lines(),
+        fp.bytes,
+        fp.allocations
+    );
+}
+
+fn main() {
+    println!(
+        "{} entries from {} sources, matched tail-first (depth = entries inspected):",
+        ENTRIES, RANKS
+    );
+    drive("baseline", BaselineList::new());
+    drive("LLA-2", Lla::<PostedEntry, 2>::new());
+    drive("LLA-8", Lla::<PostedEntry, 8>::new());
+    drive("LLA-512 (large)", Lla::<PostedEntry, 512>::new());
+    drive("source-bins", SourceBins::new(RANKS as usize));
+    drive("hash-bins(256)", HashBins::new());
+    drive("rank-trie", RankTrie::new(RANKS as usize));
+
+    println!(
+        "\nreading the table: LLA keeps the baseline's O(n) depths but \
+         packs entries into ~n/2.7 lines (the paper's spacial-locality \
+         gain); bins/hash/trie cut the *depth* instead — the related-work \
+         approaches the paper says are \"actually ... reducing cache misses \
+         by limiting list iteration\". The bins' footprint shows the \
+         O(ranks) memory they pay for it."
+    );
+}

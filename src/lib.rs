@@ -1,0 +1,32 @@
+//! # semiperm — umbrella crate
+//!
+//! Reproduction of *"The Case for Semi-Permanent Cache Occupancy:
+//! Understanding the Impact of Data Locality on Network Processing"*
+//! (Dosanjh et al., ICPP 2018).
+//!
+//! This crate re-exports the whole workspace so downstream users (and the
+//! `examples/` and `tests/` directories) can depend on a single package:
+//!
+//! * [`core`] — the matching engine and list structures (the paper's
+//!   contribution);
+//! * [`cachesim`] — the cache-hierarchy simulator with architecture
+//!   profiles;
+//! * [`simnet`] — the LogGP network timing model;
+//! * [`mpisim`] — the discrete-event MPI rank simulator;
+//! * [`motifs`] — SST-style communication motifs and the
+//!   thread-decomposition benchmark;
+//! * [`miniapps`] — the AMG2013 / MiniFE / FDS proxy applications;
+//! * [`osu`] — the modified OSU microbenchmarks.
+//!
+//! See `README.md` for a tour and `DESIGN.md`/`EXPERIMENTS.md` for the
+//! experiment inventory.
+
+#![warn(missing_docs)]
+
+pub use spc_cachesim as cachesim;
+pub use spc_core as core;
+pub use spc_miniapps as miniapps;
+pub use spc_motifs as motifs;
+pub use spc_mpisim as mpisim;
+pub use spc_osu as osu;
+pub use spc_simnet as simnet;

@@ -1,0 +1,110 @@
+//! Cross-crate integration: the full pipeline from match-list structures
+//! through the cache simulator to the OSU harness behaves coherently.
+
+use semiperm::cachesim::{ArchProfile, CostModel, LocalityConfig, MemSim};
+use semiperm::core::dynengine::{DynEngine, EngineKind};
+use semiperm::core::entry::{Envelope, RecvSpec};
+use semiperm::osu::bw::{bandwidth_mibps, latency_us, osu_depths, OsuConfig};
+
+/// The OSU bandwidth surface is monotone in the ways the paper relies on:
+/// more depth never helps, larger messages never reduce bandwidth.
+#[test]
+fn bandwidth_surface_is_monotone() {
+    let cfg = OsuConfig::sandy_bridge(LocalityConfig::lla(8));
+    let mut last = f64::INFINITY;
+    for depth in osu_depths() {
+        let bw = bandwidth_mibps(&cfg, 1, depth);
+        assert!(bw <= last * 1.0001, "bandwidth must not rise with depth ({depth})");
+        last = bw;
+    }
+    let mut last = 0.0;
+    for size in [1u64, 64, 4096, 1 << 16, 1 << 20] {
+        let bw = bandwidth_mibps(&cfg, size, 64);
+        assert!(bw >= last, "bandwidth must rise with message size ({size})");
+        last = bw;
+    }
+}
+
+/// Every locality configuration the paper sweeps runs end to end on both
+/// testbeds and produces finite, positive numbers.
+#[test]
+fn all_paper_configurations_run() {
+    let configs = [
+        LocalityConfig::baseline(),
+        LocalityConfig::hc(),
+        LocalityConfig::lla(2),
+        LocalityConfig::lla(4),
+        LocalityConfig::lla(8),
+        LocalityConfig::lla(16),
+        LocalityConfig::lla(32),
+        LocalityConfig::lla(512),
+        LocalityConfig::hc_lla(2),
+    ];
+    for mk in [OsuConfig::sandy_bridge as fn(_) -> _, OsuConfig::broadwell as fn(_) -> _] {
+        for &loc in &configs {
+            let bw = bandwidth_mibps(&mk(loc), 64, 128);
+            assert!(bw.is_finite() && bw > 0.0, "{}", loc.label());
+            let lat = latency_us(&mk(loc), 64, 128);
+            assert!(lat.is_finite() && lat > 0.0, "{}", loc.label());
+        }
+    }
+}
+
+/// The cost model (used by the app proxies) and a hand-driven engine over
+/// `MemSim` (used by the OSU harness) agree on the cold search cost.
+#[test]
+fn cost_model_matches_direct_simulation() {
+    let arch = ArchProfile::sandy_bridge();
+    let depth = 300u32;
+    let modelled = CostModel::new(arch, LocalityConfig::lla(8)).cold_search_ns(depth);
+
+    // Reconstruct the same protocol by hand.
+    let mut eng = DynEngine::new(EngineKind::Lla { arity: 8 });
+    for i in 0..depth {
+        eng.post_recv(RecvSpec::new(0, i as i32, 0), i as u64);
+    }
+    let mut mem = MemSim::new(arch);
+    mem.flush();
+    mem.advance(1.0);
+    let t0 = mem.time_ns();
+    eng.arrival_sink(Envelope::new(0, (depth - 1) as i32, 0), 1, &mut mem);
+    let direct = mem.time_ns() - t0;
+
+    let ratio = modelled / direct;
+    assert!(
+        (0.8..1.25).contains(&ratio),
+        "model {modelled:.0}ns vs direct {direct:.0}ns"
+    );
+}
+
+/// Locality ordering holds across the whole stack on Sandy Bridge at the
+/// paper's headline operating point (1 B messages, deep queues):
+/// baseline < LLA-2 < LLA-8, and HC+LLA ≥ LLA at mid depths.
+#[test]
+fn headline_ordering_end_to_end() {
+    let bw = |loc, depth| bandwidth_mibps(&OsuConfig::sandy_bridge(loc), 1, depth);
+    let base = bw(LocalityConfig::baseline(), 1024);
+    let lla2 = bw(LocalityConfig::lla(2), 1024);
+    let lla8 = bw(LocalityConfig::lla(8), 1024);
+    assert!(base < lla2 && lla2 < lla8, "base {base:.4} lla2 {lla2:.4} lla8 {lla8:.4}");
+
+    let lla_mid = bw(LocalityConfig::lla(2), 128);
+    let both_mid = bw(LocalityConfig::hc_lla(2), 128);
+    assert!(both_mid >= lla_mid * 0.98, "HC+LLA {both_mid:.4} vs LLA {lla_mid:.4}");
+}
+
+/// The paper's conclusion quantifies "2X-5X speedups for common message
+/// sizes" in matching performance; check the pure matching-cost ratio.
+#[test]
+fn matching_speedup_in_conclusion_band() {
+    let arch = ArchProfile::sandy_bridge();
+    for depth in [512, 1024, 4096] {
+        let base = CostModel::new(arch, LocalityConfig::baseline()).cold_search_ns(depth);
+        let best = CostModel::new(arch, LocalityConfig::lla(8)).cold_search_ns(depth);
+        let speedup = base / best;
+        assert!(
+            (2.0..16.0).contains(&speedup),
+            "depth {depth}: matching speedup {speedup:.2}"
+        );
+    }
+}
