@@ -34,7 +34,10 @@ impl Element for PaddedEntry {
     }
 
     fn hole() -> Self {
-        Self { inner: PostedEntry::hole(), _pad: 0 }
+        Self {
+            inner: PostedEntry::hole(),
+            _pad: 0,
+        }
     }
 
     fn is_hole(&self) -> bool {
@@ -67,7 +70,10 @@ fn entry_packing(c: &mut Criterion) {
 
     let mut tight = Lla::<PostedEntry, 8>::new();
     for i in 0..DEPTH {
-        tight.append(PostedEntry::from_spec(RecvSpec::new(1, i, 0), i as u64), &mut sink);
+        tight.append(
+            PostedEntry::from_spec(RecvSpec::new(1, i, 0), i as u64),
+            &mut sink,
+        );
     }
     group.bench_function("24B_entries", |b| {
         b.iter(|| {
@@ -105,7 +111,10 @@ fn hole_handling(c: &mut Criterion) {
     // Compact list of DEPTH live entries.
     let mut compact = Lla::<PostedEntry, 8>::new();
     for i in 0..DEPTH {
-        compact.append(PostedEntry::from_spec(RecvSpec::new(1, i, 0), i as u64), &mut sink);
+        compact.append(
+            PostedEntry::from_spec(RecvSpec::new(1, i, 0), i as u64),
+            &mut sink,
+        );
     }
     group.bench_function("compact", |b| {
         b.iter(|| {
@@ -118,7 +127,10 @@ fn hole_handling(c: &mut Criterion) {
     // Same live count, but every other slot was deleted (interior holes).
     let mut holey = Lla::<PostedEntry, 8>::new();
     for i in 0..DEPTH * 2 {
-        holey.append(PostedEntry::from_spec(RecvSpec::new(1, i, 0), i as u64), &mut sink);
+        holey.append(
+            PostedEntry::from_spec(RecvSpec::new(1, i, 0), i as u64),
+            &mut sink,
+        );
     }
     for i in 0..DEPTH {
         holey.remove_by_id((2 * i) as u64, &mut sink);
@@ -142,7 +154,10 @@ fn allocation(c: &mut Criterion) {
         let mut list = Lla::<PostedEntry, 2>::new();
         let mut i = 0i32;
         b.iter(|| {
-            list.append(PostedEntry::from_spec(RecvSpec::new(0, i, 0), i as u64), &mut sink);
+            list.append(
+                PostedEntry::from_spec(RecvSpec::new(0, i, 0), i as u64),
+                &mut sink,
+            );
             if i % 32 == 31 {
                 for j in (i - 31)..=i {
                     list.remove_by_id(j as u64, &mut sink);
@@ -155,7 +170,10 @@ fn allocation(c: &mut Criterion) {
         let mut list = BaselineList::<PostedEntry>::new();
         let mut i = 0i32;
         b.iter(|| {
-            list.append(PostedEntry::from_spec(RecvSpec::new(0, i, 0), i as u64), &mut sink);
+            list.append(
+                PostedEntry::from_spec(RecvSpec::new(0, i, 0), i as u64),
+                &mut sink,
+            );
             if i % 32 == 31 {
                 for j in (i - 31)..=i {
                     list.remove_by_id(j as u64, &mut sink);

@@ -34,25 +34,56 @@ fn bench_deep_search<L: MatchList<PostedEntry>>(
     let target = depth - 1;
     let probe = Envelope::new(target % RANKS, target, 0);
     let mut sink = NullSink;
-    c.benchmark_group(group).bench_function(BenchmarkId::new(name, depth), |b| {
-        b.iter(|| {
-            let r = list.search_remove(black_box(&probe), &mut sink);
-            let e = r.found.expect("present");
-            list.append(e, &mut sink);
-            black_box(r.depth)
-        })
-    });
+    c.benchmark_group(group)
+        .bench_function(BenchmarkId::new(name, depth), |b| {
+            b.iter(|| {
+                let r = list.search_remove(black_box(&probe), &mut sink);
+                let e = r.found.expect("present");
+                list.append(e, &mut sink);
+                black_box(r.depth)
+            })
+        });
 }
 
 fn deep_search(c: &mut Criterion) {
     for depth in [64, 1024] {
         bench_deep_search(c, "deep_search", "baseline", BaselineList::new(), depth);
-        bench_deep_search(c, "deep_search", "lla2", Lla::<PostedEntry, 2>::new(), depth);
-        bench_deep_search(c, "deep_search", "lla8", Lla::<PostedEntry, 8>::new(), depth);
-        bench_deep_search(c, "deep_search", "lla32", Lla::<PostedEntry, 32>::new(), depth);
-        bench_deep_search(c, "deep_search", "source_bins", SourceBins::new(RANKS as usize), depth);
+        bench_deep_search(
+            c,
+            "deep_search",
+            "lla2",
+            Lla::<PostedEntry, 2>::new(),
+            depth,
+        );
+        bench_deep_search(
+            c,
+            "deep_search",
+            "lla8",
+            Lla::<PostedEntry, 8>::new(),
+            depth,
+        );
+        bench_deep_search(
+            c,
+            "deep_search",
+            "lla32",
+            Lla::<PostedEntry, 32>::new(),
+            depth,
+        );
+        bench_deep_search(
+            c,
+            "deep_search",
+            "source_bins",
+            SourceBins::new(RANKS as usize),
+            depth,
+        );
         bench_deep_search(c, "deep_search", "hash_bins", HashBins::new(), depth);
-        bench_deep_search(c, "deep_search", "rank_trie", RankTrie::new(RANKS as usize), depth);
+        bench_deep_search(
+            c,
+            "deep_search",
+            "rank_trie",
+            RankTrie::new(RANKS as usize),
+            depth,
+        );
     }
 }
 
@@ -90,7 +121,10 @@ fn append_cancel(c: &mut Criterion) {
         let mut sink = NullSink;
         let mut i = 0i32;
         b.iter(|| {
-            list.append(PostedEntry::from_spec(RecvSpec::new(0, i, 0), i as u64), &mut sink);
+            list.append(
+                PostedEntry::from_spec(RecvSpec::new(0, i, 0), i as u64),
+                &mut sink,
+            );
             if i % 64 == 63 {
                 // Periodically drain from the head to keep length bounded.
                 for j in (i - 63)..=i {
@@ -105,7 +139,10 @@ fn append_cancel(c: &mut Criterion) {
         let mut sink = NullSink;
         let mut i = 0i32;
         b.iter(|| {
-            list.append(PostedEntry::from_spec(RecvSpec::new(0, i, 0), i as u64), &mut sink);
+            list.append(
+                PostedEntry::from_spec(RecvSpec::new(0, i, 0), i as u64),
+                &mut sink,
+            );
             if i % 64 == 63 {
                 for j in (i - 63)..=i {
                     list.remove_by_id(j as u64, &mut sink);

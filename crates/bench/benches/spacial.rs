@@ -17,7 +17,10 @@ const DEPTH: i32 = 4096;
 fn fill<L: MatchList<PostedEntry>>(list: &mut L) {
     let mut sink = NullSink;
     for i in 0..DEPTH {
-        list.append(PostedEntry::from_spec(RecvSpec::new(1, i, 0), i as u64), &mut sink);
+        list.append(
+            PostedEntry::from_spec(RecvSpec::new(1, i, 0), i as u64),
+            &mut sink,
+        );
     }
 }
 

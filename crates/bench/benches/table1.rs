@@ -27,7 +27,10 @@ fn analysis(c: &mut Criterion) {
 
 fn threaded(c: &mut Criterion) {
     c.bench_function("table1_threaded_8x8_9pt", |b| {
-        let d = Decomp { dims: [8, 8, 1], stencil: Stencil::S9 };
+        let d = Decomp {
+            dims: [8, 8, 1],
+            stencil: Stencil::S9,
+        };
         let mut seed = 0u64;
         b.iter(|| {
             seed += 1;

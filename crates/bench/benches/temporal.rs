@@ -21,7 +21,10 @@ fn build() -> Lla<PostedEntry, 2> {
     let mut list = Lla::new();
     let mut sink = NullSink;
     for i in 0..DEPTH {
-        list.append(PostedEntry::from_spec(RecvSpec::new(1, i, 0), i as u64), &mut sink);
+        list.append(
+            PostedEntry::from_spec(RecvSpec::new(1, i, 0), i as u64),
+            &mut sink,
+        );
     }
     list
 }
@@ -39,7 +42,9 @@ fn heated_search(c: &mut Criterion) {
     let mut group = c.benchmark_group("temporal");
 
     let mut cold = build();
-    group.bench_function("deep_search_no_heater", |b| b.iter(|| black_box(search_loop(&mut cold))));
+    group.bench_function("deep_search_no_heater", |b| {
+        b.iter(|| black_box(search_loop(&mut cold)))
+    });
 
     let mut hot = build();
     let heater = Heater::spawn(HeaterConfig {
@@ -53,7 +58,9 @@ fn heated_search(c: &mut Criterion) {
         .map(|(p, l)| unsafe { heater.register_raw(*p, *l) })
         .collect();
     heater.wait_passes(3);
-    group.bench_function("deep_search_heated", |b| b.iter(|| black_box(search_loop(&mut hot))));
+    group.bench_function("deep_search_heated", |b| {
+        b.iter(|| black_box(search_loop(&mut hot)))
+    });
     for id in ids {
         heater.deregister(id);
     }

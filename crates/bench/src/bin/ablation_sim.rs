@@ -35,7 +35,10 @@ fn placement_ablation() {
     let arch = ArchProfile::sandy_bridge();
     let rows: Vec<Vec<String>> = [
         ("contiguous", AddrSpace::contiguous(1 << 30)),
-        ("fragmented (ascending heap)", AddrSpace::fragmented(1 << 30, 7)),
+        (
+            "fragmented (ascending heap)",
+            AddrSpace::fragmented(1 << 30, 7),
+        ),
         ("scattered (churned heap)", AddrSpace::scattered(1 << 30, 7)),
     ]
     .into_iter()
@@ -48,7 +51,10 @@ fn placement_ablation() {
                 &mut sink,
             );
         }
-        vec![name.to_owned(), format!("{:.0}", cold_scan(&mut list, arch))]
+        vec![
+            name.to_owned(),
+            format!("{:.0}", cold_scan(&mut list, arch)),
+        ]
     })
     .collect();
     print_table(
@@ -68,9 +74,12 @@ fn prefetch_ablation() {
         .map(|arity| {
             let with = CostModel::new(ArchProfile::sandy_bridge(), LocalityConfig::lla(arity))
                 .cold_search_ns(DEPTH);
-            let without =
-                CostModel::new(no_pf, LocalityConfig::lla(arity)).cold_search_ns(DEPTH);
-            vec![format!("LLA-{arity}"), format!("{with:.0}"), format!("{without:.0}")]
+            let without = CostModel::new(no_pf, LocalityConfig::lla(arity)).cold_search_ns(DEPTH);
+            vec![
+                format!("LLA-{arity}"),
+                format!("{with:.0}"),
+                format!("{without:.0}"),
+            ]
         })
         .collect();
     print_table(
@@ -86,7 +95,10 @@ fn prefetch_ablation() {
 fn binding_ablation() {
     let rows: Vec<Vec<String>> = [
         ("no heater", None),
-        ("socket mate -> shared L3", Some(HotCacheConfig::with_element_pool())),
+        (
+            "socket mate -> shared L3",
+            Some(HotCacheConfig::with_element_pool()),
+        ),
         (
             "SMT sibling -> private L2",
             Some(HotCacheConfig::with_element_pool().smt_sibling()),

@@ -32,7 +32,11 @@ fn main() {
         println!("(--small: laptop-scale runs; shapes match, totals shrink)");
     }
 
-    let amr_p = if small { amr::AmrParams::small() } else { amr::AmrParams::paper_scale() };
+    let amr_p = if small {
+        amr::AmrParams::small()
+    } else {
+        amr::AmrParams::paper_scale()
+    };
     println!("\nrunning AMR at {} ranks ...", amr_p.ranks);
     dump("Figure 1a: AMR match list sizes", &amr::run(amr_p));
 

@@ -27,7 +27,14 @@ fn main() {
         .collect();
     print_table(
         "Figure 10: FDS factor speedup over baseline",
-        &["procs", "HC Nehalem", "LLA Nehalem", "HC+LLA Nehalem", "LLA-Large", "LLA Broadwell"],
+        &[
+            "procs",
+            "HC Nehalem",
+            "LLA Nehalem",
+            "HC+LLA Nehalem",
+            "LLA-Large",
+            "LLA Broadwell",
+        ],
         &rows,
     );
     println!(

@@ -8,15 +8,23 @@ use spc_core::NullSink;
 
 fn main() {
     println!("Figure 2: packing data structures into 64 byte cache lines\n");
-    println!("PostedEntry   : {:>2} B  (4B tag, 2B rank, 2B context id,", size_of::<PostedEntry>());
+    println!(
+        "PostedEntry   : {:>2} B  (4B tag, 2B rank, 2B context id,",
+        size_of::<PostedEntry>()
+    );
     println!("                       4B tag mask, 4B rank mask, 8B request pointer)");
-    println!("UnexpectedEntry: {:>2} B  (4B tag, 2B rank, 2B context id, 8B payload)", size_of::<UnexpectedEntry>());
+    println!(
+        "UnexpectedEntry: {:>2} B  (4B tag, 2B rank, 2B context id, 8B payload)",
+        size_of::<UnexpectedEntry>()
+    );
     println!();
     let posted_node = 64;
     println!("PRQ LLA node (one cache line, {posted_node} B):");
     println!("  [ 4B head | 4B tail | 24B entry #1 | 24B entry #2 | 4B next | 4B pad ]");
     println!("UMQ LLA node (one cache line):");
-    println!("  [ 4B head | 4B tail | 16B entry #1 | 16B entry #2 | 16B entry #3 | 4B next | 4B pad ]");
+    println!(
+        "  [ 4B head | 4B tail | 16B entry #1 | 16B entry #2 | 16B entry #3 | 4B next | 4B pad ]"
+    );
     println!();
 
     // Prove it with the live structures: entries per node and node sizes.

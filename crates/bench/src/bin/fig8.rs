@@ -16,7 +16,10 @@ fn main() {
                 ranks.to_string(),
                 format!("{:.2}", base.seconds),
                 format!("{:.2}", lla.seconds),
-                format!("{:.2}%", (base.seconds - lla.seconds) / base.seconds * 100.0),
+                format!(
+                    "{:.2}%",
+                    (base.seconds - lla.seconds) / base.seconds * 100.0
+                ),
                 base.max_neighbors.to_string(),
             ]
         })

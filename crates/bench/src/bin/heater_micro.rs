@@ -28,7 +28,11 @@ fn simulated(arch: ArchProfile, hot: bool) -> f64 {
     let mut mem = if hot {
         let mut m = MemSim::with_hot_cache(
             arch,
-            HotCacheConfig { period_ns: 10_000.0, mutation_overhead_ns: 0.0, ..HotCacheConfig::default() },
+            HotCacheConfig {
+                period_ns: 10_000.0,
+                mutation_overhead_ns: 0.0,
+                ..HotCacheConfig::default()
+            },
         );
         m.set_heat_regions(&[(1 << 30, BUF)]);
         m
@@ -103,6 +107,10 @@ fn main() {
     print_table(
         "native (this host, real heater thread; functional check only)",
         &["arch", "cold", "hot"],
-        &[vec!["host".to_owned(), format!("{cold:.1}"), format!("{hot:.1}")]],
+        &[vec![
+            "host".to_owned(),
+            format!("{cold:.1}"),
+            format!("{hot:.1}"),
+        ]],
     );
 }

@@ -9,8 +9,14 @@ use spc_osu::bw::{latency_us, osu_depths, osu_sizes, OsuConfig};
 
 fn main() {
     for (name, mk) in [
-        ("Sandy Bridge / QLogic QDR", OsuConfig::sandy_bridge as fn(_) -> OsuConfig),
-        ("Broadwell / OmniPath", OsuConfig::broadwell as fn(_) -> OsuConfig),
+        (
+            "Sandy Bridge / QLogic QDR",
+            OsuConfig::sandy_bridge as fn(_) -> OsuConfig,
+        ),
+        (
+            "Broadwell / OmniPath",
+            OsuConfig::broadwell as fn(_) -> OsuConfig,
+        ),
     ] {
         let configs = [
             LocalityConfig::baseline(),
@@ -18,8 +24,9 @@ fn main() {
             LocalityConfig::lla(2),
             LocalityConfig::hc_lla(2),
         ];
-        let headers: Vec<String> =
-            std::iter::once("x".into()).chain(configs.iter().map(|c| c.label())).collect();
+        let headers: Vec<String> = std::iter::once("x".into())
+            .chain(configs.iter().map(|c| c.label()))
+            .collect();
 
         let rows: Vec<Vec<String>> = osu_sizes()
             .into_iter()
@@ -32,7 +39,11 @@ fn main() {
                 row
             })
             .collect();
-        print_table(&format!("{name}: latency (us) vs msg size, depth 128"), &headers, &rows);
+        print_table(
+            &format!("{name}: latency (us) vs msg size, depth 128"),
+            &headers,
+            &rows,
+        );
 
         let rows: Vec<Vec<String>> = osu_depths()
             .into_iter()

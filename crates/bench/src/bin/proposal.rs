@@ -35,12 +35,13 @@ enum Support {
 }
 
 fn scan_ns(arch: ArchProfile, support: Support, depth: i32) -> f64 {
-    let mut list = Lla::<PostedEntry, 2>::with_addr(
-        spc_core::addr::AddrSpace::contiguous(1 << 30),
-    );
+    let mut list = Lla::<PostedEntry, 2>::with_addr(spc_core::addr::AddrSpace::contiguous(1 << 30));
     let mut null = NullSink;
     for i in 0..depth {
-        list.append(PostedEntry::from_spec(RecvSpec::new(1, i, 0), i as u64), &mut null);
+        list.append(
+            PostedEntry::from_spec(RecvSpec::new(1, i, 0), i as u64),
+            &mut null,
+        );
     }
     let mut regions = Vec::new();
     list.heat_regions(&mut regions);
@@ -60,14 +61,17 @@ fn scan_ns(arch: ArchProfile, support: Support, depth: i32) -> f64 {
         }
         Support::NetCache => {
             mem.set_net_regions(&regions);
-            mem.set_net_placement(NetPlacement::DedicatedCache { bytes: 2048, latency: 4 });
+            mem.set_net_placement(NetPlacement::DedicatedCache {
+                bytes: 2048,
+                latency: 4,
+            });
         }
         _ => {}
     }
 
     let miss_probe = Envelope::new(2, 0, 0); // never matches: pure scan
-    // Warm-up: one untimed scan brings the list into whatever the
-    // configuration protects (the heater does this on registration).
+                                             // Warm-up: one untimed scan brings the list into whatever the
+                                             // configuration protects (the heater does this on registration).
     list.search_remove(&miss_probe, &mut mem);
     let mut total = 0.0;
     for _ in 0..ITERS {

@@ -77,7 +77,14 @@ fn evaluate(trace: &MatchTrace) {
         .collect();
     print_table(
         "trace replay across structures (timing: cold Sandy Bridge)",
-        &["structure", "prq hits", "umq hits", "mean depth", "lines", "match time (us)"],
+        &[
+            "structure",
+            "prq hits",
+            "umq hits",
+            "mean depth",
+            "lines",
+            "match time (us)",
+        ],
         &rows,
     );
 }

@@ -34,8 +34,10 @@ pub fn print_table<H: Display, C: Display>(title: &str, headers: &[H], rows: &[V
     let cols = headers.len();
     let mut width = vec![0usize; cols];
     let hdr: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
-    let body: Vec<Vec<String>> =
-        rows.iter().map(|r| r.iter().map(|c| c.to_string()).collect()).collect();
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| r.iter().map(|c| c.to_string()).collect())
+        .collect();
     for (i, h) in hdr.iter().enumerate() {
         width[i] = width[i].max(h.len());
     }
@@ -46,8 +48,11 @@ pub fn print_table<H: Display, C: Display>(title: &str, headers: &[H], rows: &[V
         }
     }
     let line = |r: &[String]| {
-        let cells: Vec<String> =
-            r.iter().enumerate().map(|(i, c)| format!("{:>w$}", c, w = width[i])).collect();
+        let cells: Vec<String> = r
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = width[i]))
+            .collect();
         println!("  {}", cells.join("  "));
     };
     line(&hdr);

@@ -168,7 +168,11 @@ mod tests {
 
     fn tiny() -> CacheLevel {
         // 4 sets × 2 ways of 64 B lines = 512 B.
-        CacheLevel::new(CacheConfig { size: 512, ways: 2, latency: 1 })
+        CacheLevel::new(CacheConfig {
+            size: 512,
+            ways: 2,
+            latency: 1,
+        })
     }
 
     #[test]
@@ -259,7 +263,11 @@ mod partition_tests {
 
     fn tiny() -> CacheLevel {
         // 4 sets × 4 ways.
-        CacheLevel::new(CacheConfig { size: 1024, ways: 4, latency: 1 })
+        CacheLevel::new(CacheConfig {
+            size: 1024,
+            ways: 4,
+            latency: 1,
+        })
     }
 
     #[test]

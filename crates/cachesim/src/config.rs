@@ -82,10 +82,22 @@ impl ArchProfile {
         Self {
             name: "SandyBridge",
             clock_ghz: 2.6,
-            l1: CacheConfig { size: 32 << 10, ways: 8, latency: 4 },
-            l2: CacheConfig { size: 256 << 10, ways: 8, latency: 12 },
+            l1: CacheConfig {
+                size: 32 << 10,
+                ways: 8,
+                latency: 4,
+            },
+            l2: CacheConfig {
+                size: 256 << 10,
+                ways: 8,
+                latency: 12,
+            },
             // L3 in the core clock domain: low latency relative to clock.
-            l3: CacheConfig { size: 20 << 20, ways: 20, latency: 30 },
+            l3: CacheConfig {
+                size: 20 << 20,
+                ways: 20,
+                latency: 30,
+            },
             dram_latency_ns: 76.0,
             l1_next_line: true,
             l2_adjacent_pair: true,
@@ -101,10 +113,22 @@ impl ArchProfile {
         Self {
             name: "Broadwell",
             clock_ghz: 2.1,
-            l1: CacheConfig { size: 32 << 10, ways: 8, latency: 4 },
-            l2: CacheConfig { size: 256 << 10, ways: 8, latency: 12 },
+            l1: CacheConfig {
+                size: 32 << 10,
+                ways: 8,
+                latency: 4,
+            },
+            l2: CacheConfig {
+                size: 256 << 10,
+                ways: 8,
+                latency: 12,
+            },
             // Decoupled cache clock since Haswell: higher L3 latency.
-            l3: CacheConfig { size: 45 << 20, ways: 20, latency: 50 },
+            l3: CacheConfig {
+                size: 45 << 20,
+                ways: 20,
+                latency: 50,
+            },
             dram_latency_ns: 80.0,
             l1_next_line: true,
             l2_adjacent_pair: true,
@@ -121,9 +145,21 @@ impl ArchProfile {
         Self {
             name: "Nehalem",
             clock_ghz: 2.53,
-            l1: CacheConfig { size: 32 << 10, ways: 8, latency: 4 },
-            l2: CacheConfig { size: 256 << 10, ways: 8, latency: 10 },
-            l3: CacheConfig { size: 8 << 20, ways: 16, latency: 40 },
+            l1: CacheConfig {
+                size: 32 << 10,
+                ways: 8,
+                latency: 4,
+            },
+            l2: CacheConfig {
+                size: 256 << 10,
+                ways: 8,
+                latency: 10,
+            },
+            l3: CacheConfig {
+                size: 8 << 20,
+                ways: 16,
+                latency: 40,
+            },
             dram_latency_ns: 65.0,
             l1_next_line: true,
             // Nehalem's L2 prefetch lacks the dedicated pair-completion unit
@@ -141,9 +177,21 @@ impl ArchProfile {
         Self {
             name: "TestTiny",
             clock_ghz: 1.0,
-            l1: CacheConfig { size: 512, ways: 2, latency: 4 },
-            l2: CacheConfig { size: 2048, ways: 4, latency: 12 },
-            l3: CacheConfig { size: 8192, ways: 4, latency: 30 },
+            l1: CacheConfig {
+                size: 512,
+                ways: 2,
+                latency: 4,
+            },
+            l2: CacheConfig {
+                size: 2048,
+                ways: 4,
+                latency: 12,
+            },
+            l3: CacheConfig {
+                size: 8192,
+                ways: 4,
+                latency: 30,
+            },
             dram_latency_ns: 100.0,
             l1_next_line: false,
             l2_adjacent_pair: false,

@@ -53,22 +53,34 @@ pub struct LocalityConfig {
 impl LocalityConfig {
     /// The unmodified baseline.
     pub fn baseline() -> Self {
-        Self { structure: Structure::Baseline, hot_cache: false }
+        Self {
+            structure: Structure::Baseline,
+            hot_cache: false,
+        }
     }
 
     /// LLA with arity `n`, no heater.
     pub fn lla(n: usize) -> Self {
-        Self { structure: Structure::Lla(n), hot_cache: false }
+        Self {
+            structure: Structure::Lla(n),
+            hot_cache: false,
+        }
     }
 
     /// Baseline with hot caching.
     pub fn hc() -> Self {
-        Self { structure: Structure::Baseline, hot_cache: true }
+        Self {
+            structure: Structure::Baseline,
+            hot_cache: true,
+        }
     }
 
     /// LLA with arity `n` plus hot caching (the combined configuration).
     pub fn hc_lla(n: usize) -> Self {
-        Self { structure: Structure::Lla(n), hot_cache: true }
+        Self {
+            structure: Structure::Lla(n),
+            hot_cache: true,
+        }
     }
 
     /// Report label ("baseline", "HC", "LLA-2", "HC+LLA-2").
@@ -102,7 +114,11 @@ pub struct CostModel {
 impl CostModel {
     /// Creates a model for one (architecture, locality) pair.
     pub fn new(prof: ArchProfile, cfg: LocalityConfig) -> Self {
-        Self { prof, cfg, memo: HashMap::new() }
+        Self {
+            prof,
+            cfg,
+            memo: HashMap::new(),
+        }
     }
 
     /// The locality configuration.
@@ -132,7 +148,9 @@ impl CostModel {
     /// Synchronization cost charged per queue mutation (append/remove) by
     /// the active hot-cache setup; zero when the heater is off.
     pub fn mutation_overhead_ns(&self) -> f64 {
-        self.cfg.hot_config().map_or(0.0, |h| h.mutation_overhead_ns)
+        self.cfg
+            .hot_config()
+            .map_or(0.0, |h| h.mutation_overhead_ns)
     }
 
     /// Approximate append cost: the tail node is essentially always in L1
@@ -286,7 +304,10 @@ mod tests {
         };
         let snb = gain(ArchProfile::sandy_bridge());
         let bdw = gain(ArchProfile::broadwell());
-        assert!(snb > bdw, "SNB relative gain {snb:.3} should exceed BDW {bdw:.3}");
+        assert!(
+            snb > bdw,
+            "SNB relative gain {snb:.3} should exceed BDW {bdw:.3}"
+        );
     }
 
     #[test]

@@ -70,13 +70,20 @@ impl HotCacheConfig {
     /// churn, so mutations need no per-element synchronization beyond an
     /// occasional chunk registration.
     pub fn with_element_pool() -> Self {
-        Self { mutation_overhead_ns: 4.0, ..Self::default() }
+        Self {
+            mutation_overhead_ns: 4.0,
+            ..Self::default()
+        }
     }
 
     /// An SMT-sibling heater: data lands in the private L1/L2, at a cycle
     /// tax on the compute core.
     pub fn smt_sibling(self) -> Self {
-        Self { level: HeatLevel::PrivateL2, smt_steal_ns_per_line: 0.4, ..self }
+        Self {
+            level: HeatLevel::PrivateL2,
+            smt_steal_ns_per_line: 0.4,
+            ..self
+        }
     }
 }
 
@@ -163,7 +170,11 @@ impl MemSim {
             l1: CacheLevel::new(prof.l1),
             l2: CacheLevel::new(prof.l2),
             l3: CacheLevel::new(prof.l3),
-            streamer: Streamer::new(if prof.l2_streamer { prof.streamer_degree } else { 0 }),
+            streamer: Streamer::new(if prof.l2_streamer {
+                prof.streamer_degree
+            } else {
+                0
+            }),
             prof,
             stamp: 0,
             time_ns: 0.0,
@@ -335,8 +346,7 @@ impl MemSim {
 
     fn maybe_heat(&mut self) {
         if let (Some(hot), true) = (self.hot, self.heater_active) {
-            if self.time_ns - self.last_heat_ns >= hot.period_ns && !self.heat_regions.is_empty()
-            {
+            if self.time_ns - self.last_heat_ns >= hot.period_ns && !self.heat_regions.is_empty() {
                 self.heat_now();
             }
         }
@@ -431,7 +441,10 @@ impl MemSim {
             self.l3.insert_ways(line, now, l3_ways);
             (self.prof.dram_cycles(), self.prof.prefetch_fill_dram_ns)
         };
-        self.net_cache.as_mut().expect("net_fill requires the cache").insert(line, now);
+        self.net_cache
+            .as_mut()
+            .expect("net_fill requires the cache")
+            .insert(line, now);
         if !demand {
             self.prefetch_pending.insert(line, fill_ns);
         }
@@ -456,28 +469,27 @@ impl MemSim {
         // The dedicated network cache intercepts network lines entirely:
         // they bypass L1/L2 (costing compute data nothing) and are served
         // at near-L1 latency once resident.
-        if is_net
-            && self.net_cache.is_some() {
-                if self.net_cache.as_mut().expect("checked").lookup(line, now) {
-                    self.stats.net_cache_hits += 1;
-                    let lat = self.net_cache.as_ref().expect("checked").config().latency;
-                    return lat as f64;
-                }
-                let cycles = self.net_fill(line, now, true);
-                // The custom prefetching unit: run ahead along the network
-                // region (match-list traversals are node-sequential within
-                // the element pool).
-                for d in 1..=4u64 {
-                    let target = line + d;
-                    if self.is_net_line(target)
-                        && !self.net_cache.as_ref().expect("checked").contains(target)
-                    {
-                        self.net_fill(target, now, false);
-                        self.stats.prefetch_fills += 1;
-                    }
-                }
-                return cycles;
+        if is_net && self.net_cache.is_some() {
+            if self.net_cache.as_mut().expect("checked").lookup(line, now) {
+                self.stats.net_cache_hits += 1;
+                let lat = self.net_cache.as_ref().expect("checked").config().latency;
+                return lat as f64;
             }
+            let cycles = self.net_fill(line, now, true);
+            // The custom prefetching unit: run ahead along the network
+            // region (match-list traversals are node-sequential within
+            // the element pool).
+            for d in 1..=4u64 {
+                let target = line + d;
+                if self.is_net_line(target)
+                    && !self.net_cache.as_ref().expect("checked").contains(target)
+                {
+                    self.net_fill(target, now, false);
+                    self.stats.prefetch_fills += 1;
+                }
+            }
+            return cycles;
+        }
         if self.l1.lookup(line, now) {
             self.stats.l1_hits += 1;
             return self.prof.l1.latency as f64;
@@ -603,8 +615,8 @@ mod tests {
         let mut m = MemSim::new(prof);
         m.access(0, 8); // demand line 0, pair unit fills line 1 into L2
         let ns = m.access(64, 8); // buddy line
-        // L2 hit plus the fill bubble of a DRAM-sourced prefetch — still
-        // far below the 100 ns demand-miss cost.
+                                  // L2 hit plus the fill bubble of a DRAM-sourced prefetch — still
+                                  // far below the 100 ns demand-miss cost.
         assert_eq!(
             ns,
             prof.l2.latency as f64 + prof.prefetch_fill_dram_ns,
@@ -625,13 +637,20 @@ mod tests {
             m.access(i * 64, 8);
         }
         let s = m.stats();
-        assert!(s.l2_hits >= 4, "later lines should be streamed into L2: {s:?}");
+        assert!(
+            s.l2_hits >= 4,
+            "later lines should be streamed into L2: {s:?}"
+        );
         assert!(s.dram_loads < 8);
     }
 
     #[test]
     fn heater_keeps_region_in_l3_across_flush() {
-        let hot = HotCacheConfig { period_ns: 100.0, mutation_overhead_ns: 0.0, ..HotCacheConfig::default() };
+        let hot = HotCacheConfig {
+            period_ns: 100.0,
+            mutation_overhead_ns: 0.0,
+            ..HotCacheConfig::default()
+        };
         let mut m = MemSim::with_hot_cache(ArchProfile::test_tiny(), hot);
         m.set_heat_regions(&[(0, 512)]); // 8 lines, immediate heat
         assert!(m.in_l3(0));
@@ -645,7 +664,11 @@ mod tests {
 
     #[test]
     fn paused_heater_does_not_restore() {
-        let hot = HotCacheConfig { period_ns: 100.0, mutation_overhead_ns: 5.0, ..HotCacheConfig::default() };
+        let hot = HotCacheConfig {
+            period_ns: 100.0,
+            mutation_overhead_ns: 5.0,
+            ..HotCacheConfig::default()
+        };
         let mut m = MemSim::with_hot_cache(ArchProfile::test_tiny(), hot);
         m.set_heat_regions(&[(0, 512)]);
         assert_eq!(m.mutation_overhead_ns(), 5.0);
@@ -660,7 +683,11 @@ mod tests {
     fn heated_lines_survive_eviction_pressure() {
         // Tiny L3: 8 KiB = 128 lines, 4-way, 32 sets. Heat 16 lines, then
         // stream far more than the L3 capacity of other data through.
-        let hot = HotCacheConfig { period_ns: 50.0, mutation_overhead_ns: 0.0, ..HotCacheConfig::default() };
+        let hot = HotCacheConfig {
+            period_ns: 50.0,
+            mutation_overhead_ns: 0.0,
+            ..HotCacheConfig::default()
+        };
         let mut m = MemSim::with_hot_cache(ArchProfile::test_tiny(), hot);
         let region = (1 << 20, 16 * 64u64);
         m.set_heat_regions(&[(region.0, region.1)]);
@@ -669,9 +696,7 @@ mod tests {
             m.advance(10.0); // heater re-touches every 5 accesses
         }
         // Most of the heated region should still be L3-resident.
-        let resident = (0..16)
-            .filter(|i| m.in_l3(region.0 + i * 64))
-            .count();
+        let resident = (0..16).filter(|i| m.in_l3(region.0 + i * 64)).count();
         assert!(resident >= 12, "only {resident}/16 heated lines survived");
     }
 
@@ -687,7 +712,10 @@ mod tests {
             m.access(i * 64, 8);
         }
         let resident = (0..16).filter(|i| m.in_l3(region + i * 64)).count();
-        assert!(resident <= 4, "{resident}/16 unheated lines unexpectedly survived");
+        assert!(
+            resident <= 4,
+            "{resident}/16 unheated lines unexpectedly survived"
+        );
     }
 
     #[test]
@@ -734,14 +762,20 @@ mod net_placement_tests {
         m.set_net_regions(&[REGION]);
         m.set_net_placement(NetPlacement::L3Partition { ways: 2 });
         let survivors = resident_after_pollution(&mut m, 32 * 1024);
-        assert_eq!(survivors, 16, "partitioned lines must survive compute floods");
+        assert_eq!(
+            survivors, 16,
+            "partitioned lines must survive compute floods"
+        );
     }
 
     #[test]
     fn dedicated_cache_serves_network_lines_at_its_latency() {
         let mut m = MemSim::new(ArchProfile::test_tiny());
         m.set_net_regions(&[REGION]);
-        m.set_net_placement(NetPlacement::DedicatedCache { bytes: 2048, latency: 4 });
+        m.set_net_placement(NetPlacement::DedicatedCache {
+            bytes: 2048,
+            latency: 4,
+        });
         warm_region(&mut m);
         m.pollute(32 * 1024);
         // All 16 lines fit the 32-line cache; hits cost its latency.
@@ -754,7 +788,10 @@ mod net_placement_tests {
     fn dedicated_cache_keeps_network_data_out_of_l1() {
         let mut m = MemSim::new(ArchProfile::test_tiny());
         m.set_net_regions(&[REGION]);
-        m.set_net_placement(NetPlacement::DedicatedCache { bytes: 2048, latency: 4 });
+        m.set_net_placement(NetPlacement::DedicatedCache {
+            bytes: 2048,
+            latency: 4,
+        });
         warm_region(&mut m);
         // Compute data in L1 was never displaced by network lines: fill L1
         // with compute lines first, touch network, compute lines stay.
@@ -767,7 +804,11 @@ mod net_placement_tests {
         for i in 0..8u64 {
             m.access(compute + i * 64, 8);
         }
-        assert_eq!(m.stats().l1_hits - before, 8, "compute lines still L1-resident");
+        assert_eq!(
+            m.stats().l1_hits - before,
+            8,
+            "compute lines still L1-resident"
+        );
     }
 
     #[test]
@@ -790,7 +831,10 @@ mod net_placement_tests {
             }
             m.stats().dram_loads
         };
-        assert!(reuse(Some(2)) > reuse(None), "reserved ways must cost compute something");
+        assert!(
+            reuse(Some(2)) > reuse(None),
+            "reserved ways must cost compute something"
+        );
     }
 
     #[test]
@@ -807,7 +851,10 @@ mod net_placement_tests {
     fn is_net_line_classification_boundaries() {
         let mut m = MemSim::new(ArchProfile::test_tiny());
         m.set_net_regions(&[(4096, 128), (8192, 64)]);
-        m.set_net_placement(NetPlacement::DedicatedCache { bytes: 1024, latency: 4 });
+        m.set_net_placement(NetPlacement::DedicatedCache {
+            bytes: 1024,
+            latency: 4,
+        });
         //
 
         // Line containing 4096 and 4160 are network; 4224 is past the end.

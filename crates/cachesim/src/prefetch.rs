@@ -37,7 +37,11 @@ pub struct Streamer {
 impl Streamer {
     /// Creates a streamer issuing `degree` lines ahead once trained.
     pub fn new(degree: u32) -> Self {
-        Self { slots: [StreamSlot::default(); STREAMS], degree, clock: 0 }
+        Self {
+            slots: [StreamSlot::default(); STREAMS],
+            degree,
+            clock: 0,
+        }
     }
 
     /// Observes a demand access to `line`; returns the lines to prefetch
@@ -76,7 +80,13 @@ impl Streamer {
             .iter_mut()
             .min_by_key(|s| if s.valid { s.lru } else { 0 })
             .expect("STREAMS > 0");
-        *victim = StreamSlot { page, last_line: line, hits: 0, lru: self.clock, valid: true };
+        *victim = StreamSlot {
+            page,
+            last_line: line,
+            hits: 0,
+            lru: self.clock,
+            valid: true,
+        };
         out
     }
 
@@ -131,7 +141,10 @@ mod tests {
     fn streamer_needs_training_before_prefetching() {
         let mut s = Streamer::new(2);
         assert!(s.observe(100).is_empty(), "first access: allocate stream");
-        assert!(s.observe(101).is_empty(), "one sequential hit: still training");
+        assert!(
+            s.observe(101).is_empty(),
+            "one sequential hit: still training"
+        );
         let p: Vec<u64> = s.observe(102).iter().collect();
         assert_eq!(p, vec![103, 104], "trained: run ahead by degree");
     }
@@ -143,7 +156,10 @@ mod tests {
         s.observe(61);
         s.observe(62);
         let p: Vec<u64> = s.observe(63).iter().collect();
-        assert!(p.is_empty(), "line 64 is in the next page: no prefetch, got {p:?}");
+        assert!(
+            p.is_empty(),
+            "line 64 is in the next page: no prefetch, got {p:?}"
+        );
     }
 
     #[test]

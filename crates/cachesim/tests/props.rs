@@ -1,71 +1,90 @@
-//! Property tests of the cache-hierarchy model's invariants.
+//! Randomized tests of the cache-hierarchy model's invariants, driven by
+//! the in-repo seeded PRNG (formerly proptest; rewritten so the workspace
+//! builds offline). Every case derives from a fixed seed and reproduces
+//! exactly.
 
-use proptest::prelude::*;
 use spc_cachesim::{ArchProfile, CacheConfig, CacheLevel, MemSim, NetPlacement};
+use spc_rng::{Rng, SeedableRng, StdRng};
 
 fn tiny_level() -> CacheLevel {
     // 8 sets × 4 ways.
-    CacheLevel::new(CacheConfig { size: 2048, ways: 4, latency: 1 })
+    CacheLevel::new(CacheConfig {
+        size: 2048,
+        ways: 4,
+        latency: 1,
+    })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+fn cases(seed: u64, n: usize) -> impl Iterator<Item = StdRng> {
+    (0..n as u64).map(move |case| StdRng::seed_from_u64(seed ^ (case << 32 | case)))
+}
 
-    /// The most recently touched line of a set is never the next victim.
-    #[test]
-    fn lru_never_evicts_the_most_recent(lines in prop::collection::vec(0u64..64, 1..80)) {
+/// The most recently touched line of a set is never the next victim.
+#[test]
+fn lru_never_evicts_the_most_recent() {
+    for mut rng in cases(0x11CE, 256) {
+        let n = rng.gen_range(1..80usize);
         let mut c = tiny_level();
         let mut now = 0u64;
         let mut last_inserted: Option<u64> = None;
-        for line in lines {
+        for _ in 0..n {
+            let line = rng.gen_range(0..64u64);
             now += 1;
             let evicted = c.insert(line, now);
             if let (Some(e), Some(last)) = (evicted, last_inserted) {
                 // The victim can never be the line inserted immediately
-                // before (it has the freshest stamp in its set)...
-                // unless it mapped to a different set and was untouched —
-                // impossible, an insert refreshes its own line.
-                prop_assert_ne!(e, last, "evicted the most recently inserted line");
+                // before: an insert refreshes its own line's stamp.
+                assert_ne!(e, last, "evicted the most recently inserted line");
             }
-            prop_assert!(c.contains(line), "inserted line must be resident");
+            assert!(c.contains(line), "inserted line must be resident");
             last_inserted = Some(line);
         }
     }
+}
 
-    /// A lookup hit is always preceded by an insert without an intervening
-    /// eviction of that line — i.e. `contains` and `lookup` agree.
-    #[test]
-    fn lookup_and_contains_agree(ops in prop::collection::vec((0u64..64, any::<bool>()), 1..120)) {
+/// `contains` and `lookup` agree: a lookup hits exactly when the line was
+/// resident immediately before.
+#[test]
+fn lookup_and_contains_agree() {
+    for mut rng in cases(0xA9EE, 256) {
+        let n = rng.gen_range(1..120usize);
         let mut c = tiny_level();
         let mut now = 0u64;
-        for (line, is_insert) in ops {
+        for _ in 0..n {
+            let line = rng.gen_range(0..64u64);
             now += 1;
-            if is_insert {
+            if rng.gen_bool(0.5) {
                 c.insert(line, now);
             } else {
                 let resident_before = c.contains(line);
                 let hit = c.lookup(line, now);
-                prop_assert_eq!(hit, resident_before);
+                assert_eq!(hit, resident_before);
             }
         }
     }
+}
 
-    /// Resident count never exceeds capacity, and flush zeroes it.
-    #[test]
-    fn capacity_is_respected(lines in prop::collection::vec(0u64..1024, 1..200)) {
+/// Resident count never exceeds capacity, and flush zeroes it.
+#[test]
+fn capacity_is_respected() {
+    for mut rng in cases(0xCAFE, 64) {
+        let n = rng.gen_range(1..200usize);
         let mut c = tiny_level();
-        for (i, line) in lines.iter().enumerate() {
-            c.insert(*line, i as u64 + 1);
+        for i in 0..n {
+            c.insert(rng.gen_range(0..1024u64), i as u64 + 1);
         }
-        prop_assert!(c.resident() <= 32, "resident {} > 32 slots", c.resident());
+        assert!(c.resident() <= 32, "resident {} > 32 slots", c.resident());
         c.flush();
-        prop_assert_eq!(c.resident(), 0);
+        assert_eq!(c.resident(), 0);
     }
+}
 
-    /// Way-partition isolation: however compute traffic is interleaved,
-    /// network lines inserted in the reserved ways stay resident.
-    #[test]
-    fn partition_isolation(compute in prop::collection::vec(0u64..4096, 1..300)) {
+/// Way-partition isolation: however compute traffic is interleaved, network
+/// lines inserted in the reserved ways stay resident.
+#[test]
+fn partition_isolation() {
+    for mut rng in cases(0x1507, 64) {
+        let n = rng.gen_range(1..300usize);
         let mut c = tiny_level();
         // Network lines: one per set, ways 0..2.
         let net: Vec<u64> = (0..8u64).collect();
@@ -73,66 +92,85 @@ proptest! {
             c.insert_ways(line, i as u64 + 1, 0..2);
         }
         let mut now = 100u64;
-        for line in compute {
+        for _ in 0..n {
             now += 1;
             // Compute traffic may only use ways 2..4 (offset so it never
             // equals a net line).
-            c.insert_ways(line + 10_000, now, 2..4);
+            c.insert_ways(rng.gen_range(0..4096u64) + 10_000, now, 2..4);
         }
         for &line in &net {
-            prop_assert!(c.contains(line), "net line {line} evicted by compute");
+            assert!(c.contains(line), "net line {line} evicted by compute");
         }
     }
+}
 
-    /// MemSim access cost is bounded below by L1 latency and above by
-    /// DRAM + max prefetch penalty, whatever the access pattern.
-    #[test]
-    fn access_costs_are_bounded(addrs in prop::collection::vec(0u64..(1 << 16), 1..200)) {
-        let prof = ArchProfile::test_tiny();
+/// MemSim access cost is bounded below by L1 latency and above by DRAM +
+/// max prefetch penalty, whatever the access pattern.
+#[test]
+fn access_costs_are_bounded() {
+    let prof = ArchProfile::test_tiny();
+    let lo = prof.cycles_to_ns(prof.l1.latency as f64);
+    // One access can span two lines; both can miss to DRAM and both can
+    // carry a pending prefetch penalty.
+    let hi = 2.0 * (prof.dram_latency_ns + prof.prefetch_fill_dram_ns) + 1.0;
+    for mut rng in cases(0xB0B0, 64) {
+        let n = rng.gen_range(1..200usize);
         let mut m = MemSim::new(prof);
-        let lo = prof.cycles_to_ns(prof.l1.latency as f64);
-        // One access can span two lines; both can miss to DRAM and both can
-        // carry a pending prefetch penalty.
-        let hi = 2.0 * (prof.dram_latency_ns + prof.prefetch_fill_dram_ns) + 1.0;
-        for a in addrs {
+        for _ in 0..n {
+            let a = rng.gen_range(0..(1u64 << 16));
             let ns = m.access(a, 8);
-            prop_assert!(ns >= lo - 1e-9, "{ns} below L1 floor {lo}");
-            prop_assert!(ns <= hi, "{ns} above DRAM ceiling {hi}");
+            assert!(ns >= lo - 1e-9, "{ns} below L1 floor {lo}");
+            assert!(ns <= hi, "{ns} above DRAM ceiling {hi}");
         }
     }
+}
 
-    /// Determinism: the same access sequence always costs the same total.
-    #[test]
-    fn memsim_is_deterministic(addrs in prop::collection::vec(0u64..(1 << 14), 1..150)) {
+/// Determinism: the same access sequence always costs the same total.
+#[test]
+fn memsim_is_deterministic() {
+    for mut rng in cases(0xDE7E, 32) {
+        let n = rng.gen_range(1..150usize);
+        let addrs: Vec<u64> = (0..n).map(|_| rng.gen_range(0..(1u64 << 14))).collect();
         let run = || {
             let mut m = MemSim::new(ArchProfile::test_tiny());
             addrs.iter().map(|&a| m.access(a, 8)).sum::<f64>()
         };
-        prop_assert_eq!(run(), run());
+        assert_eq!(run(), run());
     }
+}
 
-    /// Repeating any access sequence immediately is never slower the second
-    /// time in total (caches only help).
-    #[test]
-    fn rerun_is_never_slower(addrs in prop::collection::vec(0u64..256, 1..100)) {
+/// Repeating any access sequence immediately is never slower the second
+/// time in total (caches only help).
+#[test]
+fn rerun_is_never_slower() {
+    for mut rng in cases(0x2E20, 64) {
+        let n = rng.gen_range(1..100usize);
+        let addrs: Vec<u64> = (0..n).map(|_| rng.gen_range(0..256u64)).collect();
         let mut m = MemSim::new(ArchProfile::test_tiny());
         let first: f64 = addrs.iter().map(|&a| m.access(a * 64, 8)).sum();
         let second: f64 = addrs.iter().map(|&a| m.access(a * 64, 8)).sum();
-        prop_assert!(second <= first + 1e-9, "second {second} > first {first}");
+        assert!(second <= first + 1e-9, "second {second} > first {first}");
     }
+}
 
-    /// The dedicated network cache never slows non-network traffic: costs
-    /// for compute-only address streams are identical with and without it.
-    #[test]
-    fn netcache_is_free_for_compute_traffic(addrs in prop::collection::vec(0u64..(1 << 14), 1..150)) {
+/// The dedicated network cache never slows non-network traffic: costs for
+/// compute-only address streams are identical with and without it.
+#[test]
+fn netcache_is_free_for_compute_traffic() {
+    for mut rng in cases(0xF2EE, 32) {
+        let n = rng.gen_range(1..150usize);
+        let addrs: Vec<u64> = (0..n).map(|_| rng.gen_range(0..(1u64 << 14))).collect();
         let run = |net: bool| {
             let mut m = MemSim::new(ArchProfile::test_tiny());
             if net {
                 m.set_net_regions(&[(1 << 30, 4096)]);
-                m.set_net_placement(NetPlacement::DedicatedCache { bytes: 1024, latency: 4 });
+                m.set_net_placement(NetPlacement::DedicatedCache {
+                    bytes: 1024,
+                    latency: 4,
+                });
             }
             addrs.iter().map(|&a| m.access(a, 8)).sum::<f64>()
         };
-        prop_assert_eq!(run(false), run(true));
+        assert_eq!(run(false), run(true));
     }
 }

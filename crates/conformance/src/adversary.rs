@@ -1,0 +1,114 @@
+//! Deliberately broken structures used to validate the harness itself.
+//!
+//! A differential harness that never fires is indistinguishable from one
+//! that cannot fire. [`FifoViolator`] injects the classic matching bug —
+//! violating MPI non-overtaking by returning the *newest* matching entry
+//! when several match — and the adversary tests assert the driver
+//! catches it and that shrinking reduces the repro to a few ops.
+
+use spc_core::entry::Element;
+use spc_core::list::{Footprint, MatchList, Search};
+use spc_core::sink::AccessSink;
+
+/// Wraps a correct [`MatchList`] but breaks FIFO non-overtaking: when two
+/// or more stored entries match a probe, `search_remove` returns the one
+/// appended *last* instead of first. With zero or one candidate it
+/// behaves correctly — the bug only shows under concurrent matches,
+/// which is exactly the case a weak test stream never produces.
+pub struct FifoViolator<L> {
+    inner: L,
+}
+
+impl<L> FifoViolator<L> {
+    /// Wraps `inner`.
+    pub fn new(inner: L) -> Self {
+        Self { inner }
+    }
+}
+
+impl<E: Element, L: MatchList<E>> MatchList<E> for FifoViolator<L> {
+    fn append<S: AccessSink>(&mut self, e: E, sink: &mut S) {
+        self.inner.append(e, sink);
+    }
+
+    fn search_remove<S: AccessSink>(&mut self, probe: &E::Probe, sink: &mut S) -> Search<E> {
+        let snap = self.inner.snapshot();
+        let candidates: Vec<(usize, u64)> = snap
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.matches(probe))
+            .map(|(pos, e)| (pos, e.id()))
+            .collect();
+        if candidates.len() >= 2 {
+            // The violation: take the newest match.
+            let &(pos, id) = candidates.last().expect("len >= 2");
+            let e = self
+                .inner
+                .remove_by_id(id, sink)
+                .expect("snapshot entry must be removable");
+            return Search::hit(e, pos as u32 + 1);
+        }
+        self.inner.search_remove(probe, sink)
+    }
+
+    fn remove_by_id<S: AccessSink>(&mut self, id: u64, sink: &mut S) -> Option<E> {
+        self.inner.remove_by_id(id, sink)
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn snapshot(&self) -> Vec<E> {
+        self.inner.snapshot()
+    }
+
+    fn clear(&mut self) {
+        self.inner.clear();
+    }
+
+    fn footprint(&self) -> Footprint {
+        self.inner.footprint()
+    }
+
+    fn heat_regions(&self, out: &mut Vec<(u64, u64)>) {
+        self.inner.heat_regions(out);
+    }
+
+    fn kind_name(&self) -> String {
+        format!("fifo-violator({})", self.inner.kind_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spc_core::entry::{Envelope, PostedEntry, RecvSpec};
+    use spc_core::list::BaselineList;
+    use spc_core::NullSink;
+
+    #[test]
+    fn violator_overtakes_on_double_match() {
+        let mut l = FifoViolator::new(BaselineList::<PostedEntry>::new());
+        let mut s = NullSink;
+        l.append(PostedEntry::from_spec(RecvSpec::new(1, 1, 0), 10), &mut s);
+        l.append(PostedEntry::from_spec(RecvSpec::new(1, 1, 0), 11), &mut s);
+        let r = l.search_remove(&Envelope::new(1, 1, 0), &mut s);
+        assert_eq!(
+            r.found.unwrap().request,
+            11,
+            "the adversary must return the newest"
+        );
+    }
+
+    #[test]
+    fn violator_is_correct_with_a_single_candidate() {
+        let mut l = FifoViolator::new(BaselineList::<PostedEntry>::new());
+        let mut s = NullSink;
+        l.append(PostedEntry::from_spec(RecvSpec::new(1, 1, 0), 10), &mut s);
+        l.append(PostedEntry::from_spec(RecvSpec::new(2, 2, 0), 11), &mut s);
+        let r = l.search_remove(&Envelope::new(2, 2, 0), &mut s);
+        assert_eq!(r.found.unwrap().request, 11);
+        assert_eq!(l.len(), 1);
+    }
+}

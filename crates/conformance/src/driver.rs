@@ -1,0 +1,543 @@
+//! The differential driver: replay one op stream through the oracle and a
+//! subject, comparing observable behaviour after every step.
+//!
+//! On the first disagreement the driver stops and returns a [`Divergence`]
+//! naming the step, the operation, and what differed. Pair it with
+//! [`crate::shrink::shrink_ops`] to reduce the stream and
+//! [`crate::shrink::render_ops`] to print a paste-able repro.
+
+use crate::ops::{EngineOp, PostedOp, UmqOp};
+use crate::oracle::OracleList;
+use spc_core::dynengine::{DynEngine, EngineKind};
+use spc_core::engine::{ArrivalOutcome, MatchEngine, RecvOutcome};
+use spc_core::entry::{Envelope, PostedEntry, RecvSpec, UnexpectedEntry, ANY_SOURCE, ANY_TAG};
+use spc_core::list::MatchList;
+use spc_core::NullSink;
+
+/// How strictly search depth is compared against the oracle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DepthMode {
+    /// Depth must equal the oracle's exactly (linear structures: the
+    /// 1-based FIFO position of a hit, the live length on a miss).
+    Exact,
+    /// Depth must satisfy the bounds every structure owes: a hit inspects
+    /// at least one entry and no search inspects more entries than were
+    /// live (partitioned structures legitimately inspect fewer).
+    Bounded,
+}
+
+/// First point where subject and oracle disagreed.
+#[derive(Clone, Debug)]
+pub struct Divergence {
+    /// Zero-based index of the op that exposed the disagreement.
+    pub step: usize,
+    /// Debug rendering of that op.
+    pub op: String,
+    /// What differed (expected vs got).
+    pub detail: String,
+}
+
+impl core::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "step {} ({}): {}", self.step, self.op, self.detail)
+    }
+}
+
+fn diverge(step: usize, op: impl core::fmt::Debug, detail: String) -> Divergence {
+    Divergence {
+        step,
+        op: format!("{op:?}"),
+        detail,
+    }
+}
+
+/// Checks a subject's depth against the oracle's under `mode`.
+/// `live_before` is the number of live entries in the searched queue
+/// before the op; `hit` whether the search matched.
+fn depth_ok(
+    mode: DepthMode,
+    got: u32,
+    oracle: u32,
+    hit: bool,
+    live_before: usize,
+) -> Result<(), String> {
+    match mode {
+        DepthMode::Exact => {
+            if got != oracle {
+                return Err(format!("depth {got}, oracle depth {oracle}"));
+            }
+        }
+        DepthMode::Bounded => {
+            if hit && got == 0 {
+                return Err("hit reported depth 0 (a match must be inspected)".into());
+            }
+            if got as usize > live_before {
+                return Err(format!("depth {got} exceeds live length {live_before}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn spec(rank: Option<i32>, tag: Option<i32>, ctx: u16) -> RecvSpec {
+    RecvSpec::new(rank.unwrap_or(ANY_SOURCE), tag.unwrap_or(ANY_TAG), ctx)
+}
+
+/// Replays `ops` through the oracle and `subject` in lockstep, comparing
+/// search results (by request id), cancel results, lengths, depths (per
+/// `mode`) and full snapshots after every step.
+pub fn diff_posted<L: MatchList<PostedEntry>>(
+    subject: &mut L,
+    mode: DepthMode,
+    ops: &[PostedOp],
+) -> Result<(), Divergence> {
+    let mut oracle: OracleList<PostedEntry> = OracleList::new();
+    let mut sink = NullSink;
+    let mut next_req = 0u64;
+    for (step, op) in ops.iter().enumerate() {
+        match *op {
+            PostedOp::Append { rank, tag, ctx } => {
+                let e = PostedEntry::from_spec(spec(rank, tag, ctx), next_req);
+                next_req += 1;
+                oracle.append(e, &mut sink);
+                subject.append(e, &mut sink);
+            }
+            PostedOp::Search { rank, tag, ctx } => {
+                let live = oracle.len();
+                let env = Envelope::new(rank, tag, ctx);
+                let want = oracle.search_remove(&env, &mut sink);
+                let got = subject.search_remove(&env, &mut sink);
+                if got.found.map(|e| e.request) != want.found.map(|e| e.request) {
+                    return Err(diverge(
+                        step,
+                        op,
+                        format!(
+                            "matched {:?}, oracle matched {:?}",
+                            got.found.map(|e| e.request),
+                            want.found.map(|e| e.request)
+                        ),
+                    ));
+                }
+                depth_ok(mode, got.depth, want.depth, got.found.is_some(), live)
+                    .map_err(|d| diverge(step, op, d))?;
+            }
+            PostedOp::Cancel { req } => {
+                let want = oracle.remove_by_id(req, &mut sink).map(|e| e.request);
+                let got = subject.remove_by_id(req, &mut sink).map(|e| e.request);
+                if got != want {
+                    return Err(diverge(
+                        step,
+                        op,
+                        format!("cancelled {got:?}, oracle {want:?}"),
+                    ));
+                }
+            }
+            PostedOp::Clear => {
+                oracle.clear();
+                subject.clear();
+            }
+        }
+        if subject.len() != oracle.len() {
+            return Err(diverge(
+                step,
+                op,
+                format!("len {}, oracle len {}", subject.len(), oracle.len()),
+            ));
+        }
+        let want: Vec<u64> = oracle.snapshot().iter().map(|e| e.request).collect();
+        let got: Vec<u64> = subject.snapshot().iter().map(|e| e.request).collect();
+        if got != want {
+            return Err(diverge(
+                step,
+                op,
+                format!("snapshot {got:?}, oracle {want:?}"),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Unexpected-queue counterpart of [`diff_posted`] (elements are concrete
+/// messages, probes may be wildcarded).
+pub fn diff_umq<L: MatchList<UnexpectedEntry>>(
+    subject: &mut L,
+    mode: DepthMode,
+    ops: &[UmqOp],
+) -> Result<(), Divergence> {
+    let mut oracle: OracleList<UnexpectedEntry> = OracleList::new();
+    let mut sink = NullSink;
+    let mut next_payload = 0u64;
+    for (step, op) in ops.iter().enumerate() {
+        match *op {
+            UmqOp::Arrive { rank, tag, ctx } => {
+                let e = UnexpectedEntry::from_envelope(Envelope::new(rank, tag, ctx), next_payload);
+                next_payload += 1;
+                oracle.append(e, &mut sink);
+                subject.append(e, &mut sink);
+            }
+            UmqOp::Recv { rank, tag, ctx } => {
+                let live = oracle.len();
+                let s = spec(rank, tag, ctx);
+                let want = oracle.search_remove(&s, &mut sink);
+                let got = subject.search_remove(&s, &mut sink);
+                if got.found.map(|e| e.payload) != want.found.map(|e| e.payload) {
+                    return Err(diverge(
+                        step,
+                        op,
+                        format!(
+                            "matched {:?}, oracle matched {:?}",
+                            got.found.map(|e| e.payload),
+                            want.found.map(|e| e.payload)
+                        ),
+                    ));
+                }
+                depth_ok(mode, got.depth, want.depth, got.found.is_some(), live)
+                    .map_err(|d| diverge(step, op, d))?;
+            }
+            UmqOp::Clear => {
+                oracle.clear();
+                subject.clear();
+            }
+        }
+        if subject.len() != oracle.len() {
+            return Err(diverge(
+                step,
+                op,
+                format!("len {}, oracle len {}", subject.len(), oracle.len()),
+            ));
+        }
+        let want: Vec<u64> = oracle.snapshot().iter().map(|e| e.payload).collect();
+        let got: Vec<u64> = subject.snapshot().iter().map(|e| e.payload).collect();
+        if got != want {
+            return Err(diverge(
+                step,
+                op,
+                format!("snapshot {got:?}, oracle {want:?}"),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The engine surface the differential driver needs; implemented by both
+/// the statically-typed [`MatchEngine`] and the runtime-selected
+/// [`DynEngine`].
+pub trait ConformEngine {
+    /// See [`MatchEngine::post_recv`].
+    fn post_recv(&mut self, spec: RecvSpec, request: u64) -> RecvOutcome;
+    /// See [`MatchEngine::arrival`].
+    fn arrival(&mut self, env: Envelope, payload: u64) -> ArrivalOutcome;
+    /// See [`MatchEngine::iprobe`].
+    fn iprobe(&mut self, spec: RecvSpec) -> Option<(u64, u32)>;
+    /// See [`MatchEngine::cancel_recv`].
+    fn cancel_recv(&mut self, request: u64) -> bool;
+    /// Current PRQ length.
+    fn prq_len(&self) -> usize;
+    /// Current UMQ length.
+    fn umq_len(&self) -> usize;
+    /// Empties both queues.
+    fn reset(&mut self);
+    /// `(PRQ request ids, UMQ payload ids)` in FIFO order, when the
+    /// engine exposes its queues ([`DynEngine`] does not).
+    fn queue_ids(&self) -> Option<(Vec<u64>, Vec<u64>)>;
+}
+
+impl<P, U> ConformEngine for MatchEngine<P, U>
+where
+    P: MatchList<PostedEntry>,
+    U: MatchList<UnexpectedEntry>,
+{
+    fn post_recv(&mut self, spec: RecvSpec, request: u64) -> RecvOutcome {
+        MatchEngine::post_recv(self, spec, request)
+    }
+    fn arrival(&mut self, env: Envelope, payload: u64) -> ArrivalOutcome {
+        MatchEngine::arrival(self, env, payload)
+    }
+    fn iprobe(&mut self, spec: RecvSpec) -> Option<(u64, u32)> {
+        MatchEngine::iprobe(self, spec)
+    }
+    fn cancel_recv(&mut self, request: u64) -> bool {
+        MatchEngine::cancel_recv(self, request)
+    }
+    fn prq_len(&self) -> usize {
+        MatchEngine::prq_len(self)
+    }
+    fn umq_len(&self) -> usize {
+        MatchEngine::umq_len(self)
+    }
+    fn reset(&mut self) {
+        MatchEngine::reset(self)
+    }
+    fn queue_ids(&self) -> Option<(Vec<u64>, Vec<u64>)> {
+        Some((
+            self.prq().snapshot().iter().map(|e| e.request).collect(),
+            self.umq().snapshot().iter().map(|e| e.payload).collect(),
+        ))
+    }
+}
+
+impl ConformEngine for DynEngine {
+    fn post_recv(&mut self, spec: RecvSpec, request: u64) -> RecvOutcome {
+        DynEngine::post_recv(self, spec, request)
+    }
+    fn arrival(&mut self, env: Envelope, payload: u64) -> ArrivalOutcome {
+        DynEngine::arrival(self, env, payload)
+    }
+    fn iprobe(&mut self, spec: RecvSpec) -> Option<(u64, u32)> {
+        DynEngine::iprobe(self, spec)
+    }
+    fn cancel_recv(&mut self, request: u64) -> bool {
+        DynEngine::cancel_recv(self, request)
+    }
+    fn prq_len(&self) -> usize {
+        DynEngine::prq_len(self)
+    }
+    fn umq_len(&self) -> usize {
+        DynEngine::umq_len(self)
+    }
+    fn reset(&mut self) {
+        DynEngine::reset(self)
+    }
+    fn queue_ids(&self) -> Option<(Vec<u64>, Vec<u64>)> {
+        None
+    }
+}
+
+/// Replays an engine-level op stream through a reference engine (both
+/// queues backed by [`OracleList`]) and `subject`, comparing outcomes,
+/// iprobe results, queue lengths and — when the subject exposes its
+/// queues — full snapshots after every step.
+///
+/// Iprobe depth is always compared exactly: it is defined on a FIFO
+/// snapshot, so it is structure-independent by construction.
+pub fn diff_engine<Eng: ConformEngine>(
+    subject: &mut Eng,
+    mode: DepthMode,
+    ops: &[EngineOp],
+) -> Result<(), Divergence> {
+    let mut reference: MatchEngine<OracleList<PostedEntry>, OracleList<UnexpectedEntry>> =
+        MatchEngine::new(OracleList::new(), OracleList::new());
+    let mut next_req = 0u64;
+    let mut next_payload = 0u64;
+    for (step, op) in ops.iter().enumerate() {
+        match *op {
+            EngineOp::PostRecv { rank, tag, ctx } => {
+                let s = spec(rank, tag, ctx);
+                let req = next_req;
+                next_req += 1;
+                let live = reference.umq_len();
+                let want = reference.post_recv(s, req);
+                let got = ConformEngine::post_recv(subject, s, req);
+                match (got, want) {
+                    (RecvOutcome::Posted, RecvOutcome::Posted) => {}
+                    (
+                        RecvOutcome::MatchedUnexpected {
+                            payload: gp,
+                            depth: gd,
+                        },
+                        RecvOutcome::MatchedUnexpected {
+                            payload: wp,
+                            depth: wd,
+                        },
+                    ) => {
+                        if gp != wp {
+                            return Err(diverge(
+                                step,
+                                op,
+                                format!("matched payload {gp}, oracle {wp}"),
+                            ));
+                        }
+                        depth_ok(mode, gd, wd, true, live).map_err(|d| diverge(step, op, d))?;
+                    }
+                    (g, w) => {
+                        return Err(diverge(step, op, format!("outcome {g:?}, oracle {w:?}")))
+                    }
+                }
+            }
+            EngineOp::Arrival { rank, tag, ctx } => {
+                let env = Envelope::new(rank, tag, ctx);
+                let payload = next_payload;
+                next_payload += 1;
+                let live = reference.prq_len();
+                let want = reference.arrival(env, payload);
+                let got = ConformEngine::arrival(subject, env, payload);
+                match (got, want) {
+                    (ArrivalOutcome::Queued, ArrivalOutcome::Queued) => {}
+                    (
+                        ArrivalOutcome::MatchedPosted {
+                            request: gr,
+                            depth: gd,
+                        },
+                        ArrivalOutcome::MatchedPosted {
+                            request: wr,
+                            depth: wd,
+                        },
+                    ) => {
+                        if gr != wr {
+                            return Err(diverge(
+                                step,
+                                op,
+                                format!("matched request {gr}, oracle {wr}"),
+                            ));
+                        }
+                        depth_ok(mode, gd, wd, true, live).map_err(|d| diverge(step, op, d))?;
+                    }
+                    (g, w) => {
+                        return Err(diverge(step, op, format!("outcome {g:?}, oracle {w:?}")))
+                    }
+                }
+            }
+            EngineOp::Iprobe { rank, tag, ctx } => {
+                let s = spec(rank, tag, ctx);
+                let want = reference.iprobe(s);
+                let got = ConformEngine::iprobe(subject, s);
+                if got != want {
+                    return Err(diverge(
+                        step,
+                        op,
+                        format!("iprobe {got:?}, oracle {want:?}"),
+                    ));
+                }
+            }
+            EngineOp::Cancel { nth } => {
+                // Map the generator's free index onto a handle that was
+                // actually issued, so cancels usually name live receives.
+                let req = if next_req == 0 { nth } else { nth % next_req };
+                let want = reference.cancel_recv(req);
+                let got = ConformEngine::cancel_recv(subject, req);
+                if got != want {
+                    return Err(diverge(
+                        step,
+                        op,
+                        format!("cancel({req}) -> {got}, oracle {want}"),
+                    ));
+                }
+            }
+            EngineOp::Clear => {
+                reference.reset();
+                subject.reset();
+            }
+        }
+        if subject.prq_len() != reference.prq_len() || subject.umq_len() != reference.umq_len() {
+            return Err(diverge(
+                step,
+                op,
+                format!(
+                    "lens prq={}/umq={}, oracle prq={}/umq={}",
+                    subject.prq_len(),
+                    subject.umq_len(),
+                    reference.prq_len(),
+                    reference.umq_len()
+                ),
+            ));
+        }
+        if let Some((got_prq, got_umq)) = subject.queue_ids() {
+            let want_prq: Vec<u64> = reference
+                .prq()
+                .snapshot()
+                .iter()
+                .map(|e| e.request)
+                .collect();
+            let want_umq: Vec<u64> = reference
+                .umq()
+                .snapshot()
+                .iter()
+                .map(|e| e.payload)
+                .collect();
+            if got_prq != want_prq {
+                return Err(diverge(
+                    step,
+                    op,
+                    format!("prq snapshot {got_prq:?}, oracle {want_prq:?}"),
+                ));
+            }
+            if got_umq != want_umq {
+                return Err(diverge(
+                    step,
+                    op,
+                    format!("umq snapshot {got_umq:?}, oracle {want_umq:?}"),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Runs [`diff_engine`] against a freshly-built [`DynEngine`] of `kind`.
+pub fn diff_dyn_engine(
+    kind: EngineKind,
+    mode: DepthMode,
+    ops: &[EngineOp],
+) -> Result<(), Divergence> {
+    diff_engine(&mut DynEngine::new(kind), mode, ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops;
+    use spc_core::list::BaselineList;
+
+    #[test]
+    fn oracle_agrees_with_itself() {
+        let stream = ops::engine_ops(1, 2_000);
+        let mut subject: MatchEngine<OracleList<PostedEntry>, OracleList<UnexpectedEntry>> =
+            MatchEngine::new(OracleList::new(), OracleList::new());
+        diff_engine(&mut subject, DepthMode::Exact, &stream).unwrap();
+    }
+
+    #[test]
+    fn divergence_reports_the_failing_step() {
+        // A subject that is simply empty-forever must diverge on the
+        // first append (len check).
+        struct Broken;
+        impl ConformEngine for Broken {
+            fn post_recv(&mut self, _: RecvSpec, _: u64) -> RecvOutcome {
+                RecvOutcome::Posted
+            }
+            fn arrival(&mut self, _: Envelope, _: u64) -> ArrivalOutcome {
+                ArrivalOutcome::Queued
+            }
+            fn iprobe(&mut self, _: RecvSpec) -> Option<(u64, u32)> {
+                None
+            }
+            fn cancel_recv(&mut self, _: u64) -> bool {
+                false
+            }
+            fn prq_len(&self) -> usize {
+                0
+            }
+            fn umq_len(&self) -> usize {
+                0
+            }
+            fn reset(&mut self) {}
+            fn queue_ids(&self) -> Option<(Vec<u64>, Vec<u64>)> {
+                None
+            }
+        }
+        let stream = vec![EngineOp::PostRecv {
+            rank: Some(1),
+            tag: Some(1),
+            ctx: 0,
+        }];
+        let err = diff_engine(&mut Broken, DepthMode::Bounded, &stream).unwrap_err();
+        assert_eq!(err.step, 0);
+        assert!(err.detail.contains("lens"), "{err}");
+    }
+
+    #[test]
+    fn baseline_lists_pass_a_quick_stream() {
+        diff_posted(
+            &mut BaselineList::new(),
+            DepthMode::Exact,
+            &ops::posted_ops(3, 1_000),
+        )
+        .unwrap();
+        diff_umq(
+            &mut BaselineList::new(),
+            DepthMode::Exact,
+            &ops::umq_ops(3, 1_000),
+        )
+        .unwrap();
+    }
+}

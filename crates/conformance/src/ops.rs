@@ -1,0 +1,282 @@
+//! Seeded operation-stream generators.
+//!
+//! All generators are pure functions of their seed: the same seed always
+//! yields the same stream, so any failure the driver reports reproduces
+//! exactly from the seed alone. Streams mix wildcards, several
+//! communicators, cancels of plausible request handles, rare clears, and
+//! *burst* phases that append many entries back-to-back so deep-queue
+//! paths (multi-node LLA walks, bin merges, trie leaf chains) are
+//! actually exercised rather than only 0–2-entry queues.
+
+use spc_rng::{Rng, SeedableRng, StdRng};
+
+/// Source ranks used by generated streams (kept small so probes collide
+/// with stored entries often — misses on every op would test nothing).
+pub const RANKS: i32 = 8;
+/// Tags used by generated streams.
+pub const TAGS: i32 = 4;
+/// Communicator context ids used by generated streams.
+pub const CTXS: u16 = 2;
+
+/// One operation against a posted-receive-queue structure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PostedOp {
+    /// Append a posted entry; `None` rank/tag means the wildcard.
+    Append {
+        /// Concrete source rank, or `None` for `MPI_ANY_SOURCE`.
+        rank: Option<i32>,
+        /// Concrete tag, or `None` for `MPI_ANY_TAG`.
+        tag: Option<i32>,
+        /// Communicator context id.
+        ctx: u16,
+    },
+    /// Destructively search with a concrete message envelope.
+    Search {
+        /// Envelope source rank.
+        rank: i32,
+        /// Envelope tag.
+        tag: i32,
+        /// Envelope context id.
+        ctx: u16,
+    },
+    /// Cancel (remove by id) the request handle `req`.
+    Cancel {
+        /// Request handle to cancel; handles are assigned 0,1,2,… by the
+        /// driver, so small values usually name a live or recent entry.
+        req: u64,
+    },
+    /// Remove every entry (communicator teardown).
+    Clear,
+}
+
+/// One operation against an unexpected-message-queue structure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UmqOp {
+    /// A message arrives (always fully concrete).
+    Arrive {
+        /// Message source rank.
+        rank: i32,
+        /// Message tag.
+        tag: i32,
+        /// Message context id.
+        ctx: u16,
+    },
+    /// Destructively search with a receive specification.
+    Recv {
+        /// Requested rank, or `None` for `MPI_ANY_SOURCE`.
+        rank: Option<i32>,
+        /// Requested tag, or `None` for `MPI_ANY_TAG`.
+        tag: Option<i32>,
+        /// Receive context id.
+        ctx: u16,
+    },
+    /// Remove every entry.
+    Clear,
+}
+
+/// One operation against a whole matching engine (PRQ + UMQ).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineOp {
+    /// `MPI_Irecv`: search the UMQ, else append to the PRQ.
+    PostRecv {
+        /// Requested rank, or `None` for `MPI_ANY_SOURCE`.
+        rank: Option<i32>,
+        /// Requested tag, or `None` for `MPI_ANY_TAG`.
+        tag: Option<i32>,
+        /// Receive context id.
+        ctx: u16,
+    },
+    /// Message arrival: search the PRQ, else append to the UMQ.
+    Arrival {
+        /// Message source rank.
+        rank: i32,
+        /// Message tag.
+        tag: i32,
+        /// Message context id.
+        ctx: u16,
+    },
+    /// `MPI_Iprobe`: non-destructive UMQ search.
+    Iprobe {
+        /// Requested rank, or `None` for `MPI_ANY_SOURCE`.
+        rank: Option<i32>,
+        /// Requested tag, or `None` for `MPI_ANY_TAG`.
+        tag: Option<i32>,
+        /// Probe context id.
+        ctx: u16,
+    },
+    /// `MPI_Cancel` of the `nth` request handle issued so far.
+    Cancel {
+        /// Index into the handles issued so far (driver takes it modulo
+        /// the number issued).
+        nth: u64,
+    },
+    /// Reset both queues (communicator teardown / test epoch boundary).
+    Clear,
+}
+
+fn gen_spec(rng: &mut StdRng, wild_p: f64) -> (Option<i32>, Option<i32>, u16) {
+    (
+        (!rng.gen_bool(wild_p)).then(|| rng.gen_range(0..RANKS)),
+        (!rng.gen_bool(wild_p)).then(|| rng.gen_range(0..TAGS)),
+        rng.gen_range(0..CTXS),
+    )
+}
+
+/// Generates `n` posted-queue operations from `seed`.
+pub fn posted_ops(seed: u64, n: usize) -> Vec<PostedOp> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ops = Vec::with_capacity(n);
+    while ops.len() < n {
+        if rng.gen_bool(0.06) {
+            // Burst: build a deep queue before the next searches.
+            for _ in 0..rng.gen_range(4..32usize) {
+                let (rank, tag, ctx) = gen_spec(&mut rng, 0.2);
+                ops.push(PostedOp::Append { rank, tag, ctx });
+            }
+            continue;
+        }
+        ops.push(match rng.gen_range(0..20u32) {
+            0..=8 => {
+                let (rank, tag, ctx) = gen_spec(&mut rng, 0.2);
+                PostedOp::Append { rank, tag, ctx }
+            }
+            9..=15 => PostedOp::Search {
+                rank: rng.gen_range(0..RANKS),
+                tag: rng.gen_range(0..TAGS),
+                ctx: rng.gen_range(0..CTXS),
+            },
+            16..=18 => PostedOp::Cancel {
+                req: rng.gen_range(0..64u64),
+            },
+            _ => PostedOp::Clear,
+        });
+    }
+    ops.truncate(n);
+    ops
+}
+
+/// Generates `n` unexpected-queue operations from `seed`.
+pub fn umq_ops(seed: u64, n: usize) -> Vec<UmqOp> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ops = Vec::with_capacity(n);
+    while ops.len() < n {
+        if rng.gen_bool(0.06) {
+            for _ in 0..rng.gen_range(4..32usize) {
+                ops.push(UmqOp::Arrive {
+                    rank: rng.gen_range(0..RANKS),
+                    tag: rng.gen_range(0..TAGS),
+                    ctx: rng.gen_range(0..CTXS),
+                });
+            }
+            continue;
+        }
+        ops.push(match rng.gen_range(0..20u32) {
+            0..=8 => UmqOp::Arrive {
+                rank: rng.gen_range(0..RANKS),
+                tag: rng.gen_range(0..TAGS),
+                ctx: rng.gen_range(0..CTXS),
+            },
+            9..=18 => {
+                let (rank, tag, ctx) = gen_spec(&mut rng, 0.3);
+                UmqOp::Recv { rank, tag, ctx }
+            }
+            _ => UmqOp::Clear,
+        });
+    }
+    ops.truncate(n);
+    ops
+}
+
+/// Generates `n` engine-level operations from `seed`.
+pub fn engine_ops(seed: u64, n: usize) -> Vec<EngineOp> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ops = Vec::with_capacity(n);
+    while ops.len() < n {
+        if rng.gen_bool(0.06) {
+            // Burst one side of the engine so its queue grows deep.
+            let posted = rng.gen_bool(0.5);
+            for _ in 0..rng.gen_range(4..32usize) {
+                ops.push(if posted {
+                    let (rank, tag, ctx) = gen_spec(&mut rng, 0.2);
+                    EngineOp::PostRecv { rank, tag, ctx }
+                } else {
+                    EngineOp::Arrival {
+                        rank: rng.gen_range(0..RANKS),
+                        tag: rng.gen_range(0..TAGS),
+                        ctx: rng.gen_range(0..CTXS),
+                    }
+                });
+            }
+            continue;
+        }
+        ops.push(match rng.gen_range(0..24u32) {
+            0..=7 => {
+                let (rank, tag, ctx) = gen_spec(&mut rng, 0.2);
+                EngineOp::PostRecv { rank, tag, ctx }
+            }
+            8..=15 => EngineOp::Arrival {
+                rank: rng.gen_range(0..RANKS),
+                tag: rng.gen_range(0..TAGS),
+                ctx: rng.gen_range(0..CTXS),
+            },
+            16..=18 => {
+                let (rank, tag, ctx) = gen_spec(&mut rng, 0.3);
+                EngineOp::Iprobe { rank, tag, ctx }
+            }
+            19..=22 => EngineOp::Cancel {
+                nth: rng.gen_range(0..64u64),
+            },
+            _ => EngineOp::Clear,
+        });
+    }
+    ops.truncate(n);
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(posted_ops(42, 500), posted_ops(42, 500));
+        assert_eq!(umq_ops(42, 500), umq_ops(42, 500));
+        assert_eq!(engine_ops(42, 500), engine_ops(42, 500));
+        assert_ne!(engine_ops(42, 500), engine_ops(43, 500));
+    }
+
+    #[test]
+    fn streams_have_the_requested_length_and_mix() {
+        let ops = engine_ops(7, 2_000);
+        assert_eq!(ops.len(), 2_000);
+        let posts = ops
+            .iter()
+            .filter(|o| matches!(o, EngineOp::PostRecv { .. }))
+            .count();
+        let arrivals = ops
+            .iter()
+            .filter(|o| matches!(o, EngineOp::Arrival { .. }))
+            .count();
+        let probes = ops
+            .iter()
+            .filter(|o| matches!(o, EngineOp::Iprobe { .. }))
+            .count();
+        let cancels = ops
+            .iter()
+            .filter(|o| matches!(o, EngineOp::Cancel { .. }))
+            .count();
+        assert!(
+            posts > 200 && arrivals > 200,
+            "both queues must be exercised"
+        );
+        assert!(
+            probes > 20 && cancels > 20,
+            "probe and cancel paths must be exercised"
+        );
+        // Wildcards must actually appear.
+        assert!(ops.iter().any(|o| matches!(
+            o,
+            EngineOp::PostRecv { rank: None, .. } | EngineOp::PostRecv { tag: None, .. }
+        )));
+    }
+}

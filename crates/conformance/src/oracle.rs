@@ -1,0 +1,138 @@
+//! The reference oracle: a `Vec` scanned linearly in append order.
+//!
+//! This is deliberately the dumbest possible implementation of
+//! [`MatchList`]. Correctness must be visible by inspection:
+//!
+//! * `append` pushes to the back;
+//! * `search_remove` scans from the front and removes the first element
+//!   that matches — which *is* MPI non-overtaking, by construction;
+//! * `remove_by_id` scans from the front and removes the first element
+//!   with the given id;
+//! * depth is the number of elements inspected (1-based position of a
+//!   hit; the live length on a miss), matching the exact-depth contract
+//!   linear structures are held to.
+//!
+//! The oracle models semantics only. It reports no simulated memory
+//! traffic to the [`AccessSink`] — differential runs compare observable
+//! matching behaviour, not locality.
+
+use spc_core::entry::Element;
+use spc_core::list::{Footprint, MatchList, Search};
+use spc_core::sink::AccessSink;
+
+/// Vec-backed reference implementation of [`MatchList`].
+#[derive(Clone, Debug, Default)]
+pub struct OracleList<E> {
+    items: Vec<E>,
+}
+
+impl<E> OracleList<E> {
+    /// Creates an empty oracle queue.
+    pub fn new() -> Self {
+        Self { items: Vec::new() }
+    }
+}
+
+impl<E: Element> MatchList<E> for OracleList<E> {
+    fn append<S: AccessSink>(&mut self, e: E, _sink: &mut S) {
+        self.items.push(e);
+    }
+
+    fn search_remove<S: AccessSink>(&mut self, probe: &E::Probe, _sink: &mut S) -> Search<E> {
+        for (pos, e) in self.items.iter().enumerate() {
+            if e.matches(probe) {
+                let e = self.items.remove(pos);
+                return Search::hit(e, pos as u32 + 1);
+            }
+        }
+        Search::miss(self.items.len() as u32)
+    }
+
+    fn remove_by_id<S: AccessSink>(&mut self, id: u64, _sink: &mut S) -> Option<E> {
+        let pos = self.items.iter().position(|e| e.id() == id)?;
+        Some(self.items.remove(pos))
+    }
+
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn snapshot(&self) -> Vec<E> {
+        self.items.clone()
+    }
+
+    fn clear(&mut self) {
+        self.items.clear();
+    }
+
+    fn footprint(&self) -> Footprint {
+        Footprint {
+            bytes: (self.items.capacity() * core::mem::size_of::<E>()) as u64,
+            allocations: 1,
+        }
+    }
+
+    fn heat_regions(&self, _out: &mut Vec<(u64, u64)>) {
+        // The oracle has no simulated address space.
+    }
+
+    fn kind_name(&self) -> String {
+        "oracle".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spc_core::entry::{Envelope, PostedEntry, RecvSpec, ANY_SOURCE, ANY_TAG};
+    use spc_core::NullSink;
+
+    fn post(rank: i32, tag: i32, req: u64) -> PostedEntry {
+        PostedEntry::from_spec(RecvSpec::new(rank, tag, 0), req)
+    }
+
+    #[test]
+    fn earliest_match_wins_and_depth_is_position() {
+        let mut l: OracleList<PostedEntry> = OracleList::new();
+        let mut s = NullSink;
+        l.append(post(1, 9, 0), &mut s);
+        l.append(post(2, 7, 1), &mut s);
+        l.append(post(2, 7, 2), &mut s);
+        let r = l.search_remove(&Envelope::new(2, 7, 0), &mut s);
+        assert_eq!(r.found.unwrap().request, 1);
+        assert_eq!(r.depth, 2);
+        let r = l.search_remove(&Envelope::new(0, 0, 0), &mut s);
+        assert!(r.found.is_none());
+        assert_eq!(r.depth, 2, "miss inspects every live entry");
+    }
+
+    #[test]
+    fn wildcard_posted_entries_match_in_fifo_order() {
+        let mut l: OracleList<PostedEntry> = OracleList::new();
+        let mut s = NullSink;
+        l.append(
+            PostedEntry::from_spec(RecvSpec::new(ANY_SOURCE, ANY_TAG, 0), 10),
+            &mut s,
+        );
+        l.append(post(3, 3, 11), &mut s);
+        let r = l.search_remove(&Envelope::new(3, 3, 0), &mut s);
+        assert_eq!(
+            r.found.unwrap().request,
+            10,
+            "earlier wildcard overtakes nothing"
+        );
+    }
+
+    #[test]
+    fn remove_by_id_takes_the_earliest() {
+        let mut l: OracleList<PostedEntry> = OracleList::new();
+        let mut s = NullSink;
+        l.append(post(1, 1, 5), &mut s);
+        l.append(post(2, 2, 6), &mut s);
+        assert_eq!(l.remove_by_id(6, &mut s).unwrap().request, 6);
+        assert!(l.remove_by_id(6, &mut s).is_none());
+        assert_eq!(l.len(), 1);
+        l.clear();
+        assert!(l.is_empty());
+    }
+}

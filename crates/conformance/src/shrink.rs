@@ -1,0 +1,114 @@
+//! Failure minimization: delta-debugging over op streams.
+//!
+//! When the driver reports a divergence on a 10,000-op stream, the raw
+//! stream is useless for debugging. [`shrink_ops`] removes chunks of
+//! decreasing size while the failure persists, converging on a stream
+//! where no single op can be dropped — typically a handful of ops.
+//! [`render_ops`] then prints it as a `vec![...]` literal that pastes
+//! directly into a unit test.
+
+/// Minimizes `ops` with respect to the failure predicate `fails`.
+///
+/// `fails(&ops)` must be true on entry (the caller has already observed
+/// the failure); the result is a subsequence on which `fails` still
+/// returns true and from which no single op can be removed without the
+/// failure disappearing (1-minimal). Deterministic: no randomness, and
+/// `fails` is assumed pure — drivers rebuild their structures from
+/// scratch on every call, so this holds by construction.
+pub fn shrink_ops<T: Clone>(ops: &[T], fails: impl Fn(&[T]) -> bool) -> Vec<T> {
+    let mut cur: Vec<T> = ops.to_vec();
+    let mut chunk = cur.len().div_ceil(2).max(1);
+    loop {
+        let mut progressed = false;
+        let mut i = 0;
+        while i < cur.len() {
+            let end = (i + chunk).min(cur.len());
+            let mut cand = Vec::with_capacity(cur.len() - (end - i));
+            cand.extend_from_slice(&cur[..i]);
+            cand.extend_from_slice(&cur[end..]);
+            if fails(&cand) {
+                cur = cand;
+                progressed = true;
+                // Re-test the same index: the next chunk shifted into it.
+            } else {
+                i += chunk;
+            }
+        }
+        if chunk == 1 {
+            if !progressed {
+                return cur;
+            }
+            // Another 1-op pass: earlier removals may enable new ones.
+        } else {
+            chunk = (chunk / 2).max(1);
+        }
+    }
+}
+
+/// Renders a minimized op stream as a paste-able `vec![...]` literal.
+///
+/// `Debug` for the op enums matches their Rust constructor syntax, so
+/// prefixing each line with the enum path yields compiling code:
+///
+/// ```text
+/// let ops = vec![
+///     EngineOp::PostRecv { rank: Some(1), tag: None, ctx: 0 },
+///     EngineOp::Arrival { rank: 1, tag: 2, ctx: 0 },
+/// ];
+/// ```
+pub fn render_ops<T: core::fmt::Debug>(enum_path: &str, ops: &[T]) -> String {
+    let mut out = String::from("let ops = vec![\n");
+    for op in ops {
+        out.push_str(&format!("    {enum_path}::{op:?},\n"));
+    }
+    out.push_str("];\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::EngineOp;
+
+    #[test]
+    fn shrink_finds_the_minimal_failing_pair() {
+        // Failure: the stream contains both a 3 and a 7 (in any order).
+        let ops: Vec<u32> = (0..100).collect();
+        let min = shrink_ops(&ops, |s| s.contains(&3) && s.contains(&7));
+        assert_eq!(min, vec![3, 7]);
+    }
+
+    #[test]
+    fn shrink_is_one_minimal() {
+        // Failure: sum of the stream is >= 10.
+        let ops = vec![1u32, 9, 2, 8, 5];
+        let min = shrink_ops(&ops, |s| s.iter().sum::<u32>() >= 10);
+        assert!(min.iter().sum::<u32>() >= 10);
+        for i in 0..min.len() {
+            let mut cand = min.clone();
+            cand.remove(i);
+            assert!(
+                cand.iter().sum::<u32>() < 10,
+                "removable op survived shrinking"
+            );
+        }
+    }
+
+    #[test]
+    fn render_produces_constructor_syntax() {
+        let ops = vec![
+            EngineOp::PostRecv {
+                rank: Some(1),
+                tag: None,
+                ctx: 0,
+            },
+            EngineOp::Clear,
+        ];
+        let s = render_ops("EngineOp", &ops);
+        assert!(
+            s.contains("EngineOp::PostRecv { rank: Some(1), tag: None, ctx: 0 },"),
+            "{s}"
+        );
+        assert!(s.contains("EngineOp::Clear,"), "{s}");
+    }
+}

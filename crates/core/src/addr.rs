@@ -63,13 +63,20 @@ pub struct AddrSpace {
 /// Default heap-fragmentation gap range: between zero and two cache lines of
 /// unrelated data separates consecutive baseline nodes, which is what heap
 /// profiles of long-running MPI processes look like after allocator churn.
-pub const DEFAULT_FRAGMENTATION: AddrMode = AddrMode::Fragmented { gap_min: 0, gap_max: 128 };
+pub const DEFAULT_FRAGMENTATION: AddrMode = AddrMode::Fragmented {
+    gap_min: 0,
+    gap_max: 128,
+};
 
 impl AddrSpace {
     /// Creates an allocator starting at `base` with the given placement mode
     /// and RNG seed (the seed only matters for fragmented mode).
     pub fn new(base: u64, mode: AddrMode, seed: u64) -> Self {
-        Self { next: base, mode, rng: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1 }
+        Self {
+            next: base,
+            mode,
+            rng: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
+        }
     }
 
     /// Contiguous allocator starting at `base`.
@@ -201,7 +208,10 @@ mod tests {
         let seq_b: Vec<u64> = (0..64).map(|_| b.alloc(96, 8)).collect();
         assert_eq!(seq_a, seq_b);
         // Not ascending: at least some successor is below its predecessor.
-        assert!(seq_a.windows(2).any(|w| w[1] < w[0]), "placement must scatter");
+        assert!(
+            seq_a.windows(2).any(|w| w[1] < w[0]),
+            "placement must scatter"
+        );
         // All within the arena.
         for &x in &seq_a {
             assert!(((1 << 30)..(1 << 30) + (64 << 20) + 96).contains(&x));

@@ -14,7 +14,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use crate::engine::{ArrivalOutcome, MatchEngine, RecvOutcome};
 use crate::entry::{Envelope, PostedEntry, RecvSpec, UnexpectedEntry};
@@ -60,16 +60,20 @@ where
 {
     /// Wraps an engine for shared use.
     pub fn new(engine: MatchEngine<P, U>) -> Self {
-        Self { inner: Mutex::new(engine), acquisitions: AtomicU64::new(0), contended: AtomicU64::new(0) }
+        Self {
+            inner: Mutex::new(engine),
+            acquisitions: AtomicU64::new(0),
+            contended: AtomicU64::new(0),
+        }
     }
 
-    fn lock(&self) -> parking_lot::MutexGuard<'_, MatchEngine<P, U>> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, MatchEngine<P, U>> {
         self.acquisitions.fetch_add(1, Ordering::Relaxed);
-        if let Some(g) = self.inner.try_lock() {
+        if let Ok(g) = self.inner.try_lock() {
             return g;
         }
         self.contended.fetch_add(1, Ordering::Relaxed);
-        self.inner.lock()
+        self.inner.lock().expect("shared engine lock poisoned")
     }
 
     /// Thread-safe [`MatchEngine::post_recv`].
@@ -110,7 +114,9 @@ where
 
     /// Consumes the wrapper, returning the inner engine.
     pub fn into_inner(self) -> MatchEngine<P, U> {
-        self.inner.into_inner()
+        self.inner
+            .into_inner()
+            .expect("shared engine lock poisoned")
     }
 }
 
@@ -119,8 +125,7 @@ mod tests {
     use super::*;
     use crate::list::{BaselineList, Lla};
 
-    type TestEngine =
-        SharedEngine<Lla<PostedEntry, 2>, Lla<UnexpectedEntry, 3>>;
+    type TestEngine = SharedEngine<Lla<PostedEntry, 2>, Lla<UnexpectedEntry, 3>>;
 
     fn engine() -> TestEngine {
         SharedEngine::new(MatchEngine::new(Lla::new(), Lla::new()))
@@ -175,7 +180,10 @@ mod tests {
             (SENDERS as u64) * PER_THREAD as u64
         );
         assert_eq!(prq as u64, unexpected.load(Ordering::Relaxed));
-        assert_eq!(umq, 0, "posts ran first per tag or queued; no stray messages");
+        assert_eq!(
+            umq, 0,
+            "posts ran first per tag or queued; no stray messages"
+        );
         let ls = eng.lock_stats();
         assert!(ls.acquisitions >= 2 * (POSTERS as u64) * PER_THREAD as u64);
     }

@@ -183,6 +183,11 @@ impl DynEngine {
         with_engine!(self, e => e.arrival(env, payload))
     }
 
+    /// See [`MatchEngine::iprobe`].
+    pub fn iprobe(&mut self, spec: RecvSpec) -> Option<(u64, u32)> {
+        with_engine!(self, e => e.iprobe(spec))
+    }
+
     /// See [`MatchEngine::cancel_recv`].
     pub fn cancel_recv(&mut self, request: u64) -> bool {
         with_engine!(self, e => e.cancel_recv(request))

@@ -7,7 +7,9 @@
 //! the PRQ; on a miss it appends to the UMQ. Those two search-else-append
 //! operations are the performance-critical path this whole study is about.
 
-use crate::entry::{Envelope, PayloadHandle, PostedEntry, RecvSpec, RequestHandle, UnexpectedEntry};
+use crate::entry::{
+    Envelope, PayloadHandle, PostedEntry, RecvSpec, RequestHandle, UnexpectedEntry,
+};
 use crate::list::{MatchList, Search};
 use crate::sink::{AccessSink, NullSink};
 use crate::stats::EngineStats;
@@ -59,7 +61,11 @@ where
 {
     /// Creates an engine from its two queues.
     pub fn new(prq: P, umq: U) -> Self {
-        Self { prq, umq, stats: EngineStats::new() }
+        Self {
+            prq,
+            umq,
+            stats: EngineStats::new(),
+        }
     }
 
     /// Posts a receive (the `MPI_Recv`/`MPI_Irecv` entry path), reporting
@@ -75,7 +81,10 @@ where
         match found {
             Some(msg) => {
                 self.stats.umq_hits += 1;
-                RecvOutcome::MatchedUnexpected { payload: msg.payload, depth }
+                RecvOutcome::MatchedUnexpected {
+                    payload: msg.payload,
+                    depth,
+                }
             }
             None => {
                 self.stats.prq_appends += 1;
@@ -103,11 +112,15 @@ where
         match found {
             Some(recv) => {
                 self.stats.prq_hits += 1;
-                ArrivalOutcome::MatchedPosted { request: recv.request, depth }
+                ArrivalOutcome::MatchedPosted {
+                    request: recv.request,
+                    depth,
+                }
             }
             None => {
                 self.stats.umq_appends += 1;
-                self.umq.append(UnexpectedEntry::from_envelope(env, payload), sink);
+                self.umq
+                    .append(UnexpectedEntry::from_envelope(env, payload), sink);
                 ArrivalOutcome::Queued
             }
         }
@@ -251,7 +264,10 @@ mod tests {
     #[test]
     fn unexpected_message_flow() {
         let mut e = engine();
-        assert_eq!(e.arrival(Envelope::new(2, 3, 0), 55), ArrivalOutcome::Queued);
+        assert_eq!(
+            e.arrival(Envelope::new(2, 3, 0), 55),
+            ArrivalOutcome::Queued
+        );
         assert_eq!(e.umq_len(), 1);
         match e.post_recv(RecvSpec::new(2, 3, 0), 20) {
             RecvOutcome::MatchedUnexpected { payload, depth } => {

@@ -47,7 +47,11 @@ impl Envelope {
     pub fn new(rank: i32, tag: i32, context_id: u16) -> Self {
         debug_assert!(rank >= 0, "an envelope's source rank is always concrete");
         debug_assert!(tag >= 0, "an envelope's tag is always concrete");
-        Self { rank, tag, context_id }
+        Self {
+            rank,
+            tag,
+            context_id,
+        }
     }
 }
 
@@ -70,13 +74,21 @@ impl RecvSpec {
     /// [`ANY_SOURCE`]/[`ANY_TAG`].
     #[inline]
     pub fn new(rank: i32, tag: i32, context_id: u16) -> Self {
-        Self { rank, tag, context_id }
+        Self {
+            rank,
+            tag,
+            context_id,
+        }
     }
 
     /// Receive from any source with any tag.
     #[inline]
     pub fn any(context_id: u16) -> Self {
-        Self { rank: ANY_SOURCE, tag: ANY_TAG, context_id }
+        Self {
+            rank: ANY_SOURCE,
+            tag: ANY_TAG,
+            context_id,
+        }
     }
 
     /// True if the source is wildcarded.
@@ -135,8 +147,19 @@ impl PostedEntry {
         } else {
             (spec.rank as u16, u32::MAX)
         };
-        let (tag, tag_mask) = if spec.tag == ANY_TAG { (0, 0) } else { (spec.tag, u32::MAX) };
-        Self { tag, rank, context_id: spec.context_id, tag_mask, rank_mask, request }
+        let (tag, tag_mask) = if spec.tag == ANY_TAG {
+            (0, 0)
+        } else {
+            (spec.tag, u32::MAX)
+        };
+        Self {
+            tag,
+            rank,
+            context_id: spec.context_id,
+            tag_mask,
+            rank_mask,
+            request,
+        }
     }
 
     /// Whether this posted entry matches an incoming envelope. Ranks are
@@ -183,7 +206,12 @@ impl UnexpectedEntry {
     /// Builds a UMQ entry from a message envelope.
     #[inline]
     pub fn from_envelope(env: Envelope, payload: PayloadHandle) -> Self {
-        Self { tag: env.tag, rank: env.rank as u16, context_id: env.context_id, payload }
+        Self {
+            tag: env.tag,
+            rank: env.rank as u16,
+            context_id: env.context_id,
+            payload,
+        }
     }
 
     /// Whether this buffered message satisfies a receive specification
@@ -192,8 +220,7 @@ impl UnexpectedEntry {
     pub fn matches(&self, spec: &RecvSpec) -> bool {
         self.context_id == spec.context_id
             && (spec.tag == ANY_TAG || spec.tag == self.tag)
-            && (spec.rank == ANY_SOURCE
-                || (spec.rank as u32 & 0xFFFF) == self.rank as u32)
+            && (spec.rank == ANY_SOURCE || (spec.rank as u32 & 0xFFFF) == self.rank as u32)
     }
 }
 
@@ -297,7 +324,12 @@ impl Element for UnexpectedEntry {
 
     #[inline]
     fn hole() -> Self {
-        Self { tag: -1, rank: u16::MAX, context_id: HOLE_CONTEXT, payload: u64::MAX }
+        Self {
+            tag: -1,
+            rank: u16::MAX,
+            context_id: HOLE_CONTEXT,
+            payload: u64::MAX,
+        }
     }
 
     #[inline]
@@ -413,7 +445,11 @@ mod tests {
             for tag in [0, -1, 7] {
                 // Use raw struct construction: hole must not match even
                 // degenerate envelopes.
-                let env = Envelope { rank, tag, context_id: HOLE_CONTEXT - 1 };
+                let env = Envelope {
+                    rank,
+                    tag,
+                    context_id: HOLE_CONTEXT - 1,
+                };
                 assert!(!hole.matches(&env));
             }
         }

@@ -32,7 +32,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// Where the heater thread should live relative to the compute core.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -59,7 +59,10 @@ impl Default for HeaterConfig {
     fn default() -> Self {
         // One pass every 50 µs refreshes far faster than any LLC turns over
         // under normal load, while costing well under one core.
-        Self { period: Duration::from_micros(50), binding: CoreBinding::SharedLlc }
+        Self {
+            period: Duration::from_micros(50),
+            binding: CoreBinding::SharedLlc,
+        }
     }
 }
 
@@ -74,7 +77,9 @@ impl HeatBuffer {
     /// Allocates a zeroed buffer of `bytes` (rounded up to 8).
     pub fn new(bytes: usize) -> Arc<Self> {
         let words = bytes.div_ceil(8);
-        Arc::new(Self { words: (0..words).map(|_| AtomicU64::new(0)).collect() })
+        Arc::new(Self {
+            words: (0..words).map(|_| AtomicU64::new(0)).collect(),
+        })
     }
 
     /// Buffer length in bytes.
@@ -180,7 +185,11 @@ impl Heater {
             .name("spc-heater".into())
             .spawn(move || heater_loop(&worker))
             .expect("failed to spawn heater thread");
-        Self { shared, thread: Some(thread), config }
+        Self {
+            shared,
+            thread: Some(thread),
+            config,
+        }
     }
 
     /// The configuration the heater was spawned with.
@@ -206,11 +215,18 @@ impl Heater {
     /// byte value is harmless — the value is discarded into a black-box
     /// accumulator, exactly as in the paper's implementation.
     pub unsafe fn register_raw(&self, base: *const u8, len: usize) -> RegionId {
-        self.insert(RegionKind::Raw { base: base as usize, len })
+        self.insert(RegionKind::Raw {
+            base: base as usize,
+            len,
+        })
     }
 
     fn insert(&self, kind: RegionKind) -> RegionId {
-        let mut slots = self.shared.slots.lock();
+        let mut slots = self
+            .shared
+            .slots
+            .lock()
+            .expect("heater slots lock poisoned");
         self.shared.active_regions.fetch_add(1, Ordering::Relaxed);
         // Re-use a dead slot if available (the paper's "re-uses list
         // elements" strategy), else push.
@@ -227,7 +243,11 @@ impl Heater {
     /// touching it. After this returns, raw memory may be freed.
     pub fn deregister(&self, id: RegionId) {
         {
-            let mut slots = self.shared.slots.lock();
+            let mut slots = self
+                .shared
+                .slots
+                .lock()
+                .expect("heater slots lock poisoned");
             let slot = slots.get_mut(id.0).expect("invalid RegionId");
             if !slot.active {
                 return;
@@ -239,7 +259,12 @@ impl Heater {
         }
         // An in-flight pass may have snapshotted the descriptor before we
         // marked it dead; wait for that pass to finish.
-        drop(self.shared.pass_lock.lock());
+        drop(
+            self.shared
+                .pass_lock
+                .lock()
+                .expect("heater pass lock poisoned"),
+        );
     }
 
     /// Pauses touching (the paper's compute-phase collaboration strategy).
@@ -261,7 +286,9 @@ impl Heater {
     /// Adjusts the inter-pass sleep: the granularity of induced temporal
     /// locality.
     pub fn set_period(&self, period: Duration) {
-        self.shared.period_ns.store(period.as_nanos() as u64, Ordering::Relaxed);
+        self.shared
+            .period_ns
+            .store(period.as_nanos() as u64, Ordering::Relaxed);
     }
 
     /// Current counters.
@@ -311,16 +338,17 @@ fn heater_loop(shared: &Shared) {
     let mut snapshot: Vec<PassRegion> = Vec::new();
     while !shared.shutdown.load(Ordering::Acquire) {
         if !shared.paused.load(Ordering::Acquire) {
-            let _pass = shared.pass_lock.lock();
+            let _pass = shared.pass_lock.lock().expect("heater pass lock poisoned");
             // Brief descriptor snapshot; clones of Arc only.
             snapshot.clear();
             {
-                let slots = shared.slots.lock();
+                let slots = shared.slots.lock().expect("heater slots lock poisoned");
                 for s in slots.iter().filter(|s| s.active) {
                     snapshot.push(match &s.kind {
-                        RegionKind::Raw { base, len } => {
-                            PassRegion::Raw { base: *base, len: *len }
-                        }
+                        RegionKind::Raw { base, len } => PassRegion::Raw {
+                            base: *base,
+                            len: *len,
+                        },
                         RegionKind::Buffer(b) => PassRegion::Buffer(Arc::clone(b)),
                     });
                 }
@@ -380,7 +408,11 @@ mod tests {
         let id = h.register_buffer(Arc::clone(&buf));
         h.wait_passes(3);
         let s = h.stats();
-        assert!(s.lines_touched >= 64, "3 passes over 64 lines, got {}", s.lines_touched);
+        assert!(
+            s.lines_touched >= 64,
+            "3 passes over 64 lines, got {}",
+            s.lines_touched
+        );
         assert_eq!(s.active_regions, 1);
         h.deregister(id);
         assert_eq!(h.stats().active_regions, 0);
@@ -449,13 +481,18 @@ mod tests {
         let mut lla: Lla<PostedEntry, 2> = Lla::new();
         let mut s = NullSink;
         for i in 0..100 {
-            lla.append(PostedEntry::from_spec(RecvSpec::new(0, i, 0), i as u64), &mut s);
+            lla.append(
+                PostedEntry::from_spec(RecvSpec::new(0, i, 0), i as u64),
+                &mut s,
+            );
         }
         let regions = lla.real_regions();
         // SAFETY: the pool chunks outlive the deregister calls below (the
         // list is dropped after).
-        let ids: Vec<_> =
-            regions.iter().map(|(p, l)| unsafe { h.register_raw(*p, *l) }).collect();
+        let ids: Vec<_> = regions
+            .iter()
+            .map(|(p, l)| unsafe { h.register_raw(*p, *l) })
+            .collect();
         h.wait_passes(3);
         assert!(h.stats().lines_touched > 0);
         // The list keeps mutating while heated.

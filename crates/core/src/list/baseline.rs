@@ -63,12 +63,20 @@ impl<E: Element> BaselineList<E> {
     /// Creates an empty list whose simulated node placement models a
     /// churned heap (scattered, non-ascending node addresses).
     pub fn new() -> Self {
-        Self::with_addr(AddrSpace::scattered(crate::addr::fresh_region_base(), 0x5EED))
+        Self::with_addr(AddrSpace::scattered(
+            crate::addr::fresh_region_base(),
+            0x5EED,
+        ))
     }
 
     /// Creates an empty list drawing simulated addresses from `addr`.
     pub fn with_addr(addr: AddrSpace) -> Self {
-        Self { head: core::ptr::null_mut(), tail: core::ptr::null_mut(), len: 0, addr }
+        Self {
+            head: core::ptr::null_mut(),
+            tail: core::ptr::null_mut(),
+            len: 0,
+            addr,
+        }
     }
 
     /// Walks the list calling `test` on each entry; on `true`, unlinks that
@@ -236,14 +244,20 @@ mod tests {
         assert_eq!(r.found.unwrap().request, 7);
         assert_eq!(r.depth, 8, "entry with tag 7 is the 8th in the list");
         assert_eq!(l.len(), 19);
-        assert!(l.search_remove(&Envelope::new(3, 7, 0), &mut s).found.is_none());
+        assert!(l
+            .search_remove(&Envelope::new(3, 7, 0), &mut s)
+            .found
+            .is_none());
     }
 
     #[test]
     fn fifo_among_equally_matching_entries() {
         let mut l: BaselineList<PostedEntry> = BaselineList::new();
         let mut s = NullSink;
-        l.append(PostedEntry::from_spec(RecvSpec::new(crate::ANY_SOURCE, 5, 0), 1), &mut s);
+        l.append(
+            PostedEntry::from_spec(RecvSpec::new(crate::ANY_SOURCE, 5, 0), 1),
+            &mut s,
+        );
         l.append(post(2, 5, 2), &mut s);
         // Both match (2, 5); the wildcard was posted first and must win.
         let r = l.search_remove(&Envelope::new(2, 5, 0), &mut s);
@@ -257,14 +271,28 @@ mod tests {
         for i in 0..3 {
             l.append(post(0, i, i as u64), &mut s);
         }
-        l.search_remove(&Envelope::new(0, 0, 0), &mut s).found.unwrap();
-        l.search_remove(&Envelope::new(0, 2, 0), &mut s).found.unwrap();
-        assert_eq!(l.snapshot().iter().map(|e| e.tag).collect::<Vec<_>>(), vec![1]);
+        l.search_remove(&Envelope::new(0, 0, 0), &mut s)
+            .found
+            .unwrap();
+        l.search_remove(&Envelope::new(0, 2, 0), &mut s)
+            .found
+            .unwrap();
+        assert_eq!(
+            l.snapshot().iter().map(|e| e.tag).collect::<Vec<_>>(),
+            vec![1]
+        );
         l.append(post(0, 9, 9), &mut s);
-        assert_eq!(l.snapshot().iter().map(|e| e.tag).collect::<Vec<_>>(), vec![1, 9]);
+        assert_eq!(
+            l.snapshot().iter().map(|e| e.tag).collect::<Vec<_>>(),
+            vec![1, 9]
+        );
         // Drain completely, then append again.
-        l.search_remove(&Envelope::new(0, 1, 0), &mut s).found.unwrap();
-        l.search_remove(&Envelope::new(0, 9, 0), &mut s).found.unwrap();
+        l.search_remove(&Envelope::new(0, 1, 0), &mut s)
+            .found
+            .unwrap();
+        l.search_remove(&Envelope::new(0, 9, 0), &mut s)
+            .found
+            .unwrap();
         assert!(l.is_empty());
         l.append(post(0, 11, 11), &mut s);
         assert_eq!(l.len(), 1);
@@ -295,7 +323,10 @@ mod tests {
         let mut l: BaselineList<UnexpectedEntry> = BaselineList::new();
         let mut s = NullSink;
         for i in 0..10 {
-            l.append(UnexpectedEntry::from_envelope(Envelope::new(i, 0, 0), i as u64), &mut s);
+            l.append(
+                UnexpectedEntry::from_envelope(Envelope::new(i, 0, 0), i as u64),
+                &mut s,
+            );
         }
         let r = l.search_remove(&RecvSpec::new(4, 0, 0), &mut s);
         assert_eq!(r.found.unwrap().payload, 4);

@@ -36,8 +36,9 @@ impl<E: Element> SourceBins<E> {
              communicators would alias bins"
         );
         let base = fresh_region_base();
-        let bins =
-            (0..comm_size).map(|i| SeqFifo::new(base + i as u64 * BIN_REGION)).collect();
+        let bins = (0..comm_size)
+            .map(|i| SeqFifo::new(base + i as u64 * BIN_REGION))
+            .collect();
         Self {
             bins,
             wild: SeqFifo::new(base + comm_size as u64 * BIN_REGION),
@@ -95,11 +96,16 @@ impl<E: Element> MatchList<E> for SourceBins<E> {
             None => {
                 // Wildcard-source receive: the structure degenerates to a
                 // global sequence-ordered scan.
-                let mut metas =
-                    collect_metas(self.bins.iter().chain(core::iter::once(&self.wild)));
+                let mut metas = collect_metas(self.bins.iter().chain(core::iter::once(&self.wild)));
                 let (hit, depth) = global_search_with(
                     &mut metas,
-                    |ci, pos| self.channel(ci).iter().nth(pos).expect("meta position valid").1,
+                    |ci, pos| {
+                        self.channel(ci)
+                            .iter()
+                            .nth(pos)
+                            .expect("meta position valid")
+                            .1
+                    },
                     probe,
                     sink,
                 );
@@ -166,9 +172,11 @@ impl<E: Element> MatchList<E> for SourceBins<E> {
     fn footprint(&self) -> Footprint {
         // The bin array itself is the O(ranks) term.
         let array = (self.bins.len() * core::mem::size_of::<SeqFifo<E>>()) as u64;
-        let storage: u64 =
-            self.bins.iter().map(SeqFifo::bytes).sum::<u64>() + self.wild.bytes();
-        Footprint { bytes: array + storage, allocations: self.bins.len() as u64 + 1 }
+        let storage: u64 = self.bins.iter().map(SeqFifo::bytes).sum::<u64>() + self.wild.bytes();
+        Footprint {
+            bytes: array + storage,
+            allocations: self.bins.len() as u64 + 1,
+        }
     }
 
     fn heat_regions(&self, out: &mut Vec<(u64, u64)>) {
@@ -214,10 +222,17 @@ mod tests {
     fn wildcard_posted_before_concrete_wins() {
         let mut l: SourceBins<PostedEntry> = SourceBins::new(8);
         let mut s = NullSink;
-        l.append(PostedEntry::from_spec(RecvSpec::new(ANY_SOURCE, 5, 0), 1), &mut s);
+        l.append(
+            PostedEntry::from_spec(RecvSpec::new(ANY_SOURCE, 5, 0), 1),
+            &mut s,
+        );
         l.append(post(2, 5, 2), &mut s);
         let r = l.search_remove(&Envelope::new(2, 5, 0), &mut s);
-        assert_eq!(r.found.unwrap().request, 1, "wildcard has the earlier sequence number");
+        assert_eq!(
+            r.found.unwrap().request,
+            1,
+            "wildcard has the earlier sequence number"
+        );
         let r = l.search_remove(&Envelope::new(2, 5, 0), &mut s);
         assert_eq!(r.found.unwrap().request, 2);
     }
@@ -227,7 +242,10 @@ mod tests {
         let mut l: SourceBins<PostedEntry> = SourceBins::new(8);
         let mut s = NullSink;
         l.append(post(2, 5, 1), &mut s);
-        l.append(PostedEntry::from_spec(RecvSpec::new(ANY_SOURCE, 5, 0), 2), &mut s);
+        l.append(
+            PostedEntry::from_spec(RecvSpec::new(ANY_SOURCE, 5, 0), 2),
+            &mut s,
+        );
         let r = l.search_remove(&Envelope::new(2, 5, 0), &mut s);
         assert_eq!(r.found.unwrap().request, 1);
     }
@@ -246,7 +264,11 @@ mod tests {
         // ANY_SOURCE receive must take the earliest *arrived*, not bin 1
         // first.
         let r = l.search_remove(&RecvSpec::new(ANY_SOURCE, 9, 0), &mut s);
-        assert_eq!(r.found.unwrap().payload, 0, "message from rank 3 arrived first");
+        assert_eq!(
+            r.found.unwrap().payload,
+            0,
+            "message from rank 3 arrived first"
+        );
         let r = l.search_remove(&RecvSpec::new(ANY_SOURCE, ANY_TAG, 0), &mut s);
         assert_eq!(r.found.unwrap().payload, 1);
         assert_eq!(l.len(), 2);
@@ -256,8 +278,12 @@ mod tests {
     fn footprint_scales_with_communicator_size() {
         let small: SourceBins<PostedEntry> = SourceBins::new(16);
         let large: SourceBins<PostedEntry> = SourceBins::new(4096);
-        assert!(large.footprint().bytes >= 200 * small.footprint().bytes,
-            "O(ranks) bin array dominates: {} vs {}", large.footprint().bytes, small.footprint().bytes);
+        assert!(
+            large.footprint().bytes >= 200 * small.footprint().bytes,
+            "O(ranks) bin array dominates: {} vs {}",
+            large.footprint().bytes,
+            small.footprint().bytes
+        );
     }
 
     #[test]
@@ -266,7 +292,10 @@ mod tests {
         let mut s = NullSink;
         l.append(post(3, 0, 0), &mut s);
         l.append(post(1, 0, 1), &mut s);
-        l.append(PostedEntry::from_spec(RecvSpec::new(ANY_SOURCE, 0, 0), 2), &mut s);
+        l.append(
+            PostedEntry::from_spec(RecvSpec::new(ANY_SOURCE, 0, 0), 2),
+            &mut s,
+        );
         l.append(post(1, 1, 3), &mut s);
         let snap: Vec<u64> = l.snapshot().iter().map(|e| e.request).collect();
         assert_eq!(snap, vec![0, 1, 2, 3]);
@@ -280,7 +309,10 @@ mod tests {
         let mut l: SourceBins<PostedEntry> = SourceBins::new(4);
         let mut s = NullSink;
         l.append(post(1, 0, 10), &mut s);
-        l.append(PostedEntry::from_spec(RecvSpec::new(ANY_SOURCE, 0, 0), 11), &mut s);
+        l.append(
+            PostedEntry::from_spec(RecvSpec::new(ANY_SOURCE, 0, 0), 11),
+            &mut s,
+        );
         assert_eq!(l.remove_by_id(11, &mut s).unwrap().request, 11);
         assert_eq!(l.remove_by_id(10, &mut s).unwrap().request, 10);
         assert!(l.remove_by_id(10, &mut s).is_none());

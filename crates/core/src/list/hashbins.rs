@@ -54,7 +54,9 @@ impl<E: Element> HashBins<E> {
     pub fn with_bins(nbins: usize) -> Self {
         assert!(nbins > 0, "hash matching needs at least one bin");
         let base = fresh_region_base();
-        let bins = (0..nbins).map(|i| SeqFifo::new(base + i as u64 * BIN_REGION)).collect();
+        let bins = (0..nbins)
+            .map(|i| SeqFifo::new(base + i as u64 * BIN_REGION))
+            .collect();
         Self {
             bins,
             wild: SeqFifo::new(base + nbins as u64 * BIN_REGION),
@@ -128,11 +130,16 @@ impl<E: Element> MatchList<E> for HashBins<E> {
             None => {
                 // A probe with wildcards cannot be hashed: global scan in
                 // sequence order.
-                let mut metas =
-                    collect_metas(self.bins.iter().chain(core::iter::once(&self.wild)));
+                let mut metas = collect_metas(self.bins.iter().chain(core::iter::once(&self.wild)));
                 let (hit, depth) = global_search_with(
                     &mut metas,
-                    |ci, pos| self.channel(ci).iter().nth(pos).expect("meta position valid").1,
+                    |ci, pos| {
+                        self.channel(ci)
+                            .iter()
+                            .nth(pos)
+                            .expect("meta position valid")
+                            .1
+                    },
                     probe,
                     sink,
                 );
@@ -154,8 +161,12 @@ impl<E: Element> MatchList<E> for HashBins<E> {
     fn remove_by_id<S: AccessSink>(&mut self, id: u64, _sink: &mut S) -> Option<E> {
         let mut best: Option<(u64, usize)> = None;
         for ci in 0..=self.bins.len() {
-            if let Some(seq) =
-                self.channel(ci).iter().filter(|(_, e)| e.id() == id).map(|(s, _)| *s).min()
+            if let Some(seq) = self
+                .channel(ci)
+                .iter()
+                .filter(|(_, e)| e.id() == id)
+                .map(|(s, _)| *s)
+                .min()
             {
                 if best.is_none_or(|(bs, _)| seq < bs) {
                     best = Some((seq, ci));
@@ -191,9 +202,11 @@ impl<E: Element> MatchList<E> for HashBins<E> {
 
     fn footprint(&self) -> Footprint {
         let table = (self.bins.len() * 8) as u64;
-        let storage: u64 =
-            self.bins.iter().map(SeqFifo::bytes).sum::<u64>() + self.wild.bytes();
-        Footprint { bytes: table + storage, allocations: self.bins.len() as u64 + 1 }
+        let storage: u64 = self.bins.iter().map(SeqFifo::bytes).sum::<u64>() + self.wild.bytes();
+        Footprint {
+            bytes: table + storage,
+            allocations: self.bins.len() as u64 + 1,
+        }
     }
 
     fn heat_regions(&self, out: &mut Vec<(u64, u64)>) {
@@ -242,12 +255,20 @@ mod tests {
         let mut l: HashBins<PostedEntry> = HashBins::new();
         let mut s = NullSink;
         l.append(post(2, 5, 1), &mut s);
-        l.append(PostedEntry::from_spec(RecvSpec::new(2, ANY_TAG, 0), 2), &mut s);
+        l.append(
+            PostedEntry::from_spec(RecvSpec::new(2, ANY_TAG, 0), 2),
+            &mut s,
+        );
         l.append(post(2, 5, 3), &mut s);
         // (2,5) arrivals must match in post order 1, 2, 3.
         let mut got = Vec::new();
         for _ in 0..3 {
-            got.push(l.search_remove(&Envelope::new(2, 5, 0), &mut s).found.unwrap().request);
+            got.push(
+                l.search_remove(&Envelope::new(2, 5, 0), &mut s)
+                    .found
+                    .unwrap()
+                    .request,
+            );
         }
         assert_eq!(got, vec![1, 2, 3]);
     }
@@ -293,7 +314,10 @@ mod tests {
         }
         assert_eq!(l.snapshot().len(), l.len());
         let snap = l.snapshot();
-        assert!(snap.windows(2).all(|w| w[0].request < w[1].request), "FIFO order kept");
+        assert!(
+            snap.windows(2).all(|w| w[0].request < w[1].request),
+            "FIFO order kept"
+        );
     }
 
     #[test]
@@ -301,7 +325,10 @@ mod tests {
         let mut l: HashBins<PostedEntry> = HashBins::with_bins(8);
         let mut s = NullSink;
         l.append(post(1, 2, 77), &mut s);
-        l.append(PostedEntry::from_spec(RecvSpec::new(ANY_SOURCE, 2, 0), 78), &mut s);
+        l.append(
+            PostedEntry::from_spec(RecvSpec::new(ANY_SOURCE, 2, 0), 78),
+            &mut s,
+        );
         assert_eq!(l.remove_by_id(78, &mut s).unwrap().request, 78);
         assert_eq!(l.len(), 1);
         l.clear();

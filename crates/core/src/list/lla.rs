@@ -42,7 +42,12 @@ const _: () = assert!(core::mem::size_of::<LlaNode<PostedEntry, 8>>() == 256);
 
 impl<E: Element, const N: usize> LlaNode<E, N> {
     fn empty() -> Self {
-        Self { head: 0, tail: 0, entries: [E::hole(); N], next: NIL }
+        Self {
+            head: 0,
+            tail: 0,
+            entries: [E::hole(); N],
+            next: NIL,
+        }
     }
 
     /// Byte offset of `entries[i]` within the node (repr(C): header is 8 B).
@@ -76,7 +81,13 @@ impl<E: Element, const N: usize> Lla<E, N> {
     /// Creates an empty queue drawing simulated addresses from `addr`.
     pub fn with_addr(addr: AddrSpace) -> Self {
         assert!(N >= 1, "an LLA node must hold at least one entry");
-        Self { pool: Pool::new(LlaNode::empty()), addr, head: NIL, tail: NIL, len: 0 }
+        Self {
+            pool: Pool::new(LlaNode::empty()),
+            addr,
+            head: NIL,
+            tail: NIL,
+            len: 0,
+        }
     }
 
     /// Creates an empty queue in a fresh, non-overlapping simulated region.
@@ -208,7 +219,15 @@ impl<E: Element, const N: usize> MatchList<E> for Lla<E, N> {
         node.tail = 1;
         let id = self.pool.alloc(node, &mut self.addr);
         let addr = self.pool.sim_addr(id);
-        sink.write(addr, core::mem::size_of::<LlaNode<E, N>>() as u32);
+        // Record the same traffic as the fast path: the entry written into
+        // slot 0 plus the header. Recording the whole node here would charge
+        // N-1 untouched slots (12 KiB of phantom writes per append at
+        // N = 512) and skew the slow path's simulated cost.
+        sink.write(
+            addr + LlaNode::<E, N>::entry_offset(0),
+            core::mem::size_of::<E>() as u32,
+        );
+        sink.write(addr, 8);
         if self.tail == NIL {
             self.head = id;
         } else {
@@ -237,9 +256,11 @@ impl<E: Element, const N: usize> MatchList<E> for Lla<E, N> {
         let mut cur = self.head;
         while cur != NIL {
             let n = self.pool.get(cur);
-            out.extend(n.entries[n.head as usize..n.tail as usize]
-                .iter()
-                .filter(|e| !e.is_hole()));
+            out.extend(
+                n.entries[n.head as usize..n.tail as usize]
+                    .iter()
+                    .filter(|e| !e.is_hole()),
+            );
             cur = n.next;
         }
         out
@@ -253,7 +274,10 @@ impl<E: Element, const N: usize> MatchList<E> for Lla<E, N> {
     }
 
     fn footprint(&self) -> Footprint {
-        Footprint { bytes: self.pool.bytes(), allocations: self.pool.allocations() }
+        Footprint {
+            bytes: self.pool.bytes(),
+            allocations: self.pool.allocations(),
+        }
     }
 
     fn heat_regions(&self, out: &mut Vec<(u64, u64)>) {
@@ -339,10 +363,16 @@ mod tests {
             l.append(post(i, i, i as u64), &mut s);
         }
         // Remove entry in the middle of the node.
-        assert!(l.search_remove(&Envelope::new(1, 1, 0), &mut s).found.is_some());
+        assert!(l
+            .search_remove(&Envelope::new(1, 1, 0), &mut s)
+            .found
+            .is_some());
         assert_eq!(l.len(), 3);
         let snap = l.snapshot();
-        assert_eq!(snap.iter().map(|e| e.request).collect::<Vec<_>>(), vec![0, 2, 3]);
+        assert_eq!(
+            snap.iter().map(|e| e.request).collect::<Vec<_>>(),
+            vec![0, 2, 3]
+        );
         // A subsequent full-miss search inspects only live entries.
         let r = l.search_remove(&Envelope::new(9, 9, 0), &mut s);
         assert_eq!(r.depth, 3);
@@ -357,10 +387,17 @@ mod tests {
         }
         assert_eq!(l.node_count(), 3);
         // Drain the middle node (tags 2 and 3).
-        l.search_remove(&Envelope::new(0, 2, 0), &mut s).found.unwrap();
-        l.search_remove(&Envelope::new(0, 3, 0), &mut s).found.unwrap();
+        l.search_remove(&Envelope::new(0, 2, 0), &mut s)
+            .found
+            .unwrap();
+        l.search_remove(&Envelope::new(0, 3, 0), &mut s)
+            .found
+            .unwrap();
         assert_eq!(l.node_count(), 2);
-        assert_eq!(l.snapshot().iter().map(|e| e.tag).collect::<Vec<_>>(), vec![0, 1, 4, 5]);
+        assert_eq!(
+            l.snapshot().iter().map(|e| e.tag).collect::<Vec<_>>(),
+            vec![0, 1, 4, 5]
+        );
         // Appends still work and traversal still terminates.
         l.append(post(0, 99, 99), &mut s);
         assert_eq!(l.len(), 5);
@@ -375,21 +412,38 @@ mod tests {
             l.append(post(0, i, i as u64), &mut s);
         }
         // Drain the head node.
-        l.search_remove(&Envelope::new(0, 0, 0), &mut s).found.unwrap();
-        l.search_remove(&Envelope::new(0, 1, 0), &mut s).found.unwrap();
+        l.search_remove(&Envelope::new(0, 0, 0), &mut s)
+            .found
+            .unwrap();
+        l.search_remove(&Envelope::new(0, 1, 0), &mut s)
+            .found
+            .unwrap();
         // Drain the tail node.
-        l.search_remove(&Envelope::new(0, 4, 0), &mut s).found.unwrap();
-        l.search_remove(&Envelope::new(0, 5, 0), &mut s).found.unwrap();
-        assert_eq!(l.snapshot().iter().map(|e| e.tag).collect::<Vec<_>>(), vec![2, 3]);
+        l.search_remove(&Envelope::new(0, 4, 0), &mut s)
+            .found
+            .unwrap();
+        l.search_remove(&Envelope::new(0, 5, 0), &mut s)
+            .found
+            .unwrap();
+        assert_eq!(
+            l.snapshot().iter().map(|e| e.tag).collect::<Vec<_>>(),
+            vec![2, 3]
+        );
         l.append(post(0, 7, 7), &mut s);
-        assert_eq!(l.snapshot().iter().map(|e| e.tag).collect::<Vec<_>>(), vec![2, 3, 7]);
+        assert_eq!(
+            l.snapshot().iter().map(|e| e.tag).collect::<Vec<_>>(),
+            vec![2, 3, 7]
+        );
     }
 
     #[test]
     fn wildcard_entries_match_any_source() {
         let mut l: Lla<PostedEntry, 2> = Lla::new();
         let mut s = NullSink;
-        l.append(PostedEntry::from_spec(RecvSpec::new(crate::ANY_SOURCE, 5, 0), 1), &mut s);
+        l.append(
+            PostedEntry::from_spec(RecvSpec::new(crate::ANY_SOURCE, 5, 0), 1),
+            &mut s,
+        );
         let r = l.search_remove(&Envelope::new(42, 5, 0), &mut s);
         assert_eq!(r.found.unwrap().request, 1);
     }
@@ -418,7 +472,11 @@ mod tests {
         l.clear();
         assert_eq!(l.len(), 0);
         assert!(l.is_empty());
-        assert_eq!(l.footprint().bytes, bytes, "chunks are retained for the heater");
+        assert_eq!(
+            l.footprint().bytes,
+            bytes,
+            "chunks are retained for the heater"
+        );
         l.append(post(0, 1, 1), &mut s);
         assert_eq!(l.len(), 1);
     }
@@ -467,7 +525,10 @@ mod tests {
         let mut l: Lla<UnexpectedEntry, 3> = Lla::new();
         let mut s = NullSink;
         for i in 0..7 {
-            l.append(UnexpectedEntry::from_envelope(Envelope::new(i, i, 0), i as u64), &mut s);
+            l.append(
+                UnexpectedEntry::from_envelope(Envelope::new(i, i, 0), i as u64),
+                &mut s,
+            );
         }
         let r = l.search_remove(&RecvSpec::new(crate::ANY_SOURCE, 4, 0), &mut s);
         assert_eq!(r.found.unwrap().payload, 4);

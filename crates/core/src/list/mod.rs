@@ -51,7 +51,10 @@ impl<E> Search<E> {
 
     /// A hit on the `depth`-th inspected entry.
     pub fn hit(e: E, depth: u32) -> Self {
-        Self { found: Some(e), depth }
+        Self {
+            found: Some(e),
+            depth,
+        }
     }
 }
 
@@ -76,6 +79,29 @@ pub trait MatchList<E: Element> {
 
     /// Finds, removes, and returns the earliest-appended element matching
     /// `probe`, reporting the number of entries inspected.
+    ///
+    /// # Depth contract
+    ///
+    /// [`Search::depth`] counts **live** entries physically inspected,
+    /// including the match itself; in-band holes and structural metadata
+    /// (node headers, bin tables, trie levels) are never counted. Every
+    /// implementation must satisfy:
+    ///
+    /// * a hit has `depth >= 1` (the match itself was inspected);
+    /// * `depth` never exceeds the number of live entries at call time.
+    ///
+    /// **Linear structures** ([`BaselineList`], [`Lla`]) additionally
+    /// guarantee the exact values the paper's Table 1 is defined over: a
+    /// hit's depth is the 1-based FIFO position of the match among live
+    /// entries, and a miss's depth is the live length. **Partitioned
+    /// structures** ([`SourceBins`], [`HashBins`], [`RankTrie`]) inspect
+    /// only the channels that can hold a match — reporting *fewer*
+    /// inspections than the FIFO position is their entire purpose, so
+    /// their depth reflects the physical scan (e.g. bin prefix + wildcard
+    /// prefix for a merged search, possibly `0` on an empty-region miss).
+    /// The `spc-conformance` crate enforces the exact form for linear
+    /// structures and the bounds for all of them, differentially against
+    /// a Vec-backed oracle.
     fn search_remove<S: AccessSink>(&mut self, probe: &E::Probe, sink: &mut S) -> Search<E>;
 
     /// Removes the earliest element whose [`Element::id`] equals `id`
@@ -128,7 +154,10 @@ impl<E: Element> SeqFifo<E> {
     }
 
     pub(crate) fn push<S: AccessSink>(&mut self, seq: u64, e: E, sink: &mut S) {
-        sink.write(self.sim_base + self.items.len() as u64 * self.stride, self.stride as u32);
+        sink.write(
+            self.sim_base + self.items.len() as u64 * self.stride,
+            self.stride as u32,
+        );
         self.items.push_back((seq, e));
     }
 
@@ -165,7 +194,9 @@ impl<E: Element> SeqFifo<E> {
     }
 
     pub(crate) fn remove(&mut self, pos: usize) -> (u64, E) {
-        self.items.remove(pos).expect("SeqFifo::remove position out of range")
+        self.items
+            .remove(pos)
+            .expect("SeqFifo::remove position out of range")
     }
 
     /// Removes the first element with the given id; returns it with its
@@ -254,7 +285,13 @@ pub(crate) fn collect_metas<'a, E: Element>(
     let mut all = Vec::new();
     for (ci, ch) in channels.enumerate() {
         for (pos, (seq, _)) in ch.iter().enumerate() {
-            all.push((*seq, ci, pos, ch.sim_base + pos as u64 * ch.stride, ch.stride as u32));
+            all.push((
+                *seq,
+                ci,
+                pos,
+                ch.sim_base + pos as u64 * ch.stride,
+                ch.stride as u32,
+            ));
         }
     }
     all

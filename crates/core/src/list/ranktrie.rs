@@ -159,8 +159,7 @@ impl<E: Element> MatchList<E> for RankTrie<E> {
         self.next_seq += 1;
         match e.bin_source() {
             Some(src) => {
-                let leaf =
-                    self.find_or_create_leaf(u32::try_from(src).expect("rank >= 0"), sink);
+                let leaf = self.find_or_create_leaf(u32::try_from(src).expect("rank >= 0"), sink);
                 self.leaves[leaf].push(seq, e, sink);
             }
             None => self.wild.push(seq, e, sink),
@@ -195,7 +194,13 @@ impl<E: Element> MatchList<E> for RankTrie<E> {
                     collect_metas(self.leaves.iter().chain(core::iter::once(&self.wild)));
                 let (hit, depth) = global_search_with(
                     &mut metas,
-                    |ci, pos| self.channel(ci).iter().nth(pos).expect("meta position valid").1,
+                    |ci, pos| {
+                        self.channel(ci)
+                            .iter()
+                            .nth(pos)
+                            .expect("meta position valid")
+                            .1
+                    },
                     probe,
                     sink,
                 );
@@ -217,8 +222,12 @@ impl<E: Element> MatchList<E> for RankTrie<E> {
     fn remove_by_id<S: AccessSink>(&mut self, id: u64, _sink: &mut S) -> Option<E> {
         let mut best: Option<(u64, usize)> = None;
         for ci in 0..=self.leaves.len() {
-            if let Some(seq) =
-                self.channel(ci).iter().filter(|(_, e)| e.id() == id).map(|(s, _)| *s).min()
+            if let Some(seq) = self
+                .channel(ci)
+                .iter()
+                .filter(|(_, e)| e.id() == id)
+                .map(|(s, _)| *s)
+                .min()
             {
                 if best.is_none_or(|(bs, _)| seq < bs) {
                     best = Some((seq, ci));
@@ -258,8 +267,7 @@ impl<E: Element> MatchList<E> for RankTrie<E> {
             + self.l3.iter().map(Vec::len).sum::<usize>()
             + self.l4.iter().map(Vec::len).sum::<usize>()) as u64
             * 4;
-        let storage: u64 =
-            self.leaves.iter().map(SeqFifo::bytes).sum::<u64>() + self.wild.bytes();
+        let storage: u64 = self.leaves.iter().map(SeqFifo::bytes).sum::<u64>() + self.wild.bytes();
         Footprint {
             bytes: tables + storage,
             allocations: (1 + self.l2.len() + self.l3.len() + self.l4.len() + self.leaves.len())
@@ -296,7 +304,10 @@ mod tests {
         let t: RankTrie<PostedEntry> = RankTrie::new(10_000);
         let mut seen = std::collections::HashSet::new();
         for rank in 0..10_000u32 {
-            assert!(seen.insert(t.digits(rank)), "digits collide for rank {rank}");
+            assert!(
+                seen.insert(t.digits(rank)),
+                "digits collide for rank {rank}"
+            );
         }
     }
 
@@ -308,7 +319,11 @@ mod tests {
         for (i, r) in [5, 40_000, 65_535].iter().enumerate() {
             t.append(post(*r, 0, i as u64), &mut s);
         }
-        assert!(t.footprint().bytes < 8 * 1024, "footprint {} too big", t.footprint().bytes);
+        assert!(
+            t.footprint().bytes < 8 * 1024,
+            "footprint {} too big",
+            t.footprint().bytes
+        );
         assert_eq!(t.len(), 3);
     }
 
@@ -342,7 +357,10 @@ mod tests {
     fn wildcard_ordering_against_leaves() {
         let mut t: RankTrie<PostedEntry> = RankTrie::new(1024);
         let mut s = NullSink;
-        t.append(PostedEntry::from_spec(RecvSpec::new(ANY_SOURCE, 5, 0), 1), &mut s);
+        t.append(
+            PostedEntry::from_spec(RecvSpec::new(ANY_SOURCE, 5, 0), 1),
+            &mut s,
+        );
         t.append(post(9, 5, 2), &mut s);
         let r = t.search_remove(&Envelope::new(9, 5, 0), &mut s);
         assert_eq!(r.found.unwrap().request, 1, "earlier wildcard wins");
@@ -358,7 +376,10 @@ mod tests {
         for (i, r) in [500, 2, 2, 900].iter().enumerate() {
             t.append(post(*r, i as i32, i as u64), &mut s);
         }
-        assert_eq!(t.snapshot().iter().map(|e| e.request).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        assert_eq!(
+            t.snapshot().iter().map(|e| e.request).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
         assert_eq!(t.remove_by_id(2, &mut s).unwrap().request, 2);
         assert_eq!(t.len(), 3);
         t.clear();

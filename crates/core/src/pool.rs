@@ -123,21 +123,30 @@ impl<T: Copy> Pool<T> {
     /// Shared access to a node.
     #[inline]
     pub fn get(&self, id: u32) -> &T {
-        let (c, i) = (id as usize / self.chunk_nodes, id as usize % self.chunk_nodes);
+        let (c, i) = (
+            id as usize / self.chunk_nodes,
+            id as usize % self.chunk_nodes,
+        );
         &self.chunks[c].nodes[i]
     }
 
     /// Exclusive access to a node.
     #[inline]
     pub fn get_mut(&mut self, id: u32) -> &mut T {
-        let (c, i) = (id as usize / self.chunk_nodes, id as usize % self.chunk_nodes);
+        let (c, i) = (
+            id as usize / self.chunk_nodes,
+            id as usize % self.chunk_nodes,
+        );
         &mut self.chunks[c].nodes[i]
     }
 
     /// Simulated address of a node.
     #[inline]
     pub fn sim_addr(&self, id: u32) -> u64 {
-        let (c, i) = (id as usize / self.chunk_nodes, id as usize % self.chunk_nodes);
+        let (c, i) = (
+            id as usize / self.chunk_nodes,
+            id as usize % self.chunk_nodes,
+        );
         self.chunks[c].sim_base + (i * core::mem::size_of::<T>()) as u64
     }
 
@@ -145,7 +154,10 @@ impl<T: Copy> Pool<T> {
     /// heater registers.
     pub fn sim_regions(&self, out: &mut Vec<(u64, u64)>) {
         for c in &self.chunks {
-            out.push((c.sim_base, (self.chunk_nodes * core::mem::size_of::<T>()) as u64));
+            out.push((
+                c.sim_base,
+                (self.chunk_nodes * core::mem::size_of::<T>()) as u64,
+            ));
         }
     }
 
@@ -155,7 +167,12 @@ impl<T: Copy> Pool<T> {
     pub fn real_regions(&self) -> Vec<(*const u8, usize)> {
         self.chunks
             .iter()
-            .map(|c| (c.nodes.as_ptr() as *const u8, std::mem::size_of_val(&*c.nodes)))
+            .map(|c| {
+                (
+                    c.nodes.as_ptr() as *const u8,
+                    std::mem::size_of_val(&*c.nodes),
+                )
+            })
             .collect()
     }
 

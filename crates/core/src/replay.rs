@@ -63,7 +63,11 @@ pub struct TraceParseError {
 
 impl std::fmt::Display for TraceParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "trace parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -139,7 +143,10 @@ impl MatchTrace {
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
-            let err = |message: String| TraceParseError { line: idx + 1, message };
+            let err = |message: String| TraceParseError {
+                line: idx + 1,
+                message,
+            };
             let mut parts = line.split_ascii_whitespace();
             let kind = parts.next().expect("non-empty line has a first token");
             let fields: Vec<&str> = parts.collect();
@@ -147,11 +154,15 @@ impl MatchTrace {
                 if fields.len() == n {
                     Ok(())
                 } else {
-                    Err(err(format!("expected {n} fields after '{kind}', got {}", fields.len())))
+                    Err(err(format!(
+                        "expected {n} fields after '{kind}', got {}",
+                        fields.len()
+                    )))
                 }
             };
             let num = |s: &str| -> Result<i64, TraceParseError> {
-                s.parse::<i64>().map_err(|e| err(format!("bad number {s:?}: {e}")))
+                s.parse::<i64>()
+                    .map_err(|e| err(format!("bad number {s:?}: {e}")))
             };
             match kind {
                 "P" => {
@@ -286,9 +297,18 @@ mod tests {
 
     #[test]
     fn parse_rejects_malformed_lines() {
-        assert!(MatchTrace::from_text("P 1 2 3").unwrap_err().message.contains("expected 4"));
-        assert!(MatchTrace::from_text("X 1").unwrap_err().message.contains("unknown op"));
-        assert!(MatchTrace::from_text("P a b c d").unwrap_err().message.contains("bad number"));
+        assert!(MatchTrace::from_text("P 1 2 3")
+            .unwrap_err()
+            .message
+            .contains("expected 4"));
+        assert!(MatchTrace::from_text("X 1")
+            .unwrap_err()
+            .message
+            .contains("unknown op"));
+        assert!(MatchTrace::from_text("P a b c d")
+            .unwrap_err()
+            .message
+            .contains("bad number"));
         let e = MatchTrace::from_text("# ok\n\nC zzz").unwrap_err();
         assert_eq!(e.line, 3);
     }
@@ -319,7 +339,13 @@ mod tests {
         .map(|k| {
             let mut eng = DynEngine::new(k);
             let r = t.replay(&mut eng);
-            (r.prq_hits, r.umq_hits, r.queued, r.final_prq_len, r.final_umq_len)
+            (
+                r.prq_hits,
+                r.umq_hits,
+                r.queued,
+                r.final_prq_len,
+                r.final_umq_len,
+            )
         })
         .collect();
         assert!(reports.windows(2).all(|w| w[0] == w[1]), "{reports:?}");

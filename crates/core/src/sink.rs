@@ -144,12 +144,20 @@ impl TraceSink {
 impl AccessSink for TraceSink {
     #[inline]
     fn read(&mut self, addr: u64, len: u32) {
-        self.trace.push(Access { addr, len, is_write: false });
+        self.trace.push(Access {
+            addr,
+            len,
+            is_write: false,
+        });
     }
 
     #[inline]
     fn write(&mut self, addr: u64, len: u32) {
-        self.trace.push(Access { addr, len, is_write: true });
+        self.trace.push(Access {
+            addr,
+            len,
+            is_write: true,
+        });
     }
 }
 
@@ -186,8 +194,16 @@ mod tests {
         assert_eq!(
             s.trace,
             vec![
-                Access { addr: 100, len: 24, is_write: false },
-                Access { addr: 200, len: 8, is_write: true }
+                Access {
+                    addr: 100,
+                    len: 24,
+                    is_write: false
+                },
+                Access {
+                    addr: 200,
+                    len: 8,
+                    is_write: true
+                }
             ]
         );
         assert_eq!(s.distinct_lines(), 2); // 100..124 is within line 1; 200..208 is line 3

@@ -73,7 +73,11 @@ impl Histogram {
     /// Creates a histogram with the given bucket width (> 0).
     pub fn new(width: u64) -> Self {
         assert!(width > 0, "bucket width must be positive");
-        Self { width, counts: Vec::new(), total: 0 }
+        Self {
+            width,
+            counts: Vec::new(),
+            total: 0,
+        }
     }
 
     /// Bucket width.
@@ -107,7 +111,10 @@ impl Histogram {
 
     /// Count in the bucket containing `v`.
     pub fn count_for(&self, v: u64) -> u64 {
-        self.counts.get((v / self.width) as usize).copied().unwrap_or(0)
+        self.counts
+            .get((v / self.width) as usize)
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Largest recorded value's bucket upper bound, or 0 when empty.

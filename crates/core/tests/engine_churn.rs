@@ -2,12 +2,10 @@
 //! streams, unexpected-message floods, cancel storms — checking the
 //! engine's global invariants rather than single-call behaviour.
 
-use proptest::prelude::*;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
 use spc_core::dynengine::{DynEngine, EngineKind};
 use spc_core::engine::{ArrivalOutcome, RecvOutcome};
 use spc_core::entry::{Envelope, RecvSpec, ANY_SOURCE, ANY_TAG};
+use spc_rng::{Rng, SeedableRng, SliceRandom, StdRng};
 
 fn all_kinds() -> Vec<EngineKind> {
     vec![
@@ -26,7 +24,7 @@ fn all_kinds() -> Vec<EngineKind> {
 #[test]
 fn conservation_holds_under_churn() {
     for kind in all_kinds() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0xC0FFEE);
+        let mut rng = StdRng::seed_from_u64(0xC0FFEE);
         let mut eng = DynEngine::new(kind);
         let mut cancels = 0u64;
         let mut next_req = 0u64;
@@ -81,7 +79,7 @@ fn conservation_holds_under_churn() {
 fn flood_then_wildcard_drain_is_fifo() {
     for kind in all_kinds() {
         let mut eng = DynEngine::new(kind);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut rng = StdRng::seed_from_u64(7);
         for payload in 0..2000u64 {
             let env = Envelope::new(rng.gen_range(0..16), rng.gen_range(0..4), 0);
             assert!(matches!(eng.arrival(env, payload), ArrivalOutcome::Queued));
@@ -129,16 +127,16 @@ fn cancelled_receives_never_match() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Any interleaving of a posts-then-arrivals script leaves every engine
-    /// kind with identical final queue lengths (structure-independence of
-    /// queue dynamics — the assumption behind the Figure 1 study).
-    #[test]
-    fn final_lengths_are_structure_independent(
-        script in prop::collection::vec((0i32..12, 0i32..6, any::<bool>()), 1..150)
-    ) {
+/// Any interleaving of a posts-then-arrivals script leaves every engine
+/// kind with identical final queue lengths (structure-independence of
+/// queue dynamics — the assumption behind the Figure 1 study).
+#[test]
+fn final_lengths_are_structure_independent() {
+    for case in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(0xF161 ^ case);
+        let script: Vec<(i32, i32, bool)> = (0..rng.gen_range(1..150usize))
+            .map(|_| (rng.gen_range(0..12), rng.gen_range(0..6), rng.gen_bool(0.5)))
+            .collect();
         let mut lens = Vec::new();
         for kind in all_kinds() {
             let mut eng = DynEngine::new(kind);
@@ -151,7 +149,7 @@ proptest! {
             }
             lens.push((eng.prq_len(), eng.umq_len()));
         }
-        prop_assert!(
+        assert!(
             lens.windows(2).all(|w| w[0] == w[1]),
             "queue lengths diverged across structures: {lens:?}"
         );

@@ -1,39 +1,65 @@
-//! Property tests: every match-list structure is behaviourally equivalent
-//! to the reference [`BaselineList`] under arbitrary operation sequences.
+//! Randomized equivalence tests: every match-list structure is behaviourally
+//! equivalent to the reference [`BaselineList`] under arbitrary operation
+//! sequences.
 //!
 //! "Behaviourally equivalent" means: the same probe returns the same element
 //! (by id), `len` agrees, and `snapshot` returns the same elements in the
 //! same FIFO order. Search *depth* is allowed to differ — that is exactly
-//! the performance property the paper studies.
+//! the performance property the paper studies. (The `spc-conformance` crate
+//! layers a full differential harness — oracle model, deeper op streams,
+//! failure shrinking — on top of the same idea; these in-crate tests keep
+//! `spc-core` self-checking on its own.)
+//!
+//! Formerly proptest properties; now driven by the in-repo seeded PRNG so
+//! the workspace builds offline. Failures print the generating seed.
 
-use proptest::prelude::*;
 use spc_core::entry::{Envelope, PostedEntry, RecvSpec, UnexpectedEntry, ANY_SOURCE, ANY_TAG};
 use spc_core::list::{BaselineList, HashBins, Lla, MatchList, RankTrie, SourceBins};
 use spc_core::NullSink;
+use spc_rng::{Rng, SeedableRng, StdRng};
 
 const RANKS: i32 = 8;
 const TAGS: i32 = 4;
 const CTXS: u16 = 2;
+const CASES: u64 = 256;
 
 #[derive(Clone, Debug)]
 enum PostedOp {
-    Append { rank: Option<i32>, tag: Option<i32>, ctx: u16 },
-    Search { rank: i32, tag: i32, ctx: u16 },
-    Cancel { nth: u64 },
+    Append {
+        rank: Option<i32>,
+        tag: Option<i32>,
+        ctx: u16,
+    },
+    Search {
+        rank: i32,
+        tag: i32,
+        ctx: u16,
+    },
+    Cancel {
+        nth: u64,
+    },
 }
 
-fn posted_op() -> impl Strategy<Value = PostedOp> {
-    prop_oneof![
-        3 => (
-            prop::option::weighted(0.8, 0..RANKS),
-            prop::option::weighted(0.8, 0..TAGS),
-            0..CTXS
-        )
-            .prop_map(|(rank, tag, ctx)| PostedOp::Append { rank, tag, ctx }),
-        2 => (0..RANKS, 0..TAGS, 0..CTXS)
-            .prop_map(|(rank, tag, ctx)| PostedOp::Search { rank, tag, ctx }),
-        1 => (0u64..40).prop_map(|nth| PostedOp::Cancel { nth }),
-    ]
+fn posted_ops(seed: u64) -> Vec<PostedOp> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rng.gen_range(1..120usize);
+    (0..n)
+        .map(|_| match rng.gen_range(0..6) {
+            0..=2 => PostedOp::Append {
+                rank: rng.gen_bool(0.8).then(|| rng.gen_range(0..RANKS)),
+                tag: rng.gen_bool(0.8).then(|| rng.gen_range(0..TAGS)),
+                ctx: rng.gen_range(0..CTXS),
+            },
+            3..=4 => PostedOp::Search {
+                rank: rng.gen_range(0..RANKS),
+                tag: rng.gen_range(0..TAGS),
+                ctx: rng.gen_range(0..CTXS),
+            },
+            _ => PostedOp::Cancel {
+                nth: rng.gen_range(0..40u64),
+            },
+        })
+        .collect()
 }
 
 /// Replays `ops` against `list`, returning an event log of observable
@@ -45,8 +71,7 @@ fn run_posted<L: MatchList<PostedEntry>>(list: &mut L, ops: &[PostedOp]) -> Vec<
     for op in ops {
         match op {
             PostedOp::Append { rank, tag, ctx } => {
-                let spec =
-                    RecvSpec::new(rank.unwrap_or(ANY_SOURCE), tag.unwrap_or(ANY_TAG), *ctx);
+                let spec = RecvSpec::new(rank.unwrap_or(ANY_SOURCE), tag.unwrap_or(ANY_TAG), *ctx);
                 list.append(PostedEntry::from_spec(spec, next_req), &mut sink);
                 next_req += 1;
             }
@@ -63,28 +88,88 @@ fn run_posted<L: MatchList<PostedEntry>>(list: &mut L, ops: &[PostedOp]) -> Vec<
     }
     log.push(format!(
         "final {:?}",
-        list.snapshot().iter().map(|e| e.request).collect::<Vec<_>>()
+        list.snapshot()
+            .iter()
+            .map(|e| e.request)
+            .collect::<Vec<_>>()
     ));
     log
 }
 
-#[derive(Clone, Debug)]
-enum UmqOp {
-    Arrive { rank: i32, tag: i32, ctx: u16 },
-    Recv { rank: Option<i32>, tag: Option<i32>, ctx: u16 },
+/// Asserts structural equivalence over `CASES` seeded op streams, naming the
+/// failing seed + ops so the case replays exactly.
+fn check_posted<L: MatchList<PostedEntry>>(tag: u64, mk: impl Fn() -> L) {
+    for case in 0..CASES {
+        let seed = tag.wrapping_mul(0x9E37_79B9).wrapping_add(case);
+        let ops = posted_ops(seed);
+        let reference = run_posted(&mut BaselineList::new(), &ops);
+        let got = run_posted(&mut mk(), &ops);
+        assert_eq!(got, reference, "seed {seed:#x}; ops: {ops:?}");
+    }
 }
 
-fn umq_op() -> impl Strategy<Value = UmqOp> {
-    prop_oneof![
-        3 => (0..RANKS, 0..TAGS, 0..CTXS)
-            .prop_map(|(rank, tag, ctx)| UmqOp::Arrive { rank, tag, ctx }),
-        2 => (
-            prop::option::weighted(0.7, 0..RANKS),
-            prop::option::weighted(0.7, 0..TAGS),
-            0..CTXS
-        )
-            .prop_map(|(rank, tag, ctx)| UmqOp::Recv { rank, tag, ctx }),
-    ]
+#[test]
+fn posted_lla2_matches_baseline() {
+    check_posted(1, Lla::<PostedEntry, 2>::new);
+}
+
+#[test]
+fn posted_lla8_matches_baseline() {
+    check_posted(2, Lla::<PostedEntry, 8>::new);
+}
+
+#[test]
+fn posted_lla512_matches_baseline() {
+    check_posted(3, Lla::<PostedEntry, 512>::new);
+}
+
+#[test]
+fn posted_source_bins_matches_baseline() {
+    check_posted(4, || SourceBins::<PostedEntry>::new(RANKS as usize));
+}
+
+#[test]
+fn posted_hash_bins_matches_baseline() {
+    // Few bins on purpose: force collisions and the merge path.
+    check_posted(5, || HashBins::<PostedEntry>::with_bins(4));
+}
+
+#[test]
+fn posted_rank_trie_matches_baseline() {
+    check_posted(6, || RankTrie::<PostedEntry>::new(RANKS as usize));
+}
+
+#[derive(Clone, Debug)]
+enum UmqOp {
+    Arrive {
+        rank: i32,
+        tag: i32,
+        ctx: u16,
+    },
+    Recv {
+        rank: Option<i32>,
+        tag: Option<i32>,
+        ctx: u16,
+    },
+}
+
+fn umq_ops(seed: u64) -> Vec<UmqOp> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rng.gen_range(1..120usize);
+    (0..n)
+        .map(|_| match rng.gen_range(0..5) {
+            0..=2 => UmqOp::Arrive {
+                rank: rng.gen_range(0..RANKS),
+                tag: rng.gen_range(0..TAGS),
+                ctx: rng.gen_range(0..CTXS),
+            },
+            _ => UmqOp::Recv {
+                rank: rng.gen_bool(0.7).then(|| rng.gen_range(0..RANKS)),
+                tag: rng.gen_bool(0.7).then(|| rng.gen_range(0..TAGS)),
+                ctx: rng.gen_range(0..CTXS),
+            },
+        })
+        .collect()
 }
 
 fn run_umq<L: MatchList<UnexpectedEntry>>(list: &mut L, ops: &[UmqOp]) -> Vec<String> {
@@ -101,8 +186,7 @@ fn run_umq<L: MatchList<UnexpectedEntry>>(list: &mut L, ops: &[UmqOp]) -> Vec<St
                 next_payload += 1;
             }
             UmqOp::Recv { rank, tag, ctx } => {
-                let spec =
-                    RecvSpec::new(rank.unwrap_or(ANY_SOURCE), tag.unwrap_or(ANY_TAG), *ctx);
+                let spec = RecvSpec::new(rank.unwrap_or(ANY_SOURCE), tag.unwrap_or(ANY_TAG), *ctx);
                 let r = list.search_remove(&spec, &mut sink);
                 log.push(format!("recv -> {:?}", r.found.map(|e| e.payload)));
             }
@@ -111,108 +195,59 @@ fn run_umq<L: MatchList<UnexpectedEntry>>(list: &mut L, ops: &[UmqOp]) -> Vec<St
     }
     log.push(format!(
         "final {:?}",
-        list.snapshot().iter().map(|e| e.payload).collect::<Vec<_>>()
+        list.snapshot()
+            .iter()
+            .map(|e| e.payload)
+            .collect::<Vec<_>>()
     ));
     log
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn posted_lla2_matches_baseline(ops in prop::collection::vec(posted_op(), 1..120)) {
-        let reference = run_posted(&mut BaselineList::new(), &ops);
-        prop_assert_eq!(run_posted(&mut Lla::<PostedEntry, 2>::new(), &ops), reference);
-    }
-
-    #[test]
-    fn posted_lla8_matches_baseline(ops in prop::collection::vec(posted_op(), 1..120)) {
-        let reference = run_posted(&mut BaselineList::new(), &ops);
-        prop_assert_eq!(run_posted(&mut Lla::<PostedEntry, 8>::new(), &ops), reference);
-    }
-
-    #[test]
-    fn posted_lla512_matches_baseline(ops in prop::collection::vec(posted_op(), 1..120)) {
-        let reference = run_posted(&mut BaselineList::new(), &ops);
-        prop_assert_eq!(run_posted(&mut Lla::<PostedEntry, 512>::new(), &ops), reference);
-    }
-
-    #[test]
-    fn posted_source_bins_matches_baseline(ops in prop::collection::vec(posted_op(), 1..120)) {
-        let reference = run_posted(&mut BaselineList::new(), &ops);
-        prop_assert_eq!(
-            run_posted(&mut SourceBins::<PostedEntry>::new(RANKS as usize), &ops),
-            reference
-        );
-    }
-
-    #[test]
-    fn posted_hash_bins_matches_baseline(ops in prop::collection::vec(posted_op(), 1..120)) {
-        let reference = run_posted(&mut BaselineList::new(), &ops);
-        // Few bins on purpose: force collisions and the merge path.
-        prop_assert_eq!(
-            run_posted(&mut HashBins::<PostedEntry>::with_bins(4), &ops),
-            reference
-        );
-    }
-
-    #[test]
-    fn posted_rank_trie_matches_baseline(ops in prop::collection::vec(posted_op(), 1..120)) {
-        let reference = run_posted(&mut BaselineList::new(), &ops);
-        prop_assert_eq!(
-            run_posted(&mut RankTrie::<PostedEntry>::new(RANKS as usize), &ops),
-            reference
-        );
-    }
-
-    #[test]
-    fn umq_lla3_matches_baseline(ops in prop::collection::vec(umq_op(), 1..120)) {
+fn check_umq<L: MatchList<UnexpectedEntry>>(tag: u64, mk: impl Fn() -> L) {
+    for case in 0..CASES {
+        let seed = tag.wrapping_mul(0x85EB_CA6B).wrapping_add(case);
+        let ops = umq_ops(seed);
         let reference = run_umq(&mut BaselineList::new(), &ops);
-        prop_assert_eq!(run_umq(&mut Lla::<UnexpectedEntry, 3>::new(), &ops), reference);
+        let got = run_umq(&mut mk(), &ops);
+        assert_eq!(got, reference, "seed {seed:#x}; ops: {ops:?}");
     }
+}
 
-    #[test]
-    fn umq_source_bins_matches_baseline(ops in prop::collection::vec(umq_op(), 1..120)) {
-        let reference = run_umq(&mut BaselineList::new(), &ops);
-        prop_assert_eq!(
-            run_umq(&mut SourceBins::<UnexpectedEntry>::new(RANKS as usize), &ops),
-            reference
-        );
-    }
+#[test]
+fn umq_lla3_matches_baseline() {
+    check_umq(1, Lla::<UnexpectedEntry, 3>::new);
+}
 
-    #[test]
-    fn umq_hash_bins_matches_baseline(ops in prop::collection::vec(umq_op(), 1..120)) {
-        let reference = run_umq(&mut BaselineList::new(), &ops);
-        prop_assert_eq!(
-            run_umq(&mut HashBins::<UnexpectedEntry>::with_bins(4), &ops),
-            reference
-        );
-    }
+#[test]
+fn umq_source_bins_matches_baseline() {
+    check_umq(2, || SourceBins::<UnexpectedEntry>::new(RANKS as usize));
+}
 
-    #[test]
-    fn umq_rank_trie_matches_baseline(ops in prop::collection::vec(umq_op(), 1..120)) {
-        let reference = run_umq(&mut BaselineList::new(), &ops);
-        prop_assert_eq!(
-            run_umq(&mut RankTrie::<UnexpectedEntry>::new(RANKS as usize), &ops),
-            reference
-        );
-    }
+#[test]
+fn umq_hash_bins_matches_baseline() {
+    check_umq(3, || HashBins::<UnexpectedEntry>::with_bins(4));
+}
 
-    /// Search depth on the baseline equals the 1-based position of the match
-    /// in FIFO order — the definitional property Table 1 relies on.
-    #[test]
-    fn baseline_depth_is_fifo_position(ops in prop::collection::vec(posted_op(), 1..80)) {
+#[test]
+fn umq_rank_trie_matches_baseline() {
+    check_umq(4, || RankTrie::<UnexpectedEntry>::new(RANKS as usize));
+}
+
+/// Search depth on the baseline equals the 1-based position of the match in
+/// FIFO order — the definitional property Table 1 relies on (and the depth
+/// contract documented on [`MatchList::search_remove`]).
+#[test]
+fn baseline_depth_is_fifo_position() {
+    for case in 0..CASES {
+        let ops = posted_ops(0xDE97 ^ (case << 8));
         let mut list = BaselineList::new();
         let mut sink = NullSink;
         let mut next_req = 0u64;
         for op in &ops {
             match op {
                 PostedOp::Append { rank, tag, ctx } => {
-                    let spec = RecvSpec::new(
-                        rank.unwrap_or(ANY_SOURCE),
-                        tag.unwrap_or(ANY_TAG),
-                        *ctx,
-                    );
+                    let spec =
+                        RecvSpec::new(rank.unwrap_or(ANY_SOURCE), tag.unwrap_or(ANY_TAG), *ctx);
                     list.append(PostedEntry::from_spec(spec, next_req), &mut sink);
                     next_req += 1;
                 }
@@ -223,15 +258,12 @@ proptest! {
                     let r = list.search_remove(&env, &mut sink);
                     match expected_pos {
                         Some(p) => {
-                            prop_assert_eq!(r.depth as usize, p + 1);
-                            prop_assert_eq!(
-                                r.found.map(|e| e.request),
-                                Some(snap[p].request)
-                            );
+                            assert_eq!(r.depth as usize, p + 1);
+                            assert_eq!(r.found.map(|e| e.request), Some(snap[p].request));
                         }
                         None => {
-                            prop_assert_eq!(r.depth as usize, snap.len());
-                            prop_assert!(r.found.is_none());
+                            assert_eq!(r.depth as usize, snap.len());
+                            assert!(r.found.is_none());
                         }
                     }
                 }
@@ -241,23 +273,23 @@ proptest! {
             }
         }
     }
+}
 
-    /// LLA holes never change observable contents: interleaved removals keep
-    /// snapshot == the baseline's snapshot (already covered) *and* its len
-    /// always equals the snapshot length.
-    #[test]
-    fn lla_len_equals_snapshot_len(ops in prop::collection::vec(posted_op(), 1..150)) {
+/// LLA holes never change observable contents: interleaved removals keep
+/// snapshot equal to the baseline's (covered above) *and* `len` always
+/// equals the snapshot length.
+#[test]
+fn lla_len_equals_snapshot_len() {
+    for case in 0..CASES {
+        let ops = posted_ops(0x11A ^ (case << 16));
         let mut list = Lla::<PostedEntry, 4>::new();
         let mut sink = NullSink;
         let mut next_req = 0u64;
         for op in &ops {
             match op {
                 PostedOp::Append { rank, tag, ctx } => {
-                    let spec = RecvSpec::new(
-                        rank.unwrap_or(ANY_SOURCE),
-                        tag.unwrap_or(ANY_TAG),
-                        *ctx,
-                    );
+                    let spec =
+                        RecvSpec::new(rank.unwrap_or(ANY_SOURCE), tag.unwrap_or(ANY_TAG), *ctx);
                     list.append(PostedEntry::from_spec(spec, next_req), &mut sink);
                     next_req += 1;
                 }
@@ -268,7 +300,7 @@ proptest! {
                     list.remove_by_id(*nth, &mut sink);
                 }
             }
-            prop_assert_eq!(list.len(), list.snapshot().len());
+            assert_eq!(list.len(), list.snapshot().len(), "case {case}");
         }
     }
 }

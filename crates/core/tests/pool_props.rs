@@ -1,106 +1,115 @@
-//! Property tests of the element pool and address allocator — the
+//! Randomized tests of the element pool and address allocator — the
 //! substrates whose stability the hot-caching safety contract rests on.
+//!
+//! These were proptest properties in the seed; they are now driven by the
+//! in-repo seeded PRNG so the workspace builds offline. Each test replays
+//! many independent randomized cases under a fixed seed, so failures
+//! reproduce exactly.
 
-use proptest::prelude::*;
 use spc_core::addr::{AddrMode, AddrSpace};
 use spc_core::pool::{Pool, NIL};
+use spc_rng::{Rng, SeedableRng, StdRng};
 
-#[derive(Clone, Debug)]
-enum Op {
-    Alloc(u64),
-    DeallocNth(usize),
-}
-
-fn op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        3 => any::<u64>().prop_map(Op::Alloc),
-        2 => (0usize..64).prop_map(Op::DeallocNth),
-    ]
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Under arbitrary alloc/dealloc churn: live ids are unique, values are
-    /// preserved, sim addresses are stable, and live count tracks exactly.
-    #[test]
-    fn pool_churn_keeps_invariants(ops in prop::collection::vec(op(), 1..200)) {
+/// Under arbitrary alloc/dealloc churn: live ids are unique, values are
+/// preserved, sim addresses are stable, and live count tracks exactly.
+#[test]
+fn pool_churn_keeps_invariants() {
+    for case in 0..256u64 {
+        let mut rng = StdRng::seed_from_u64(0xB001 ^ case);
+        let n_ops = rng.gen_range(1..200usize);
         let mut addr = AddrSpace::contiguous(1 << 30);
         let mut pool: Pool<u64> = Pool::new(0);
         let mut live: Vec<(u32, u64, u64)> = Vec::new(); // id, value, sim_addr
-        for o in ops {
-            match o {
-                Op::Alloc(v) => {
-                    let id = pool.alloc(v, &mut addr);
-                    prop_assert_ne!(id, NIL);
-                    prop_assert!(
-                        live.iter().all(|(i, _, _)| *i != id),
-                        "id {id} double-allocated"
-                    );
-                    live.push((id, v, pool.sim_addr(id)));
-                }
-                Op::DeallocNth(n) => {
-                    if !live.is_empty() {
-                        let (id, _, _) = live.remove(n % live.len());
-                        pool.dealloc(id);
-                    }
-                }
+        for _ in 0..n_ops {
+            if rng.gen_range(0..5) < 3 {
+                let v = rng.next_u64();
+                let id = pool.alloc(v, &mut addr);
+                assert_ne!(id, NIL);
+                assert!(
+                    live.iter().all(|(i, _, _)| *i != id),
+                    "id {id} double-allocated"
+                );
+                live.push((id, v, pool.sim_addr(id)));
+            } else if !live.is_empty() {
+                let n = rng.gen_range(0..64usize);
+                let (id, _, _) = live.remove(n % live.len());
+                pool.dealloc(id);
             }
-            prop_assert_eq!(pool.live(), live.len());
+            assert_eq!(pool.live(), live.len());
             for (id, v, sim) in &live {
-                prop_assert_eq!(*pool.get(*id), *v, "value corrupted for id {}", id);
-                prop_assert_eq!(pool.sim_addr(*id), *sim, "sim addr moved for id {}", id);
+                assert_eq!(*pool.get(*id), *v, "value corrupted for id {id}");
+                assert_eq!(pool.sim_addr(*id), *sim, "sim addr moved for id {id}");
             }
         }
     }
+}
 
-    /// Sim regions always cover every live node's sim address.
-    #[test]
-    fn pool_regions_cover_live_nodes(n in 1usize..600) {
+/// Sim regions always cover every live node's sim address.
+#[test]
+fn pool_regions_cover_live_nodes() {
+    let mut rng = StdRng::seed_from_u64(0xC0FE);
+    for _ in 0..32 {
+        let n = rng.gen_range(1..600usize);
         let mut addr = AddrSpace::contiguous(1 << 30);
         let mut pool: Pool<[u8; 64]> = Pool::new([0; 64]);
-        let ids: Vec<u32> = (0..n).map(|i| pool.alloc([i as u8; 64], &mut addr)).collect();
+        let ids: Vec<u32> = (0..n)
+            .map(|i| pool.alloc([i as u8; 64], &mut addr))
+            .collect();
         let mut regions = Vec::new();
         pool.sim_regions(&mut regions);
         for id in ids {
             let a = pool.sim_addr(id);
-            prop_assert!(
-                regions.iter().any(|&(base, len)| a >= base && a + 64 <= base + len),
+            assert!(
+                regions
+                    .iter()
+                    .any(|&(base, len)| a >= base && a + 64 <= base + len),
                 "node {a:#x} outside every region"
             );
         }
     }
+}
 
-    /// AddrSpace never hands out overlapping allocations in contiguous or
-    /// fragmented modes, and respects alignment in every mode.
-    #[test]
-    fn addr_space_allocations_do_not_overlap(
-        sizes in prop::collection::vec(1u64..512, 1..100),
-        mode in prop_oneof![
-            Just(AddrMode::Contiguous),
-            Just(AddrMode::Fragmented { gap_min: 0, gap_max: 64 }),
-        ],
-        seed in any::<u64>(),
-    ) {
+/// AddrSpace never hands out overlapping allocations in contiguous or
+/// fragmented modes, and respects alignment in every mode.
+#[test]
+fn addr_space_allocations_do_not_overlap() {
+    let mut rng = StdRng::seed_from_u64(0xADD1);
+    for case in 0..256 {
+        let mode = if case % 2 == 0 {
+            AddrMode::Contiguous
+        } else {
+            AddrMode::Fragmented {
+                gap_min: 0,
+                gap_max: 64,
+            }
+        };
+        let seed = rng.next_u64();
+        let n = rng.gen_range(1..100usize);
         let mut a = AddrSpace::new(1 << 20, mode, seed);
         let mut prev_end = 0u64;
-        for size in sizes {
+        for _ in 0..n {
+            let size = rng.gen_range(1..512u64);
             let at = a.alloc(size, 8);
-            prop_assert_eq!(at % 8, 0);
-            prop_assert!(at >= prev_end, "allocation overlaps predecessor");
+            assert_eq!(at % 8, 0);
+            assert!(at >= prev_end, "allocation overlaps predecessor");
             prev_end = at + size;
         }
     }
+}
 
-    /// Scattered mode stays within its arena and respects alignment.
-    #[test]
-    fn scattered_stays_in_arena(seed in any::<u64>(), n in 1usize..200) {
+/// Scattered mode stays within its arena and respects alignment.
+#[test]
+fn scattered_stays_in_arena() {
+    let mut rng = StdRng::seed_from_u64(0x5CA7);
+    for _ in 0..64 {
+        let seed = rng.next_u64();
+        let n = rng.gen_range(1..200usize);
         let mut a = AddrSpace::scattered(1 << 30, seed);
         for _ in 0..n {
             let at = a.alloc(96, 8);
-            prop_assert_eq!(at % 8, 0);
-            prop_assert!(at >= 1 << 30);
-            prop_assert!(at < (1u64 << 30) + (64 << 20) + 96);
+            assert_eq!(at % 8, 0);
+            assert!(at >= 1 << 30);
+            assert!(at < (1u64 << 30) + (64 << 20) + 96);
         }
     }
 }

@@ -51,7 +51,11 @@ impl AmgParams {
 
     /// Fast test configuration.
     pub fn small(ranks: u32) -> Self {
-        Self { cycles: 3, compute_ns: 5e6, ..Self::paper_scale(ranks) }
+        Self {
+            cycles: 3,
+            compute_ns: 5e6,
+            ..Self::paper_scale(ranks)
+        }
     }
 
     /// Multigrid depth: levels until the coarse problem is one block per
@@ -82,7 +86,14 @@ pub struct AmgResult {
 /// Runs the proxy on Broadwell/OmniPath under the given locality
 /// configuration.
 pub fn run(p: AmgParams, locality: LocalityConfig) -> AmgResult {
-    run_on(p, AppSetup { arch: ArchProfile::broadwell(), net: NetProfile::omnipath(), locality })
+    run_on(
+        p,
+        AppSetup {
+            arch: ArchProfile::broadwell(),
+            net: NetProfile::omnipath(),
+            locality,
+        },
+    )
 }
 
 /// Runs the proxy on an explicit setup.
@@ -143,7 +154,10 @@ mod tests {
         // at 2.9%" at 1024 ranks.
         // Relative gain is invariant to the cycle count; use fewer cycles
         // for test speed.
-        let p = AmgParams { cycles: 2, ..AmgParams::paper_scale(1024) };
+        let p = AmgParams {
+            cycles: 2,
+            ..AmgParams::paper_scale(1024)
+        };
         let base = run(p, LocalityConfig::baseline());
         let lla = run(p, LocalityConfig::lla(2));
         let gain = (base.seconds - lla.seconds) / base.seconds;
@@ -158,7 +172,10 @@ mod tests {
     #[test]
     fn gain_grows_with_scale() {
         let gain = |ranks| {
-            let p = AmgParams { cycles: 2, ..AmgParams::paper_scale(ranks) };
+            let p = AmgParams {
+                cycles: 2,
+                ..AmgParams::paper_scale(ranks)
+            };
             let b = run(p, LocalityConfig::baseline());
             let l = run(p, LocalityConfig::lla(2));
             (b.seconds - l.seconds) / b.seconds
@@ -171,16 +188,33 @@ mod tests {
         // Figure 8 shows ~12–15 s across 128–1024 ranks; check a 2-cycle
         // slice of the 30-cycle solve (runtime is linear in cycles).
         let r128 = run(
-            AmgParams { cycles: 2, ..AmgParams::paper_scale(128) },
+            AmgParams {
+                cycles: 2,
+                ..AmgParams::paper_scale(128)
+            },
             LocalityConfig::baseline(),
         );
         let r1024 = run(
-            AmgParams { cycles: 2, ..AmgParams::paper_scale(1024) },
+            AmgParams {
+                cycles: 2,
+                ..AmgParams::paper_scale(1024)
+            },
             LocalityConfig::baseline(),
         );
-        assert!((8.0..20.0).contains(&(r128.seconds * 15.0)), "{:.1}", r128.seconds);
-        assert!((8.0..20.0).contains(&(r1024.seconds * 15.0)), "{:.1}", r1024.seconds);
-        assert!(r1024.seconds > r128.seconds, "coarse-level comm grows with scale");
+        assert!(
+            (8.0..20.0).contains(&(r128.seconds * 15.0)),
+            "{:.1}",
+            r128.seconds
+        );
+        assert!(
+            (8.0..20.0).contains(&(r1024.seconds * 15.0)),
+            "{:.1}",
+            r1024.seconds
+        );
+        assert!(
+            r1024.seconds > r128.seconds,
+            "coarse-level comm grows with scale"
+        );
     }
 
     #[test]

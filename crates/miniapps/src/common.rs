@@ -1,7 +1,7 @@
 //! The representative-rank execution engine shared by the proxies.
 
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use spc_rng::SeedableRng;
+use spc_rng::SliceRandom;
 
 use spc_cachesim::{ArchProfile, HotCacheConfig, LocalityConfig, MemSim, Structure};
 use spc_core::dynengine::{DynEngine, EngineKind};
@@ -59,7 +59,7 @@ pub struct RepRank {
     setup: AppSetup,
     eng: DynEngine,
     mem: MemSim,
-    rng: rand::rngs::StdRng,
+    rng: spc_rng::StdRng,
 }
 
 impl RepRank {
@@ -76,7 +76,12 @@ impl RepRank {
             }
             None => MemSim::new(setup.arch),
         };
-        Self { setup, eng, mem, rng: rand::rngs::StdRng::seed_from_u64(seed) }
+        Self {
+            setup,
+            eng,
+            mem,
+            rng: spc_rng::StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Hot-cache overhead of appending one entry.
@@ -101,9 +106,7 @@ impl RepRank {
             Structure::Lla(_) => HotCacheConfig::with_element_pool().mutation_overhead_ns,
             // Baseline: every node is its own region; the remover waits out
             // the heater's pass over the whole region queue.
-            Structure::Baseline => {
-                HC_LOCK_NS_PER_REGION * (1.0 + self.eng.prq_len() as f64)
-            }
+            Structure::Baseline => HC_LOCK_NS_PER_REGION * (1.0 + self.eng.prq_len() as f64),
         }
     }
 
@@ -148,7 +151,9 @@ impl RepRank {
                 self.mem.heat_now();
             }
             overhead += self.hc_remove_ns();
-            let out = self.eng.arrival_sink(Envelope::new(1, m as i32, 0), m as u64, &mut self.mem);
+            let out = self
+                .eng
+                .arrival_sink(Envelope::new(1, m as i32, 0), m as u64, &mut self.mem);
             debug_assert!(matches!(out, ArrivalOutcome::MatchedPosted { .. }));
         }
         (self.mem.time_ns() - t0) + overhead

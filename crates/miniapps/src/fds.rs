@@ -54,7 +54,10 @@ impl FdsParams {
 
     /// Fast test configuration.
     pub fn small(ranks: u32) -> Self {
-        Self { iterations: 3, ..Self::paper_scale(ranks) }
+        Self {
+            iterations: 3,
+            ..Self::paper_scale(ranks)
+        }
     }
 
     /// Messages per rank per pressure iteration. Coupling densifies
@@ -99,12 +102,26 @@ pub fn run_on(p: FdsParams, setup: AppSetup) -> FdsResult {
 
 /// Runs on the Nehalem cluster (the paper's large-scale platform).
 pub fn run_nehalem(p: FdsParams, locality: LocalityConfig) -> FdsResult {
-    run_on(p, AppSetup { arch: ArchProfile::nehalem(), net: NetProfile::mellanox_qdr(), locality })
+    run_on(
+        p,
+        AppSetup {
+            arch: ArchProfile::nehalem(),
+            net: NetProfile::mellanox_qdr(),
+            locality,
+        },
+    )
 }
 
 /// Runs on the Broadwell system (the paper's 128–1024 rank platform).
 pub fn run_broadwell(p: FdsParams, locality: LocalityConfig) -> FdsResult {
-    run_on(p, AppSetup { arch: ArchProfile::broadwell(), net: NetProfile::omnipath(), locality })
+    run_on(
+        p,
+        AppSetup {
+            arch: ArchProfile::broadwell(),
+            net: NetProfile::omnipath(),
+            locality,
+        },
+    )
 }
 
 /// Factor speedup of `locality` over the baseline at the same scale — the
@@ -149,16 +166,18 @@ mod tests {
         // "does not typically match the first element in the list".
         let r = run_nehalem(FdsParams::small(1024), LocalityConfig::baseline());
         let m = FdsParams::small(1024).msgs_per_iter() as f64;
-        assert!(r.mean_depth > 0.3 * m, "depth {:.1} of list {m}", r.mean_depth);
+        assert!(
+            r.mean_depth > 0.3 * m,
+            "depth {:.1} of list {m}",
+            r.mean_depth
+        );
     }
 
     #[test]
     fn lla_speedup_rises_toward_2x_at_4k() {
         // Speedups are iteration-invariant; use short runs.
-        let s128 =
-            speedup_nehalem_with(FdsParams::small(128), LocalityConfig::lla(2));
-        let s4k =
-            speedup_nehalem_with(FdsParams::small(4096), LocalityConfig::lla(2));
+        let s128 = speedup_nehalem_with(FdsParams::small(128), LocalityConfig::lla(2));
+        let s4k = speedup_nehalem_with(FdsParams::small(4096), LocalityConfig::lla(2));
         assert!(s128 < 1.15, "no meaningful gain at small scale: {s128:.3}");
         assert!(s4k > 1.6, "big gain at 4Ki ranks: {s4k:.3}");
         assert!(s4k > s128);

@@ -52,7 +52,11 @@ impl MiniFeParams {
 
     /// Fast test configuration.
     pub fn small(pad: u32) -> Self {
-        Self { iterations: 10, compute_ns: 1e6, ..Self::paper_scale(pad) }
+        Self {
+            iterations: 10,
+            compute_ns: 1e6,
+            ..Self::paper_scale(pad)
+        }
     }
 }
 
@@ -70,7 +74,14 @@ pub struct MiniFeResult {
 /// Runs the proxy on Broadwell/OmniPath (the paper's platform for the
 /// mini-app study) under the given locality configuration.
 pub fn run(p: MiniFeParams, locality: LocalityConfig) -> MiniFeResult {
-    run_on(p, AppSetup { arch: ArchProfile::broadwell(), net: NetProfile::omnipath(), locality })
+    run_on(
+        p,
+        AppSetup {
+            arch: ArchProfile::broadwell(),
+            net: NetProfile::omnipath(),
+            locality,
+        },
+    )
 }
 
 /// Runs the proxy on an explicit setup.
@@ -118,7 +129,10 @@ mod tests {
         // improvement to runtime" — a small but not insignificant gain.
         // (Every per-iteration term is constant, so the relative gain is
         // invariant to the iteration count; use fewer for test speed.)
-        let p = MiniFeParams { iterations: 5, ..MiniFeParams::paper_scale(2048) };
+        let p = MiniFeParams {
+            iterations: 5,
+            ..MiniFeParams::paper_scale(2048)
+        };
         let base = run(p, LocalityConfig::baseline());
         let lla = run(p, LocalityConfig::lla(2));
         let gain = (base.seconds - lla.seconds) / base.seconds;
@@ -133,13 +147,19 @@ mod tests {
     #[test]
     fn gain_shrinks_at_short_lists() {
         let short = {
-            let p = MiniFeParams { iterations: 5, ..MiniFeParams::paper_scale(128) };
+            let p = MiniFeParams {
+                iterations: 5,
+                ..MiniFeParams::paper_scale(128)
+            };
             let b = run(p, LocalityConfig::baseline());
             let l = run(p, LocalityConfig::lla(2));
             (b.seconds - l.seconds) / b.seconds
         };
         let long = {
-            let p = MiniFeParams { iterations: 5, ..MiniFeParams::paper_scale(2048) };
+            let p = MiniFeParams {
+                iterations: 5,
+                ..MiniFeParams::paper_scale(2048)
+            };
             let b = run(p, LocalityConfig::baseline());
             let l = run(p, LocalityConfig::lla(2));
             (b.seconds - l.seconds) / b.seconds
@@ -151,17 +171,26 @@ mod tests {
     fn absolute_runtime_in_papers_range() {
         // Figure 9 shows ~45–55 s runs; check a 5-iteration slice of the
         // 200-iteration run (runtime is linear in iterations).
-        let p = MiniFeParams { iterations: 5, ..MiniFeParams::paper_scale(512) };
+        let p = MiniFeParams {
+            iterations: 5,
+            ..MiniFeParams::paper_scale(512)
+        };
         let r = run(p, LocalityConfig::baseline());
         let full = r.seconds * (200.0 / 5.0);
-        assert!((30.0..80.0).contains(&full), "projected runtime {full:.1}s out of range");
+        assert!(
+            (30.0..80.0).contains(&full),
+            "projected runtime {full:.1}s out of range"
+        );
     }
 
     #[test]
     fn matching_is_a_small_fraction_as_in_tuned_apps() {
         // §4.4: "matching is not a significant part of the runtime for
         // today's highly tuned applications".
-        let p = MiniFeParams { iterations: 5, ..MiniFeParams::paper_scale(128) };
+        let p = MiniFeParams {
+            iterations: 5,
+            ..MiniFeParams::paper_scale(128)
+        };
         let r = run(p, LocalityConfig::baseline());
         assert!(r.match_seconds / r.seconds < 0.05);
     }

@@ -47,7 +47,11 @@ impl MiniMdParams {
 
     /// Fast test configuration.
     pub fn small(ranks: u32) -> Self {
-        Self { steps: 50, compute_ns: 1e5, ..Self::paper_scale(ranks) }
+        Self {
+            steps: 50,
+            compute_ns: 1e5,
+            ..Self::paper_scale(ranks)
+        }
     }
 }
 
@@ -65,7 +69,14 @@ pub struct MiniMdResult {
 /// Runs the proxy on Broadwell/OmniPath under the given locality
 /// configuration.
 pub fn run(p: MiniMdParams, locality: LocalityConfig) -> MiniMdResult {
-    run_on(p, AppSetup { arch: ArchProfile::broadwell(), net: NetProfile::omnipath(), locality })
+    run_on(
+        p,
+        AppSetup {
+            arch: ArchProfile::broadwell(),
+            net: NetProfile::omnipath(),
+            locality,
+        },
+    )
 }
 
 /// Runs the proxy on an explicit setup.
@@ -105,7 +116,11 @@ mod tests {
     #[test]
     fn match_lists_stay_trivially_short() {
         let r = run(MiniMdParams::small(512), LocalityConfig::baseline());
-        assert!(r.mean_depth <= 2.0, "staged exchange keeps depth ~1, got {}", r.mean_depth);
+        assert!(
+            r.mean_depth <= 2.0,
+            "staged exchange keeps depth ~1, got {}",
+            r.mean_depth
+        );
     }
 
     #[test]
@@ -113,7 +128,10 @@ mod tests {
         // The null result: with two-entry in-order lists, LLA and baseline
         // are indistinguishable at the application level — consistent with
         // the paper examining MiniMD but publishing no figure for it.
-        let p = MiniMdParams { steps: 200, ..MiniMdParams::small(512) };
+        let p = MiniMdParams {
+            steps: 200,
+            ..MiniMdParams::small(512)
+        };
         let base = run(p, LocalityConfig::baseline());
         let lla = run(p, LocalityConfig::lla(2));
         let gain = (base.seconds - lla.seconds) / base.seconds;
@@ -128,17 +146,27 @@ mod tests {
     #[test]
     fn matching_is_an_insignificant_fraction() {
         let r = run(MiniMdParams::small(512), LocalityConfig::baseline());
-        assert!(r.match_seconds / r.seconds < 0.02, "{}", r.match_seconds / r.seconds);
+        assert!(
+            r.match_seconds / r.seconds < 0.02,
+            "{}",
+            r.match_seconds / r.seconds
+        );
     }
 
     #[test]
     fn rebuild_steps_do_extra_communication() {
         let no_rebuild = run(
-            MiniMdParams { rebuild_every: u32::MAX, ..MiniMdParams::small(512) },
+            MiniMdParams {
+                rebuild_every: u32::MAX,
+                ..MiniMdParams::small(512)
+            },
             LocalityConfig::baseline(),
         );
         let frequent = run(
-            MiniMdParams { rebuild_every: 2, ..MiniMdParams::small(512) },
+            MiniMdParams {
+                rebuild_every: 2,
+                ..MiniMdParams::small(512)
+            },
             LocalityConfig::baseline(),
         );
         assert!(frequent.seconds > no_rebuild.seconds);

@@ -8,8 +8,8 @@
 //! match-list length distribution has the paper's shape: mass concentrated
 //! at small-to-mid lengths, a thinning tail out to the mid-400s.
 
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use spc_rng::SliceRandom;
+use spc_rng::{Rng, SeedableRng};
 
 use spc_mpisim::{QueueTrace, SimWorld, TraceConfig, WorldConfig};
 
@@ -55,7 +55,11 @@ impl AmrParams {
 
     /// Laptop-scale configuration with the same shape.
     pub fn small() -> Self {
-        Self { ranks: 512, iterations: 6, ..Self::paper_scale() }
+        Self {
+            ranks: 512,
+            iterations: 6,
+            ..Self::paper_scale()
+        }
     }
 }
 
@@ -94,7 +98,7 @@ pub fn run(p: AmrParams) -> QueueTrace {
         trace: Some(TraceConfig::uniform(p.trace_width)),
         ..WorldConfig::untimed(p.ranks, p.trace_width)
     });
-    let mut rng = rand::rngs::StdRng::seed_from_u64(p.seed);
+    let mut rng = spc_rng::StdRng::seed_from_u64(p.seed);
     let mut adjacency: Vec<Vec<(u32, u32)>> = Vec::new(); // (peer, edge id)
     let mut order: Vec<u32> = (0..p.ranks).collect();
 
@@ -128,7 +132,7 @@ pub fn run(p: AmrParams) -> QueueTrace {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
+    use spc_rng::StdRng;
 
     #[test]
     fn degree_distribution_spans_and_decays() {
@@ -180,19 +184,36 @@ mod tests {
 
     #[test]
     fn queues_return_to_empty_each_iteration() {
-        let trace = run(AmrParams { ranks: 128, iterations: 2, ..AmrParams::small() });
+        let trace = run(AmrParams {
+            ranks: 128,
+            iterations: 2,
+            ..AmrParams::small()
+        });
         assert!(trace.posted.count_for(0) > 0);
     }
 
     #[test]
     fn deterministic_for_seed_and_sensitive_to_it() {
-        let a = run(AmrParams { ranks: 128, iterations: 2, ..AmrParams::small() });
-        let b = run(AmrParams { ranks: 128, iterations: 2, ..AmrParams::small() });
+        let a = run(AmrParams {
+            ranks: 128,
+            iterations: 2,
+            ..AmrParams::small()
+        });
+        let b = run(AmrParams {
+            ranks: 128,
+            iterations: 2,
+            ..AmrParams::small()
+        });
         assert_eq!(
             a.posted.buckets().collect::<Vec<_>>(),
             b.posted.buckets().collect::<Vec<_>>()
         );
-        let c = run(AmrParams { ranks: 128, iterations: 2, seed: 9, ..AmrParams::small() });
+        let c = run(AmrParams {
+            ranks: 128,
+            iterations: 2,
+            seed: 9,
+            ..AmrParams::small()
+        });
         assert_ne!(
             a.posted.buckets().collect::<Vec<_>>(),
             c.posted.buckets().collect::<Vec<_>>()

@@ -14,8 +14,8 @@
 //! quantity the benchmark measures (averaged over trials, as the paper
 //! averages over 10).
 
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use spc_rng::SeedableRng;
+use spc_rng::SliceRandom;
 
 use spc_core::entry::{Envelope, RecvSpec};
 use spc_core::list::{BaselineList, MatchList};
@@ -189,7 +189,12 @@ pub fn analyze(decomp: Decomp, trials: u32, seed: u64) -> DecompResult {
     for trial in 0..trials {
         run_shuffled_trial(&msgs, decomp, seed ^ (trial as u64 + 1), &mut depths);
     }
-    DecompResult { tr, ts, length, mean_search_depth: depths.mean() }
+    DecompResult {
+        tr,
+        ts,
+        length,
+        mean_search_depth: depths.mean(),
+    }
 }
 
 /// One trial: receives are appended in a random interleaving of per-thread
@@ -202,7 +207,7 @@ fn run_shuffled_trial(
     seed: u64,
     depths: &mut DepthStats,
 ) {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = spc_rng::StdRng::seed_from_u64(seed);
     // Posting order: threads enter the phase concurrently; each thread posts
     // its own receives in order, but the interleaving across threads is
     // scheduler-chosen. A global shuffle of messages keyed by receiving
@@ -235,16 +240,46 @@ fn run_shuffled_trial(
 /// The ten configurations of Table 1, in row order.
 pub fn table1_rows() -> Vec<Decomp> {
     vec![
-        Decomp { dims: [32, 32, 1], stencil: Stencil::S5 },
-        Decomp { dims: [64, 32, 1], stencil: Stencil::S5 },
-        Decomp { dims: [32, 32, 1], stencil: Stencil::S9 },
-        Decomp { dims: [64, 32, 1], stencil: Stencil::S9 },
-        Decomp { dims: [8, 8, 4], stencil: Stencil::S7 },
-        Decomp { dims: [1, 1, 128], stencil: Stencil::S7 },
-        Decomp { dims: [1, 1, 256], stencil: Stencil::S7 },
-        Decomp { dims: [8, 8, 4], stencil: Stencil::S27 },
-        Decomp { dims: [1, 1, 128], stencil: Stencil::S27 },
-        Decomp { dims: [1, 1, 256], stencil: Stencil::S27 },
+        Decomp {
+            dims: [32, 32, 1],
+            stencil: Stencil::S5,
+        },
+        Decomp {
+            dims: [64, 32, 1],
+            stencil: Stencil::S5,
+        },
+        Decomp {
+            dims: [32, 32, 1],
+            stencil: Stencil::S9,
+        },
+        Decomp {
+            dims: [64, 32, 1],
+            stencil: Stencil::S9,
+        },
+        Decomp {
+            dims: [8, 8, 4],
+            stencil: Stencil::S7,
+        },
+        Decomp {
+            dims: [1, 1, 128],
+            stencil: Stencil::S7,
+        },
+        Decomp {
+            dims: [1, 1, 256],
+            stencil: Stencil::S7,
+        },
+        Decomp {
+            dims: [8, 8, 4],
+            stencil: Stencil::S27,
+        },
+        Decomp {
+            dims: [1, 1, 128],
+            stencil: Stencil::S27,
+        },
+        Decomp {
+            dims: [1, 1, 256],
+            stencil: Stencil::S27,
+        },
     ]
 }
 
@@ -252,9 +287,9 @@ pub fn table1_rows() -> Vec<Decomp> {
 /// race on a shared engine through a mutex, exactly as a multithreaded MPI
 /// implementation's match engine is driven. Returns the mean search depth.
 pub fn analyze_threaded(decomp: Decomp, seed: u64) -> f64 {
-    use parking_lot::Mutex;
     use spc_core::engine::MatchEngine;
     use spc_core::entry::{PostedEntry, UnexpectedEntry};
+    use std::sync::Mutex;
 
     let msgs = decomp.cross_messages();
     // Group messages by receiving thread and by sending thread.
@@ -266,9 +301,8 @@ pub fn analyze_threaded(decomp: Decomp, seed: u64) -> f64 {
         by_sender.entry((*p, *s)).or_default().push(m);
     }
 
-    let engine: Mutex<
-        MatchEngine<BaselineList<PostedEntry>, BaselineList<UnexpectedEntry>>,
-    > = Mutex::new(MatchEngine::new(BaselineList::new(), BaselineList::new()));
+    let engine: Mutex<MatchEngine<BaselineList<PostedEntry>, BaselineList<UnexpectedEntry>>> =
+        Mutex::new(MatchEngine::new(BaselineList::new(), BaselineList::new()));
     let posted = std::sync::atomic::AtomicUsize::new(0);
     let total = msgs.len();
     let depths = Mutex::new(DepthStats::new());
@@ -283,7 +317,10 @@ pub fn analyze_threaded(decomp: Decomp, seed: u64) -> f64 {
                     std::thread::yield_now();
                 }
                 for &m in mine {
-                    engine.lock().post_recv(RecvSpec::new(1, m as i32, 0), m as u64);
+                    engine
+                        .lock()
+                        .unwrap()
+                        .post_recv(RecvSpec::new(1, m as i32, 0), m as u64);
                     posted.fetch_add(1, std::sync::atomic::Ordering::Release);
                 }
             });
@@ -302,10 +339,13 @@ pub fn analyze_threaded(decomp: Decomp, seed: u64) -> f64 {
                     std::thread::yield_now();
                 }
                 for &m in mine {
-                    let out = engine.lock().arrival(Envelope::new(1, m as i32, 0), m as u64);
+                    let out = engine
+                        .lock()
+                        .unwrap()
+                        .arrival(Envelope::new(1, m as i32, 0), m as u64);
                     match out {
                         spc_core::engine::ArrivalOutcome::MatchedPosted { depth, .. } => {
-                            depths.lock().record(depth as u64);
+                            depths.lock().unwrap().record(depth as u64);
                         }
                         other => panic!("pre-posted receive missing: {other:?}"),
                     }
@@ -313,7 +353,7 @@ pub fn analyze_threaded(decomp: Decomp, seed: u64) -> f64 {
             });
         }
     });
-    let d = depths.into_inner();
+    let d = depths.into_inner().expect("depth stats lock poisoned");
     assert_eq!(d.count, total as u64);
     d.mean()
 }
@@ -360,7 +400,11 @@ mod tests {
         // With both orders random, the expected normalized depth sits near
         // 1/4 — which is what every Table 1 row shows (0.19–0.26 × length).
         for dims in [[32, 32, 1], [8, 8, 4]] {
-            let stencil = if dims[2] == 1 { Stencil::S9 } else { Stencil::S27 };
+            let stencil = if dims[2] == 1 {
+                Stencil::S9
+            } else {
+                Stencil::S27
+            };
             let r = analyze(Decomp { dims, stencil }, 10, 7);
             let ratio = r.mean_search_depth / r.length as f64;
             assert!(
@@ -374,7 +418,10 @@ mod tests {
 
     #[test]
     fn depth_is_deterministic_for_a_seed() {
-        let d = Decomp { dims: [16, 16, 1], stencil: Stencil::S5 };
+        let d = Decomp {
+            dims: [16, 16, 1],
+            stencil: Stencil::S5,
+        };
         let a = analyze(d, 5, 99);
         let b = analyze(d, 5, 99);
         assert_eq!(a, b);
@@ -384,8 +431,22 @@ mod tests {
 
     #[test]
     fn labels_match_table_style() {
-        assert_eq!(Decomp { dims: [32, 32, 1], stencil: Stencil::S5 }.label(), "32 x 32");
-        assert_eq!(Decomp { dims: [8, 8, 4], stencil: Stencil::S27 }.label(), "8 x 8 x 4");
+        assert_eq!(
+            Decomp {
+                dims: [32, 32, 1],
+                stencil: Stencil::S5
+            }
+            .label(),
+            "32 x 32"
+        );
+        assert_eq!(
+            Decomp {
+                dims: [8, 8, 4],
+                stencil: Stencil::S27
+            }
+            .label(),
+            "8 x 8 x 4"
+        );
         assert_eq!(Stencil::S27.label(), "27pt");
         assert_eq!(table1_rows().len(), 10);
     }
@@ -394,7 +455,10 @@ mod tests {
     fn threaded_mode_agrees_on_magnitude() {
         // Small decomposition so the test stays fast: real threads should
         // land in the same normalized-depth band as the shuffle model.
-        let d = Decomp { dims: [8, 8, 1], stencil: Stencil::S9 };
+        let d = Decomp {
+            dims: [8, 8, 1],
+            stencil: Stencil::S9,
+        };
         let exact = analyze(d, 10, 3);
         let threaded = analyze_threaded(d, 3);
         let ratio = threaded / exact.length as f64;

@@ -8,8 +8,8 @@
 //! lengths stay small ("relatively few elements in the queue and many very
 //! small queue length operations"), peaking at `neighbours × variables`.
 
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use spc_rng::SliceRandom;
+use spc_rng::{Rng, SeedableRng};
 
 use spc_core::stats::Histogram;
 use spc_mpisim::{QueueTrace, SimWorld, TraceConfig, WorldConfig};
@@ -65,7 +65,10 @@ impl Halo3dParams {
 
     /// A laptop-scale configuration with the same shape (for tests).
     pub fn small() -> Self {
-        Self { grid: [8, 8, 8], ..Self::paper_scale() }
+        Self {
+            grid: [8, 8, 8],
+            ..Self::paper_scale()
+        }
     }
 
     /// Total ranks.
@@ -127,7 +130,7 @@ pub fn run(p: Halo3dParams) -> QueueTrace {
     });
     let offs = offsets(p.stencil);
     let nslots = (offs.len() as u32 * p.vars) as usize;
-    let mut rng = rand::rngs::StdRng::seed_from_u64(p.seed);
+    let mut rng = spc_rng::StdRng::seed_from_u64(p.seed);
     let mut order: Vec<u32> = (0..p.ranks()).collect();
 
     for _iter in 0..p.iterations {
@@ -182,7 +185,11 @@ mod tests {
 
     #[test]
     fn queues_drain_completely() {
-        let p = Halo3dParams { grid: [4, 4, 4], iterations: 2, ..Halo3dParams::small() };
+        let p = Halo3dParams {
+            grid: [4, 4, 4],
+            iterations: 2,
+            ..Halo3dParams::small()
+        };
         let trace = run(p);
         // Every send has a receive: the motif is balanced, so the samples
         // of additions equal the samples of deletions per queue... and the
@@ -227,9 +234,19 @@ mod tests {
 
     #[test]
     fn faces6_produces_fewer_messages_than_full26() {
-        let base = Halo3dParams { grid: [4, 4, 4], iterations: 1, ..Halo3dParams::small() };
-        let t6 = run(Halo3dParams { stencil: HaloStencil::Faces6, ..base });
-        let t26 = run(Halo3dParams { stencil: HaloStencil::Full26, ..base });
+        let base = Halo3dParams {
+            grid: [4, 4, 4],
+            iterations: 1,
+            ..Halo3dParams::small()
+        };
+        let t6 = run(Halo3dParams {
+            stencil: HaloStencil::Faces6,
+            ..base
+        });
+        let t26 = run(Halo3dParams {
+            stencil: HaloStencil::Full26,
+            ..base
+        });
         assert!(t26.posted.total() > 2 * t6.posted.total());
     }
 

@@ -8,8 +8,8 @@
 //! ranks on the sweep's inflow boundaries pre-post entire octant windows,
 //! producing the thinning tail out to ~100.
 
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use spc_rng::SeedableRng;
+use spc_rng::SliceRandom;
 
 use spc_mpisim::{QueueTrace, SimWorld, TraceConfig, WorldConfig};
 
@@ -51,7 +51,11 @@ impl Sweep3dParams {
 
     /// Laptop-scale configuration with the same shape.
     pub fn small() -> Self {
-        Self { grid: [16, 8], iterations: 2, ..Self::paper_scale() }
+        Self {
+            grid: [16, 8],
+            iterations: 2,
+            ..Self::paper_scale()
+        }
     }
 
     /// Total ranks.
@@ -83,7 +87,7 @@ pub fn run(p: Sweep3dParams) -> QueueTrace {
         trace: Some(TraceConfig::uniform(p.trace_width)),
         ..WorldConfig::untimed(p.ranks(), p.trace_width)
     });
-    let mut rng = rand::rngs::StdRng::seed_from_u64(p.seed);
+    let mut rng = spc_rng::StdRng::seed_from_u64(p.seed);
     let (px, py) = (p.grid[0] as i64, p.grid[1] as i64);
 
     for _iter in 0..p.iterations {
@@ -101,8 +105,10 @@ pub fn run(p: Sweep3dParams) -> QueueTrace {
                 for y in 0..py {
                     for x in 0..px {
                         let rank = rank_of(p.grid, x, y).expect("in grid");
-                        let upstream =
-                            [rank_of(p.grid, x - dir[0], y), rank_of(p.grid, x, y - dir[1])];
+                        let upstream = [
+                            rank_of(p.grid, x - dir[0], y),
+                            rank_of(p.grid, x, y - dir[1]),
+                        ];
                         let window = if on_inflow_boundary(p.grid, dir, x, y) {
                             p.blocks
                         } else {
@@ -137,8 +143,7 @@ pub fn run(p: Sweep3dParams) -> QueueTrace {
                                 let Some(dst) = rank_of(p.grid, x + dx, y + dy) else {
                                     continue;
                                 };
-                                let window = if on_inflow_boundary(p.grid, dir, x + dx, y + dy)
-                                {
+                                let window = if on_inflow_boundary(p.grid, dir, x + dx, y + dy) {
                                     p.blocks
                                 } else {
                                     2.min(p.blocks)
@@ -208,8 +213,14 @@ mod tests {
 
     #[test]
     fn more_blocks_deepen_the_tail() {
-        let a = run(Sweep3dParams { blocks: 4, ..Sweep3dParams::small() });
-        let b = run(Sweep3dParams { blocks: 24, ..Sweep3dParams::small() });
+        let a = run(Sweep3dParams {
+            blocks: 4,
+            ..Sweep3dParams::small()
+        });
+        let b = run(Sweep3dParams {
+            blocks: 24,
+            ..Sweep3dParams::small()
+        });
         assert!(b.posted.max_bucket_hi() > a.posted.max_bucket_hi());
     }
 

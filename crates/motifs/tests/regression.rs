@@ -6,9 +6,17 @@
 #[test]
 fn amr_at_64ki_ranks_respects_the_degree_cap() {
     use spc_motifs::amr::*;
-    let p = AmrParams { iterations: 4, ..AmrParams::paper_scale() };
+    let p = AmrParams {
+        iterations: 4,
+        ..AmrParams::paper_scale()
+    };
     let t = run(p);
-    let (lo, _, _) = t.posted.buckets().filter(|(_, _, c)| *c > 0).last().expect("data");
+    let (lo, _, _) = t
+        .posted
+        .buckets()
+        .filter(|(_, _, c)| *c > 0)
+        .last()
+        .expect("data");
     assert!(
         lo <= p.max_degree as u64 + p.trace_width,
         "posted tail {lo} exceeds max degree {}",

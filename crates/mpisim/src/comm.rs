@@ -35,7 +35,10 @@ impl CommTable {
     /// (context id 0, identity rank mapping).
     pub fn new(ranks: u32) -> Self {
         Self {
-            comms: vec![CommMeta { context_id: 0, members: (0..ranks).collect() }],
+            comms: vec![CommMeta {
+                context_id: 0,
+                members: (0..ranks).collect(),
+            }],
             next_context: 1,
         }
     }
@@ -62,21 +65,31 @@ impl CommTable {
 
     /// `comm`-local rank of `world` rank, if a member.
     pub fn local_rank(&self, comm: CommId, world: u32) -> Option<u32> {
-        self.comms[comm.0].members.iter().position(|&w| w == world).map(|p| p as u32)
+        self.comms[comm.0]
+            .members
+            .iter()
+            .position(|&w| w == world)
+            .map(|p| p as u32)
     }
 
     /// Creates a communicator from an explicit member list
     /// (`MPI_Comm_create` over a group). Members are world ranks; their
     /// order defines the new local ranks.
     pub fn create(&mut self, members: Vec<u32>) -> CommId {
-        assert!(!members.is_empty(), "a communicator needs at least one rank");
+        assert!(
+            !members.is_empty(),
+            "a communicator needs at least one rank"
+        );
         assert!(
             self.next_context < spc_core::dynengine::PAD_CONTEXT,
             "context ids exhausted"
         );
         let context_id = self.next_context;
         self.next_context += 1;
-        self.comms.push(CommMeta { context_id, members });
+        self.comms.push(CommMeta {
+            context_id,
+            members,
+        });
         CommId(self.comms.len() - 1)
     }
 
@@ -179,7 +192,11 @@ mod tests {
         assert_eq!(t.world_rank(odd, 0), 1);
         assert_ne!(t.context_id(even), t.context_id(odd));
         assert_ne!(t.context_id(even), 0);
-        assert_eq!(t.local_rank(even, 1), None, "odd world rank not in even comm");
+        assert_eq!(
+            t.local_rank(even, 1),
+            None,
+            "odd world rank not in even comm"
+        );
     }
 
     #[test]

@@ -15,7 +15,10 @@ pub struct TraceConfig {
 impl TraceConfig {
     /// Same width for both queues.
     pub fn uniform(width: u64) -> Self {
-        Self { posted_width: width, unexpected_width: width }
+        Self {
+            posted_width: width,
+            unexpected_width: width,
+        }
     }
 }
 
@@ -76,7 +79,10 @@ mod tests {
 
     #[test]
     fn merge_accumulates() {
-        let cfg = TraceConfig { posted_width: 20, unexpected_width: 10 };
+        let cfg = TraceConfig {
+            posted_width: 20,
+            unexpected_width: 10,
+        };
         let mut a = QueueTrace::new(cfg);
         let mut b = QueueTrace::new(cfg);
         a.sample_posted(100);

@@ -64,7 +64,13 @@ impl WorldConfig {
         locality: LocalityConfig,
         net: NetProfile,
     ) -> Self {
-        Self { ranks, engine, timing: Some((arch, locality)), net, trace: None }
+        Self {
+            ranks,
+            engine,
+            timing: Some((arch, locality)),
+            net,
+            trace: None,
+        }
     }
 }
 
@@ -152,7 +158,10 @@ impl SimWorld {
         // the outcome for callers that only need it coarsely.
         let id = self.next_payload - 1;
         if let Some(c) = self.completions.get(&id) {
-            RecvOutcome::MatchedUnexpected { payload: c.payload, depth: 0 }
+            RecvOutcome::MatchedUnexpected {
+                payload: c.payload,
+                depth: 0,
+            }
         } else {
             RecvOutcome::Posted
         }
@@ -191,7 +200,11 @@ impl SimWorld {
                 // completions the payload identifies the message.
                 self.completions.insert(
                     id,
-                    Completion { source: u32::MAX, tag: -1, payload },
+                    Completion {
+                        source: u32::MAX,
+                        tag: -1,
+                        payload,
+                    },
                 );
             }
         }
@@ -241,10 +254,19 @@ impl SimWorld {
         let d = &mut self.ranks[dst as usize];
         d.msgs_received += 1;
         d.phase_bytes_in += bytes;
-        let out = d.engine.arrival(Envelope::new(src as i32, tag, ctx), payload);
+        let out = d
+            .engine
+            .arrival(Envelope::new(src as i32, tag, ctx), payload);
         match out {
             ArrivalOutcome::MatchedPosted { depth, request } => {
-                self.completions.insert(request, Completion { source: src, tag, payload });
+                self.completions.insert(
+                    request,
+                    Completion {
+                        source: src,
+                        tag,
+                        payload,
+                    },
+                );
                 d.clock_ns += self.cfg.net.recv_overhead_ns;
                 if let Some(c) = &mut self.cost {
                     d.clock_ns += c.arrival_ns(depth);
@@ -291,7 +313,11 @@ impl SimWorld {
         let mut max = 0.0f64;
         for r in &mut self.ranks {
             r.clock_ns += self.cfg.net.wire_ns(r.phase_bytes_in)
-                + if r.phase_bytes_in > 0 { self.cfg.net.latency_ns } else { 0.0 };
+                + if r.phase_bytes_in > 0 {
+                    self.cfg.net.latency_ns
+                } else {
+                    0.0
+                };
             r.phase_bytes_in = 0;
             max = max.max(r.clock_ns);
         }
@@ -346,7 +372,11 @@ impl SimWorld {
             engine.merge(r.engine.stats());
             msgs_sent += r.msgs_sent;
         }
-        WorldStats { engine, msgs_sent, elapsed_ns: self.elapsed_ns() }
+        WorldStats {
+            engine,
+            msgs_sent,
+            elapsed_ns: self.elapsed_ns(),
+        }
     }
 }
 
@@ -473,7 +503,10 @@ mod tests {
             w.send(0, 1, t, 0, 8);
         }
         let cs = w.waitall(&reqs);
-        assert_eq!(cs.iter().map(|c| c.tag).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        assert_eq!(
+            cs.iter().map(|c| c.tag).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
     }
 
     #[test]

@@ -108,8 +108,7 @@ pub fn bandwidth_mibps(cfg: &OsuConfig, msg_bytes: u64, queue_depth: u32) -> f64
     let avg_cpu = costs.iter().sum::<f64>() / costs.len() as f64;
     // The modification adds a pre-posting barrier (and the cache clear)
     // around every iteration's window.
-    let iter_ns =
-        cfg.net.window_ns(cfg.window as u64, msg_bytes, avg_cpu) + cfg.net.barrier_ns(2);
+    let iter_ns = cfg.net.window_ns(cfg.window as u64, msg_bytes, avg_cpu) + cfg.net.barrier_ns(2);
     let bytes = cfg.window as u64 * msg_bytes;
     bytes as f64 / iter_ns * 1e9 / (1024.0 * 1024.0)
 }
@@ -148,10 +147,18 @@ mod tests {
         // With a 64-message window (stock OSU), only the first search runs
         // against a cold cache.
         let costs = window_recv_costs(
-            &OsuConfig { window: 64, ..snb(LocalityConfig::baseline()) },
+            &OsuConfig {
+                window: 64,
+                ..snb(LocalityConfig::baseline())
+            },
             512,
         );
-        assert!(costs[0] > costs[32], "cold {:.0} vs warm {:.0}", costs[0], costs[32]);
+        assert!(
+            costs[0] > costs[32],
+            "cold {:.0} vs warm {:.0}",
+            costs[0],
+            costs[32]
+        );
         assert_eq!(costs.len(), 64);
         assert!(costs.iter().all(|&c| c > 0.0));
     }
@@ -185,18 +192,24 @@ mod tests {
         let cfg = snb(LocalityConfig::baseline());
         let shallow = bandwidth_mibps(&cfg, 1, 1);
         let deep = bandwidth_mibps(&cfg, 1, 4096);
-        assert!(shallow > 5.0 * deep, "shallow {shallow:.4} vs deep {deep:.4}");
+        assert!(
+            shallow > 5.0 * deep,
+            "shallow {shallow:.4} vs deep {deep:.4}"
+        );
     }
 
     #[test]
-    fn lla_sweep_knees_at_8(){
+    fn lla_sweep_knees_at_8() {
         // Figure 4b: gains stop around 8 entries per array.
         let bw = |n| bandwidth_mibps(&snb(LocalityConfig::lla(n)), 1, 1024);
         let b2 = bw(2);
         let b8 = bw(8);
         let b32 = bw(32);
         assert!(b8 > b2, "LLA-8 {b8:.4} over LLA-2 {b2:.4}");
-        assert!((b32 - b8).abs() / b8 < 0.3, "knee: LLA-8 {b8:.4} vs LLA-32 {b32:.4}");
+        assert!(
+            (b32 - b8).abs() / b8 < 0.3,
+            "knee: LLA-8 {b8:.4} vs LLA-32 {b32:.4}"
+        );
     }
 
     #[test]
@@ -204,10 +217,12 @@ mod tests {
         // The headline temporal-locality contrast of Figures 6 vs 7.
         let snb_base = bandwidth_mibps(&snb(LocalityConfig::baseline()), 1, 512);
         let snb_hc = bandwidth_mibps(&snb(LocalityConfig::hc()), 1, 512);
-        assert!(snb_hc > snb_base, "SNB: HC {snb_hc:.4} should beat {snb_base:.4}");
+        assert!(
+            snb_hc > snb_base,
+            "SNB: HC {snb_hc:.4} should beat {snb_base:.4}"
+        );
 
-        let bdw_base =
-            bandwidth_mibps(&OsuConfig::broadwell(LocalityConfig::baseline()), 1, 512);
+        let bdw_base = bandwidth_mibps(&OsuConfig::broadwell(LocalityConfig::baseline()), 1, 512);
         let bdw_hc = bandwidth_mibps(&OsuConfig::broadwell(LocalityConfig::hc()), 1, 512);
         assert!(
             bdw_hc < bdw_base * 1.05,
@@ -224,8 +239,10 @@ mod tests {
             LocalityConfig::lla(2),
             LocalityConfig::hc_lla(2),
         ];
-        let bws: Vec<f64> =
-            combos.iter().map(|&l| bandwidth_mibps(&snb(l), 1, 256)).collect();
+        let bws: Vec<f64> = combos
+            .iter()
+            .map(|&l| bandwidth_mibps(&snb(l), 1, 256))
+            .collect();
         let best = bws.iter().cloned().fold(f64::MIN, f64::max);
         assert_eq!(best, bws[3], "HC+LLA should lead on SNB: {bws:?}");
     }

@@ -1,0 +1,294 @@
+//! # spc-rng — self-contained deterministic randomness
+//!
+//! A minimal, dependency-free PRNG used everywhere this workspace needs
+//! randomness: motif schedule shuffles, app-proxy arrival orders, and the
+//! conformance harness's operation streams.
+//!
+//! The workspace deliberately has **zero external dependencies** so that
+//! `cargo build` works on a machine with no network access and no registry
+//! cache (the seed state failed tier-1 for exactly that reason). This crate
+//! replaces the small slice of the `rand` API the repo used:
+//!
+//! * [`StdRng`] — xoshiro256** state, seeded from a `u64` via SplitMix64;
+//! * [`Rng`] — `gen_range`, `gen_bool`, `gen::<f64>()`;
+//! * [`SeedableRng`] — `seed_from_u64`;
+//! * [`SliceRandom`] — Fisher–Yates `shuffle` and uniform `choose`.
+//!
+//! Determinism is a feature, not an accident: every simulated experiment and
+//! every conformance run is reproducible from its seed alone, across
+//! platforms (no `HashMap`-style per-process salting, no OS entropy).
+
+#![warn(missing_docs)]
+
+/// Seeds a generator from a single `u64` (mirrors `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Creates a generator whose entire stream is determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A uniform random generator (the subset of `rand::Rng` the workspace uses).
+pub trait Rng {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform sample from `range` (half-open). Panics on an empty range.
+    fn gen_range<T: SampleUniform>(&mut self, range: core::ops::Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self, range)
+    }
+
+    /// `true` with probability `p`. Panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability {p} outside [0, 1]"
+        );
+        self.gen::<f64>() < p
+    }
+
+    /// A sample of `T` from its standard distribution (`f64` in `[0, 1)`).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::standard(self)
+    }
+}
+
+/// xoshiro256** — fast, high-quality, and trivially portable. State is
+/// expanded from the seed with SplitMix64 as its authors recommend, so no
+/// seed (not even 0) produces the degenerate all-zero state.
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        Self {
+            s: core::array::from_fn(|_| splitmix64(&mut sm)),
+        }
+    }
+}
+
+impl Rng for StdRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.s;
+        let result = s1.wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s1 << 17;
+        let s2 = s2 ^ s0;
+        let s3 = s3 ^ s1;
+        let s1 = s1 ^ s2;
+        let s0 = s0 ^ s3;
+        let s2 = s2 ^ t;
+        let s3 = s3.rotate_left(45);
+        self.s = [s0, s1, s2, s3];
+        result
+    }
+}
+
+/// Types that can be drawn uniformly from a half-open range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform sample in `[range.start, range.end)`.
+    fn sample<R: Rng>(rng: &mut R, range: core::ops::Range<Self>) -> Self;
+}
+
+/// Uniform `u64` in `[0, span)` by widening multiply (Lemire reduction
+/// without the rejection step; bias is < 2⁻⁵³ for every span this workspace
+/// uses and the stream stays one-draw-per-sample, which keeps op streams
+/// aligned across structures).
+#[inline]
+fn uniform_below<R: Rng>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    (((rng.next_u64() as u128) * (span as u128)) >> 64) as u64
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty => $wide:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample<R: Rng>(rng: &mut R, range: core::ops::Range<Self>) -> Self {
+                assert!(range.start < range.end, "gen_range on empty range");
+                let span = (range.end as $wide).wrapping_sub(range.start as $wide) as u64;
+                (range.start as $wide).wrapping_add(uniform_below(rng, span) as $wide) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(i32 => i64, u32 => u64, i64 => i64, u64 => u64, usize => u64, u16 => u64);
+
+impl SampleUniform for f64 {
+    #[inline]
+    fn sample<R: Rng>(rng: &mut R, range: core::ops::Range<Self>) -> Self {
+        assert!(range.start < range.end, "gen_range on empty range");
+        range.start + (range.end - range.start) * f64::standard(rng)
+    }
+}
+
+/// Types with a standard distribution (mirrors `rand::distributions::Standard`).
+pub trait Standard {
+    /// A standard sample (`[0, 1)` for floats).
+    fn standard<R: Rng>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn standard<R: Rng>(rng: &mut R) -> Self {
+        // 53 explicit mantissa bits: uniform on the 2^53 grid in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn standard<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn standard<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Random operations on slices (mirrors `rand::seq::SliceRandom`).
+pub trait SliceRandom {
+    /// The slice's element type.
+    type Item;
+
+    /// In-place Fisher–Yates shuffle.
+    fn shuffle<R: Rng>(&mut self, rng: &mut R);
+
+    /// A uniformly chosen element, or `None` if the slice is empty.
+    fn choose<R: Rng>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = uniform_below(rng, i as u64 + 1) as usize;
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: Rng>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[uniform_below(rng, self.len() as u64) as usize])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert!((0..16).any(|_| a.next_u64() != b.next_u64()));
+    }
+
+    #[test]
+    fn zero_seed_is_not_degenerate() {
+        let mut r = StdRng::seed_from_u64(0);
+        let draws: Vec<u64> = (0..8).map(|_| r.next_u64()).collect();
+        assert!(draws.iter().any(|&x| x != 0));
+        assert!(draws.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds_and_hits_every_value() {
+        let mut r = StdRng::seed_from_u64(7);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            let v = r.gen_range(0..8i32);
+            assert!((0..8).contains(&v));
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "1000 draws must hit all 8 values");
+        for _ in 0..100 {
+            let v = r.gen_range(-5..-2i32);
+            assert!((-5..-2).contains(&v));
+            let u = r.gen_range(10..11usize);
+            assert_eq!(u, 10, "single-value range");
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_rough_balance() {
+        let mut r = StdRng::seed_from_u64(9);
+        assert!((0..100).all(|_| !r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+        let heads = (0..10_000).filter(|_| r.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&heads), "p=0.5 gave {heads}/10000");
+    }
+
+    #[test]
+    fn f64_standard_is_unit_interval() {
+        let mut r = StdRng::seed_from_u64(11);
+        for _ in 0..1000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = StdRng::seed_from_u64(13);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut r);
+        assert_ne!(
+            v,
+            (0..100).collect::<Vec<_>>(),
+            "100 elements virtually never fixed"
+        );
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_covers_all_and_handles_empty() {
+        let mut r = StdRng::seed_from_u64(17);
+        let v = [1, 2, 3];
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[*v.choose(&mut r).unwrap() as usize - 1] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        let empty: [i32; 0] = [];
+        assert!(empty.choose(&mut r).is_none());
+    }
+}

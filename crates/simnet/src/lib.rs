@@ -147,7 +147,11 @@ mod tests {
         let bytes = 1u64 << 20;
         let t = n.window_ns(64, bytes, 500.0);
         let bw_bpns = (64 * bytes) as f64 / t;
-        assert!((bw_bpns / n.bandwidth_bpns) > 0.95, "got {bw_bpns} vs {}", n.bandwidth_bpns);
+        assert!(
+            (bw_bpns / n.bandwidth_bpns) > 0.95,
+            "got {bw_bpns} vs {}",
+            n.bandwidth_bpns
+        );
     }
 
     #[test]

@@ -37,10 +37,16 @@ fn timed_exchange(engine: EngineKind, locality: LocalityConfig) -> f64 {
             for y in 0..dims[1] {
                 for x in 0..dims[0] {
                     let me = rank_of(x, y, z).expect("in grid");
-                    for (d, (dx, dy, dz)) in
-                        [(1, 0, 0), (-1, 0, 0), (0, 1, 0), (0, -1, 0), (0, 0, 1), (0, 0, -1)]
-                            .into_iter()
-                            .enumerate()
+                    for (d, (dx, dy, dz)) in [
+                        (1, 0, 0),
+                        (-1, 0, 0),
+                        (0, 1, 0),
+                        (0, -1, 0),
+                        (0, 0, 1),
+                        (0, 0, -1),
+                    ]
+                    .into_iter()
+                    .enumerate()
                     {
                         if let Some(src) = rank_of(x - dx, y - dy, z - dz) {
                             world.post_recv(me, src as i32, d as i32, 0);
@@ -53,10 +59,16 @@ fn timed_exchange(engine: EngineKind, locality: LocalityConfig) -> f64 {
             for y in 0..dims[1] {
                 for x in 0..dims[0] {
                     let me = rank_of(x, y, z).expect("in grid");
-                    for (d, (dx, dy, dz)) in
-                        [(1, 0, 0), (-1, 0, 0), (0, 1, 0), (0, -1, 0), (0, 0, 1), (0, 0, -1)]
-                            .into_iter()
-                            .enumerate()
+                    for (d, (dx, dy, dz)) in [
+                        (1, 0, 0),
+                        (-1, 0, 0),
+                        (0, 1, 0),
+                        (0, -1, 0),
+                        (0, 0, 1),
+                        (0, 0, -1),
+                    ]
+                    .into_iter()
+                    .enumerate()
                     {
                         if let Some(dst) = rank_of(x + dx, y + dy, z + dz) {
                             world.send(me, dst, d as i32, 0, 8192);

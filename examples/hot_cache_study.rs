@@ -31,7 +31,10 @@ fn main() {
     let mut list: Lla<PostedEntry, 2> = Lla::new();
     let mut sink = NullSink;
     for i in 0..2048 {
-        list.append(PostedEntry::from_spec(RecvSpec::new(1, i, 0), i as u64), &mut sink);
+        list.append(
+            PostedEntry::from_spec(RecvSpec::new(1, i, 0), i as u64),
+            &mut sink,
+        );
     }
     // Register the element pool's chunks — stable storage, so the raw
     // registration contract is easy to uphold.
@@ -51,14 +54,21 @@ fn main() {
         let r = list.search_remove(&Envelope::new(1, i, 0), &mut sink);
         assert!(r.found.is_some());
     }
-    println!("matched 1024 receives while the heater ran; list now {} long", list.len());
+    println!(
+        "matched 1024 receives while the heater ran; list now {} long",
+        list.len()
+    );
 
     // Compute phase: pause the heater so it does not steal cycles or cache.
     heater.pause();
     heater.wait_passes(2);
     let frozen = heater.stats().lines_touched;
     heater.wait_passes(3);
-    assert_eq!(heater.stats().lines_touched, frozen, "paused heater is idle");
+    assert_eq!(
+        heater.stats().lines_touched,
+        frozen,
+        "paused heater is idle"
+    );
     println!("paused through a compute phase ({frozen} lines touched so far)");
     heater.resume();
     heater.wait_passes(2);
@@ -74,8 +84,15 @@ fn main() {
 
     // ---- Part 2: where does hot caching pay? ---------------------------
     println!("cold-start search cost at depth 512, heater off vs on:");
-    println!("  {:<12} {:>10} {:>10} {:>8}", "arch", "cold (ns)", "hot (ns)", "gain");
-    for arch in [ArchProfile::nehalem(), ArchProfile::sandy_bridge(), ArchProfile::broadwell()] {
+    println!(
+        "  {:<12} {:>10} {:>10} {:>8}",
+        "arch", "cold (ns)", "hot (ns)", "gain"
+    );
+    for arch in [
+        ArchProfile::nehalem(),
+        ArchProfile::sandy_bridge(),
+        ArchProfile::broadwell(),
+    ] {
         let cold = CostModel::new(arch, LocalityConfig::baseline()).cold_search_ns(512);
         let hot = CostModel::new(arch, LocalityConfig::hc()).cold_search_ns(512);
         println!(

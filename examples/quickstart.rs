@@ -29,7 +29,10 @@ fn main() {
 
     // --- The unexpected-message path ------------------------------------
     // The message arrives before its receive and waits on the UMQ.
-    assert!(matches!(engine.arrival(Envelope::new(5, 1, 0), 9002), ArrivalOutcome::Queued));
+    assert!(matches!(
+        engine.arrival(Envelope::new(5, 1, 0), 9002),
+        ArrivalOutcome::Queued
+    ));
     match engine.post_recv(RecvSpec::new(ANY_SOURCE, 1, 0), 101) {
         RecvOutcome::MatchedUnexpected { payload, depth } => {
             println!("wildcard receive drained unexpected payload {payload} at depth {depth}");

@@ -71,7 +71,10 @@ fn main() {
     );
 
     // Compare with Table 1's model for a comparable decomposition.
-    let d = Decomp { dims: [32, 32, 1], stencil: Stencil::S9 };
+    let d = Decomp {
+        dims: [32, 32, 1],
+        stencil: Stencil::S9,
+    };
     let r = analyze(d, 10, 1);
     println!(
         "\nTable 1 reference (32x32 9pt): length {} mean depth {:.1} — \

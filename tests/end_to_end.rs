@@ -14,7 +14,10 @@ fn bandwidth_surface_is_monotone() {
     let mut last = f64::INFINITY;
     for depth in osu_depths() {
         let bw = bandwidth_mibps(&cfg, 1, depth);
-        assert!(bw <= last * 1.0001, "bandwidth must not rise with depth ({depth})");
+        assert!(
+            bw <= last * 1.0001,
+            "bandwidth must not rise with depth ({depth})"
+        );
         last = bw;
     }
     let mut last = 0.0;
@@ -40,7 +43,10 @@ fn all_paper_configurations_run() {
         LocalityConfig::lla(512),
         LocalityConfig::hc_lla(2),
     ];
-    for mk in [OsuConfig::sandy_bridge as fn(_) -> _, OsuConfig::broadwell as fn(_) -> _] {
+    for mk in [
+        OsuConfig::sandy_bridge as fn(_) -> _,
+        OsuConfig::broadwell as fn(_) -> _,
+    ] {
         for &loc in &configs {
             let bw = bandwidth_mibps(&mk(loc), 64, 128);
             assert!(bw.is_finite() && bw > 0.0, "{}", loc.label());
@@ -86,11 +92,17 @@ fn headline_ordering_end_to_end() {
     let base = bw(LocalityConfig::baseline(), 1024);
     let lla2 = bw(LocalityConfig::lla(2), 1024);
     let lla8 = bw(LocalityConfig::lla(8), 1024);
-    assert!(base < lla2 && lla2 < lla8, "base {base:.4} lla2 {lla2:.4} lla8 {lla8:.4}");
+    assert!(
+        base < lla2 && lla2 < lla8,
+        "base {base:.4} lla2 {lla2:.4} lla8 {lla8:.4}"
+    );
 
     let lla_mid = bw(LocalityConfig::lla(2), 128);
     let both_mid = bw(LocalityConfig::hc_lla(2), 128);
-    assert!(both_mid >= lla_mid * 0.98, "HC+LLA {both_mid:.4} vs LLA {lla_mid:.4}");
+    assert!(
+        both_mid >= lla_mid * 0.98,
+        "HC+LLA {both_mid:.4} vs LLA {lla_mid:.4}"
+    );
 }
 
 /// The paper's conclusion quantifies "2X-5X speedups for common message

@@ -65,7 +65,11 @@ fn motifs_conserve_messages() {
     });
     assert!(t.posted.count_for(0) > 0);
 
-    let t = amr::run(amr::AmrParams { ranks: 128, iterations: 2, ..amr::AmrParams::small() });
+    let t = amr::run(amr::AmrParams {
+        ranks: 128,
+        iterations: 2,
+        ..amr::AmrParams::small()
+    });
     assert!(t.posted.count_for(0) > 0);
 }
 
@@ -75,7 +79,11 @@ fn motifs_conserve_messages() {
 #[test]
 fn figure1_comparative_shapes() {
     // AMR needs enough ranks for the power-law tail to be sampled.
-    let amr_t = amr::run(amr::AmrParams { ranks: 2048, iterations: 3, ..amr::AmrParams::small() });
+    let amr_t = amr::run(amr::AmrParams {
+        ranks: 2048,
+        iterations: 3,
+        ..amr::AmrParams::small()
+    });
     let sweep_t = sweep3d::run(sweep3d::Sweep3dParams::small());
     let halo_t = halo3d::run(halo3d::Halo3dParams {
         grid: [6, 6, 6],
@@ -89,7 +97,10 @@ fn figure1_comparative_shapes() {
         (50..=150).contains(&sweep_max),
         "Sweep3D tail {sweep_max} is around one hundred"
     );
-    assert!(halo_max <= 110, "Halo3D tail {halo_max} stays within neighbours*vars");
+    assert!(
+        halo_max <= 110,
+        "Halo3D tail {halo_max} stays within neighbours*vars"
+    );
     assert!(amr_max > sweep_max, "AMR {amr_max} > Sweep3D {sweep_max}");
     assert!(amr_max > halo_max, "AMR {amr_max} > Halo3D {halo_max}");
 }
@@ -98,11 +109,17 @@ fn figure1_comparative_shapes() {
 /// averages of 10 trials for the same reason).
 #[test]
 fn decomp_depth_stable_across_seeds() {
-    let d = Decomp { dims: [16, 16, 1], stencil: Stencil::S9 };
+    let d = Decomp {
+        dims: [16, 16, 1],
+        stencil: Stencil::S9,
+    };
     let a = analyze(d, 10, 1).mean_search_depth;
     let b = analyze(d, 10, 2).mean_search_depth;
     let rel = (a - b).abs() / a;
-    assert!(rel < 0.05, "seed variation {rel:.3} too high ({a:.1} vs {b:.1})");
+    assert!(
+        rel < 0.05,
+        "seed variation {rel:.3} too high ({a:.1} vs {b:.1})"
+    );
 }
 
 /// FDS proxy consistency: all locality configurations process identical
@@ -112,7 +129,10 @@ fn fds_configs_do_identical_work() {
     let p = FdsParams::small(512);
     let base = run_nehalem(p, LocalityConfig::baseline());
     let lla = run_nehalem(p, LocalityConfig::lla(2));
-    assert_eq!(base.mean_depth, lla.mean_depth, "same arrivals, same depths");
+    assert_eq!(
+        base.mean_depth, lla.mean_depth,
+        "same arrivals, same depths"
+    );
     assert!(lla.seconds <= base.seconds);
 
     // And the headline crossover: LLA's advantage grows with scale.
