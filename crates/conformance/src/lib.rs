@@ -22,6 +22,14 @@
 //! * [`adversary`] — deliberately broken structures (e.g.
 //!   [`adversary::FifoViolator`]) used to prove the harness actually
 //!   catches bugs, not just agreements.
+//! * [`concurrent`] — the concurrent differential driver: N real threads
+//!   race seeded streams through a thread-safe engine, every operation is
+//!   seq-stamped at its linearization point, and the seq-sorted log is
+//!   replayed through the oracle to verify linearizable, exactly-once,
+//!   non-overtaking matching.
+//! * [`sched`] — deterministic interleaving testing: channel-gated
+//!   threads driven one op at a time through exhaustive (or seeded
+//!   sampled) interleavings of short race scenarios.
 //!
 //! ## Depth comparison
 //!
@@ -38,13 +46,19 @@
 #![warn(missing_docs)]
 
 pub mod adversary;
+pub mod concurrent;
 pub mod driver;
 pub mod ops;
 pub mod oracle;
+pub mod sched;
 pub mod shrink;
 
 pub use adversary::FifoViolator;
+pub use concurrent::{
+    conc_ops, run_and_verify, run_concurrent, verify_log, Action, ConcEngine, ConcOp, LogRecord,
+};
 pub use driver::{diff_dyn_engine, diff_engine, diff_posted, diff_umq, DepthMode, Divergence};
-pub use ops::{engine_ops, posted_ops, umq_ops, EngineOp, PostedOp, UmqOp};
+pub use ops::{engine_ops, engine_ops_wild_bursts, posted_ops, umq_ops, EngineOp, PostedOp, UmqOp};
 pub use oracle::OracleList;
+pub use sched::{interleavings, run_stepped, sampled_schedules};
 pub use shrink::{render_ops, shrink_ops};

@@ -233,6 +233,94 @@ pub fn engine_ops(seed: u64, n: usize) -> Vec<EngineOp> {
     ops
 }
 
+/// Generates `n` engine-level operations from `seed`, biased hard toward
+/// wildcard traffic: storms of arrivals across every rank alternate with
+/// bursts of `MPI_ANY_SOURCE`/`MPI_ANY_TAG` receives that drain them (and
+/// with bursts of wildcard receives posted *first*, so arrivals must pick
+/// the oldest among several resident wildcards).
+///
+/// The uniform mix in [`engine_ops`] produces wildcards too, but rarely
+/// several *resident* at once; this stream keeps the wildcard-vs-concrete
+/// arbitration paths (bin merges, trie global scans, a sharded engine's
+/// wildcard lane) continuously busy.
+pub fn engine_ops_wild_bursts(seed: u64, n: usize) -> Vec<EngineOp> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ops = Vec::with_capacity(n);
+    while ops.len() < n {
+        match rng.gen_range(0..4u32) {
+            // Arrival storm across all ranks, then wild receives drain it.
+            0 => {
+                let ctx = rng.gen_range(0..CTXS);
+                let storm = rng.gen_range(6..24usize);
+                for _ in 0..storm {
+                    ops.push(EngineOp::Arrival {
+                        rank: rng.gen_range(0..RANKS),
+                        tag: rng.gen_range(0..TAGS),
+                        ctx,
+                    });
+                }
+                for _ in 0..rng.gen_range(1..storm + 1) {
+                    ops.push(EngineOp::PostRecv {
+                        rank: None,
+                        tag: (!rng.gen_bool(0.5)).then(|| rng.gen_range(0..TAGS)),
+                        ctx,
+                    });
+                }
+            }
+            // Wildcards posted first; racing arrivals must take the oldest.
+            1 => {
+                let ctx = rng.gen_range(0..CTXS);
+                let wilds = rng.gen_range(2..8usize);
+                for _ in 0..wilds {
+                    ops.push(EngineOp::PostRecv {
+                        rank: None,
+                        tag: (!rng.gen_bool(0.5)).then(|| rng.gen_range(0..TAGS)),
+                        ctx,
+                    });
+                }
+                for _ in 0..rng.gen_range(wilds..2 * wilds) {
+                    ops.push(EngineOp::Arrival {
+                        rank: rng.gen_range(0..RANKS),
+                        tag: rng.gen_range(0..TAGS),
+                        ctx,
+                    });
+                }
+            }
+            // Mixed wild and concrete posts, interleaved with arrivals.
+            2 => {
+                for _ in 0..rng.gen_range(4..16usize) {
+                    let (rank, tag, ctx) = gen_spec(&mut rng, 0.5);
+                    ops.push(EngineOp::PostRecv { rank, tag, ctx });
+                    if rng.gen_bool(0.6) {
+                        ops.push(EngineOp::Arrival {
+                            rank: rng.gen_range(0..RANKS),
+                            tag: rng.gen_range(0..TAGS),
+                            ctx: rng.gen_range(0..CTXS),
+                        });
+                    }
+                }
+            }
+            // Probes (mostly wildcarded), cancels, rare clears.
+            _ => {
+                for _ in 0..rng.gen_range(2..8usize) {
+                    ops.push(match rng.gen_range(0..8u32) {
+                        0..=4 => {
+                            let (rank, tag, ctx) = gen_spec(&mut rng, 0.6);
+                            EngineOp::Iprobe { rank, tag, ctx }
+                        }
+                        5..=6 => EngineOp::Cancel {
+                            nth: rng.gen_range(0..64u64),
+                        },
+                        _ => EngineOp::Clear,
+                    });
+                }
+            }
+        }
+    }
+    ops.truncate(n);
+    ops
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -243,6 +331,29 @@ mod tests {
         assert_eq!(umq_ops(42, 500), umq_ops(42, 500));
         assert_eq!(engine_ops(42, 500), engine_ops(42, 500));
         assert_ne!(engine_ops(42, 500), engine_ops(43, 500));
+    }
+
+    #[test]
+    fn wild_burst_streams_are_wildcard_heavy_and_deterministic() {
+        let ops = engine_ops_wild_bursts(11, 2_000);
+        assert_eq!(ops.len(), 2_000);
+        assert_eq!(ops, engine_ops_wild_bursts(11, 2_000));
+        let posts: Vec<_> = ops
+            .iter()
+            .filter_map(|o| match o {
+                EngineOp::PostRecv { rank, .. } => Some(rank),
+                _ => None,
+            })
+            .collect();
+        let wild_posts = posts.iter().filter(|r| r.is_none()).count();
+        assert!(
+            wild_posts * 2 >= posts.len(),
+            "most receives must wildcard the source ({wild_posts}/{})",
+            posts.len()
+        );
+        assert!(ops
+            .iter()
+            .any(|o| matches!(o, EngineOp::Iprobe { rank: None, .. })));
     }
 
     #[test]

@@ -1,0 +1,175 @@
+//! Concurrent differential conformance: every list structure, behind both
+//! thread-safe engines, survives racing op streams at 2/4/8 threads —
+//! verified by replaying each run's seq-stamped linearization through the
+//! Vec-backed oracle.
+//!
+//! Plus the harness-sensitivity half: the injected sharded-engine
+//! adversary (wildcard epoch check disabled) is caught by the same
+//! machinery, and the deterministic lockstep driver shrinks it to a
+//! paste-able handful of ops.
+
+use spc_conformance::concurrent::{conc_ops, run_and_verify, stress_multiplier, ConcEngine};
+use spc_conformance::{diff_engine, engine_ops_wild_bursts, render_ops, shrink_ops, DepthMode};
+use spc_core::concurrent::SharedEngine;
+use spc_core::engine::MatchEngine;
+use spc_core::entry::{PostedEntry, UnexpectedEntry};
+use spc_core::list::{BaselineList, HashBins, Lla, MatchList, RankTrie, SourceBins};
+use spc_core::shard::ShardedEngine;
+
+const RANKS: usize = spc_conformance::ops::RANKS as usize;
+const SHARDS: usize = 4;
+const SEED: u64 = 0xC0C0_11C5;
+
+/// ≥10,000 ops at every thread count (scaled up by `SPC_CONC_OPS_MULT`
+/// in CI's stress job).
+fn total_ops() -> usize {
+    10_000 * stress_multiplier()
+}
+
+/// Runs a fresh engine from `mk` against racing streams at 2, 4 and 8
+/// threads and verifies each linearization against the oracle.
+fn check_conc<E: ConcEngine>(label: &str, mk: impl Fn() -> E, seed: u64) {
+    for threads in [2usize, 4, 8] {
+        let per_thread = total_ops().div_ceil(threads);
+        let streams = conc_ops(seed ^ (threads as u64), threads, per_thread);
+        let eng = mk();
+        if let Err(e) = run_and_verify(&eng, &streams) {
+            panic!("{label} @ {threads} threads: {e}");
+        }
+    }
+}
+
+/// Both engines over one structure family.
+fn check_both<P, U>(
+    label: &str,
+    mk_p: impl Fn() -> P + Copy,
+    mk_u: impl Fn() -> U + Copy,
+    seed: u64,
+) where
+    P: MatchList<PostedEntry> + Send,
+    U: MatchList<UnexpectedEntry> + Send,
+{
+    check_conc(
+        &format!("shared/{label}"),
+        || SharedEngine::new(MatchEngine::new(mk_p(), mk_u())),
+        seed,
+    );
+    check_conc(
+        &format!("sharded/{label}"),
+        || ShardedEngine::new(SHARDS, mk_p, mk_u),
+        seed ^ 0x5A5A,
+    );
+}
+
+#[test]
+fn baseline_concurrent_conformance() {
+    check_both(
+        "baseline",
+        BaselineList::<PostedEntry>::new,
+        BaselineList::<UnexpectedEntry>::new,
+        SEED,
+    );
+}
+
+#[test]
+fn lla_concurrent_conformance() {
+    check_both(
+        "lla-2",
+        Lla::<PostedEntry, 2>::new,
+        Lla::<UnexpectedEntry, 3>::new,
+        SEED.wrapping_add(1),
+    );
+}
+
+#[test]
+fn source_bins_concurrent_conformance() {
+    check_both(
+        "source-bins",
+        || SourceBins::new(RANKS),
+        || SourceBins::new(RANKS),
+        SEED.wrapping_add(2),
+    );
+}
+
+#[test]
+fn hash_bins_concurrent_conformance() {
+    check_both(
+        "hash-bins",
+        || HashBins::with_bins(4),
+        || HashBins::with_bins(4),
+        SEED.wrapping_add(3),
+    );
+}
+
+#[test]
+fn rank_trie_concurrent_conformance() {
+    check_both(
+        "rank-trie",
+        || RankTrie::new(RANKS),
+        || RankTrie::new(RANKS),
+        SEED.wrapping_add(4),
+    );
+}
+
+fn adversary() -> ShardedEngine<Lla<PostedEntry, 2>, Lla<UnexpectedEntry, 3>> {
+    ShardedEngine::with_wildcard_check_disabled(SHARDS, Lla::new, Lla::new)
+}
+
+/// The injected adversary — a sharded engine whose arrivals skip the
+/// wildcard seq comparison — must be caught by the concurrent driver:
+/// wildcard-heavy racing streams produce a linearization the oracle
+/// rejects (a newer concrete receive overtook an older `MPI_ANY_SOURCE`
+/// receive).
+#[test]
+fn concurrent_driver_catches_the_wildcard_adversary() {
+    let streams = conc_ops(SEED.wrapping_add(50), 4, 2_500);
+    let err = run_and_verify(&adversary(), &streams)
+        .expect_err("the adversary must produce a non-linearizable history");
+    assert!(
+        err.contains("oracle"),
+        "failure should be an oracle disagreement: {err}"
+    );
+}
+
+/// The same bug, caught deterministically by the lockstep driver and
+/// shrunk to a paste-able repro. The minimal shape is three ops: post a
+/// wildcard receive, post a concrete receive, deliver a message both
+/// match — the adversary hands it to the (newer) concrete receive.
+#[test]
+fn wildcard_adversary_is_shrunk_to_a_pasteable_repro() {
+    let ops = engine_ops_wild_bursts(SEED.wrapping_add(51), 10_000);
+    let err = diff_engine(&mut adversary(), DepthMode::Bounded, &ops)
+        .expect_err("wildcard bursts must expose the disabled epoch check");
+    assert!(
+        err.detail.contains("matched"),
+        "divergence should be a wrong-match disagreement: {err}"
+    );
+
+    let fails = |s: &[spc_conformance::EngineOp]| {
+        diff_engine(&mut adversary(), DepthMode::Bounded, s).is_err()
+    };
+    let min = shrink_ops(&ops, fails);
+    assert!(fails(&min), "minimized stream must still fail");
+    assert!(
+        min.len() <= 4,
+        "expected a near-minimal repro, got {} ops:\n{}",
+        min.len(),
+        render_ops("EngineOp", &min)
+    );
+    let repro = render_ops("EngineOp", &min);
+    assert!(repro.starts_with("let ops = vec![\n"), "{repro}");
+    assert!(
+        repro.contains("EngineOp::PostRecv { rank: None"),
+        "repro must involve a wildcard receive:\n{repro}"
+    );
+}
+
+/// Sanity check on the harness itself: the *correct* sharded engine
+/// passes the exact stream that convicted the adversary.
+#[test]
+fn correct_sharded_engine_passes_the_adversary_stream() {
+    let streams = conc_ops(SEED.wrapping_add(50), 4, 2_500);
+    let eng: ShardedEngine<Lla<PostedEntry, 2>, Lla<UnexpectedEntry, 3>> =
+        ShardedEngine::new(SHARDS, Lla::new, Lla::new);
+    run_and_verify(&eng, &streams).unwrap();
+}

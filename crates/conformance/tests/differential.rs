@@ -6,13 +6,14 @@
 //! (see `fail()` below), not the 10,000-op haystack.
 
 use spc_conformance::{
-    diff_dyn_engine, diff_engine, diff_posted, diff_umq, engine_ops, posted_ops, render_ops,
-    shrink_ops, umq_ops, DepthMode,
+    diff_dyn_engine, diff_engine, diff_posted, diff_umq, engine_ops, engine_ops_wild_bursts,
+    posted_ops, render_ops, shrink_ops, umq_ops, DepthMode, EngineOp,
 };
 use spc_core::dynengine::EngineKind;
 use spc_core::engine::MatchEngine;
 use spc_core::entry::{PostedEntry, UnexpectedEntry};
-use spc_core::list::{BaselineList, HashBins, Lla, RankTrie, SourceBins};
+use spc_core::list::{BaselineList, HashBins, Lla, MatchList, RankTrie, SourceBins};
+use spc_core::shard::ShardedEngine;
 
 /// Ops per structure per stream; two streams (posted + umq) at the list
 /// level and one engine stream per kind, so every structure pair sees
@@ -207,4 +208,135 @@ fn typed_engines_conform_with_snapshots() {
         );
     diff_engine(&mut bins, DepthMode::Bounded, &ops)
         .unwrap_or_else(|e| panic!("source-bins engine: {e}"));
+
+    let ops = engine_ops(SEED.wrapping_add(203), N_OPS);
+    let mut hash: MatchEngine<HashBins<PostedEntry>, HashBins<UnexpectedEntry>> =
+        MatchEngine::new(HashBins::with_bins(4), HashBins::with_bins(4));
+    diff_engine(&mut hash, DepthMode::Bounded, &ops)
+        .unwrap_or_else(|e| panic!("hash-bins engine: {e}"));
+
+    let ops = engine_ops(SEED.wrapping_add(204), N_OPS);
+    let mut trie: MatchEngine<RankTrie<PostedEntry>, RankTrie<UnexpectedEntry>> = MatchEngine::new(
+        RankTrie::new(spc_conformance::ops::RANKS as usize),
+        RankTrie::new(spc_conformance::ops::RANKS as usize),
+    );
+    diff_engine(&mut trie, DepthMode::Bounded, &ops)
+        .unwrap_or_else(|e| panic!("rank-trie engine: {e}"));
+}
+
+fn mode_for(kind: &EngineKind) -> DepthMode {
+    match kind {
+        EngineKind::Baseline | EngineKind::Lla { .. } => DepthMode::Exact,
+        _ => DepthMode::Bounded,
+    }
+}
+
+/// Wildcard/mask arbitration under pressure: streams that keep several
+/// `MPI_ANY_SOURCE`/`MPI_ANY_TAG` receives resident hammer exactly the
+/// paths the partitioned structures (source bins, hash bins, rank trie)
+/// handle specially — wildcard channels, bin merges, global scans.
+#[test]
+fn all_engine_kinds_conform_on_wildcard_bursts() {
+    for (i, kind) in EngineKind::standard_set(spc_conformance::ops::RANKS as usize)
+        .iter()
+        .enumerate()
+    {
+        let mode = mode_for(kind);
+        let ops = engine_ops_wild_bursts(SEED.wrapping_add(300 + i as u64), N_OPS);
+        if let Err(e) = diff_dyn_engine(*kind, mode, &ops) {
+            let min = shrink_ops(&ops, |s| diff_dyn_engine(*kind, mode, s).is_err());
+            panic!(
+                "{}: wildcard-burst divergence: {e}\nminimized repro ({} ops):\n{}",
+                kind.label(),
+                min.len(),
+                render_ops("EngineOp", &min)
+            );
+        }
+    }
+}
+
+fn check_sharded<P, U>(label: &str, mk: impl Fn() -> ShardedEngine<P, U>, seed: u64)
+where
+    P: MatchList<PostedEntry> + Send,
+    U: MatchList<UnexpectedEntry> + Send,
+{
+    for (tag, ops) in [
+        ("uniform", engine_ops(seed, N_OPS)),
+        ("wild-burst", engine_ops_wild_bursts(seed ^ 0xAB, N_OPS)),
+    ] {
+        // Bounded depths: shard-local searches legitimately inspect fewer
+        // entries than the oracle's single global queue.
+        if let Err(e) = diff_engine(&mut mk(), DepthMode::Bounded, &ops) {
+            let min: Vec<EngineOp> = shrink_ops(&ops, |s| {
+                diff_engine(&mut mk(), DepthMode::Bounded, s).is_err()
+            });
+            panic!(
+                "sharded {label} ({tag}): divergence: {e}\nminimized repro ({} ops):\n{}",
+                min.len(),
+                render_ops("EngineOp", &min)
+            );
+        }
+    }
+}
+
+/// The sharded engine must be observationally identical to a single
+/// global-FIFO engine when driven single-threaded — including its merged
+/// queue snapshots after every step — for every structure family.
+#[test]
+fn sharded_engines_conform_in_lockstep() {
+    const RANKS: usize = spc_conformance::ops::RANKS as usize;
+    check_sharded(
+        "baseline",
+        || ShardedEngine::new(4, BaselineList::<PostedEntry>::new, BaselineList::new),
+        SEED.wrapping_add(400),
+    );
+    check_sharded(
+        "lla-2",
+        || {
+            ShardedEngine::new(
+                4,
+                Lla::<PostedEntry, 2>::new,
+                Lla::<UnexpectedEntry, 3>::new,
+            )
+        },
+        SEED.wrapping_add(401),
+    );
+    check_sharded(
+        "source-bins",
+        || ShardedEngine::new(4, || SourceBins::new(RANKS), || SourceBins::new(RANKS)),
+        SEED.wrapping_add(402),
+    );
+    check_sharded(
+        "hash-bins",
+        || ShardedEngine::new(4, || HashBins::with_bins(4), || HashBins::with_bins(4)),
+        SEED.wrapping_add(403),
+    );
+    check_sharded(
+        "rank-trie",
+        || ShardedEngine::new(4, || RankTrie::new(RANKS), || RankTrie::new(RANKS)),
+        SEED.wrapping_add(404),
+    );
+    // Degenerate shard counts must behave identically too.
+    check_sharded(
+        "lla-2 x1-shard",
+        || {
+            ShardedEngine::new(
+                1,
+                Lla::<PostedEntry, 2>::new,
+                Lla::<UnexpectedEntry, 3>::new,
+            )
+        },
+        SEED.wrapping_add(405),
+    );
+    check_sharded(
+        "lla-2 x13-shards",
+        || {
+            ShardedEngine::new(
+                13,
+                Lla::<PostedEntry, 2>::new,
+                Lla::<UnexpectedEntry, 3>::new,
+            )
+        },
+        SEED.wrapping_add(406),
+    );
 }

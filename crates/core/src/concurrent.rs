@@ -11,6 +11,12 @@
 //! how often threads *contend* for the engine — so the
 //! thread-decomposition benchmark (`spc-motifs::decomp`) and the tests
 //! below can quantify the effect alongside the search-depth growth.
+//!
+//! The per-source-decomposed alternative that escapes the single lock is
+//! [`crate::shard::ShardedEngine`]; both expose the same seq-stamped
+//! operation surface so the concurrent differential harness in
+//! `spc-conformance` can replay either engine's linearization through the
+//! Vec-backed oracle.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -19,27 +25,9 @@ use std::sync::Mutex;
 use crate::engine::{ArrivalOutcome, MatchEngine, RecvOutcome};
 use crate::entry::{Envelope, PostedEntry, RecvSpec, UnexpectedEntry};
 use crate::list::MatchList;
-use crate::stats::EngineStats;
+use crate::stats::{ConcurrencyStats, EngineStats, ShardStats};
 
-/// Contention counters for the engine lock.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct LockStats {
-    /// Total acquisitions.
-    pub acquisitions: u64,
-    /// Acquisitions that found the lock held and had to wait.
-    pub contended: u64,
-}
-
-impl LockStats {
-    /// Fraction of acquisitions that contended (0.0 when idle).
-    pub fn contention_ratio(&self) -> f64 {
-        if self.acquisitions == 0 {
-            0.0
-        } else {
-            self.contended as f64 / self.acquisitions as f64
-        }
-    }
-}
+pub use crate::stats::LockStats;
 
 /// A matching engine shared by many communication threads through a single
 /// lock (the traditional "one match engine per process" design).
@@ -51,6 +39,11 @@ where
     inner: Mutex<MatchEngine<P, U>>,
     acquisitions: AtomicU64,
     contended: AtomicU64,
+    /// Linearization stamps: bumped while the engine lock is held, so the
+    /// seq order of any two operations equals their serialization order.
+    seq: AtomicU64,
+    max_prq: AtomicU64,
+    max_umq: AtomicU64,
 }
 
 impl<P, U> SharedEngine<P, U>
@@ -64,9 +57,14 @@ where
             inner: Mutex::new(engine),
             acquisitions: AtomicU64::new(0),
             contended: AtomicU64::new(0),
+            seq: AtomicU64::new(0),
+            max_prq: AtomicU64::new(0),
+            max_umq: AtomicU64::new(0),
         }
     }
 
+    /// Counted lock path: every workload operation goes through here so the
+    /// contention counters reflect *workload* pressure only.
     fn lock(&self) -> std::sync::MutexGuard<'_, MatchEngine<P, U>> {
         self.acquisitions.fetch_add(1, Ordering::Relaxed);
         if let Ok(g) = self.inner.try_lock() {
@@ -76,40 +74,119 @@ where
         self.inner.lock().expect("shared engine lock poisoned")
     }
 
+    /// Uncounted lock path for observer snapshots (`queue_lens`, `stats`,
+    /// `lock_stats`): acquiring the lock to *read* the counters must not
+    /// perturb them.
+    fn lock_uncounted(&self) -> std::sync::MutexGuard<'_, MatchEngine<P, U>> {
+        self.inner.lock().expect("shared engine lock poisoned")
+    }
+
+    fn note_occupancy(&self, g: &MatchEngine<P, U>) {
+        self.max_prq
+            .fetch_max(g.prq_len() as u64, Ordering::Relaxed);
+        self.max_umq
+            .fetch_max(g.umq_len() as u64, Ordering::Relaxed);
+    }
+
     /// Thread-safe [`MatchEngine::post_recv`].
     pub fn post_recv(&self, spec: RecvSpec, request: u64) -> RecvOutcome {
-        self.lock().post_recv(spec, request)
+        self.post_recv_seq(spec, request).1
+    }
+
+    /// [`Self::post_recv`] returning the operation's linearization stamp
+    /// (assigned while the engine lock is held).
+    pub fn post_recv_seq(&self, spec: RecvSpec, request: u64) -> (u64, RecvOutcome) {
+        let mut g = self.lock();
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let out = g.post_recv(spec, request);
+        self.note_occupancy(&g);
+        (seq, out)
     }
 
     /// Thread-safe [`MatchEngine::arrival`].
     pub fn arrival(&self, env: Envelope, payload: u64) -> ArrivalOutcome {
-        self.lock().arrival(env, payload)
+        self.arrival_seq(env, payload).1
+    }
+
+    /// [`Self::arrival`] returning the operation's linearization stamp.
+    pub fn arrival_seq(&self, env: Envelope, payload: u64) -> (u64, ArrivalOutcome) {
+        let mut g = self.lock();
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let out = g.arrival(env, payload);
+        self.note_occupancy(&g);
+        (seq, out)
     }
 
     /// Thread-safe [`MatchEngine::cancel_recv`].
     pub fn cancel_recv(&self, request: u64) -> bool {
-        self.lock().cancel_recv(request)
+        self.cancel_recv_seq(request).1
     }
 
-    /// Current queue lengths `(prq, umq)`.
-    pub fn queue_lens(&self) -> (usize, usize) {
+    /// [`Self::cancel_recv`] returning the operation's linearization stamp.
+    pub fn cancel_recv_seq(&self, request: u64) -> (u64, bool) {
+        let mut g = self.lock();
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        (seq, g.cancel_recv(request))
+    }
+
+    /// Thread-safe [`MatchEngine::iprobe`].
+    pub fn iprobe(&self, spec: RecvSpec) -> Option<(u64, u32)> {
+        self.iprobe_seq(spec).1
+    }
+
+    /// [`Self::iprobe`] returning the operation's linearization stamp.
+    pub fn iprobe_seq(&self, spec: RecvSpec) -> (u64, Option<(u64, u32)>) {
         let g = self.lock();
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        (seq, g.iprobe(spec))
+    }
+
+    /// Current queue lengths `(prq, umq)`. Taken through the uncounted lock
+    /// path, so observer snapshots never pollute the contention counters.
+    pub fn queue_lens(&self) -> (usize, usize) {
+        let g = self.lock_uncounted();
         (g.prq_len(), g.umq_len())
     }
 
-    /// Snapshot of the engine statistics.
+    /// Snapshot of the engine statistics, with
+    /// [`EngineStats::concurrency`] populated from the lock counters.
+    /// Uncounted: reading the stats does not perturb them.
     pub fn stats(&self) -> EngineStats {
-        self.lock().stats().clone()
+        let mut s = self.lock_uncounted().stats().clone();
+        s.concurrency = Some(self.concurrency_stats());
+        s
     }
 
-    /// Lock-contention counters (not affected by the snapshot calls'
-    /// own acquisitions being counted — interpret relative to workload
-    /// operation counts).
+    /// Lock-contention counters. Only workload operations are counted:
+    /// snapshot calls (`queue_lens`, `stats`, `lock_stats`) use an
+    /// uncounted lock path.
     pub fn lock_stats(&self) -> LockStats {
         LockStats {
             acquisitions: self.acquisitions.load(Ordering::Relaxed),
             contended: self.contended.load(Ordering::Relaxed),
         }
+    }
+
+    /// Concurrency observability: the single lock reported as one shard,
+    /// no wildcard lane.
+    pub fn concurrency_stats(&self) -> ConcurrencyStats {
+        ConcurrencyStats {
+            shards: vec![ShardStats {
+                lock: self.lock_stats(),
+                max_prq_len: self.max_prq.load(Ordering::Relaxed),
+                max_umq_len: self.max_umq.load(Ordering::Relaxed),
+            }],
+            wild: None,
+            wild_crossings: 0,
+        }
+    }
+
+    /// Empties both queues and clears statistics (linearized like any
+    /// other workload operation).
+    pub fn reset(&self) {
+        let mut g = self.lock();
+        self.seq.fetch_add(1, Ordering::Relaxed);
+        g.reset();
     }
 
     /// Consumes the wrapper, returning the inner engine.
@@ -173,17 +250,19 @@ mod tests {
             }
         });
 
-        // Unexpected arrivals must pair with a still-posted receive: drain.
+        // Every tag gets exactly one post and one arrival, so both queues
+        // must fully drain: an arrival that queued (post not yet in) is
+        // consumed from the UMQ by its post when it lands.
         let (prq, umq) = eng.queue_lens();
         assert_eq!(
             matched.load(Ordering::Relaxed) + unexpected.load(Ordering::Relaxed),
             (SENDERS as u64) * PER_THREAD as u64
         );
-        assert_eq!(prq as u64, unexpected.load(Ordering::Relaxed));
-        assert_eq!(
-            umq, 0,
-            "posts ran first per tag or queued; no stray messages"
-        );
+        assert_eq!(prq, 0, "every posted receive pairs with its arrival");
+        assert_eq!(umq, 0, "every queued message pairs with its post");
+        let s = eng.stats();
+        assert_eq!(s.prq_hits, matched.load(Ordering::Relaxed));
+        assert_eq!(s.umq_hits, unexpected.load(Ordering::Relaxed));
         let ls = eng.lock_stats();
         assert!(ls.acquisitions >= 2 * (POSTERS as u64) * PER_THREAD as u64);
     }
@@ -256,5 +335,64 @@ mod tests {
         let ls = eng.lock_stats();
         assert!(ls.contention_ratio() <= 1.0);
         assert!(ls.acquisitions >= 1);
+    }
+
+    #[test]
+    fn snapshots_do_not_pollute_contention_counters() {
+        let eng = engine();
+        eng.post_recv(RecvSpec::new(0, 0, 0), 0);
+        eng.arrival(Envelope::new(0, 0, 0), 1);
+        let before = eng.lock_stats();
+        for _ in 0..50 {
+            let _ = eng.queue_lens();
+            let _ = eng.stats();
+            let _ = eng.lock_stats();
+        }
+        assert_eq!(
+            eng.lock_stats(),
+            before,
+            "observer snapshots must be uncounted"
+        );
+        assert_eq!(before.acquisitions, 2, "exactly the two workload ops");
+    }
+
+    #[test]
+    fn seq_stamps_are_unique_and_ordered_under_racing_threads() {
+        let eng = engine();
+        let stamps = Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for t in 0..4i32 {
+                let eng = &eng;
+                let stamps = &stamps;
+                s.spawn(move || {
+                    for i in 0..200 {
+                        let tag = t * 200 + i;
+                        let (sp, _) = eng.post_recv_seq(RecvSpec::new(1, tag, 0), tag as u64);
+                        let (sa, _) = eng.arrival_seq(Envelope::new(1, tag, 0), tag as u64);
+                        assert!(sp < sa, "a thread's own ops must be ordered");
+                        stamps.lock().unwrap().push(sp);
+                        stamps.lock().unwrap().push(sa);
+                    }
+                });
+            }
+        });
+        let mut all = stamps.into_inner().unwrap();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 4 * 200 * 2, "stamps are globally unique");
+    }
+
+    #[test]
+    fn iprobe_and_stats_surface_concurrency() {
+        let eng = engine();
+        eng.arrival(Envelope::new(2, 9, 0), 77);
+        assert_eq!(eng.iprobe(RecvSpec::new(2, 9, 0)), Some((77, 1)));
+        assert_eq!(eng.queue_lens(), (0, 1), "probe must not consume");
+        let s = eng.stats();
+        let conc = s.concurrency.expect("shared engine reports concurrency");
+        assert_eq!(conc.shards.len(), 1);
+        assert!(conc.wild.is_none());
+        assert_eq!(conc.shards[0].max_umq_len, 1);
+        assert!(conc.shards[0].lock.acquisitions >= 2);
     }
 }

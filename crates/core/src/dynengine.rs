@@ -46,6 +46,22 @@ pub enum EngineKind {
 }
 
 impl EngineKind {
+    /// The canonical set of configurations the conformance harness and the
+    /// comparative benchmarks iterate: every structure family, with the
+    /// LLA at its one-cache-line, mid, and large-array arities. `ranks` is
+    /// the source-rank universe (bin count / trie capacity).
+    pub fn standard_set(ranks: usize) -> Vec<EngineKind> {
+        vec![
+            EngineKind::Baseline,
+            EngineKind::Lla { arity: 2 },
+            EngineKind::Lla { arity: 8 },
+            EngineKind::Lla { arity: 512 },
+            EngineKind::SourceBins { comm_size: ranks },
+            EngineKind::HashBins { bins: 4 },
+            EngineKind::RankTrie { capacity: ranks },
+        ]
+    }
+
     /// Report label.
     pub fn label(&self) -> String {
         match self {
@@ -184,7 +200,7 @@ impl DynEngine {
     }
 
     /// See [`MatchEngine::iprobe`].
-    pub fn iprobe(&mut self, spec: RecvSpec) -> Option<(u64, u32)> {
+    pub fn iprobe(&self, spec: RecvSpec) -> Option<(u64, u32)> {
         with_engine!(self, e => e.iprobe(spec))
     }
 

@@ -133,7 +133,7 @@ where
 
     /// Non-destructively checks whether an unexpected message would satisfy
     /// `spec` (`MPI_Iprobe`), returning its payload handle and search depth.
-    pub fn iprobe(&mut self, spec: RecvSpec) -> Option<(PayloadHandle, u32)> {
+    pub fn iprobe(&self, spec: RecvSpec) -> Option<(PayloadHandle, u32)> {
         // Search-and-reinsert would break FIFO; snapshot instead. Probe is
         // off the critical path, so the copy is acceptable.
         let mut depth = 0;

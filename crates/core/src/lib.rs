@@ -65,11 +65,13 @@ pub mod heater;
 pub mod list;
 pub mod pool;
 pub mod replay;
+pub mod shard;
 pub mod sink;
 pub mod stats;
 
 pub use engine::{ArrivalOutcome, MatchEngine, RecvOutcome};
 pub use entry::{Envelope, PostedEntry, RecvSpec, UnexpectedEntry, ANY_SOURCE, ANY_TAG};
+pub use shard::ShardedEngine;
 pub use sink::{AccessSink, CountingSink, NullSink};
 
 /// Size of a cache line, in bytes, on every x86 architecture the paper

@@ -1,0 +1,839 @@
+//! Sharded concurrent matching engine: per-source decomposition of the
+//! PRQ/UMQ across independently-locked sub-engines.
+//!
+//! [`crate::concurrent::SharedEngine`] reproduces the worst case the paper
+//! predicts for `MPI_THREAD_MULTIPLE` (§2.3): one mutex funneling every
+//! thread. Real MPI stacks escape that funnel by decomposing the match
+//! queues by *source rank* — the Open MPI bins idea this repo models as a
+//! list structure in [`crate::list::SourceBins`], applied here at engine
+//! granularity: [`ShardedEngine`] hashes each source rank onto one of `S`
+//! shards, each an independently-locked [`MatchEngine`] wrapping any of
+//! the five [`MatchList`] structures. Threads working disjoint sources
+//! never touch the same lock.
+//!
+//! ## The wildcard slow path
+//!
+//! `MPI_ANY_SOURCE` receives cannot be binned — they can match an arrival
+//! on *any* shard — so they live in a dedicated **wildcard lane**, and a
+//! sequence/epoch protocol keeps the per-(source, tag, communicator) FIFO
+//! non-overtaking guarantee intact even when a wildcard receive races
+//! arrivals on multiple shards:
+//!
+//! * A global epoch counter stamps every operation with a **seq** while
+//!   the operation holds every lock it will use; seq order therefore
+//!   equals lock-serialization order for any two operations that share a
+//!   lock, making the seq-sorted operation log a valid linearization
+//!   (this is what the concurrent differential harness replays).
+//! * Posting a wildcard receive acquires **all** shard locks plus the
+//!   wildcard lane (in fixed order, so the protocol is deadlock-free),
+//!   searches every shard's unexpected queue for the globally earliest
+//!   (by arrival seq) match, and only then parks in the wildcard lane.
+//! * An arrival locks its source's shard, then — only if the wildcard
+//!   lane is occupied (`wild_len > 0`, the epoch check; exact because
+//!   wildcard inserts hold every shard lock) — crosses into the wildcard
+//!   lane and compares seq stamps: the *older* of the shard match and the
+//!   wildcard match wins. Skipping that comparison is the classic
+//!   decomposed-engine bug; [`ShardedEngine::with_wildcard_check_disabled`]
+//!   builds exactly that broken variant so the conformance harness can
+//!   prove it catches the violation.
+//!
+//! Entry layouts are the paper's fixed 24/16-byte records (Figure 2), so
+//! seq stamps cannot live in the entries themselves; each shard keeps a
+//! parallel seq-ordered index (`VecDeque<(seq, entry)>`) next to its
+//! structure for cross-shard arbitration. The [`MatchList`] FIFO contract
+//! guarantees structure and index always agree on which entry a probe
+//! matches first (debug asserts verify it).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+use crate::engine::{ArrivalOutcome, MatchEngine, RecvOutcome};
+use crate::entry::{Envelope, PostedEntry, RecvSpec, UnexpectedEntry, ANY_SOURCE};
+use crate::list::MatchList;
+use crate::stats::{ConcurrencyStats, EngineStats, LockStats, ShardStats};
+
+/// Per-shard state behind the shard's lock: the sub-engine plus the
+/// seq-ordered parallel indexes used for cross-shard FIFO arbitration.
+struct ShardState<P, U>
+where
+    P: MatchList<PostedEntry>,
+    U: MatchList<UnexpectedEntry>,
+{
+    eng: MatchEngine<P, U>,
+    /// `(seq, entry)` for every live PRQ entry, in seq (= FIFO) order.
+    prq_idx: VecDeque<(u64, PostedEntry)>,
+    /// `(seq, entry)` for every live UMQ entry, in seq (= FIFO) order.
+    umq_idx: VecDeque<(u64, UnexpectedEntry)>,
+    max_prq: u64,
+    max_umq: u64,
+}
+
+impl<P, U> ShardState<P, U>
+where
+    P: MatchList<PostedEntry>,
+    U: MatchList<UnexpectedEntry>,
+{
+    fn note_occupancy(&mut self) {
+        self.max_prq = self.max_prq.max(self.eng.prq_len() as u64);
+        self.max_umq = self.max_umq.max(self.eng.umq_len() as u64);
+    }
+}
+
+/// The wildcard lane: `MPI_ANY_SOURCE` receives only, with its own lock,
+/// structure, seq index and stats.
+struct WildState<P>
+where
+    P: MatchList<PostedEntry>,
+{
+    prq: P,
+    prq_idx: VecDeque<(u64, PostedEntry)>,
+    stats: EngineStats,
+    max_prq: u64,
+}
+
+/// A lock plus its contention counters (counted on the workload path,
+/// bypassed by observer snapshots).
+struct Counted<T> {
+    inner: Mutex<T>,
+    acquisitions: AtomicU64,
+    contended: AtomicU64,
+}
+
+impl<T> Counted<T> {
+    fn new(inner: T) -> Self {
+        Self {
+            inner: Mutex::new(inner),
+            acquisitions: AtomicU64::new(0),
+            contended: AtomicU64::new(0),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, T> {
+        self.acquisitions.fetch_add(1, Ordering::Relaxed);
+        if let Ok(g) = self.inner.try_lock() {
+            return g;
+        }
+        self.contended.fetch_add(1, Ordering::Relaxed);
+        self.inner.lock().expect("shard lock poisoned")
+    }
+
+    fn lock_uncounted(&self) -> MutexGuard<'_, T> {
+        self.inner.lock().expect("shard lock poisoned")
+    }
+
+    fn lock_stats(&self) -> LockStats {
+        LockStats {
+            acquisitions: self.acquisitions.load(Ordering::Relaxed),
+            contended: self.contended.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A concurrent matching engine sharding the PRQ/UMQ by source rank
+/// across `S` independently-locked sub-engines, with a wildcard-aware
+/// slow path (see the module docs for the protocol).
+pub struct ShardedEngine<P, U>
+where
+    P: MatchList<PostedEntry>,
+    U: MatchList<UnexpectedEntry>,
+{
+    shards: Vec<Counted<ShardState<P, U>>>,
+    wild: Counted<WildState<P>>,
+    /// Global epoch/sequence counter; stamped while holding the op's locks.
+    seq: AtomicU64,
+    /// Live wildcard receives. Updated under the wildcard-lane lock;
+    /// reading it under any shard lock is exact because inserts hold
+    /// every shard lock.
+    wild_len: AtomicUsize,
+    /// Arrivals that crossed into the wildcard lane.
+    wild_crossings: AtomicU64,
+    /// When false, arrivals skip the wildcard seq comparison whenever
+    /// their own shard has a match — the injected conformance adversary.
+    check_wild_overtaking: bool,
+}
+
+impl<P, U> ShardedEngine<P, U>
+where
+    P: MatchList<PostedEntry> + Send,
+    U: MatchList<UnexpectedEntry> + Send,
+{
+    /// Builds an engine with `num_shards` shards, each wrapping fresh
+    /// structures from the factories (plus one more `P` for the wildcard
+    /// lane).
+    pub fn new(
+        num_shards: usize,
+        mut mk_prq: impl FnMut() -> P,
+        mut mk_umq: impl FnMut() -> U,
+    ) -> Self {
+        assert!(num_shards >= 1, "need at least one shard");
+        let shards = (0..num_shards)
+            .map(|_| {
+                Counted::new(ShardState {
+                    eng: MatchEngine::new(mk_prq(), mk_umq()),
+                    prq_idx: VecDeque::new(),
+                    umq_idx: VecDeque::new(),
+                    max_prq: 0,
+                    max_umq: 0,
+                })
+            })
+            .collect();
+        Self {
+            shards,
+            wild: Counted::new(WildState {
+                prq: mk_prq(),
+                prq_idx: VecDeque::new(),
+                stats: EngineStats::new(),
+                max_prq: 0,
+            }),
+            seq: AtomicU64::new(0),
+            wild_len: AtomicUsize::new(0),
+            wild_crossings: AtomicU64::new(0),
+            check_wild_overtaking: true,
+        }
+    }
+
+    /// The injected-bug adversary: identical to [`Self::new`] except that
+    /// arrivals **skip the wildcard epoch/seq check** whenever their own
+    /// shard holds any match — so a newer concrete receive overtakes an
+    /// older `MPI_ANY_SOURCE` receive. Exists so the conformance harness
+    /// can prove its concurrent and interleaving drivers actually catch
+    /// this class of bug; never use it as an engine.
+    pub fn with_wildcard_check_disabled(
+        num_shards: usize,
+        mk_prq: impl FnMut() -> P,
+        mk_umq: impl FnMut() -> U,
+    ) -> Self {
+        let mut e = Self::new(num_shards, mk_prq, mk_umq);
+        e.check_wild_overtaking = false;
+        e
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Shard owning a source rank (ranks compare in the entry layout's
+    /// 16-bit domain, so sharding uses the same truncation).
+    fn shard_of(&self, rank: i32) -> usize {
+        (rank as u32 as usize & 0xFFFF) % self.shards.len()
+    }
+
+    /// Locks every shard in index order (the fixed global lock order that
+    /// keeps the slow paths deadlock-free). The wildcard lane, when
+    /// needed, is always acquired after all shards.
+    fn lock_all(&self) -> Vec<MutexGuard<'_, ShardState<P, U>>> {
+        self.shards.iter().map(|s| s.lock()).collect()
+    }
+
+    fn lock_all_uncounted(&self) -> Vec<MutexGuard<'_, ShardState<P, U>>> {
+        self.shards.iter().map(|s| s.lock_uncounted()).collect()
+    }
+
+    fn next_seq(&self) -> u64 {
+        self.seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Posts a receive. Concrete sources take the shard fast path; an
+    /// `MPI_ANY_SOURCE` spec takes the all-shard slow path described in
+    /// the module docs.
+    pub fn post_recv(&self, spec: RecvSpec, request: u64) -> RecvOutcome {
+        self.post_recv_seq(spec, request).1
+    }
+
+    /// [`Self::post_recv`] returning the operation's linearization stamp.
+    pub fn post_recv_seq(&self, spec: RecvSpec, request: u64) -> (u64, RecvOutcome) {
+        if spec.rank == ANY_SOURCE {
+            return self.post_recv_wild(spec, request);
+        }
+        let mut g = self.shards[self.shard_of(spec.rank)].lock();
+        let seq = self.next_seq();
+        let out = g.eng.post_recv(spec, request);
+        match out {
+            RecvOutcome::MatchedUnexpected { payload, .. } => {
+                let pos = g
+                    .umq_idx
+                    .iter()
+                    .position(|(_, e)| e.matches(&spec))
+                    .expect("structure matched, so the seq index must too");
+                let (_, e) = g.umq_idx.remove(pos).expect("position exists");
+                debug_assert_eq!(e.payload, payload, "structure and index disagree");
+            }
+            RecvOutcome::Posted => {
+                g.prq_idx
+                    .push_back((seq, PostedEntry::from_spec(spec, request)));
+            }
+        }
+        g.note_occupancy();
+        (seq, out)
+    }
+
+    /// The wildcard slow path: all shard locks + the wildcard lane, a
+    /// global (seq-ordered) search of every shard's unexpected queue,
+    /// then either an immediate match or parking in the wildcard lane.
+    fn post_recv_wild(&self, spec: RecvSpec, request: u64) -> (u64, RecvOutcome) {
+        let mut guards = self.lock_all();
+        let mut wild = self.wild.lock();
+        let seq = self.next_seq();
+
+        // Globally earliest matching unexpected message: each shard's seq
+        // index is seq-ordered, so its first match is its earliest; the
+        // winner is the min across shards.
+        let mut best: Option<(u64, usize)> = None;
+        let mut inspected = 0u32;
+        for (si, g) in guards.iter().enumerate() {
+            for (eseq, e) in g.umq_idx.iter() {
+                if let Some((bseq, _)) = best {
+                    if *eseq >= bseq {
+                        break;
+                    }
+                }
+                inspected += 1;
+                if e.matches(&spec) {
+                    best = Some((*eseq, si));
+                    break;
+                }
+            }
+        }
+        match best {
+            Some((_, si)) => {
+                let g = &mut guards[si];
+                let out = g.eng.post_recv(spec, request);
+                let RecvOutcome::MatchedUnexpected { payload, .. } = out else {
+                    panic!("seq index found a match the structure missed");
+                };
+                let pos = g
+                    .umq_idx
+                    .iter()
+                    .position(|(_, e)| e.matches(&spec))
+                    .expect("match present");
+                let (_, e) = g.umq_idx.remove(pos).expect("position exists");
+                debug_assert_eq!(e.payload, payload);
+                // The shard sub-engine already recorded the hit; only the
+                // globally-inspected depth is reported to the caller.
+                (
+                    seq,
+                    RecvOutcome::MatchedUnexpected {
+                        payload,
+                        depth: inspected,
+                    },
+                )
+            }
+            None => {
+                let entry = PostedEntry::from_spec(spec, request);
+                wild.prq.append(entry, &mut crate::sink::NullSink);
+                wild.prq_idx.push_back((seq, entry));
+                wild.stats.umq_search.record(inspected as u64);
+                wild.stats.prq_appends += 1;
+                wild.max_prq = wild.max_prq.max(wild.prq.len() as u64);
+                self.wild_len.fetch_add(1, Ordering::Release);
+                (seq, RecvOutcome::Posted)
+            }
+        }
+    }
+
+    /// Handles a message arrival: shard fast path, with the wildcard-lane
+    /// crossing only when the lane is occupied.
+    pub fn arrival(&self, env: Envelope, payload: u64) -> ArrivalOutcome {
+        self.arrival_seq(env, payload).1
+    }
+
+    /// [`Self::arrival`] returning the operation's linearization stamp.
+    pub fn arrival_seq(&self, env: Envelope, payload: u64) -> (u64, ArrivalOutcome) {
+        let shard = &self.shards[self.shard_of(env.rank)];
+        let mut g = shard.lock();
+        // The epoch check: exact under the shard lock, because wildcard
+        // inserts hold every shard lock while bumping `wild_len`.
+        let mut wild = if self.wild_len.load(Ordering::Acquire) > 0 {
+            self.wild_crossings.fetch_add(1, Ordering::Relaxed);
+            Some(self.wild.lock())
+        } else {
+            None
+        };
+        let seq = self.next_seq();
+
+        let mut shard_scan = 0u32;
+        let shard_first = g.prq_idx.iter().find_map(|(s, e)| {
+            shard_scan += 1;
+            e.matches(&env).then_some(*s)
+        });
+        let mut wild_scan = 0u32;
+        let wild_first = wild.as_ref().and_then(|w| {
+            w.prq_idx.iter().find_map(|(s, e)| {
+                wild_scan += 1;
+                e.matches(&env).then_some(*s)
+            })
+        });
+
+        // The seq comparison the adversary skips: with it, the *older* of
+        // the two candidate receives wins, preserving non-overtaking.
+        let wild_wins = match (shard_first, wild_first) {
+            (Some(ss), Some(ws)) => self.check_wild_overtaking && ws < ss,
+            (None, Some(_)) => true,
+            _ => false,
+        };
+
+        if wild_wins {
+            let w = wild.as_mut().expect("wild candidate implies wild lock");
+            let r = w.prq.search_remove(&env, &mut crate::sink::NullSink);
+            let recv = r.found.expect("index found a match the structure missed");
+            let pos = w
+                .prq_idx
+                .iter()
+                .position(|(_, e)| e.matches(&env))
+                .expect("match present");
+            let (iseq, ie) = w.prq_idx.remove(pos).expect("position exists");
+            debug_assert_eq!(ie.request, recv.request);
+            debug_assert_eq!(Some(iseq), wild_first);
+            w.stats.prq_search.record((shard_scan + wild_scan) as u64);
+            w.stats.prq_hits += 1;
+            self.wild_len.fetch_sub(1, Ordering::Release);
+            return (
+                seq,
+                ArrivalOutcome::MatchedPosted {
+                    request: recv.request,
+                    depth: shard_scan + wild_scan,
+                },
+            );
+        }
+
+        drop(wild);
+        let out = g.eng.arrival(env, payload);
+        match out {
+            ArrivalOutcome::MatchedPosted { request, .. } => {
+                let pos = g
+                    .prq_idx
+                    .iter()
+                    .position(|(_, e)| e.matches(&env))
+                    .expect("structure matched, so the seq index must too");
+                let (iseq, ie) = g.prq_idx.remove(pos).expect("position exists");
+                debug_assert_eq!(ie.request, request);
+                debug_assert_eq!(Some(iseq), shard_first);
+            }
+            ArrivalOutcome::Queued => {
+                debug_assert!(shard_first.is_none());
+                g.umq_idx
+                    .push_back((seq, UnexpectedEntry::from_envelope(env, payload)));
+            }
+        }
+        g.note_occupancy();
+        (seq, out)
+    }
+
+    /// Cancels a posted receive (`MPI_Cancel`). Requests are expected to
+    /// be unique (as every driver in this workspace guarantees); the scan
+    /// takes the all-lock slow path so it is atomic against every racing
+    /// post and arrival.
+    pub fn cancel_recv(&self, request: u64) -> bool {
+        self.cancel_recv_seq(request).1
+    }
+
+    /// [`Self::cancel_recv`] returning the operation's linearization stamp.
+    pub fn cancel_recv_seq(&self, request: u64) -> (u64, bool) {
+        let mut guards = self.lock_all();
+        let mut wild = self.wild.lock();
+        let seq = self.next_seq();
+        for g in guards.iter_mut() {
+            if g.eng.cancel_recv(request) {
+                let pos = g
+                    .prq_idx
+                    .iter()
+                    .position(|(_, e)| e.request == request)
+                    .expect("structure removed the entry, index must hold it");
+                g.prq_idx.remove(pos);
+                return (seq, true);
+            }
+        }
+        if let Some(recv) = wild.prq.remove_by_id(request, &mut crate::sink::NullSink) {
+            let pos = wild
+                .prq_idx
+                .iter()
+                .position(|(_, e)| e.request == recv.request)
+                .expect("index holds every wild entry");
+            wild.prq_idx.remove(pos);
+            self.wild_len.fetch_sub(1, Ordering::Release);
+            return (seq, true);
+        }
+        (seq, false)
+    }
+
+    /// Non-destructive unexpected-queue probe (`MPI_Iprobe`). Scans every
+    /// shard's unexpected queue merged in global seq (= arrival FIFO)
+    /// order, so both the match *and* the reported depth agree exactly
+    /// with a single-engine FIFO snapshot scan.
+    pub fn iprobe(&self, spec: RecvSpec) -> Option<(u64, u32)> {
+        self.iprobe_seq(spec).1
+    }
+
+    /// [`Self::iprobe`] returning the operation's linearization stamp.
+    pub fn iprobe_seq(&self, spec: RecvSpec) -> (u64, Option<(u64, u32)>) {
+        let guards = self.lock_all();
+        let seq = self.next_seq();
+        let mut rows: Vec<(u64, u64, bool)> = Vec::new();
+        for g in guards.iter() {
+            for (eseq, e) in g.umq_idx.iter() {
+                rows.push((*eseq, e.payload, e.matches(&spec)));
+            }
+        }
+        rows.sort_unstable_by_key(|&(s, ..)| s);
+        let mut depth = 0;
+        for (_, payload, hit) in rows {
+            depth += 1;
+            if hit {
+                return (seq, Some((payload, depth)));
+            }
+        }
+        (seq, None)
+    }
+
+    /// Current queue lengths `(prq, umq)`, wildcard lane included.
+    /// Uncounted: snapshots never pollute the contention counters.
+    pub fn queue_lens(&self) -> (usize, usize) {
+        let guards = self.lock_all_uncounted();
+        let wild = self.wild.lock_uncounted();
+        let mut prq = wild.prq.len();
+        let mut umq = 0;
+        for g in guards.iter() {
+            prq += g.eng.prq_len();
+            umq += g.eng.umq_len();
+        }
+        (prq, umq)
+    }
+
+    /// Merged statistics across every shard and the wildcard lane, with
+    /// [`EngineStats::concurrency`] populated (per-shard contention,
+    /// occupancy highwater marks, wildcard-lane crossings). Uncounted.
+    pub fn stats(&self) -> EngineStats {
+        let guards = self.lock_all_uncounted();
+        let wild = self.wild.lock_uncounted();
+        let mut total = EngineStats::new();
+        let mut shards = Vec::with_capacity(guards.len());
+        for (g, c) in guards.iter().zip(self.shards.iter()) {
+            total.merge(g.eng.stats());
+            shards.push(ShardStats {
+                lock: c.lock_stats(),
+                max_prq_len: g.max_prq,
+                max_umq_len: g.max_umq,
+            });
+        }
+        total.merge(&wild.stats);
+        total.concurrency = Some(ConcurrencyStats {
+            shards,
+            wild: Some(ShardStats {
+                lock: self.wild.lock_stats(),
+                max_prq_len: wild.max_prq,
+                max_umq_len: 0,
+            }),
+            wild_crossings: self.wild_crossings.load(Ordering::Relaxed),
+        });
+        total
+    }
+
+    /// Aggregate lock-contention counters over every shard and the
+    /// wildcard lane (workload acquisitions only).
+    pub fn lock_stats(&self) -> LockStats {
+        let mut t = LockStats::default();
+        for s in &self.shards {
+            t.merge(&s.lock_stats());
+        }
+        t.merge(&self.wild.lock_stats());
+        t
+    }
+
+    /// Per-shard contention and occupancy rows (uncounted).
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        let guards = self.lock_all_uncounted();
+        guards
+            .iter()
+            .zip(self.shards.iter())
+            .map(|(g, c)| ShardStats {
+                lock: c.lock_stats(),
+                max_prq_len: g.max_prq,
+                max_umq_len: g.max_umq,
+            })
+            .collect()
+    }
+
+    /// `(PRQ request ids, UMQ payload ids)` in global FIFO order, merged
+    /// from the shard indexes by seq — what a single-engine snapshot
+    /// would show. For the lockstep differential driver.
+    pub fn queue_ids(&self) -> (Vec<u64>, Vec<u64>) {
+        let guards = self.lock_all_uncounted();
+        let wild = self.wild.lock_uncounted();
+        let mut prq: Vec<(u64, u64)> = wild.prq_idx.iter().map(|(s, e)| (*s, e.request)).collect();
+        let mut umq: Vec<(u64, u64)> = Vec::new();
+        for g in guards.iter() {
+            prq.extend(g.prq_idx.iter().map(|(s, e)| (*s, e.request)));
+            umq.extend(g.umq_idx.iter().map(|(s, e)| (*s, e.payload)));
+        }
+        prq.sort_unstable_by_key(|&(s, _)| s);
+        umq.sort_unstable_by_key(|&(s, _)| s);
+        (
+            prq.into_iter().map(|(_, r)| r).collect(),
+            umq.into_iter().map(|(_, p)| p).collect(),
+        )
+    }
+
+    /// Empties every queue and clears statistics (epoch counter keeps
+    /// running so seq stamps stay globally unique across resets).
+    pub fn reset(&self) {
+        let mut guards = self.lock_all();
+        let mut wild = self.wild.lock();
+        self.next_seq();
+        for g in guards.iter_mut() {
+            g.eng.reset();
+            g.prq_idx.clear();
+            g.umq_idx.clear();
+        }
+        wild.prq.clear();
+        wild.prq_idx.clear();
+        wild.stats = EngineStats::new();
+        self.wild_len.store(0, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::{ANY_SOURCE, ANY_TAG};
+    use crate::list::{BaselineList, Lla};
+
+    type TestEngine = ShardedEngine<Lla<PostedEntry, 2>, Lla<UnexpectedEntry, 3>>;
+
+    fn engine(shards: usize) -> TestEngine {
+        ShardedEngine::new(shards, Lla::new, Lla::new)
+    }
+
+    #[test]
+    fn round_trips_concrete_messages_per_shard() {
+        let eng = engine(4);
+        for rank in 0..8 {
+            eng.post_recv(RecvSpec::new(rank, 7, 0), rank as u64);
+        }
+        for rank in 0..8 {
+            match eng.arrival(Envelope::new(rank, 7, 0), 100 + rank as u64) {
+                ArrivalOutcome::MatchedPosted { request, .. } => assert_eq!(request, rank as u64),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(eng.queue_lens(), (0, 0));
+    }
+
+    #[test]
+    fn wildcard_receive_matches_globally_earliest_unexpected() {
+        let eng = engine(4);
+        // Arrivals land on three different shards; seq order 0,1,2.
+        eng.arrival(Envelope::new(5, 1, 0), 50);
+        eng.arrival(Envelope::new(2, 1, 0), 51);
+        eng.arrival(Envelope::new(3, 1, 0), 52);
+        match eng.post_recv(RecvSpec::new(ANY_SOURCE, 1, 0), 9) {
+            RecvOutcome::MatchedUnexpected { payload, .. } => {
+                assert_eq!(payload, 50, "earliest arrival wins, across shards")
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(eng.queue_lens(), (0, 2));
+    }
+
+    #[test]
+    fn older_wildcard_receive_beats_newer_concrete_receive() {
+        let eng = engine(4);
+        eng.post_recv(RecvSpec::new(ANY_SOURCE, ANY_TAG, 0), 1);
+        eng.post_recv(RecvSpec::new(6, 3, 0), 2);
+        match eng.arrival(Envelope::new(6, 3, 0), 77) {
+            ArrivalOutcome::MatchedPosted { request, .. } => {
+                assert_eq!(request, 1, "the older wildcard must win")
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // The concrete receive is still posted; a second arrival takes it.
+        match eng.arrival(Envelope::new(6, 3, 0), 78) {
+            ArrivalOutcome::MatchedPosted { request, .. } => assert_eq!(request, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(eng.queue_lens(), (0, 0));
+    }
+
+    #[test]
+    fn newer_wildcard_receive_loses_to_older_concrete_receive() {
+        let eng = engine(4);
+        eng.post_recv(RecvSpec::new(6, 3, 0), 2);
+        eng.post_recv(RecvSpec::new(ANY_SOURCE, ANY_TAG, 0), 1);
+        match eng.arrival(Envelope::new(6, 3, 0), 77) {
+            ArrivalOutcome::MatchedPosted { request, .. } => assert_eq!(request, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+        let (prq, _) = eng.queue_lens();
+        assert_eq!(prq, 1, "wildcard stays resident");
+    }
+
+    #[test]
+    fn adversary_overtakes_the_wildcard() {
+        let eng: TestEngine = ShardedEngine::with_wildcard_check_disabled(4, Lla::new, Lla::new);
+        eng.post_recv(RecvSpec::new(ANY_SOURCE, ANY_TAG, 0), 1);
+        eng.post_recv(RecvSpec::new(6, 3, 0), 2);
+        match eng.arrival(Envelope::new(6, 3, 0), 77) {
+            ArrivalOutcome::MatchedPosted { request, .. } => {
+                assert_eq!(request, 2, "the adversary prefers its shard match")
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancel_finds_receives_in_any_shard_and_the_wild_lane() {
+        let eng = engine(3);
+        eng.post_recv(RecvSpec::new(5, 1, 0), 10);
+        eng.post_recv(RecvSpec::new(ANY_SOURCE, 1, 0), 11);
+        assert!(eng.cancel_recv(10));
+        assert!(!eng.cancel_recv(10));
+        assert!(eng.cancel_recv(11));
+        assert_eq!(eng.queue_lens(), (0, 0));
+        // After cancelling the wildcard, arrivals skip the wild crossing.
+        assert!(matches!(
+            eng.arrival(Envelope::new(5, 1, 0), 9),
+            ArrivalOutcome::Queued
+        ));
+    }
+
+    #[test]
+    fn iprobe_depth_matches_global_fifo_order() {
+        let eng = engine(4);
+        eng.arrival(Envelope::new(1, 1, 0), 90); // shard 1
+        eng.arrival(Envelope::new(2, 2, 0), 91); // shard 2
+        eng.arrival(Envelope::new(3, 3, 0), 92); // shard 3
+        assert_eq!(eng.iprobe(RecvSpec::new(3, 3, 0)), Some((92, 3)));
+        assert_eq!(
+            eng.iprobe(RecvSpec::new(ANY_SOURCE, ANY_TAG, 0)),
+            Some((90, 1))
+        );
+        assert_eq!(eng.iprobe(RecvSpec::new(7, 7, 0)), None);
+        assert_eq!(eng.queue_lens(), (0, 3), "probe must not consume");
+    }
+
+    #[test]
+    fn queue_ids_report_global_fifo_order() {
+        let eng = engine(4);
+        eng.post_recv(RecvSpec::new(2, 1, 0), 20);
+        eng.post_recv(RecvSpec::new(ANY_SOURCE, 1, 0), 21);
+        eng.post_recv(RecvSpec::new(3, 1, 0), 22);
+        eng.arrival(Envelope::new(7, 9, 0), 70);
+        eng.arrival(Envelope::new(4, 9, 0), 71);
+        let (prq, umq) = eng.queue_ids();
+        assert_eq!(prq, vec![20, 21, 22]);
+        assert_eq!(umq, vec![70, 71]);
+    }
+
+    #[test]
+    fn disjoint_sources_never_contend_across_shards() {
+        const THREADS: usize = 4;
+        const PER: i32 = 2_000;
+        let eng = engine(THREADS);
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let eng = &eng;
+                s.spawn(move || {
+                    // Thread t owns source rank t: rank % shards == t.
+                    let rank = t as i32;
+                    for i in 0..PER {
+                        eng.post_recv(RecvSpec::new(rank, i, 0), (t as u64) << 32 | i as u64);
+                        eng.arrival(Envelope::new(rank, i, 0), i as u64);
+                    }
+                });
+            }
+        });
+        assert_eq!(eng.queue_lens(), (0, 0));
+        let stats = eng.stats();
+        let conc = stats.concurrency.expect("sharded engine reports shards");
+        assert_eq!(conc.shards.len(), THREADS);
+        for (i, sh) in conc.shards.iter().enumerate() {
+            assert_eq!(
+                sh.lock.contended, 0,
+                "shard {i}: disjoint sources must never contend"
+            );
+            assert_eq!(sh.lock.acquisitions, 2 * PER as u64);
+        }
+        assert_eq!(conc.wild_crossings, 0, "no wildcards were ever live");
+    }
+
+    #[test]
+    fn wildcard_races_arrivals_on_many_shards_without_losing_messages() {
+        const SENDERS: usize = 4;
+        const PER: i32 = 500;
+        let eng = engine(SENDERS);
+        let matched = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            // One thread keeps posting fully-wild receives...
+            let eng_ref = &eng;
+            let matched_ref = &matched;
+            s.spawn(move || {
+                for i in 0..(SENDERS as i32 * PER) {
+                    match eng_ref.post_recv(RecvSpec::any(0), i as u64) {
+                        RecvOutcome::MatchedUnexpected { .. } => {
+                            matched_ref.fetch_add(1, Ordering::Relaxed);
+                        }
+                        RecvOutcome::Posted => {}
+                    }
+                }
+            });
+            // ...while senders on every shard race it.
+            for t in 0..SENDERS {
+                s.spawn(move || {
+                    for i in 0..PER {
+                        match eng_ref
+                            .arrival(Envelope::new(t as i32, i, 0), (t as u64) << 32 | i as u64)
+                        {
+                            ArrivalOutcome::MatchedPosted { .. } => {
+                                matched_ref.fetch_add(1, Ordering::Relaxed);
+                            }
+                            ArrivalOutcome::Queued => {}
+                        }
+                    }
+                });
+            }
+        });
+        let (prq, umq) = eng.queue_lens();
+        let matches = matched.load(Ordering::Relaxed);
+        // Every message is matched or queued; every receive matched or
+        // posted; totals must balance exactly.
+        assert_eq!(matches as usize + umq, SENDERS * PER as usize);
+        assert_eq!(matches as usize + prq, SENDERS * PER as usize);
+        let stats = eng.stats();
+        assert_eq!(stats.prq_hits + stats.umq_hits, matches);
+    }
+
+    #[test]
+    fn works_with_baseline_lists() {
+        let eng: ShardedEngine<BaselineList<PostedEntry>, BaselineList<UnexpectedEntry>> =
+            ShardedEngine::new(2, BaselineList::new, BaselineList::new);
+        eng.post_recv(RecvSpec::new(1, 1, 0), 1);
+        assert!(matches!(
+            eng.arrival(Envelope::new(1, 1, 0), 2),
+            ArrivalOutcome::MatchedPosted { .. }
+        ));
+    }
+
+    #[test]
+    fn reset_clears_everything_including_the_wild_lane() {
+        let eng = engine(2);
+        eng.post_recv(RecvSpec::any(0), 1);
+        eng.post_recv(RecvSpec::new(1, 1, 0), 2);
+        eng.arrival(Envelope::new(0, 9, 0), 3);
+        eng.reset();
+        assert_eq!(eng.queue_lens(), (0, 0));
+        let (prq, umq) = eng.queue_ids();
+        assert!(prq.is_empty() && umq.is_empty());
+        // Wild lane is empty again: arrivals take the fast path (observable
+        // as zero additional crossings).
+        let before = eng.stats().concurrency.unwrap().wild_crossings;
+        eng.arrival(Envelope::new(1, 1, 0), 4);
+        assert_eq!(eng.stats().concurrency.unwrap().wild_crossings, before);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let _ = engine(0);
+    }
+}

@@ -135,6 +135,107 @@ impl Histogram {
     }
 }
 
+/// Contention counters for one lock (an engine's single lock, or one
+/// shard's lock in a sharded engine).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LockStats {
+    /// Total acquisitions.
+    pub acquisitions: u64,
+    /// Acquisitions that found the lock held and had to wait.
+    pub contended: u64,
+}
+
+impl LockStats {
+    /// Fraction of acquisitions that contended (0.0 when idle).
+    pub fn contention_ratio(&self) -> f64 {
+        if self.acquisitions == 0 {
+            0.0
+        } else {
+            self.contended as f64 / self.acquisitions as f64
+        }
+    }
+
+    /// Sums another lock's counters into this one (for aggregate ratios).
+    pub fn merge(&mut self, other: &LockStats) {
+        self.acquisitions += other.acquisitions;
+        self.contended += other.contended;
+    }
+}
+
+/// Per-shard contention and occupancy observability for a sharded engine
+/// (one row per shard; the wildcard lane gets its own row in
+/// [`ConcurrencyStats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Contention counters for this shard's lock.
+    pub lock: LockStats,
+    /// Largest posted-receive-queue length this shard ever held.
+    pub max_prq_len: u64,
+    /// Largest unexpected-message-queue length this shard ever held.
+    pub max_umq_len: u64,
+}
+
+impl ShardStats {
+    /// Sums another shard's counters into this one.
+    pub fn merge(&mut self, other: &ShardStats) {
+        self.lock.merge(&other.lock);
+        self.max_prq_len = self.max_prq_len.max(other.max_prq_len);
+        self.max_umq_len = self.max_umq_len.max(other.max_umq_len);
+    }
+}
+
+/// Concurrency observability a thread-safe engine attaches to its
+/// [`EngineStats`] snapshot: per-shard contention + occupancy, the
+/// wildcard lane, and how often arrivals had to cross into it.
+///
+/// A single-lock [`crate::concurrent::SharedEngine`] reports one shard and
+/// no wildcard lane; a [`crate::shard::ShardedEngine`] reports one row per
+/// shard plus the wildcard lane.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ConcurrencyStats {
+    /// One row per shard, indexed by shard id.
+    pub shards: Vec<ShardStats>,
+    /// The wildcard lane's contention + occupancy (`None` for engines
+    /// without a wildcard lane, i.e. single-lock engines).
+    pub wild: Option<ShardStats>,
+    /// Arrivals that had to consult the wildcard lane (the slow path a
+    /// resident `MPI_ANY_SOURCE` receive forces on every shard).
+    pub wild_crossings: u64,
+}
+
+impl ConcurrencyStats {
+    /// Aggregate contention counters over every shard and the wildcard
+    /// lane.
+    pub fn total_lock(&self) -> LockStats {
+        let mut t = LockStats::default();
+        for s in &self.shards {
+            t.merge(&s.lock);
+        }
+        if let Some(w) = &self.wild {
+            t.merge(&w.lock);
+        }
+        t
+    }
+
+    /// Merges another engine's concurrency stats (shard rows are summed
+    /// pairwise; a length mismatch concatenates the extra rows).
+    pub fn merge(&mut self, other: &ConcurrencyStats) {
+        for (i, s) in other.shards.iter().enumerate() {
+            if i < self.shards.len() {
+                self.shards[i].merge(s);
+            } else {
+                self.shards.push(*s);
+            }
+        }
+        match (&mut self.wild, &other.wild) {
+            (Some(a), Some(b)) => a.merge(b),
+            (None, Some(b)) => self.wild = Some(*b),
+            _ => {}
+        }
+        self.wild_crossings += other.wild_crossings;
+    }
+}
+
 /// Statistics an engine keeps about its two queues.
 #[derive(Clone, Debug, Default)]
 pub struct EngineStats {
@@ -150,6 +251,10 @@ pub struct EngineStats {
     pub umq_hits: u64,
     /// Number of receive posts appended to the PRQ.
     pub prq_appends: u64,
+    /// Concurrency observability, populated by thread-safe engine wrappers
+    /// ([`crate::concurrent::SharedEngine`], [`crate::shard::ShardedEngine`])
+    /// when they snapshot their stats; `None` for single-threaded engines.
+    pub concurrency: Option<ConcurrencyStats>,
 }
 
 impl EngineStats {
@@ -166,6 +271,11 @@ impl EngineStats {
         self.umq_appends += other.umq_appends;
         self.umq_hits += other.umq_hits;
         self.prq_appends += other.prq_appends;
+        match (&mut self.concurrency, &other.concurrency) {
+            (Some(a), Some(b)) => a.merge(b),
+            (None, Some(b)) => self.concurrency = Some(b.clone()),
+            _ => {}
+        }
     }
 }
 
@@ -227,6 +337,67 @@ mod tests {
         assert_eq!(a.total(), 2);
         assert_eq!(a.count_for(99), 1);
         assert_eq!(a.count_for(3), 1);
+    }
+
+    #[test]
+    fn lock_stats_ratio_and_merge() {
+        let mut a = LockStats {
+            acquisitions: 8,
+            contended: 2,
+        };
+        assert!((a.contention_ratio() - 0.25).abs() < 1e-12);
+        a.merge(&LockStats {
+            acquisitions: 2,
+            contended: 2,
+        });
+        assert_eq!(a.acquisitions, 10);
+        assert_eq!(a.contended, 4);
+        assert_eq!(LockStats::default().contention_ratio(), 0.0);
+    }
+
+    #[test]
+    fn concurrency_stats_aggregate_and_merge() {
+        let shard = |acq, max_p| ShardStats {
+            lock: LockStats {
+                acquisitions: acq,
+                contended: 1,
+            },
+            max_prq_len: max_p,
+            max_umq_len: 0,
+        };
+        let mut c = ConcurrencyStats {
+            shards: vec![shard(4, 10), shard(6, 3)],
+            wild: Some(shard(2, 1)),
+            wild_crossings: 5,
+        };
+        let t = c.total_lock();
+        assert_eq!(t.acquisitions, 12);
+        assert_eq!(t.contended, 3);
+        c.merge(&ConcurrencyStats {
+            shards: vec![shard(1, 20)],
+            wild: Some(shard(1, 9)),
+            wild_crossings: 2,
+        });
+        assert_eq!(c.shards[0].lock.acquisitions, 5);
+        assert_eq!(c.shards[0].max_prq_len, 20);
+        assert_eq!(c.shards[1].lock.acquisitions, 6);
+        assert_eq!(c.wild.unwrap().max_prq_len, 9);
+        assert_eq!(c.wild_crossings, 7);
+    }
+
+    #[test]
+    fn engine_stats_merge_carries_concurrency() {
+        let mut a = EngineStats::new();
+        let mut b = EngineStats::new();
+        b.concurrency = Some(ConcurrencyStats {
+            shards: vec![ShardStats::default()],
+            wild: None,
+            wild_crossings: 3,
+        });
+        a.merge(&b);
+        assert_eq!(a.concurrency.as_ref().unwrap().wild_crossings, 3);
+        a.merge(&b);
+        assert_eq!(a.concurrency.unwrap().wild_crossings, 6);
     }
 
     #[test]

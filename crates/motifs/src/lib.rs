@@ -16,4 +16,7 @@ pub mod decomp;
 pub mod halo3d;
 pub mod sweep3d;
 
-pub use decomp::{analyze, analyze_threaded, table1_rows, Decomp, DecompResult, Stencil};
+pub use decomp::{
+    analyze, analyze_threaded, analyze_threaded_sharded, analyze_threaded_shared, table1_rows,
+    Decomp, DecompResult, Stencil, ThreadedResult,
+};
