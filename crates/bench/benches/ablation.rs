@@ -59,6 +59,14 @@ impl Element for PaddedEntry {
             context_id: self.inner.context_id,
         })
     }
+
+    fn packed_key(&self) -> u64 {
+        self.inner.packed_key()
+    }
+
+    fn packed_mask(&self) -> u64 {
+        self.inner.packed_mask()
+    }
 }
 
 const DEPTH: i32 = 4096;

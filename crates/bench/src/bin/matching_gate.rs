@@ -1,0 +1,352 @@
+//! Native hot-path benchmark gate for the packed-key matching optimisation.
+//!
+//! Runs a fixed, seeded workload matrix — queue depth × structure ×
+//! hit-position × wildcard ratio — through both the current packed-key
+//! search (`search_remove`) and, for the linear structures that kept it, the
+//! pre-optimisation field-wise scan (`search_remove_fieldwise`), and writes
+//! the results as `BENCH_matching.json` with the stable `spc-bench/1`
+//! schema (see the `spc-minibench` crate docs).
+//!
+//! Methodology: each cell builds a fresh list of `depth` entries over a
+//! small tag alphabet with *unique (rank, tag) pairs*, so a probe targets
+//! exactly one entry and the hit position is the target's FIFO index while
+//! the comparator still sees realistic tag reuse. Hit cells run the
+//! steady-state loop
+//! `search_remove(probe) -> append(found)`: removing the entry at index `t`
+//! and re-appending it leaves positions `0..t` fixed and rotates the
+//! `depth - t` suffix, so a precomputed cycle of `depth - t` probes repeats
+//! exactly and every timed operation scans to the same position. Miss cells
+//! probe a tag no entry carries (a full scan, the deep-list figure the
+//! acceptance gate keys on). Wall time per op comes from
+//! `spc_minibench::measure_ns` (the same calibrate-then-best-mean core the
+//! criterion-style targets use); simulated bytes per op come from replaying
+//! one full probe cycle against a `CountingSink` twin.
+//!
+//! Usage: `matching_gate [--quick] [--out <path>]` (also `--json <path>`;
+//! default `BENCH_matching.json`). `--quick` shrinks the matrix and budgets
+//! for CI smoke runs and marks the JSON `"quick": true`. The binary exits
+//! nonzero only on panic or an unwritable output path — perf regressions
+//! are recorded, not fatal, so CI stays green on noisy runners.
+
+use criterion::{measure_ns, report};
+use spc_core::entry::{Envelope, PostedEntry, RecvSpec, ANY_SOURCE};
+use spc_core::list::{BaselineList, HashBins, Lla, MatchList, RankTrie, Search, SourceBins};
+use spc_core::sink::{CountingSink, NullSink};
+use spc_rng::{Rng, SeedableRng, StdRng};
+use std::time::Duration;
+
+/// Tag alphabet size. MPI applications reuse a handful of tags across many
+/// peers, so the comparator keeps passing the tag compare and failing on
+/// the rank — the branchy multi-field case the packed key collapses.
+const TAGS: usize = 4;
+/// Workload seed; fixed so every run measures the identical op stream.
+const SEED: u64 = 0xC0_FFEE_2026u64;
+
+/// Communicator size for `depth` entries: ranks grow with the queue (deep
+/// queues come from many peers, not one chatty one), with one extra rank
+/// kept unposted so the miss probe can carry a live tag and a dead rank.
+fn rank_count(depth: usize) -> usize {
+    64usize.max(depth.div_ceil(TAGS) + 1)
+}
+
+/// One point of the workload matrix.
+struct Cell {
+    structure: &'static str,
+    depth: usize,
+    hit: &'static str,
+    wildcard: f64,
+    path: &'static str,
+}
+
+struct MeasureCfg {
+    samples: usize,
+    time: Duration,
+}
+
+/// Object-safe facade over the concrete list types and search paths, so one
+/// cell runner drives every matrix point. `*_null` methods time against a
+/// `NullSink`; `*_count` methods replay against the byte-accounting twin.
+trait GateList {
+    fn append_null(&mut self, e: PostedEntry);
+    fn append_count(&mut self, e: PostedEntry, sink: &mut CountingSink);
+    fn search_null(&mut self, p: &Envelope) -> Search<PostedEntry>;
+    fn search_count(&mut self, p: &Envelope, sink: &mut CountingSink) -> Search<PostedEntry>;
+}
+
+/// The current packed-key path, available on every structure.
+struct Packed<L>(L);
+
+impl<L: MatchList<PostedEntry>> GateList for Packed<L> {
+    fn append_null(&mut self, e: PostedEntry) {
+        self.0.append(e, &mut NullSink);
+    }
+    fn append_count(&mut self, e: PostedEntry, sink: &mut CountingSink) {
+        self.0.append(e, sink);
+    }
+    fn search_null(&mut self, p: &Envelope) -> Search<PostedEntry> {
+        self.0.search_remove(p, &mut NullSink)
+    }
+    fn search_count(&mut self, p: &Envelope, sink: &mut CountingSink) -> Search<PostedEntry> {
+        self.0.search_remove(p, sink)
+    }
+}
+
+/// The pre-optimisation field-wise scan kept on the linear structures as the
+/// gate's old-path reference.
+struct FieldwiseBaseline(BaselineList<PostedEntry>);
+
+impl GateList for FieldwiseBaseline {
+    fn append_null(&mut self, e: PostedEntry) {
+        self.0.append(e, &mut NullSink);
+    }
+    fn append_count(&mut self, e: PostedEntry, sink: &mut CountingSink) {
+        self.0.append(e, sink);
+    }
+    fn search_null(&mut self, p: &Envelope) -> Search<PostedEntry> {
+        self.0.search_remove_fieldwise(p, &mut NullSink)
+    }
+    fn search_count(&mut self, p: &Envelope, sink: &mut CountingSink) -> Search<PostedEntry> {
+        self.0.search_remove_fieldwise(p, sink)
+    }
+}
+
+struct FieldwiseLla<const N: usize>(Lla<PostedEntry, N>);
+
+impl<const N: usize> GateList for FieldwiseLla<N> {
+    fn append_null(&mut self, e: PostedEntry) {
+        self.0.append(e, &mut NullSink);
+    }
+    fn append_count(&mut self, e: PostedEntry, sink: &mut CountingSink) {
+        self.0.append(e, sink);
+    }
+    fn search_null(&mut self, p: &Envelope) -> Search<PostedEntry> {
+        self.0.search_remove_fieldwise(p, &mut NullSink)
+    }
+    fn search_count(&mut self, p: &Envelope, sink: &mut CountingSink) -> Search<PostedEntry> {
+        self.0.search_remove_fieldwise(p, sink)
+    }
+}
+
+fn make_list(structure: &str, path: &str, depth: usize) -> Box<dyn GateList> {
+    let ranks = rank_count(depth);
+    match (structure, path) {
+        ("baseline", "packed") => Box::new(Packed(BaselineList::<PostedEntry>::new())),
+        ("baseline", "fieldwise") => Box::new(FieldwiseBaseline(BaselineList::new())),
+        ("lla2", "packed") => Box::new(Packed(Lla::<PostedEntry, 2>::new())),
+        ("lla2", "fieldwise") => Box::new(FieldwiseLla::<2>(Lla::new())),
+        ("lla8", "packed") => Box::new(Packed(Lla::<PostedEntry, 8>::new())),
+        ("lla8", "fieldwise") => Box::new(FieldwiseLla::<8>(Lla::new())),
+        ("bins", "packed") => Box::new(Packed(SourceBins::<PostedEntry>::new(ranks))),
+        ("hashbins", "packed") => Box::new(Packed(HashBins::<PostedEntry>::new())),
+        ("ranktrie", "packed") => Box::new(Packed(RankTrie::<PostedEntry>::new(ranks))),
+        _ => panic!("no {path} path for {structure}"),
+    }
+}
+
+/// The seeded entry population for one cell: concrete entry `i` posts
+/// `(rank = i / TAGS, tag = i % TAGS)` — every (rank, tag) pair distinct,
+/// so a probe matches exactly one entry and the hit position is the
+/// target's FIFO index, while the comparator still sees realistic tag
+/// reuse. A `wildcard` fraction instead posts `MPI_ANY_SOURCE` under a
+/// reserved per-entry tag, unique by construction so wildcards never
+/// shadow a probe's target. The rng stream depends only on
+/// (depth, wildcard), so old- and new-path cells measure the identical
+/// population.
+fn make_entries(depth: usize, wildcard: f64) -> Vec<PostedEntry> {
+    let mut rng = StdRng::seed_from_u64(SEED ^ (depth as u64) << 8 ^ (wildcard * 1024.0) as u64);
+    (0..depth)
+        .map(|i| {
+            let spec = if rng.gen_bool(wildcard) {
+                RecvSpec::new(ANY_SOURCE, 1_000_000 + i as i32, 0)
+            } else {
+                RecvSpec::new((i / TAGS) as i32, (i % TAGS) as i32, 0)
+            };
+            PostedEntry::from_spec(spec, i as u64)
+        })
+        .collect()
+}
+
+/// Precomputes the probe cycle for a hit at FIFO index `t`: the
+/// remove-at-`t` / append-at-back dynamics rotate the `len - t` suffix, so
+/// after `len - t` ops the order (and therefore the cycle) repeats exactly.
+fn hit_probes(entries: &[PostedEntry], t: usize) -> Vec<Envelope> {
+    let mut order: Vec<&PostedEntry> = entries.iter().collect();
+    let period = entries.len() - t;
+    let mut probes = Vec::with_capacity(period);
+    for _ in 0..period {
+        let target = order.remove(t);
+        // Wildcard targets accept any source; their reserved tag selects.
+        let rank = target.source().unwrap_or(0);
+        probes.push(Envelope::new(rank, target.tag, 0));
+        order.push(target);
+    }
+    probes
+}
+
+/// Runs one matrix cell: times the steady-state loop, then replays one full
+/// probe cycle against a `CountingSink` twin. Returns (ns/op, bytes/op).
+fn run_cell(cell: &Cell, cfg: &MeasureCfg) -> (f64, f64) {
+    let entries = make_entries(cell.depth, cell.wildcard);
+    let mut list = make_list(cell.structure, cell.path, cell.depth);
+    for e in &entries {
+        list.append_null(*e);
+    }
+    let probes = match cell.hit {
+        "front" => hit_probes(&entries, cell.depth / 8),
+        "mid" => hit_probes(&entries, cell.depth / 2),
+        "back" => hit_probes(&entries, cell.depth - 1),
+        // The top rank is never posted (`rank_count` reserves it), but tag
+        // 0 is heavily reused, so a miss scan exercises the realistic
+        // fail-on-rank-after-tag-passes comparator path.
+        "miss" => vec![Envelope::new(rank_count(cell.depth) as i32 - 1, 0, 0)],
+        other => panic!("unknown hit position {other}"),
+    };
+    let expect_hit = cell.hit != "miss";
+    // The probe index and the list's rotation state advance together, so the
+    // cycle stays aligned across calibration batches and the bytes replay.
+    let mut k = 0usize;
+    let ns = measure_ns(cfg.samples, cfg.time, |b| {
+        b.iter(|| {
+            let s = list.search_null(&probes[k % probes.len()]);
+            k += 1;
+            debug_assert_eq!(s.found.is_some(), expect_hit);
+            if let Some(e) = s.found {
+                list.append_null(e);
+            }
+            s.depth
+        })
+    });
+    let mut sink = CountingSink::new();
+    for _ in 0..probes.len() {
+        let s = list.search_count(&probes[k % probes.len()], &mut sink);
+        k += 1;
+        assert_eq!(
+            s.found.is_some(),
+            expect_hit,
+            "cell {} desynced",
+            label(cell)
+        );
+        if let Some(e) = s.found {
+            list.append_count(e, &mut sink);
+        }
+    }
+    let bytes = (sink.bytes_read + sink.bytes_written) as f64 / probes.len() as f64;
+    (ns, bytes)
+}
+
+fn label(cell: &Cell) -> String {
+    format!(
+        "gate/{}/{}/{}/w{}/{}",
+        cell.structure,
+        cell.depth,
+        cell.hit,
+        (cell.wildcard * 1000.0) as u64,
+        cell.path
+    )
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out = String::from("BENCH_matching.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" | "--json" => out = args.next().expect("missing path after --out"),
+            other => panic!("unknown argument {other} (expected --quick / --out <path>)"),
+        }
+    }
+
+    let structures: &[(&str, bool)] = &[
+        ("baseline", true),
+        ("lla2", true),
+        ("lla8", true),
+        ("bins", false),
+        ("hashbins", false),
+        ("ranktrie", false),
+    ];
+    let depths: &[usize] = if quick {
+        &[64, 256]
+    } else {
+        &[16, 64, 256, 1024]
+    };
+    let hits: &[&str] = if quick {
+        &["back", "miss"]
+    } else {
+        &["front", "mid", "back", "miss"]
+    };
+    let wildcards: &[f64] = if quick { &[0.0] } else { &[0.0, 0.125] };
+    let cfg = if quick {
+        MeasureCfg {
+            samples: 5,
+            time: Duration::from_millis(4),
+        }
+    } else {
+        MeasureCfg {
+            samples: 8,
+            time: Duration::from_millis(12),
+        }
+    };
+
+    let mut records = Vec::new();
+    for &(structure, has_fieldwise) in structures {
+        for &depth in depths {
+            for &hit in hits {
+                for &wildcard in wildcards {
+                    let paths: &[&str] = if has_fieldwise {
+                        &["packed", "fieldwise"]
+                    } else {
+                        &["packed"]
+                    };
+                    for &path in paths {
+                        let cell = Cell {
+                            structure,
+                            depth,
+                            hit,
+                            wildcard,
+                            path,
+                        };
+                        let (ns, bytes) = run_cell(&cell, &cfg);
+                        let name = label(&cell);
+                        println!("gate: {name:<44} {ns:>10.1} ns/op  {bytes:>9.1} B/op");
+                        records.push(report::Record {
+                            name,
+                            ns_per_op: ns,
+                            structure: Some(structure.into()),
+                            depth: Some(depth as u64),
+                            hit: Some(hit.into()),
+                            wildcard: Some(wildcard),
+                            path: Some(path.into()),
+                            bytes_per_op: Some(bytes),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // Old-vs-new summary over the deep-scan cells the acceptance gate keys
+    // on: full-scan misses and back-of-list hits at depth >= 256.
+    println!("\ngate: packed vs fieldwise (deep scans, wildcard 0):");
+    for r in &records {
+        if r.path.as_deref() != Some("fieldwise")
+            || r.depth.unwrap_or(0) < 256
+            || r.wildcard != Some(0.0)
+            || !matches!(r.hit.as_deref(), Some("miss") | Some("back"))
+        {
+            continue;
+        }
+        let packed_name = r.name.replace("/fieldwise", "/packed");
+        if let Some(p) = records.iter().find(|x| x.name == packed_name) {
+            let gain = 100.0 * (r.ns_per_op - p.ns_per_op) / r.ns_per_op;
+            println!(
+                "gate:   {:<40} {:>8.1} -> {:>8.1} ns/op  ({gain:+.1}%)",
+                packed_name, r.ns_per_op, p.ns_per_op
+            );
+        }
+    }
+
+    report::write_json(std::path::Path::new(&out), &records, quick)
+        .unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    println!("gate: wrote {} records to {out}", records.len());
+}

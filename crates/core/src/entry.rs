@@ -21,6 +21,61 @@ pub const ANY_TAG: i32 = -1;
 /// Reserved context id used to mark holes; real communicators never use it.
 pub(crate) const HOLE_CONTEXT: u16 = u16::MAX;
 
+/// Key bits occupied by the tag in a packed match key (bits 0..32).
+const KEY_TAG_SHIFT: u32 = 0;
+/// Key bits occupied by the 16-bit rank (bits 32..48).
+const KEY_RANK_SHIFT: u32 = 32;
+/// Key bits occupied by the context id (bits 48..64).
+const KEY_CTX_SHIFT: u32 = 48;
+
+/// Packs a fully laid-out `(tag, rank, context)` triple into one `u64`.
+///
+/// The bit assignment mirrors the little-endian byte order of the paper's
+/// 24/16-byte entry layouts (tag in bytes 0–3, rank in 4–5, context in 6–7),
+/// so on the entry side this is exactly the first 8 bytes of the record — the
+/// compiler folds [`PostedEntry::match_key`] into a single aligned load.
+#[inline(always)]
+const fn pack_key(tag: i32, rank16: u16, context_id: u16) -> u64 {
+    ((tag as u32 as u64) << KEY_TAG_SHIFT)
+        | ((rank16 as u64) << KEY_RANK_SHIFT)
+        | ((context_id as u64) << KEY_CTX_SHIFT)
+}
+
+/// Packs per-field masks into the matching `u64` mask. The context field is
+/// always compared exactly, so its bits are always set; only the low 16 bits
+/// of the rank mask are meaningful (ranks live in a 16-bit field).
+#[inline(always)]
+const fn pack_mask(tag_mask: u32, rank_mask: u32) -> u64 {
+    ((tag_mask as u64) << KEY_TAG_SHIFT)
+        | (((rank_mask & 0xFFFF) as u64) << KEY_RANK_SHIFT)
+        | (0xFFFFu64 << KEY_CTX_SHIFT)
+}
+
+/// A probe's precomputed packed form: built **once** per search, then tested
+/// against each entry with a single `XOR + AND + compare` instead of three
+/// field comparisons with branches.
+///
+/// The test is symmetric in where the wildcards live: a stored
+/// [`PostedEntry`] carries masks (probe side is a concrete [`Envelope`],
+/// `mask = !0`), while a stored [`UnexpectedEntry`] is concrete
+/// (`Element::packed_mask` is `!0`) and the probing [`RecvSpec`] carries the
+/// masks. `packed_matches` ANDs both, so one code path serves both queues.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PackedProbe {
+    /// Packed `(tag, rank, context)` of the probe; wildcarded fields hold
+    /// arbitrary bits that the mask zeroes out.
+    pub key: u64,
+    /// Bits of `key` the probe constrains (`!0` for a fully concrete probe).
+    pub mask: u64,
+}
+
+/// The branch-free core of the hot-path match test: true when every bit both
+/// sides constrain agrees.
+#[inline(always)]
+pub fn packed_matches(entry_key: u64, entry_mask: u64, probe: &PackedProbe) -> bool {
+    (entry_key ^ probe.key) & (entry_mask & probe.mask) == 0
+}
+
 /// Opaque handle to a posted-receive request (in a real MPI library this is
 /// the pointer to the request object; here it indexes the caller's table).
 pub type RequestHandle = u64;
@@ -51,6 +106,16 @@ impl Envelope {
             rank,
             tag,
             context_id,
+        }
+    }
+
+    /// Packed probe form: an envelope is fully concrete, so every key bit is
+    /// constrained (`mask = !0`).
+    #[inline(always)]
+    pub fn packed(&self) -> PackedProbe {
+        PackedProbe {
+            key: pack_key(self.tag, self.rank as u16, self.context_id),
+            mask: !0,
         }
     }
 }
@@ -101,6 +166,18 @@ impl RecvSpec {
     #[inline]
     pub fn wild_tag(&self) -> bool {
         self.tag == ANY_TAG
+    }
+
+    /// Packed probe form, translating the `ANY_SOURCE`/`ANY_TAG` wildcards
+    /// into zeroed mask fields exactly as [`PostedEntry::from_spec`] does.
+    #[inline(always)]
+    pub fn packed(&self) -> PackedProbe {
+        let tag_mask = if self.tag == ANY_TAG { 0 } else { u32::MAX };
+        let rank_mask = if self.rank == ANY_SOURCE { 0 } else { u32::MAX };
+        PackedProbe {
+            key: pack_key(self.tag, self.rank as u16, self.context_id),
+            mask: pack_mask(tag_mask, rank_mask),
+        }
     }
 }
 
@@ -171,6 +248,20 @@ impl PostedEntry {
             && ((self.rank as u32) ^ (env.rank as u32 & 0xFFFF)) & self.rank_mask == 0
     }
 
+    /// Packed `(tag, rank, context)` match key: the entry's first 8 bytes
+    /// reinterpreted as one `u64` (see [`PackedProbe`]).
+    #[inline(always)]
+    pub fn match_key(&self) -> u64 {
+        pack_key(self.tag, self.rank, self.context_id)
+    }
+
+    /// Packed mask of the key bits this entry constrains (an all-zero field
+    /// mask is an MPI wildcard; the context bits are always constrained).
+    #[inline(always)]
+    pub fn match_mask(&self) -> u64 {
+        pack_mask(self.tag_mask, self.rank_mask)
+    }
+
     /// True if this entry has any wildcard (relevant for binned structures,
     /// which must keep wildcard receives on a separate channel).
     #[inline]
@@ -214,6 +305,14 @@ impl UnexpectedEntry {
         }
     }
 
+    /// Packed `(tag, rank, context)` match key: the entry's first 8 bytes
+    /// reinterpreted as one `u64`. A buffered message is fully concrete, so
+    /// there is no entry-side mask ([`Element::packed_mask`] is `!0`).
+    #[inline(always)]
+    pub fn match_key(&self) -> u64 {
+        pack_key(self.tag, self.rank, self.context_id)
+    }
+
     /// Whether this buffered message satisfies a receive specification
     /// (ranks compared in the 16-bit domain).
     #[inline]
@@ -233,6 +332,17 @@ pub trait Element: Copy + core::fmt::Debug + 'static {
 
     /// Whether this stored element satisfies the probe.
     fn matches(&self, probe: &Self::Probe) -> bool;
+
+    /// Precomputed packed `(tag, rank, context)` key — the element's first
+    /// 8 bytes. Hot-path scans test
+    /// [`packed_matches`]`(key, mask, &probe.packed())` instead of calling
+    /// [`Element::matches`] field by field; the two must always agree (the
+    /// packed-key property tests enforce it).
+    fn packed_key(&self) -> u64;
+
+    /// Packed mask of key bits this element constrains (`!0` for concrete
+    /// element types like [`UnexpectedEntry`]).
+    fn packed_mask(&self) -> u64;
 
     /// An in-band hole marker that can never match any probe.
     fn hole() -> Self;
@@ -256,6 +366,8 @@ pub trait Element: Copy + core::fmt::Debug + 'static {
 /// Search-key counterpart of [`Element::bin_source`]/[`Element::full_key`]:
 /// what a probe can tell a binned structure about where to look.
 pub trait ProbeKey: Copy {
+    /// Packed form of this probe, computed once per search.
+    fn packed(&self) -> PackedProbe;
     /// Source rank the probe names, or `None` if it wildcards the source (so
     /// every bin must be considered, in global FIFO order).
     fn bin_source(&self) -> Option<i32>;
@@ -272,6 +384,16 @@ impl Element for PostedEntry {
     #[inline]
     fn matches(&self, probe: &Envelope) -> bool {
         PostedEntry::matches(self, probe)
+    }
+
+    #[inline(always)]
+    fn packed_key(&self) -> u64 {
+        self.match_key()
+    }
+
+    #[inline(always)]
+    fn packed_mask(&self) -> u64 {
+        self.match_mask()
     }
 
     #[inline]
@@ -322,6 +444,16 @@ impl Element for UnexpectedEntry {
         UnexpectedEntry::matches(self, probe)
     }
 
+    #[inline(always)]
+    fn packed_key(&self) -> u64 {
+        self.match_key()
+    }
+
+    #[inline(always)]
+    fn packed_mask(&self) -> u64 {
+        !0
+    }
+
     #[inline]
     fn hole() -> Self {
         Self {
@@ -355,6 +487,11 @@ impl Element for UnexpectedEntry {
 }
 
 impl ProbeKey for Envelope {
+    #[inline(always)]
+    fn packed(&self) -> PackedProbe {
+        Envelope::packed(self)
+    }
+
     #[inline]
     fn bin_source(&self) -> Option<i32> {
         Some(self.rank)
@@ -372,6 +509,11 @@ impl ProbeKey for Envelope {
 }
 
 impl ProbeKey for RecvSpec {
+    #[inline(always)]
+    fn packed(&self) -> PackedProbe {
+        RecvSpec::packed(self)
+    }
+
     #[inline]
     fn bin_source(&self) -> Option<i32> {
         (self.rank != ANY_SOURCE).then_some(self.rank)
@@ -490,6 +632,54 @@ mod tests {
         // Documented layout cost: ranks 65536 apart alias.
         let e = PostedEntry::from_spec(RecvSpec::new(5, 3, 0), 1);
         assert!(e.matches(&Envelope::new(5 + 65_536, 3, 0)));
+    }
+
+    #[test]
+    fn packed_compare_agrees_with_fieldwise_on_representative_cases() {
+        let entries = [
+            PostedEntry::from_spec(RecvSpec::new(5, 9, 2), 1),
+            PostedEntry::from_spec(RecvSpec::new(ANY_SOURCE, 9, 2), 2),
+            PostedEntry::from_spec(RecvSpec::new(5, ANY_TAG, 2), 3),
+            PostedEntry::from_spec(RecvSpec::any(2), 4),
+            PostedEntry::hole(),
+        ];
+        let envs = [
+            Envelope::new(5, 9, 2),
+            Envelope::new(6, 9, 2),
+            Envelope::new(5, 8, 2),
+            Envelope::new(5, 9, 3),
+            Envelope::new(65_535, 0, 2),
+        ];
+        for e in &entries {
+            for env in &envs {
+                assert_eq!(
+                    packed_matches(e.packed_key(), e.packed_mask(), &env.packed()),
+                    e.matches(env),
+                    "packed vs field-wise disagree for {e:?} / {env:?}"
+                );
+            }
+        }
+        let msgs = [
+            UnexpectedEntry::from_envelope(Envelope::new(3, 11, 0), 42),
+            UnexpectedEntry::hole(),
+        ];
+        let specs = [
+            RecvSpec::new(3, 11, 0),
+            RecvSpec::new(ANY_SOURCE, 11, 0),
+            RecvSpec::new(3, ANY_TAG, 0),
+            RecvSpec::any(0),
+            RecvSpec::new(4, 11, 0),
+            RecvSpec::any(1),
+        ];
+        for m in &msgs {
+            for spec in &specs {
+                assert_eq!(
+                    packed_matches(m.packed_key(), m.packed_mask(), &spec.packed()),
+                    m.matches(spec),
+                    "packed vs field-wise disagree for {m:?} / {spec:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -64,6 +64,7 @@ pub mod entry;
 pub mod heater;
 pub mod list;
 pub mod pool;
+pub mod prefetch;
 pub mod replay;
 pub mod shard;
 pub mod sink;

@@ -10,7 +10,7 @@
 use crate::addr::fresh_region_base;
 use crate::entry::{Element, ProbeKey};
 use crate::list::{
-    collect_metas, global_search_with, merged_search_remove, Footprint, MatchList, Search, SeqFifo,
+    collect_metas, global_search, merged_search_remove, Footprint, MatchList, Search, SeqFifo,
 };
 use crate::sink::AccessSink;
 
@@ -97,18 +97,7 @@ impl<E: Element> MatchList<E> for SourceBins<E> {
                 // Wildcard-source receive: the structure degenerates to a
                 // global sequence-ordered scan.
                 let mut metas = collect_metas(self.bins.iter().chain(core::iter::once(&self.wild)));
-                let (hit, depth) = global_search_with(
-                    &mut metas,
-                    |ci, pos| {
-                        self.channel(ci)
-                            .iter()
-                            .nth(pos)
-                            .expect("meta position valid")
-                            .1
-                    },
-                    probe,
-                    sink,
-                );
+                let (hit, depth) = global_search(&mut metas, probe, sink);
                 match hit {
                     Some((ci, pos)) => {
                         let (_, e) = self.channel_mut(ci).remove(pos);

@@ -13,7 +13,7 @@
 use crate::addr::fresh_region_base;
 use crate::entry::{Element, ProbeKey};
 use crate::list::{
-    collect_metas, global_search_with, merged_search_remove, Footprint, MatchList, Search, SeqFifo,
+    collect_metas, global_search, merged_search_remove, Footprint, MatchList, Search, SeqFifo,
 };
 use crate::sink::AccessSink;
 
@@ -131,18 +131,7 @@ impl<E: Element> MatchList<E> for HashBins<E> {
                 // A probe with wildcards cannot be hashed: global scan in
                 // sequence order.
                 let mut metas = collect_metas(self.bins.iter().chain(core::iter::once(&self.wild)));
-                let (hit, depth) = global_search_with(
-                    &mut metas,
-                    |ci, pos| {
-                        self.channel(ci)
-                            .iter()
-                            .nth(pos)
-                            .expect("meta position valid")
-                            .1
-                    },
-                    probe,
-                    sink,
-                );
+                let (hit, depth) = global_search(&mut metas, probe, sink);
                 match hit {
                     Some((ci, pos)) => {
                         let (_, e) = self.channel_mut(ci).remove(pos);

@@ -14,20 +14,32 @@
 //! node is unlinked and returned to the element pool.
 
 use crate::addr::AddrSpace;
-use crate::entry::{Element, PostedEntry, UnexpectedEntry};
+use crate::entry::{packed_matches, Element, PackedProbe, PostedEntry, ProbeKey, UnexpectedEntry};
 use crate::list::{Footprint, MatchList, Search};
 use crate::pool::{Pool, NIL};
+use crate::prefetch;
 use crate::sink::AccessSink;
 
 /// One LLA node: header (8 B) + `N` entries + next link, padded to a
 /// multiple of 64 bytes by the alignment.
+///
+/// The header packs the head/tail trim indexes into 16 bits each, freeing
+/// 32 header bits for a per-slot occupancy bitmap (`occ`) without growing
+/// the node: bit `i` set ⟺ `entries[i]` is live. Scans iterate set bits
+/// via `trailing_zeros` instead of loading hole entries, and append's
+/// free-slot search is a bit-scan. Nodes with more than 32 slots (the
+/// "large arrays" configuration) leave `occ` at zero and fall back to the
+/// in-band hole test; the `HOLE_CONTEXT` marks are maintained either way,
+/// so the bitmap is an accelerator, never the source of truth.
 #[repr(C, align(64))]
 #[derive(Clone, Copy, Debug)]
 pub struct LlaNode<E: Element, const N: usize> {
     /// Index of the first live slot (holes before it have been trimmed).
-    head: u32,
+    head: u16,
     /// One past the last used slot.
-    tail: u32,
+    tail: u16,
+    /// Per-slot occupancy bitmap (exact only when `N <= 32`, else zero).
+    occ: u32,
     /// The packed entries; slots in `head..tail` may contain holes.
     entries: [E; N],
     /// Pool id of the next node, or [`NIL`].
@@ -41,12 +53,31 @@ const _: () = assert!(core::mem::size_of::<LlaNode<UnexpectedEntry, 3>>() == 64)
 const _: () = assert!(core::mem::size_of::<LlaNode<PostedEntry, 8>>() == 256);
 
 impl<E: Element, const N: usize> LlaNode<E, N> {
+    /// Whether `occ` has a bit for every slot. Beyond 32 slots the bitmap
+    /// is left at zero and scans use the in-band hole marks.
+    const BITMAP: bool = N <= 32;
+
     fn empty() -> Self {
         Self {
             head: 0,
             tail: 0,
+            occ: 0,
             entries: [E::hole(); N],
             next: NIL,
+        }
+    }
+
+    #[inline]
+    fn occ_set(&mut self, i: usize) {
+        if Self::BITMAP {
+            self.occ |= 1 << i;
+        }
+    }
+
+    #[inline]
+    fn occ_clear(&mut self, i: usize) {
+        if Self::BITMAP {
+            self.occ &= !(1 << i);
         }
     }
 
@@ -130,15 +161,26 @@ impl<E: Element, const N: usize> Lla<E, N> {
         let node_addr = self.pool.sim_addr(cur);
         let node = self.pool.get_mut(cur);
         node.entries[idx as usize] = E::hole();
+        node.occ_clear(idx as usize);
         sink.write(node_addr + LlaNode::<E, N>::entry_offset(idx as usize), {
             core::mem::size_of::<E>() as u32
         });
         // Trim holes at the boundaries so head/tail tightly bound live data.
-        while node.head < node.tail && node.entries[node.head as usize].is_hole() {
-            node.head += 1;
-        }
-        while node.tail > node.head && node.entries[node.tail as usize - 1].is_hole() {
-            node.tail -= 1;
+        if LlaNode::<E, N>::BITMAP {
+            if node.occ == 0 {
+                node.head = 0;
+                node.tail = 0;
+            } else {
+                node.head = node.occ.trailing_zeros() as u16;
+                node.tail = (32 - node.occ.leading_zeros()) as u16;
+            }
+        } else {
+            while node.head < node.tail && node.entries[node.head as usize].is_hole() {
+                node.head += 1;
+            }
+            while node.tail > node.head && node.entries[node.tail as usize - 1].is_hole() {
+                node.tail -= 1;
+            }
         }
         sink.write(node_addr, 8);
         let empty = node.head == node.tail;
@@ -176,7 +218,7 @@ impl<E: Element, const N: usize> Lla<E, N> {
                 }
                 depth += 1;
                 if test(&e) {
-                    self.remove_at(prev, cur, i, sink);
+                    self.remove_at(prev, cur, i as u32, sink);
                     return Search::hit(e, depth);
                 }
             }
@@ -186,6 +228,199 @@ impl<E: Element, const N: usize> Lla<E, N> {
             cur = next;
         }
         Search::miss(depth)
+    }
+
+    /// Packed-key walk: the hot path behind [`MatchList::search_remove`].
+    ///
+    /// Differences from [`Self::walk_remove`], all latency-only: the node
+    /// reference is resolved once per node (one pool id→pointer split per
+    /// node instead of per slot); bitmap nodes are scanned branchlessly
+    /// against the occupancy register, never charging hole slots; the match
+    /// test is the one-`u64` XOR+AND+compare against the precomputed packed
+    /// keys; and a software prefetch is issued [`prefetch::distance`] pool
+    /// ids ahead each hop, exploiting the pool's sequential id allocation.
+    fn packed_walk_remove<S: AccessSink>(
+        &mut self,
+        probe: &PackedProbe,
+        sink: &mut S,
+    ) -> Search<E> {
+        let dist = prefetch::distance() as u32;
+        let cap = self.pool.capacity() as u32;
+        let node_sz = core::mem::size_of::<LlaNode<E, N>>() as u64;
+        // Chunk cache: consecutive pool ids live in the same chunk, so the
+        // `chunks[c] -> nodes` indirection is resolved once per chunk
+        // transition rather than adding a dependent pointer load to every
+        // hop of the chase.
+        let mut cc = usize::MAX;
+        let mut cbase: *const LlaNode<E, N> = core::ptr::null();
+        let mut csim = 0u64;
+        let mut depth = 0u32;
+        let mut prev = NIL;
+        let mut cur = self.head;
+        while cur != NIL {
+            let (c, i) = self.pool.split_id(cur);
+            if c != cc {
+                (cbase, csim) = self.pool.chunk_raw(c);
+                cc = c;
+            }
+            if dist != 0 {
+                // Speculative sequential prefetch: append-built chains hand
+                // out consecutive pool ids, so `cur + dist` is almost
+                // always the node `dist` hops ahead — and unlike a scout
+                // pointer that demand-loads each link, the guess has no
+                // load dependency, so it genuinely overlaps line fetches
+                // with the scan. A wrong guess (churned free list) just
+                // warms an unrelated pool line; the capacity guard keeps
+                // the address inside allocated chunks.
+                let guess = cur + dist;
+                if guess < cap {
+                    let (gc, gi) = self.pool.split_id(guess);
+                    if gc == cc {
+                        prefetch::read(unsafe { cbase.add(gi) });
+                    } else {
+                        prefetch::read(self.pool.real_ptr(guess));
+                    }
+                }
+            }
+            let node_addr = csim + i as u64 * node_sz;
+            sink.read(node_addr, 8); // head/tail/occupancy header
+
+            // SAFETY: `cur` is a live pool id, chunk storage never moves,
+            // and nothing mutates the pool while this reference is read
+            // (mutation happens only in `remove_at`, after the last use).
+            let node = unsafe { &*cbase.add(i) };
+            let next = node.next;
+            let mut hit: Option<(u32, E)> = None;
+            if LlaNode::<E, N>::BITMAP {
+                // Branchless node scan: evaluate the one-`u64` packed test
+                // on every slot in straight-line code (`m << i` accumulates
+                // a candidate bitmap), then mask with the occupancy
+                // register — stale hole bodies and slots outside the trim
+                // range can never match, and no per-slot branch exists for
+                // the predictor to miss. The constant `0..N` trip count
+                // fully unrolls with no bounds checks (a dynamic
+                // `head..tail` slice defeats both). The candidate set
+                // decides hit/miss with one branch per node; depth comes
+                // from a popcount over the live bits actually inspected.
+                // Sink charges are issued for exactly the live slots the
+                // sequential scan would have read, so simulated traces are
+                // unchanged (and the charge loops fold to nothing under
+                // `NullSink`).
+                let occ = node.occ;
+                let h = node.head as usize;
+                let t = (node.tail as usize).min(N);
+                let mut cand: u32 = 0;
+                for (i, e) in node.entries.iter().enumerate() {
+                    let m = packed_matches(e.packed_key(), e.packed_mask(), probe) as u32;
+                    cand |= m << i;
+                }
+                cand &= occ;
+                if cand == 0 {
+                    for i in h..t {
+                        if occ >> i & 1 == 1 {
+                            sink.read(
+                                node_addr + LlaNode::<E, N>::entry_offset(i),
+                                core::mem::size_of::<E>() as u32,
+                            );
+                        }
+                    }
+                    depth += occ.count_ones();
+                } else {
+                    let i = cand.trailing_zeros() as usize;
+                    for j in h..=i {
+                        if occ >> j & 1 == 1 {
+                            sink.read(
+                                node_addr + LlaNode::<E, N>::entry_offset(j),
+                                core::mem::size_of::<E>() as u32,
+                            );
+                        }
+                    }
+                    // Live bits at or below the hit (`31 - i` keeps the
+                    // all-ones mask well-defined when the hit is slot 31).
+                    depth += (occ & (u32::MAX >> (31 - i))).count_ones();
+                    hit = Some((i as u32, node.entries[i]));
+                }
+            } else {
+                for i in node.head..node.tail {
+                    let e = node.entries[i as usize];
+                    sink.read(
+                        node_addr + LlaNode::<E, N>::entry_offset(i as usize),
+                        core::mem::size_of::<E>() as u32,
+                    );
+                    if e.is_hole() {
+                        continue;
+                    }
+                    depth += 1;
+                    if packed_matches(e.packed_key(), e.packed_mask(), probe) {
+                        hit = Some((i as u32, e));
+                        break;
+                    }
+                }
+            }
+            if let Some((i, e)) = hit {
+                self.remove_at(prev, cur, i, sink);
+                return Search::hit(e, depth);
+            }
+            sink.read(node_addr + LlaNode::<E, N>::next_offset(), 4);
+            prev = cur;
+            cur = next;
+        }
+        Search::miss(depth)
+    }
+
+    /// The pre-optimisation scan: per-slot pool lookups, in-band hole test,
+    /// field-by-field [`Element::matches`], no prefetch. Kept callable so
+    /// the benchmark gate can measure the packed/bitmap/prefetched path
+    /// against the exact code it replaced.
+    pub fn search_remove_fieldwise<S: AccessSink>(
+        &mut self,
+        probe: &E::Probe,
+        sink: &mut S,
+    ) -> Search<E> {
+        self.walk_remove(sink, |e| e.matches(probe))
+    }
+
+    /// Checks every linked node's occupancy bitmap and trim indexes against
+    /// the in-band `HOLE_CONTEXT` marks (the source of truth). Test-support
+    /// API: O(nodes × N) and never called on the hot path.
+    #[doc(hidden)]
+    pub fn validate_occupancy(&self) -> Result<(), String> {
+        let mut cur = self.head;
+        while cur != NIL {
+            let n = self.pool.get(cur);
+            let (h, t) = (n.head as usize, n.tail as usize);
+            if h >= t || t > N {
+                return Err(format!("node {cur}: bad trim range {h}..{t} (N = {N})"));
+            }
+            for i in 0..N {
+                let live = !n.entries[i].is_hole();
+                if live && (i < h || i >= t) {
+                    return Err(format!("node {cur}: live slot {i} outside {h}..{t}"));
+                }
+                if LlaNode::<E, N>::BITMAP && (n.occ >> i & 1 == 1) != live {
+                    return Err(format!(
+                        "node {cur} slot {i}: bitmap says {}, in-band mark says {}",
+                        n.occ >> i & 1 == 1,
+                        live
+                    ));
+                }
+            }
+            if LlaNode::<E, N>::BITMAP {
+                if n.occ.trailing_zeros() as usize != h {
+                    return Err(format!("node {cur}: head {h} vs occ {:#b}", n.occ));
+                }
+                if (32 - n.occ.leading_zeros()) as usize != t {
+                    return Err(format!("node {cur}: tail {t} vs occ {:#b}", n.occ));
+                }
+            } else if n.occ != 0 {
+                return Err(format!("node {cur}: occ must stay 0 when N > 32"));
+            }
+            if n.entries[h].is_hole() || n.entries[t - 1].is_hole() {
+                return Err(format!("node {cur}: untrimmed boundary hole in {h}..{t}"));
+            }
+            cur = n.next;
+        }
+        Ok(())
     }
 }
 
@@ -202,9 +437,20 @@ impl<E: Element, const N: usize> MatchList<E> for Lla<E, N> {
             let tail_addr = self.pool.sim_addr(self.tail);
             let node = self.pool.get_mut(self.tail);
             if (node.tail as usize) < N {
-                let i = node.tail as usize;
+                // The free slot is a bit-scan on bitmap nodes: one past the
+                // highest set occupancy bit. Appending never reuses interior
+                // holes — that would break FIFO slot order — so this always
+                // lands exactly on the trimmed `tail` index.
+                let i = if LlaNode::<E, N>::BITMAP && node.occ != 0 {
+                    let slot = (32 - node.occ.leading_zeros()) as usize;
+                    debug_assert_eq!(slot, node.tail as usize);
+                    slot
+                } else {
+                    node.tail as usize
+                };
                 node.entries[i] = e;
-                node.tail += 1;
+                node.occ_set(i);
+                node.tail = (i + 1) as u16;
                 sink.write(tail_addr + LlaNode::<E, N>::entry_offset(i), {
                     core::mem::size_of::<E>() as u32
                 });
@@ -216,6 +462,7 @@ impl<E: Element, const N: usize> MatchList<E> for Lla<E, N> {
         // Grow: take a node from the pool and link it at the tail.
         let mut node = LlaNode::empty();
         node.entries[0] = e;
+        node.occ_set(0);
         node.tail = 1;
         let id = self.pool.alloc(node, &mut self.addr);
         let addr = self.pool.sim_addr(id);
@@ -240,7 +487,7 @@ impl<E: Element, const N: usize> MatchList<E> for Lla<E, N> {
     }
 
     fn search_remove<S: AccessSink>(&mut self, probe: &E::Probe, sink: &mut S) -> Search<E> {
-        self.walk_remove(sink, |e| e.matches(probe))
+        self.packed_walk_remove(&probe.packed(), sink)
     }
 
     fn remove_by_id<S: AccessSink>(&mut self, id: u64, sink: &mut S) -> Option<E> {
@@ -506,6 +753,132 @@ mod tests {
         let mut c8 = CountingSink::new();
         l8.search_remove(&Envelope::new(7, 7, 7), &mut c8);
         assert_eq!(c8.distinct_lines(), 32);
+    }
+
+    #[test]
+    fn bitmap_tracks_inband_holes_through_punch_append_reuse() {
+        // Every mutation step must keep the occupancy bitmap in exact
+        // agreement with the in-band HOLE_CONTEXT marks.
+        let mut l: Lla<PostedEntry, 4> = Lla::new();
+        let mut s = NullSink;
+        for i in 0..12 {
+            l.append(post(0, i, i as u64), &mut s);
+            l.validate_occupancy().unwrap();
+        }
+        // Punch interior holes in every node.
+        for tag in [1, 2, 5, 9, 10] {
+            l.search_remove(&Envelope::new(0, tag, 0), &mut s)
+                .found
+                .unwrap();
+            l.validate_occupancy().unwrap();
+        }
+        // Refill: appends go to the tail, never into interior holes.
+        for i in 0..6 {
+            l.append(post(1, i, 100 + i as u64), &mut s);
+            l.validate_occupancy().unwrap();
+        }
+        assert_eq!(l.len(), 13);
+        // Drain completely, validating after each removal (covers the
+        // node-emptied unlink edge at head, middle, and tail nodes).
+        while let Some(e) = l.snapshot().first().copied() {
+            assert!(l.remove_by_id(e.id(), &mut s).is_some());
+            l.validate_occupancy().unwrap();
+        }
+        assert!(l.is_empty());
+        // Reuse the now-freed pool nodes.
+        for i in 0..8 {
+            l.append(post(2, i, 200 + i as u64), &mut s);
+            l.validate_occupancy().unwrap();
+        }
+        assert_eq!(l.len(), 8);
+    }
+
+    #[test]
+    fn bitmap_handles_node_full_and_single_slot_edges() {
+        // N = 32 exercises the full-width bitmap (bit 31 set, occ == !0).
+        let mut l: Lla<PostedEntry, 32> = Lla::new();
+        let mut s = NullSink;
+        for i in 0..32 {
+            l.append(post(0, i, i as u64), &mut s);
+        }
+        l.validate_occupancy().unwrap();
+        assert_eq!(l.node_count(), 1);
+        // Remove the last slot (leading-edge trim), then the first
+        // (trailing-edge trim), then everything but one interior slot.
+        l.search_remove(&Envelope::new(0, 31, 0), &mut s)
+            .found
+            .unwrap();
+        l.validate_occupancy().unwrap();
+        l.search_remove(&Envelope::new(0, 0, 0), &mut s)
+            .found
+            .unwrap();
+        l.validate_occupancy().unwrap();
+        for i in 1..31 {
+            if i == 17 {
+                continue;
+            }
+            l.search_remove(&Envelope::new(0, i, 0), &mut s)
+                .found
+                .unwrap();
+            l.validate_occupancy().unwrap();
+        }
+        assert_eq!(l.len(), 1);
+        assert_eq!(l.snapshot()[0].tag, 17);
+        // Emptying the node unlinks it.
+        l.search_remove(&Envelope::new(0, 17, 0), &mut s)
+            .found
+            .unwrap();
+        assert_eq!(l.node_count(), 0);
+        l.validate_occupancy().unwrap();
+    }
+
+    #[test]
+    fn large_arity_fallback_keeps_inband_semantics() {
+        // N = 512 has no bitmap; the fallback hole-scan path must keep the
+        // same trim invariants (validate_occupancy checks occ stays 0).
+        let mut l: Lla<PostedEntry, 512> = Lla::new();
+        let mut s = NullSink;
+        for i in 0..600 {
+            l.append(post(0, i, i as u64), &mut s);
+        }
+        l.validate_occupancy().unwrap();
+        for tag in [0, 1, 300, 511, 599] {
+            l.search_remove(&Envelope::new(0, tag, 0), &mut s)
+                .found
+                .unwrap();
+            l.validate_occupancy().unwrap();
+        }
+        let r = l.search_remove(&Envelope::new(9, 9, 9), &mut s);
+        assert_eq!(r.depth, 595);
+    }
+
+    #[test]
+    fn packed_scan_matches_fieldwise_scan() {
+        let mut fast: Lla<PostedEntry, 2> = Lla::new();
+        let mut slow: Lla<PostedEntry, 2> = Lla::new();
+        let mut s = NullSink;
+        for i in 0..64 {
+            let e = if i % 7 == 0 {
+                PostedEntry::from_spec(RecvSpec::new(crate::ANY_SOURCE, i, 0), i as u64)
+            } else {
+                post(i % 5, i, i as u64)
+            };
+            fast.append(e, &mut s);
+            slow.append(e, &mut s);
+        }
+        for probe in [
+            Envelope::new(3, 21, 0),
+            Envelope::new(2, 12, 0),
+            Envelope::new(0, 999, 0), // miss
+            Envelope::new(11, 14, 0), // only the wildcard matches
+            Envelope::new(1, 1, 1),   // wrong context: miss
+        ] {
+            let a = fast.search_remove(&probe, &mut s);
+            let b = slow.search_remove_fieldwise(&probe, &mut s);
+            assert_eq!(a.found, b.found, "probe {probe:?}");
+            assert_eq!(a.depth, b.depth, "probe {probe:?}");
+        }
+        assert_eq!(fast.snapshot(), slow.snapshot());
     }
 
     #[test]

@@ -30,7 +30,8 @@ pub use hashbins::HashBins;
 pub use lla::Lla;
 pub use ranktrie::RankTrie;
 
-use crate::entry::Element;
+use crate::entry::{packed_matches, Element, ProbeKey};
+use crate::prefetch;
 use crate::sink::AccessSink;
 
 /// Result of a destructive queue search.
@@ -175,6 +176,8 @@ impl<E: Element> SeqFifo<E> {
         seq_limit: Option<u64>,
         sink: &mut S,
     ) -> (Option<usize>, u32) {
+        let packed = probe.packed();
+        let ahead = prefetch::distance();
         let mut depth = 0;
         for (pos, (seq, e)) in self.items.iter().enumerate() {
             if let Some(limit) = seq_limit {
@@ -184,9 +187,16 @@ impl<E: Element> SeqFifo<E> {
                     return (None, depth);
                 }
             }
+            if ahead != 0 {
+                // The VecDeque is at most two contiguous runs; prefetching a
+                // few elements ahead hides the stride-crossing line fetches.
+                if let Some(next) = self.items.get(pos + ahead) {
+                    prefetch::read(next as *const (u64, E));
+                }
+            }
             sink.read(self.sim_base + pos as u64 * self.stride, self.stride as u32);
             depth += 1;
-            if e.matches(probe) {
+            if packed_matches(e.packed_key(), e.packed_mask(), &packed) {
                 return (Some(pos), depth);
             }
         }
@@ -252,46 +262,61 @@ pub(crate) fn merged_search_remove<E: Element, S: AccessSink>(
     }
 }
 
+/// One row of the gather-scan worklist built by [`collect_metas`]: where an
+/// element lives (`channel`, `pos`, simulated `addr`/`len`) plus the element
+/// itself by value, so [`global_search`] tests it without re-walking the
+/// source channel per inspection.
+pub(crate) struct ChanMeta<E> {
+    pub(crate) seq: u64,
+    pub(crate) channel: usize,
+    pub(crate) pos: usize,
+    pub(crate) addr: u64,
+    pub(crate) len: u32,
+    pub(crate) entry: E,
+}
+
 /// Gather-searches many sequence-ordered channels in *global* FIFO order
-/// (used when a probe wildcards the source and every bin must be considered):
-/// the caller collects `(seq, channel, pos, addr, len)` metadata for every
-/// stored element via [`collect_metas`], then this inspects them in global
-/// sequence order using an element-lookup closure. This models the real
-/// cost — a wildcard receive against a binned structure degenerates to a
-/// full scan.
-pub(crate) fn global_search_with<E: Element, S: AccessSink>(
-    metas: &mut [(u64, usize, usize, u64, u32)],
-    lookup: impl Fn(usize, usize) -> E,
+/// (used when a probe wildcards the source and every bin must be
+/// considered): the caller collects a [`ChanMeta`] row for every stored
+/// element via [`collect_metas`], then this inspects them in global
+/// sequence order with the packed one-`u64` match test. This models the
+/// real cost — a wildcard receive against a binned structure degenerates to
+/// a full scan (the simulated reads still charge each element's home
+/// channel address; only the native-side per-inspection channel re-walk,
+/// which was O(n) per element, is gone).
+pub(crate) fn global_search<E: Element, S: AccessSink>(
+    metas: &mut [ChanMeta<E>],
     probe: &E::Probe,
     sink: &mut S,
 ) -> (Option<(usize, usize)>, u32) {
-    metas.sort_unstable_by_key(|&(seq, ..)| seq);
+    metas.sort_unstable_by_key(|m| m.seq);
+    let packed = probe.packed();
     let mut depth = 0;
-    for &(_seq, ci, pos, addr, len) in metas.iter() {
-        sink.read(addr, len);
+    for m in metas.iter() {
+        sink.read(m.addr, m.len);
         depth += 1;
-        if lookup(ci, pos).matches(probe) {
-            return (Some((ci, pos)), depth);
+        if packed_matches(m.entry.packed_key(), m.entry.packed_mask(), &packed) {
+            return (Some((m.channel, m.pos)), depth);
         }
     }
     (None, depth)
 }
 
-/// Collects the `(seq, channel, pos, addr, len)` metadata rows that
-/// [`global_search_with`] consumes.
+/// Collects the [`ChanMeta`] rows that [`global_search`] consumes.
 pub(crate) fn collect_metas<'a, E: Element>(
     channels: impl Iterator<Item = &'a SeqFifo<E>>,
-) -> Vec<(u64, usize, usize, u64, u32)> {
+) -> Vec<ChanMeta<E>> {
     let mut all = Vec::new();
     for (ci, ch) in channels.enumerate() {
-        for (pos, (seq, _)) in ch.iter().enumerate() {
-            all.push((
-                *seq,
-                ci,
+        for (pos, (seq, e)) in ch.iter().enumerate() {
+            all.push(ChanMeta {
+                seq: *seq,
+                channel: ci,
                 pos,
-                ch.sim_base + pos as u64 * ch.stride,
-                ch.stride as u32,
-            ));
+                addr: ch.sim_base + pos as u64 * ch.stride,
+                len: ch.stride as u32,
+                entry: *e,
+            });
         }
     }
     all

@@ -120,33 +120,67 @@ impl<T: Copy> Pool<T> {
         self.free.push(id);
     }
 
+    /// Splits a node id into (chunk, slot). Cache-line-sized nodes give a
+    /// power-of-two chunk capacity (256 KiB / 64 B = 4096), so the traversal
+    /// hot paths — which call this several times per node — take the
+    /// shift/mask route instead of two integer divisions.
+    #[inline(always)]
+    fn split(&self, id: u32) -> (usize, usize) {
+        let (id, n) = (id as usize, self.chunk_nodes);
+        if n.is_power_of_two() {
+            (id >> n.trailing_zeros(), id & (n - 1))
+        } else {
+            (id / n, id % n)
+        }
+    }
+
+    /// Splits a node id into `(chunk, slot)` for callers that cache the
+    /// chunk indirection across consecutive ids (see [`Self::chunk_raw`]).
+    #[inline(always)]
+    pub fn split_id(&self, id: u32) -> (usize, usize) {
+        self.split(id)
+    }
+
+    /// Raw node-array base pointer and simulated base address of chunk `c`.
+    ///
+    /// Traversal hot paths call this once per chunk *transition* instead of
+    /// re-walking `chunks[c] -> nodes` per node: consecutive pool ids share
+    /// a chunk, so caching the pair removes a dependent pointer load from
+    /// every hop of the chase. Chunk storage never moves, so the pointer
+    /// stays valid for the pool's lifetime.
+    #[inline]
+    pub fn chunk_raw(&self, c: usize) -> (*const T, u64) {
+        let ch = &self.chunks[c];
+        (ch.nodes.as_ptr(), ch.sim_base)
+    }
+
     /// Shared access to a node.
     #[inline]
     pub fn get(&self, id: u32) -> &T {
-        let (c, i) = (
-            id as usize / self.chunk_nodes,
-            id as usize % self.chunk_nodes,
-        );
+        let (c, i) = self.split(id);
         &self.chunks[c].nodes[i]
     }
 
     /// Exclusive access to a node.
     #[inline]
     pub fn get_mut(&mut self, id: u32) -> &mut T {
-        let (c, i) = (
-            id as usize / self.chunk_nodes,
-            id as usize % self.chunk_nodes,
-        );
+        let (c, i) = self.split(id);
         &mut self.chunks[c].nodes[i]
+    }
+
+    /// Real pointer to a node's storage, for software prefetch while
+    /// chasing links. Chunk storage never moves, so the pointer stays valid
+    /// for the pool's lifetime (prefetching a freed slot is harmless).
+    #[inline]
+    pub fn real_ptr(&self, id: u32) -> *const T {
+        let (c, i) = self.split(id);
+        &self.chunks[c].nodes[i] as *const T
     }
 
     /// Simulated address of a node.
     #[inline]
     pub fn sim_addr(&self, id: u32) -> u64 {
-        let (c, i) = (
-            id as usize / self.chunk_nodes,
-            id as usize % self.chunk_nodes,
-        );
+        let (c, i) = self.split(id);
         self.chunks[c].sim_base + (i * core::mem::size_of::<T>()) as u64
     }
 

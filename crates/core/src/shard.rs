@@ -24,18 +24,34 @@
 //!   equals lock-serialization order for any two operations that share a
 //!   lock, making the seq-sorted operation log a valid linearization
 //!   (this is what the concurrent differential harness replays).
-//! * Posting a wildcard receive acquires **all** shard locks plus the
-//!   wildcard lane (in fixed order, so the protocol is deadlock-free),
-//!   searches every shard's unexpected queue for the globally earliest
-//!   (by arrival seq) match, and only then parks in the wildcard lane.
+//! * Posting a wildcard receive first tries the **lock-free-park fast
+//!   path**: holding only the wildcard-lane lock, it reads every shard's
+//!   atomic unexpected-count. If all are zero — the common case on
+//!   workloads that pre-post receives — no message anywhere can match, so
+//!   it parks immediately without touching a single shard lock. The park
+//!   is sound because of two SeqCst fences built into the protocol:
+//!   (a) *store-buffering pair*: the poster bumps `wild_len` before
+//!   reading the counts, and every arrival bumps its shard's count before
+//!   reading `wild_len` — so for any racing pair, at least one side sees
+//!   the other and takes the safe (slow/crossing) route; (b) *seq-unchanged
+//!   double check*: after reading the counts the poster verifies no other
+//!   operation took a seq stamp since its own, which rules out a racing
+//!   remover with a *later* stamp having already hidden a message that was
+//!   still queued at the poster's linearization point. Any doubt falls
+//!   back to the slow path: all shard locks plus the wildcard lane (in
+//!   fixed order, so the protocol is deadlock-free), a search of every
+//!   shard's unexpected queue for the globally earliest (by arrival seq)
+//!   match, and only then parking in the wildcard lane.
 //! * An arrival locks its source's shard, then — only if the wildcard
-//!   lane is occupied (`wild_len > 0`, the epoch check; exact because
-//!   wildcard inserts hold every shard lock) — crosses into the wildcard
+//!   lane is occupied (`wild_len > 0`) — crosses into the wildcard
 //!   lane and compares seq stamps: the *older* of the shard match and the
 //!   wildcard match wins. Skipping that comparison is the classic
 //!   decomposed-engine bug; [`ShardedEngine::with_wildcard_check_disabled`]
 //!   builds exactly that broken variant so the conformance harness can
-//!   prove it catches the violation.
+//!   prove it catches the violation. Crossing arrivals take their seq
+//!   *after* acquiring the wildcard lock, so every entry they can see in
+//!   the lane — including one parked by the lock-free fast path — carries
+//!   an older stamp than their own.
 //!
 //! Entry layouts are the paper's fixed 24/16-byte records (Figure 2), so
 //! seq stamps cannot live in the entries themselves; each shard keeps a
@@ -139,12 +155,22 @@ where
     U: MatchList<UnexpectedEntry>,
 {
     shards: Vec<Counted<ShardState<P, U>>>,
+    /// Per-shard unexpected-message counts maintained *outside* the shard
+    /// locks: queued UMQ entries plus in-flight arrivals that have not yet
+    /// resolved to matched-or-queued. The wildcard fast path reads these
+    /// (SeqCst) to prove "no shard can hold a match" without taking S
+    /// locks; a nonzero count only ever sends it to the slow path, so
+    /// transient over-counts are safe.
+    umq_counts: Vec<AtomicUsize>,
     wild: Counted<WildState<P>>,
     /// Global epoch/sequence counter; stamped while holding the op's locks.
     seq: AtomicU64,
-    /// Live wildcard receives. Updated under the wildcard-lane lock;
-    /// reading it under any shard lock is exact because inserts hold
-    /// every shard lock.
+    /// Live wildcard receives. Updated under the wildcard-lane lock. May
+    /// read stale-high for an arrival racing a fast-path park that will
+    /// fall back (a harmless phantom crossing), but never stale-low: the
+    /// SeqCst store-buffering pair with `umq_counts` guarantees an arrival
+    /// misses a parked wildcard only if the poster saw the arrival's count
+    /// bump and took the slow path (which serializes on the shard locks).
     wild_len: AtomicUsize,
     /// Arrivals that crossed into the wildcard lane.
     wild_crossings: AtomicU64,
@@ -180,6 +206,7 @@ where
             .collect();
         Self {
             shards,
+            umq_counts: (0..num_shards).map(|_| AtomicUsize::new(0)).collect(),
             wild: Counted::new(WildState {
                 prq: mk_prq(),
                 prq_idx: VecDeque::new(),
@@ -232,7 +259,10 @@ where
     }
 
     fn next_seq(&self) -> u64 {
-        self.seq.fetch_add(1, Ordering::Relaxed)
+        // SeqCst: the wildcard fast path's soundness argument orders seq
+        // stamps against `umq_counts`/`wild_len` operations in the single
+        // SeqCst total order.
+        self.seq.fetch_add(1, Ordering::SeqCst)
     }
 
     /// Posts a receive. Concrete sources take the shard fast path; an
@@ -247,7 +277,8 @@ where
         if spec.rank == ANY_SOURCE {
             return self.post_recv_wild(spec, request);
         }
-        let mut g = self.shards[self.shard_of(spec.rank)].lock();
+        let si = self.shard_of(spec.rank);
+        let mut g = self.shards[si].lock();
         let seq = self.next_seq();
         let out = g.eng.post_recv(spec, request);
         match out {
@@ -259,6 +290,7 @@ where
                     .expect("structure matched, so the seq index must too");
                 let (_, e) = g.umq_idx.remove(pos).expect("position exists");
                 debug_assert_eq!(e.payload, payload, "structure and index disagree");
+                self.umq_counts[si].fetch_sub(1, Ordering::SeqCst);
             }
             RecvOutcome::Posted => {
                 g.prq_idx
@@ -269,10 +301,44 @@ where
         (seq, out)
     }
 
+    /// Posts an `MPI_ANY_SOURCE` receive: lock-free-park fast path when
+    /// every shard's unexpected count reads zero, otherwise the all-lock
+    /// slow path (see the module docs for the soundness argument).
+    fn post_recv_wild(&self, spec: RecvSpec, request: u64) -> (u64, RecvOutcome) {
+        {
+            let mut wild = self.wild.lock();
+            // Publish occupancy *before* taking the seq and reading the
+            // counts — the poster half of the store-buffering pair.
+            self.wild_len.fetch_add(1, Ordering::SeqCst);
+            let seq = self.next_seq();
+            let all_empty = self
+                .umq_counts
+                .iter()
+                .all(|c| c.load(Ordering::SeqCst) == 0);
+            // Seq-unchanged check: if any other operation stamped itself
+            // since our `seq`, a remover with a later stamp may already
+            // have hidden a message that was still queued at our
+            // linearization point — retry through the slow path.
+            if all_empty && self.seq.load(Ordering::SeqCst) == seq + 1 {
+                let entry = PostedEntry::from_spec(spec, request);
+                wild.prq.append(entry, &mut crate::sink::NullSink);
+                wild.prq_idx.push_back((seq, entry));
+                wild.stats.umq_search.record(0);
+                wild.stats.prq_appends += 1;
+                wild.max_prq = wild.max_prq.max(wild.prq.len() as u64);
+                return (seq, RecvOutcome::Posted);
+            }
+            self.wild_len.fetch_sub(1, Ordering::SeqCst);
+            // The wildcard lock is released before the slow path re-locks
+            // shards-then-wild, preserving the global lock order.
+        }
+        self.post_recv_wild_slow(spec, request)
+    }
+
     /// The wildcard slow path: all shard locks + the wildcard lane, a
     /// global (seq-ordered) search of every shard's unexpected queue,
     /// then either an immediate match or parking in the wildcard lane.
-    fn post_recv_wild(&self, spec: RecvSpec, request: u64) -> (u64, RecvOutcome) {
+    fn post_recv_wild_slow(&self, spec: RecvSpec, request: u64) -> (u64, RecvOutcome) {
         let mut guards = self.lock_all();
         let mut wild = self.wild.lock();
         let seq = self.next_seq();
@@ -310,6 +376,7 @@ where
                     .expect("match present");
                 let (_, e) = g.umq_idx.remove(pos).expect("position exists");
                 debug_assert_eq!(e.payload, payload);
+                self.umq_counts[si].fetch_sub(1, Ordering::SeqCst);
                 // The shard sub-engine already recorded the hit; only the
                 // globally-inspected depth is reported to the caller.
                 (
@@ -327,7 +394,7 @@ where
                 wild.stats.umq_search.record(inspected as u64);
                 wild.stats.prq_appends += 1;
                 wild.max_prq = wild.max_prq.max(wild.prq.len() as u64);
-                self.wild_len.fetch_add(1, Ordering::Release);
+                self.wild_len.fetch_add(1, Ordering::SeqCst);
                 (seq, RecvOutcome::Posted)
             }
         }
@@ -341,11 +408,17 @@ where
 
     /// [`Self::arrival`] returning the operation's linearization stamp.
     pub fn arrival_seq(&self, env: Envelope, payload: u64) -> (u64, ArrivalOutcome) {
-        let shard = &self.shards[self.shard_of(env.rank)];
+        let si = self.shard_of(env.rank);
+        let shard = &self.shards[si];
         let mut g = shard.lock();
-        // The epoch check: exact under the shard lock, because wildcard
-        // inserts hold every shard lock while bumping `wild_len`.
-        let mut wild = if self.wild_len.load(Ordering::Acquire) > 0 {
+        // Pre-bump this shard's unexpected count *before* reading the
+        // wildcard-lane occupancy — the arrival half of the store-buffering
+        // pair: a racing fast-path wildcard post either sees this bump (and
+        // takes the slow path) or has already parked with `wild_len`
+        // published (and the read below sees it). Undone below unless the
+        // message actually queues.
+        self.umq_counts[si].fetch_add(1, Ordering::SeqCst);
+        let mut wild = if self.wild_len.load(Ordering::SeqCst) > 0 {
             self.wild_crossings.fetch_add(1, Ordering::Relaxed);
             Some(self.wild.lock())
         } else {
@@ -388,7 +461,8 @@ where
             debug_assert_eq!(Some(iseq), wild_first);
             w.stats.prq_search.record((shard_scan + wild_scan) as u64);
             w.stats.prq_hits += 1;
-            self.wild_len.fetch_sub(1, Ordering::Release);
+            self.wild_len.fetch_sub(1, Ordering::SeqCst);
+            self.umq_counts[si].fetch_sub(1, Ordering::SeqCst);
             return (
                 seq,
                 ArrivalOutcome::MatchedPosted {
@@ -410,11 +484,14 @@ where
                 let (iseq, ie) = g.prq_idx.remove(pos).expect("position exists");
                 debug_assert_eq!(ie.request, request);
                 debug_assert_eq!(Some(iseq), shard_first);
+                // Matched, so nothing was queued: undo the pre-bump.
+                self.umq_counts[si].fetch_sub(1, Ordering::SeqCst);
             }
             ArrivalOutcome::Queued => {
                 debug_assert!(shard_first.is_none());
                 g.umq_idx
                     .push_back((seq, UnexpectedEntry::from_envelope(env, payload)));
+                // The pre-bump stands: it now counts the queued message.
             }
         }
         g.note_occupancy();
@@ -452,7 +529,7 @@ where
                 .position(|(_, e)| e.request == recv.request)
                 .expect("index holds every wild entry");
             wild.prq_idx.remove(pos);
-            self.wild_len.fetch_sub(1, Ordering::Release);
+            self.wild_len.fetch_sub(1, Ordering::SeqCst);
             return (seq, true);
         }
         (seq, false)
@@ -589,7 +666,10 @@ where
         wild.prq.clear();
         wild.prq_idx.clear();
         wild.stats = EngineStats::new();
-        self.wild_len.store(0, Ordering::Release);
+        for c in &self.umq_counts {
+            c.store(0, Ordering::SeqCst);
+        }
+        self.wild_len.store(0, Ordering::SeqCst);
     }
 }
 
@@ -801,6 +881,70 @@ mod tests {
         assert_eq!(matches as usize + prq, SENDERS * PER as usize);
         let stats = eng.stats();
         assert_eq!(stats.prq_hits + stats.umq_hits, matches);
+    }
+
+    #[test]
+    fn wildcard_post_on_empty_umq_takes_no_shard_locks() {
+        let eng = engine(8);
+        for i in 0..10 {
+            assert!(matches!(
+                eng.post_recv(RecvSpec::any(0), i),
+                RecvOutcome::Posted
+            ));
+        }
+        for sh in eng.shard_stats() {
+            assert_eq!(
+                sh.lock.acquisitions, 0,
+                "empty-UMQ wildcard posts must park without shard locks"
+            );
+        }
+        // The parked receives are fully live: arrivals cross and match
+        // them in FIFO order.
+        for i in 0..10 {
+            match eng.arrival(Envelope::new(i as i32, 0, 0), i) {
+                ArrivalOutcome::MatchedPosted { request, .. } => assert_eq!(request, i),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(eng.queue_lens(), (0, 0));
+    }
+
+    #[test]
+    fn wildcard_post_with_queued_message_still_matches_it() {
+        // A queued unexpected message must force the slow path (count
+        // nonzero) and be matched, fast path notwithstanding.
+        let eng = engine(4);
+        eng.arrival(Envelope::new(6, 2, 0), 60);
+        match eng.post_recv(RecvSpec::new(ANY_SOURCE, 2, 0), 1) {
+            RecvOutcome::MatchedUnexpected { payload, .. } => assert_eq!(payload, 60),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Drained: the next wildcard post parks on the fast path again.
+        let before: u64 = eng.shard_stats().iter().map(|s| s.lock.acquisitions).sum();
+        assert!(matches!(
+            eng.post_recv(RecvSpec::any(0), 2),
+            RecvOutcome::Posted
+        ));
+        let after: u64 = eng.shard_stats().iter().map(|s| s.lock.acquisitions).sum();
+        assert_eq!(after, before, "park after drain takes no shard locks");
+    }
+
+    #[test]
+    fn umq_counts_settle_to_queue_lengths() {
+        let eng = engine(4);
+        for i in 0..16 {
+            eng.arrival(Envelope::new(i % 5, i, 0), i as u64);
+        }
+        for i in 0..8 {
+            eng.post_recv(RecvSpec::new(i % 5, i, 0), i as u64);
+        }
+        let (_, umq) = eng.queue_lens();
+        let counted: usize = eng
+            .umq_counts
+            .iter()
+            .map(|c| c.load(Ordering::SeqCst))
+            .sum();
+        assert_eq!(counted, umq, "idle counts must equal queued messages");
     }
 
     #[test]

@@ -45,7 +45,7 @@ pub struct CountingSink {
     pub bytes_read: u64,
     /// Total bytes written.
     pub bytes_written: u64,
-    lines: Vec<u64>,
+    lines: std::collections::HashSet<u64>,
 }
 
 impl CountingSink {
@@ -68,12 +68,10 @@ impl CountingSink {
         let first = addr / CACHE_LINE as u64;
         let last = (addr + len.max(1) as u64 - 1) / CACHE_LINE as u64;
         for line in first..=last {
-            // Sorted insertion keeps lookup O(log n) with no hashing and no
-            // extra dependencies; traversals touch at most a few thousand
-            // lines.
-            if let Err(pos) = self.lines.binary_search(&line) {
-                self.lines.insert(pos, line);
-            }
+            // Hash-set membership keeps each access O(1) amortized; the
+            // previous sorted-`Vec` insert was O(n) per access and made
+            // large instrumented traversals quadratic.
+            self.lines.insert(line);
         }
     }
 }
@@ -177,6 +175,24 @@ mod tests {
         assert_eq!(s.bytes_read, 32);
         assert_eq!(s.bytes_written, 4);
         assert_eq!(s.distinct_lines(), 3); // lines 0, 1, 2
+    }
+
+    #[test]
+    fn counting_sink_stays_exact_on_large_traversals() {
+        // 100k accesses over 10k distinct lines, visited repeatedly and out
+        // of order — the line count must stay exact (and this finishing
+        // instantly is the point of the hash-set representation).
+        let mut s = CountingSink::new();
+        for round in 0..10u64 {
+            for i in 0..10_000u64 {
+                let line = (i * 7919 + round) % 10_000;
+                s.read(line * CACHE_LINE as u64, 8);
+            }
+        }
+        assert_eq!(s.distinct_lines(), 10_000);
+        s.reset();
+        assert_eq!(s.distinct_lines(), 0);
+        assert_eq!(s.reads, 0);
     }
 
     #[test]

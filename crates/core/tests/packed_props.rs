@@ -1,0 +1,185 @@
+//! Randomized agreement tests for the packed `u64` match keys.
+//!
+//! The hot-path scans test entries with one `XOR + AND + compare` against
+//! a precomputed [`PackedProbe`]; these properties drive millions of
+//! randomized `(entry, probe)` pairs — every wildcard/mask/hole combination
+//! on both entry types — through the packed compare and the field-by-field
+//! [`matches`] it replaced, and require bit-exact agreement. Driven by the
+//! in-repo seeded PRNG so failures reproduce exactly and the workspace
+//! builds offline.
+
+use spc_core::entry::{
+    packed_matches, Element, Envelope, PackedProbe, PostedEntry, RecvSpec, UnexpectedEntry,
+};
+use spc_core::{ANY_SOURCE, ANY_TAG};
+use spc_rng::{Rng, SeedableRng, StdRng};
+
+// The paper's Figure-2 layouts are load-bearing (two 24 B posted entries or
+// three 16 B unexpected entries + header per 64 B cache line); pin them at
+// compile time so drift fails the build, not just the benchmarks.
+const _: () = assert!(core::mem::size_of::<PostedEntry>() == 24);
+const _: () = assert!(core::mem::size_of::<UnexpectedEntry>() == 16);
+const _: () = assert!(core::mem::size_of::<PackedProbe>() == 16);
+
+/// Draws values that collide often enough for hits to be common but still
+/// cover the full domain: small alphabet most of the time, arbitrary bits
+/// otherwise.
+fn biased_tag(rng: &mut StdRng) -> i32 {
+    match rng.gen_range(0..4u32) {
+        0 => rng.gen_range(0..4i32),
+        1 => rng.gen_range(0..1024i32),
+        2 => i32::MAX - rng.gen_range(0..2i32),
+        _ => rng.gen_range(0..i32::MAX),
+    }
+}
+
+fn biased_rank(rng: &mut StdRng) -> i32 {
+    match rng.gen_range(0..4u32) {
+        0 => rng.gen_range(0..4i32),
+        // Past the i16 boundary and into the documented modulo-2^16
+        // aliasing domain.
+        1 => rng.gen_range(32_000..70_000i32),
+        2 => 65_535,
+        _ => rng.gen_range(0..1_000_000i32),
+    }
+}
+
+fn biased_ctx(rng: &mut StdRng) -> u16 {
+    match rng.gen_range(0..3u32) {
+        0 => 0,
+        1 => rng.gen_range(0..3u32) as u16,
+        // Includes u16::MAX, the reserved hole context.
+        _ => (rng.next_u64() & 0xFFFF) as u16,
+    }
+}
+
+/// Every wildcard combination of a posted receive: exact, any-source,
+/// any-tag, fully wild — plus the in-band hole marker.
+fn random_posted(rng: &mut StdRng, req: u64) -> PostedEntry {
+    if rng.gen_range(0..8u32) == 0 {
+        return PostedEntry::hole();
+    }
+    let rank = if rng.gen_bool(0.25) {
+        ANY_SOURCE
+    } else {
+        biased_rank(rng)
+    };
+    let tag = if rng.gen_bool(0.25) {
+        ANY_TAG
+    } else {
+        biased_tag(rng)
+    };
+    PostedEntry::from_spec(RecvSpec::new(rank, tag, biased_ctx(rng)), req)
+}
+
+/// A wire envelope is normally concrete and non-negative, but the packed
+/// compare must agree with the field-wise one even on degenerate raw
+/// envelopes (negative tags/ranks, reserved context), so build directly.
+fn random_envelope(rng: &mut StdRng) -> Envelope {
+    let rank = if rng.gen_range(0..16u32) == 0 {
+        -biased_rank(rng)
+    } else {
+        biased_rank(rng)
+    };
+    let tag = if rng.gen_range(0..16u32) == 0 {
+        -biased_tag(rng)
+    } else {
+        biased_tag(rng)
+    };
+    Envelope {
+        rank,
+        tag,
+        context_id: biased_ctx(rng),
+    }
+}
+
+fn random_spec(rng: &mut StdRng) -> RecvSpec {
+    let rank = if rng.gen_bool(0.25) {
+        ANY_SOURCE
+    } else {
+        biased_rank(rng)
+    };
+    let tag = if rng.gen_bool(0.25) {
+        ANY_TAG
+    } else {
+        biased_tag(rng)
+    };
+    RecvSpec::new(rank, tag, biased_ctx(rng))
+}
+
+#[test]
+fn posted_packed_compare_agrees_with_fieldwise() {
+    let mut rng = StdRng::seed_from_u64(0x9ACD_0001);
+    let mut hits = 0u64;
+    for case in 0..200_000u64 {
+        let e = random_posted(&mut rng, case);
+        let env = random_envelope(&mut rng);
+        let probe = env.packed();
+        let fieldwise = e.matches(&env);
+        let packed = packed_matches(e.packed_key(), e.packed_mask(), &probe);
+        assert_eq!(packed, fieldwise, "disagreement for {e:?} / {env:?}");
+        hits += fieldwise as u64;
+    }
+    // The bias must actually exercise the hit path, not just misses.
+    assert!(hits > 1_000, "only {hits} hits; generator bias broken");
+}
+
+#[test]
+fn unexpected_packed_compare_agrees_with_fieldwise() {
+    let mut rng = StdRng::seed_from_u64(0x9ACD_0002);
+    let mut hits = 0u64;
+    for case in 0..200_000u64 {
+        let m = if rng.gen_range(0..8u32) == 0 {
+            UnexpectedEntry::hole()
+        } else {
+            UnexpectedEntry::from_envelope(random_envelope(&mut rng), case)
+        };
+        let spec = random_spec(&mut rng);
+        let probe = spec.packed();
+        let fieldwise = m.matches(&spec);
+        let packed = packed_matches(m.packed_key(), m.packed_mask(), &probe);
+        assert_eq!(packed, fieldwise, "disagreement for {m:?} / {spec:?}");
+        hits += fieldwise as u64;
+    }
+    assert!(hits > 1_000, "only {hits} hits; generator bias broken");
+}
+
+#[test]
+fn holes_never_match_any_probe_under_either_compare() {
+    let mut rng = StdRng::seed_from_u64(0x9ACD_0003);
+    let ph = PostedEntry::hole();
+    let uh = UnexpectedEntry::hole();
+    for _ in 0..50_000 {
+        let env = random_envelope(&mut rng);
+        assert!(!ph.matches(&env), "hole matched {env:?}");
+        assert!(
+            !packed_matches(ph.packed_key(), ph.packed_mask(), &env.packed()),
+            "packed hole matched {env:?}"
+        );
+        let spec = random_spec(&mut rng);
+        assert!(!uh.matches(&spec), "hole matched {spec:?}");
+        assert!(
+            !packed_matches(uh.packed_key(), uh.packed_mask(), &spec.packed()),
+            "packed hole matched {spec:?}"
+        );
+    }
+}
+
+#[test]
+fn packed_key_is_the_entry_prefix_bytes() {
+    // The packed key is documented as the entry's first 8 bytes
+    // reinterpreted little-endian — which is what lets the compiler fold
+    // `match_key()` into a single aligned load. Verify against the raw
+    // in-memory representation.
+    let mut rng = StdRng::seed_from_u64(0x9ACD_0004);
+    for case in 0..10_000u64 {
+        let e = random_posted(&mut rng, case);
+        let raw: [u8; 24] = unsafe { core::mem::transmute(e) };
+        let prefix = u64::from_le_bytes(raw[..8].try_into().unwrap());
+        assert_eq!(e.packed_key(), prefix, "key != first 8 bytes for {e:?}");
+        let m = UnexpectedEntry::from_envelope(random_envelope(&mut rng), case);
+        let raw: [u8; 16] = unsafe { core::mem::transmute(m) };
+        let prefix = u64::from_le_bytes(raw[..8].try_into().unwrap());
+        assert_eq!(m.packed_key(), prefix, "key != first 8 bytes for {m:?}");
+    }
+}
