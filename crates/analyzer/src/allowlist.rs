@@ -1,0 +1,99 @@
+//! The `Ordering::Relaxed` allowlist for the concurrent engine.
+//!
+//! The sharded engine's wildcard-lane protocol (see `shard.rs` §"Wildcard
+//! lane") is correct only because `seq`, `wild_len`, and the per-shard
+//! `umq_counts` use `SeqCst`: the store-buffering pair between a poster
+//! publishing `wild_len` and an arrival reading it is exactly the pattern
+//! `Relaxed` (and even `Acquire`/`Release`) would break. The analyzer
+//! therefore treats `Ordering::Relaxed` in `shard.rs` as an error unless
+//! the touched atomic is listed here *with a rationale*: pure telemetry
+//! counters whose values never feed a matching decision.
+//!
+//! Adding an entry without a rationale string fails the analyzer's own
+//! test suite, so every relaxation stays documented.
+
+/// One allowed `Ordering::Relaxed` receiver.
+#[derive(Debug, Clone, Copy)]
+pub struct AllowEntry {
+    /// File name (last path component) the entry applies to.
+    pub file: &'static str,
+    /// The atomic field/binding name as it appears before `.load(` /
+    /// `.store(` / `.fetch_*`.
+    pub receiver: &'static str,
+    /// Why `Relaxed` is sound here. Must be non-empty.
+    pub rationale: &'static str,
+}
+
+/// Atomics that are part of the wildcard-lane publication protocol:
+/// `Relaxed` on these is *always* an error in `shard.rs`, allowlist or not.
+pub const GUARDED_ATOMICS: &[&str] = &["seq", "wild_len", "umq_counts"];
+
+/// The allowlist. Telemetry only — nothing here orders memory the matching
+/// protocol reads.
+pub const RELAXED_ALLOWLIST: &[AllowEntry] = &[
+    AllowEntry {
+        file: "shard.rs",
+        receiver: "acquisitions",
+        rationale: "lock-acquisition tally surfaced in LockStats; read only in \
+                    snapshot reporting, never ordered against queue state",
+    },
+    AllowEntry {
+        file: "shard.rs",
+        receiver: "contended",
+        rationale: "contention tally surfaced in LockStats; monotonic counter \
+                    read only in snapshot reporting",
+    },
+    AllowEntry {
+        file: "shard.rs",
+        receiver: "wild_crossings",
+        rationale: "counts arrivals that crossed into the wildcard lane, for \
+                    ConcurrencyStats; never consulted by matching decisions",
+    },
+    AllowEntry {
+        file: "shard.rs",
+        receiver: "matched",
+        rationale: "test-local match counter aggregated after thread join; the \
+                    join provides the ordering",
+    },
+    AllowEntry {
+        file: "shard.rs",
+        receiver: "matched_ref",
+        rationale: "per-thread clone of the test-local match counter; see \
+                    `matched`",
+    },
+];
+
+/// Looks up the allowlist entry for `(file, receiver)`.
+pub fn lookup(file: &str, receiver: &str) -> Option<&'static AllowEntry> {
+    RELAXED_ALLOWLIST
+        .iter()
+        .find(|e| e.file == file && e.receiver == receiver)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_entry_has_a_rationale() {
+        for e in RELAXED_ALLOWLIST {
+            assert!(
+                !e.rationale.trim().is_empty(),
+                "allowlist entry {}:{} is missing its rationale",
+                e.file,
+                e.receiver
+            );
+        }
+    }
+
+    #[test]
+    fn guarded_atomics_are_never_allowlisted() {
+        for e in RELAXED_ALLOWLIST {
+            assert!(
+                !GUARDED_ATOMICS.contains(&e.receiver),
+                "{} is a protocol atomic and cannot be allowlisted",
+                e.receiver
+            );
+        }
+    }
+}

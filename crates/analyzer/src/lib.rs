@@ -1,0 +1,156 @@
+//! `spc-analyzer`: project-specific static analysis gates.
+//!
+//! PR 3 made the matching hot path fast by making it dangerous — raw-pointer
+//! chunk caching in `Pool`, `_mm_prefetch` speculation, branchless
+//! occupancy-bitmap scans — and the sharded engine's correctness rests on
+//! rules (lock order, atomic orderings, the wildcard epoch protocol) that
+//! `rustc` cannot see. This crate is the mechanical enforcement: a
+//! dependency-free line/token scanner ([`scan`]) feeding six rules
+//! ([`rules`]) over the workspace sources.
+//!
+//! The rules:
+//!
+//! | rule | scope | requirement |
+//! |------|-------|-------------|
+//! | `safety-comment` | all sources | every `unsafe` carries an adjacent `// SAFETY:` (or `# Safety` doc for declarations) |
+//! | `intrinsic-gating` | all sources | arch intrinsics behind `cfg(target_arch = "x86_64")` with a portable fallback in the same module |
+//! | `lock-discipline` | `shard.rs` | shards first (index order), wildcard lane last; no nested shard locks |
+//! | `relaxed-ordering` | `shard.rs` | `Ordering::Relaxed` only on allowlisted telemetry atomics, never on `seq`/`wild_len`/`umq_counts` |
+//! | `sink-routing` | `list/*.rs` | functions taking an `AccessSink` charge or forward it when touching entry storage |
+//! | `hot-path-determinism` | core hot-path modules | no clocks, no ambient randomness |
+//!
+//! Run it as a gate: `cargo run -p spc-analyzer -- --check` (exits nonzero
+//! with `file:line` diagnostics). The fixture suite in `tests/rules.rs`
+//! seeds one violation per rule and asserts the exact diagnostic, so rule
+//! regressions fail the build the same way rule violations do.
+//!
+//! The scanner is approximate by design (see [`scan`] for the documented
+//! simplifications); the fixtures pin its behavior on the shapes this
+//! workspace actually uses.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+pub mod allowlist;
+pub mod rules;
+pub mod scan;
+
+/// One diagnostic: a rule violation at `file:line`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finding {
+    /// Path as given to [`analyze_source`] (workspace-relative when produced
+    /// by [`run`]).
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Stable rule identifier (e.g. `safety-comment`).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Finding {
+    pub(crate) fn new(
+        file: &str,
+        line: usize,
+        rule: &'static str,
+        message: impl Into<String>,
+    ) -> Self {
+        Finding {
+            file: file.to_string(),
+            line,
+            rule,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Analyzes one source text as if it lived at `path` (which selects the
+/// path-scoped rules). This is the entry point the fixture tests use.
+pub fn analyze_source(path: &str, src: &str) -> Vec<Finding> {
+    let lines = scan::scan(src);
+    rules::check_all(path, &lines)
+}
+
+/// Directories (relative to the workspace root) whose `.rs` files are
+/// scanned.
+const SCAN_ROOTS: &[&str] = &["crates", "src", "tests", "examples", "benches"];
+
+/// Path fragments that are never scanned: build output and the analyzer's
+/// own seeded-violation fixtures.
+const SKIP_FRAGMENTS: &[&str] = &["/target/", "analyzer/tests/fixtures"];
+
+/// Walks the workspace at `root` and analyzes every `.rs` source. Paths in
+/// the returned findings are relative to `root`.
+pub fn run(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    for top in SCAN_ROOTS {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_rs(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+    let mut findings = Vec::new();
+    for f in &files {
+        let rel = f
+            .strip_prefix(root)
+            .unwrap_or(f)
+            .to_string_lossy()
+            .replace('\\', "/");
+        if SKIP_FRAGMENTS
+            .iter()
+            .any(|s| rel.contains(s) || format!("/{rel}").contains(s))
+        {
+            continue;
+        }
+        let src = std::fs::read_to_string(f)?;
+        findings.extend(analyze_source(&rel, &src));
+    }
+    Ok(findings)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == ".git" {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_source_has_no_findings() {
+        let src = "/// Doc.\npub fn add(a: u32, b: u32) -> u32 {\n    a + b\n}\n";
+        assert!(analyze_source("crates/demo/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn findings_render_file_line_rule() {
+        let f = Finding::new("crates/x/src/a.rs", 7, "safety-comment", "boom");
+        assert_eq!(f.to_string(), "crates/x/src/a.rs:7: [safety-comment] boom");
+    }
+}

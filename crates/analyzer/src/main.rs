@@ -1,0 +1,57 @@
+//! CLI gate: `cargo run -p spc-analyzer -- --check [--root PATH]`.
+//!
+//! Exits 0 when the tree is clean, 1 with `file:line: [rule] message`
+//! diagnostics otherwise. CI runs this in the `analysis` job; run it
+//! locally from the workspace root before pushing hot-path changes.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut check = false;
+    let mut root = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--check" => check = true,
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => {
+                    eprintln!("--root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: spc-analyzer --check [--root PATH]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if !check {
+        eprintln!("usage: spc-analyzer --check [--root PATH]");
+        return ExitCode::from(2);
+    }
+    // When invoked through `cargo run -p spc-analyzer`, the working
+    // directory is the workspace root; honor an explicit --root otherwise.
+    match spc_analyzer::run(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!("spc-analyzer: clean (0 findings)");
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                eprintln!("{f}");
+            }
+            eprintln!("spc-analyzer: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("spc-analyzer: i/o error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,508 @@
+//! The six project-specific rules.
+//!
+//! Each rule is a pure function from `(path, scanned lines)` to findings.
+//! Rules are deliberately approximate — they are tuned to this workspace's
+//! idiom and pinned by the fixture suite in `tests/rules.rs`, not a general
+//! Rust analysis. Where a rule must under- or over-approximate, it
+//! over-approximates (flags) so a human looks at the site.
+
+use crate::allowlist::{self, GUARDED_ATOMICS};
+use crate::scan::{has_word, Line};
+use crate::Finding;
+
+/// File names (under `crates/core/src/`) whose code runs on the measured
+/// hot path and must stay deterministic and clock-free.
+const HOT_PATH_FILES: &[&str] = &[
+    "pool.rs",
+    "entry.rs",
+    "engine.rs",
+    "shard.rs",
+    "concurrent.rs",
+    "prefetch.rs",
+    "sink.rs",
+    "addr.rs",
+];
+
+fn file_name(path: &str) -> &str {
+    path.rsplit('/').next().unwrap_or(path)
+}
+
+fn is_hot_path(path: &str) -> bool {
+    let norm = path.replace('\\', "/");
+    if !norm.contains("crates/core/src/") {
+        return false;
+    }
+    norm.contains("/list/") || HOT_PATH_FILES.contains(&file_name(&norm))
+}
+
+fn is_shard(path: &str) -> bool {
+    file_name(path) == "shard.rs"
+}
+
+fn is_list_impl(path: &str) -> bool {
+    let norm = path.replace('\\', "/");
+    norm.contains("crates/core/src/list/")
+}
+
+/// Runs every rule that applies to `path` over `lines`.
+pub fn check_all(path: &str, lines: &[Line]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    safety_comments(path, lines, &mut out);
+    intrinsic_gating(path, lines, &mut out);
+    if is_shard(path) {
+        lock_discipline(path, lines, &mut out);
+        relaxed_ordering(path, lines, &mut out);
+    }
+    if is_list_impl(path) {
+        sink_routing(path, lines, &mut out);
+    }
+    if is_hot_path(path) {
+        determinism(path, lines, &mut out);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Rule 1: every `unsafe` needs an adjacent SAFETY justification.
+// ---------------------------------------------------------------------------
+
+/// `unsafe` blocks need a `// SAFETY:` comment on the same line, on the
+/// comment block immediately above, or (for continuation lines of one
+/// statement, e.g. a `.map(|x| unsafe { … })` in a builder chain) above the
+/// statement's first line. `unsafe fn`/`unsafe impl`/`unsafe trait`
+/// declarations may alternatively carry a `# Safety` doc section.
+pub fn safety_comments(path: &str, lines: &[Line], out: &mut Vec<Finding>) {
+    for (i, line) in lines.iter().enumerate() {
+        if !has_word(&line.code, "unsafe") {
+            continue;
+        }
+        if safety_justified(lines, i) {
+            continue;
+        }
+        out.push(Finding::new(
+            path,
+            i + 1,
+            "safety-comment",
+            "`unsafe` without an adjacent `// SAFETY:` justification (or \
+             `# Safety` doc section for declarations)",
+        ));
+    }
+}
+
+fn comment_has_safety(l: &Line) -> bool {
+    l.comment.contains("SAFETY:") || l.comment.contains("# Safety")
+}
+
+fn safety_justified(lines: &[Line], i: usize) -> bool {
+    if comment_has_safety(&lines[i]) {
+        return true;
+    }
+    // Declarations (`unsafe fn` / `unsafe impl` / `unsafe trait`) may carry
+    // their justification anywhere in the doc block above, which can be
+    // long; blocks get a tight window.
+    let code = &lines[i].code;
+    let is_decl =
+        code.contains("unsafe fn") || code.contains("unsafe impl") || code.contains("unsafe trait");
+    let window = if is_decl { 64 } else { 12 };
+    // Walk upward through the comment/attribute block and through
+    // continuation lines of the same statement (lines not ending a previous
+    // statement), for a bounded window.
+    let mut steps = 0;
+    let mut j = i;
+    while j > 0 && steps < window {
+        j -= 1;
+        steps += 1;
+        let l = &lines[j];
+        let t = l.raw.trim_start();
+        let code_t = l.code.trim();
+        if comment_has_safety(l) {
+            return true;
+        }
+        if t.starts_with("//") || t.starts_with("#[") || t.starts_with("#![") || t.starts_with('*')
+        {
+            continue; // comment or attribute: keep scanning upward
+        }
+        if code_t.is_empty() {
+            if l.raw.trim().is_empty() {
+                return false; // blank line ends the adjacency window
+            }
+            continue; // pure-comment line already handled above
+        }
+        // A code line: if it terminates a statement or opens/closes a block,
+        // the window ends; otherwise it is a continuation line (builder
+        // chain, multi-line expression) and we keep walking.
+        if code_t.ends_with(';')
+            || code_t.ends_with('{')
+            || code_t.ends_with('}')
+            || code_t.ends_with(',')
+        {
+            return false;
+        }
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// Rule 2: arch intrinsics must be cfg-gated with a portable fallback.
+// ---------------------------------------------------------------------------
+
+const INTRINSIC_TOKENS: &[&str] = &["_mm_prefetch", "arch::x86_64", "asm!"];
+
+/// Files using x86-64 intrinsics must gate them behind
+/// `cfg(target_arch = "x86_64")` *and* provide a `cfg(not(target_arch …))`
+/// fallback in the same module, so non-x86 builds stay green.
+pub fn intrinsic_gating(path: &str, lines: &[Line], out: &mut Vec<Finding>) {
+    let gated = lines.iter().any(|l| l.raw.contains("cfg(target_arch"));
+    let fallback = lines.iter().any(|l| l.raw.contains("cfg(not(target_arch"));
+    for (i, line) in lines.iter().enumerate() {
+        if !INTRINSIC_TOKENS.iter().any(|t| line.code.contains(t)) {
+            continue;
+        }
+        if !gated {
+            out.push(Finding::new(
+                path,
+                i + 1,
+                "intrinsic-gating",
+                "arch intrinsic without a `cfg(target_arch = \"x86_64\")` gate",
+            ));
+        } else if !fallback {
+            out.push(Finding::new(
+                path,
+                i + 1,
+                "intrinsic-gating",
+                "gated arch intrinsic without a `cfg(not(target_arch …))` \
+                 portable fallback in the same module",
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 3: shard lock discipline.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum LockKind {
+    /// One shard's sub-engine lock (`self.shards[si].lock()`).
+    Shard,
+    /// Every shard lock at once, in index order (`self.lock_all…()`).
+    AllShards,
+    /// The wildcard-lane lock (`self.wild.lock…()`).
+    Wild,
+}
+
+struct Guard {
+    kind: LockKind,
+    depth: i32,
+    binding: Option<String>,
+}
+
+fn lock_acquisition(code: &str) -> Option<LockKind> {
+    if code.contains(".wild.lock()") || code.contains(".wild.lock_uncounted()") {
+        return Some(LockKind::Wild);
+    }
+    if code.contains(".lock_all()") || code.contains(".lock_all_uncounted()") {
+        return Some(LockKind::AllShards);
+    }
+    let single_lock = code.contains(".lock()") || code.contains(".lock_uncounted()");
+    if single_lock && (code.contains("shards[") || code.contains("shards.iter()")) {
+        return Some(LockKind::Shard);
+    }
+    None
+}
+
+fn let_binding(code: &str) -> Option<String> {
+    let t = code.trim_start();
+    let rest = t.strip_prefix("let ")?;
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+    let name: String = rest
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    (!name.is_empty()).then_some(name)
+}
+
+/// Flags lock-order violations in `shard.rs`: the engine's documented
+/// discipline is *shards first (in index order, or exactly one), wildcard
+/// lane last*. Nested shard acquisitions and wild→shard acquisitions are
+/// the deadlock/lock-inversion shapes this rule catches. Guard lifetimes
+/// are approximated by brace depth and explicit `drop(binding)` calls.
+pub fn lock_discipline(path: &str, lines: &[Line], out: &mut Vec<Finding>) {
+    let mut depth: i32 = 0;
+    let mut guards: Vec<Guard> = Vec::new();
+    for (i, line) in lines.iter().enumerate() {
+        // Explicit releases first: `drop(name)`.
+        if let Some(pos) = line.code.find("drop(") {
+            let inner: String = line.code[pos + 5..]
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            if let Some(gi) = guards
+                .iter()
+                .rposition(|g| g.binding.as_deref() == Some(inner.as_str()))
+            {
+                guards.remove(gi);
+            }
+        }
+        // Track the minimum brace depth reached on this line; guards from
+        // blocks that close here die even if a sibling block reopens
+        // (`} else {`).
+        let mut cur = depth;
+        let mut min = depth;
+        for c in line.code.chars() {
+            match c {
+                '{' => cur += 1,
+                '}' => {
+                    cur -= 1;
+                    min = min.min(cur);
+                }
+                _ => {}
+            }
+        }
+        guards.retain(|g| g.depth <= min);
+        if let Some(kind) = lock_acquisition(&line.code) {
+            let conflict = guards.iter().find(|g| {
+                matches!(
+                    (g.kind, kind),
+                    (LockKind::Wild, LockKind::Shard)
+                        | (LockKind::Wild, LockKind::AllShards)
+                        | (LockKind::Shard, LockKind::Shard)
+                        | (LockKind::Shard, LockKind::AllShards)
+                        | (LockKind::AllShards, LockKind::Shard)
+                        | (LockKind::AllShards, LockKind::AllShards)
+                        | (LockKind::Wild, LockKind::Wild)
+                )
+            });
+            if let Some(held) = conflict {
+                out.push(Finding::new(
+                    path,
+                    i + 1,
+                    "lock-discipline",
+                    format!(
+                        "acquiring {:?} lock while {:?} lock is held breaks the \
+                         shards-then-wildcard lock order",
+                        kind, held.kind
+                    ),
+                ));
+            }
+            guards.push(Guard {
+                kind,
+                depth: cur,
+                binding: let_binding(&line.code),
+            });
+        }
+        depth = cur;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 4: Ordering::Relaxed only on allowlisted telemetry atomics.
+// ---------------------------------------------------------------------------
+
+const ATOMIC_METHODS: &[&str] = &[
+    ".load(",
+    ".store(",
+    ".fetch_add(",
+    ".fetch_sub(",
+    ".fetch_max(",
+    ".fetch_min(",
+    ".fetch_or(",
+    ".fetch_and(",
+    ".swap(",
+    ".compare_exchange",
+];
+
+fn relaxed_receiver(code: &str) -> Option<String> {
+    for m in ATOMIC_METHODS {
+        if let Some(pos) = code.find(m) {
+            let prefix = &code[..pos];
+            let name: String = prefix
+                .chars()
+                .rev()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect::<Vec<_>>()
+                .into_iter()
+                .rev()
+                .collect();
+            if !name.is_empty() {
+                return Some(name);
+            }
+        }
+    }
+    None
+}
+
+/// In `shard.rs`, `Ordering::Relaxed` is an error on the wildcard-lane
+/// protocol atomics (`seq`, `wild_len`, `umq_counts`) and on any atomic not
+/// in [`allowlist::RELAXED_ALLOWLIST`].
+pub fn relaxed_ordering(path: &str, lines: &[Line], out: &mut Vec<Finding>) {
+    let file = file_name(path);
+    for (i, line) in lines.iter().enumerate() {
+        if !line.code.contains("Ordering::Relaxed") {
+            continue;
+        }
+        let Some(recv) = relaxed_receiver(&line.code) else {
+            out.push(Finding::new(
+                path,
+                i + 1,
+                "relaxed-ordering",
+                "Ordering::Relaxed on an atomic this scanner cannot attribute; \
+                 move the operation onto one line so the receiver is checkable",
+            ));
+            continue;
+        };
+        if GUARDED_ATOMICS.contains(&recv.as_str()) {
+            out.push(Finding::new(
+                path,
+                i + 1,
+                "relaxed-ordering",
+                format!(
+                    "Ordering::Relaxed on `{recv}`: the wildcard-lane protocol \
+                     requires SeqCst on seq/wild_len/umq_counts (store-buffering \
+                     pair between posters and arrivals)"
+                ),
+            ));
+            continue;
+        }
+        match allowlist::lookup(file, &recv) {
+            Some(entry) if !entry.rationale.trim().is_empty() => {}
+            Some(_) => out.push(Finding::new(
+                path,
+                i + 1,
+                "relaxed-ordering",
+                format!("allowlist entry for `{recv}` has an empty rationale"),
+            )),
+            None => out.push(Finding::new(
+                path,
+                i + 1,
+                "relaxed-ordering",
+                format!(
+                    "Ordering::Relaxed on `{recv}` which is not in the analyzer \
+                     allowlist; add an entry with a rationale or use SeqCst"
+                ),
+            )),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 5: MatchList impls must charge memory touches to the AccessSink.
+// ---------------------------------------------------------------------------
+
+/// In `list/*.rs`, a function that takes an `AccessSink` parameter and reads
+/// entry storage (`.entries[…]`, `.entry`, `packed_matches(…)`) must either
+/// call the sink or forward it; a sink-taking function that never mentions
+/// its sink again is bypassing the instrumentation the locality study
+/// depends on.
+pub fn sink_routing(path: &str, lines: &[Line], out: &mut Vec<Finding>) {
+    let mut i = 0;
+    while i < lines.len() {
+        let code = &lines[i].code;
+        if !(has_word(code, "fn") && code.contains("fn ")) {
+            i += 1;
+            continue;
+        }
+        // Join the signature until its body opens (or the item ends without
+        // a body, e.g. trait method declarations).
+        let mut sig = String::new();
+        let mut j = i;
+        let mut body_open = None;
+        while j < lines.len() {
+            sig.push_str(&lines[j].code);
+            sig.push(' ');
+            if lines[j].code.contains('{') {
+                body_open = Some(j);
+                break;
+            }
+            if lines[j].code.trim_end().ends_with(';') {
+                break;
+            }
+            j += 1;
+        }
+        let Some(open) = body_open else {
+            i = j + 1;
+            continue;
+        };
+        let sig_only = sig.split('{').next().unwrap_or("");
+        let takes_sink = sig_only.contains("sink:");
+        // Walk the body by brace depth.
+        let mut depth = 0i32;
+        let mut end = open;
+        'outer: for (k, l) in lines.iter().enumerate().skip(open) {
+            for c in l.code.chars() {
+                match c {
+                    '{' => depth += 1,
+                    '}' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            end = k;
+                            break 'outer;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            end = k;
+        }
+        if takes_sink {
+            let body = &lines[open..=end];
+            let uses_sink = body.iter().any(|l| {
+                l.code.contains("sink.")
+                    || l.code.contains("sink)")
+                    || l.code.contains("sink,")
+                    || l.code.contains("*sink")
+            });
+            let touches_entries = body.iter().any(|l| {
+                l.code.contains(".entries[")
+                    || l.code.contains(".entry")
+                    || l.code.contains("packed_matches(")
+            });
+            if touches_entries && !uses_sink {
+                out.push(Finding::new(
+                    path,
+                    i + 1,
+                    "sink-routing",
+                    "function takes an AccessSink but reads entry storage \
+                     without charging or forwarding it — memory touches are \
+                     invisible to the locality instrumentation",
+                ));
+            }
+        }
+        i = end + 1;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 6: hot-path determinism.
+// ---------------------------------------------------------------------------
+
+const NONDETERMINISM: &[(&str, &str)] = &[
+    ("Instant::now", "wall-clock reads"),
+    ("SystemTime", "wall-clock reads"),
+    ("thread_rng", "ambient randomness"),
+    ("rand::", "ambient randomness"),
+    ("RandomState::new", "randomized hashing seeds"),
+];
+
+/// The measured hot path (`crates/core/src/{list/*, pool, entry, engine,
+/// shard, concurrent, prefetch, sink, addr}.rs`) must be clock- and
+/// randomness-free so identical seeds give identical traversals; timing
+/// belongs in the benches, randomness in `spc-rng`'s seeded streams.
+pub fn determinism(path: &str, lines: &[Line], out: &mut Vec<Finding>) {
+    for (i, line) in lines.iter().enumerate() {
+        for (tok, why) in NONDETERMINISM {
+            if line.code.contains(tok) {
+                out.push(Finding::new(
+                    path,
+                    i + 1,
+                    "hot-path-determinism",
+                    format!(
+                        "`{tok}` ({why}) in a hot-path module; keep the \
+                         measured path deterministic — seed via spc-rng, time \
+                         in the benches"
+                    ),
+                ));
+            }
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! Seeded violation: an `unsafe` block with no SAFETY justification.
+
+pub fn peek(p: *const u8) -> u8 {
+    let v = unsafe { *p };
+    v
+}
+
+pub fn peek_justified(p: *const u8) -> u8 {
+    // SAFETY: caller guarantees `p` is valid for reads (fixture control).
+    let v = unsafe { *p };
+    v
+}

@@ -1,0 +1,17 @@
+//! Seeded violation: Ordering::Relaxed on a wildcard-lane protocol atomic,
+//! plus Relaxed on an atomic missing from the allowlist.
+//! Analyzed under the virtual path `crates/core/src/shard.rs`.
+
+impl BadEngine {
+    pub fn post_recv_wild_bad(&self, n: u64) {
+        self.wild_len.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn tally(&self) -> u64 {
+        self.bananas.load(Ordering::Relaxed)
+    }
+
+    pub fn tally_ok(&self) -> u64 {
+        self.acquisitions.load(Ordering::Relaxed)
+    }
+}

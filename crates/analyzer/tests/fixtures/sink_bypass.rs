@@ -1,0 +1,26 @@
+//! Seeded violation: a list function takes an AccessSink but reads entry
+//! storage without charging it.
+//! Analyzed under the virtual path `crates/core/src/list/bad.rs`.
+
+impl BadList {
+    pub fn search_remove<S: AccessSink>(&mut self, env: &Envelope, sink: &mut S) -> Option<u64> {
+        for i in 0..self.len {
+            let e = self.node.entries[i];
+            if e.matches(env) {
+                return Some(e.id);
+            }
+        }
+        None
+    }
+
+    pub fn search_charged<S: AccessSink>(&mut self, env: &Envelope, sink: &mut S) -> Option<u64> {
+        for i in 0..self.len {
+            sink.read(self.node.sim_addr + (i as u64) * 24, 24);
+            let e = self.node.entries[i];
+            if e.matches(env) {
+                return Some(e.id);
+            }
+        }
+        None
+    }
+}

@@ -1,0 +1,8 @@
+//! Seeded violation: an x86-64 intrinsic with no cfg gate or fallback.
+
+pub fn warm(p: *const u8) {
+    // SAFETY: prefetch never faults (fixture keeps rule 1 quiet).
+    unsafe {
+        core::arch::x86_64::_mm_prefetch::<0>(p as *const i8);
+    }
+}

@@ -99,6 +99,13 @@ pub trait ConcEngine: Sync {
     fn iprobe_seq(&self, spec: RecvSpec) -> (u64, Option<(u64, u32)>);
     /// Current `(prq, umq)` lengths (quiescent use only).
     fn queue_lens(&self) -> (usize, usize);
+    /// Structural invariant check, quiescent use only (the engines take
+    /// their own locks). [`run_and_verify`] and the stepped scheduler call
+    /// it after the racing threads join, under
+    /// `--features debug_invariants`.
+    fn validate(&self) -> Result<(), String> {
+        Ok(())
+    }
 }
 
 impl<P, U> ConcEngine for SharedEngine<P, U>
@@ -121,6 +128,9 @@ where
     fn queue_lens(&self) -> (usize, usize) {
         SharedEngine::queue_lens(self)
     }
+    fn validate(&self) -> Result<(), String> {
+        SharedEngine::validate(self)
+    }
 }
 
 impl<P, U> ConcEngine for ShardedEngine<P, U>
@@ -142,6 +152,9 @@ where
     }
     fn queue_lens(&self) -> (usize, usize) {
         ShardedEngine::queue_lens(self)
+    }
+    fn validate(&self) -> Result<(), String> {
+        ShardedEngine::validate(self)
     }
 }
 
@@ -178,6 +191,9 @@ where
     }
     fn queue_ids(&self) -> Option<(Vec<u64>, Vec<u64>)> {
         Some(ShardedEngine::queue_ids(self))
+    }
+    fn validate(&self) -> Result<(), String> {
+        ShardedEngine::validate(self)
     }
 }
 
@@ -507,9 +523,14 @@ pub fn verify_log(log: &[LogRecord], final_lens: (usize, usize)) -> Result<(), S
 }
 
 /// Convenience: [`run_concurrent`] then [`verify_log`] with the engine's
-/// quiescent queue lengths.
+/// quiescent queue lengths. Under `--features debug_invariants`, the
+/// engine's structural validators also run at the quiescent point after
+/// the racing threads join.
 pub fn run_and_verify<E: ConcEngine>(eng: &E, streams: &[Vec<ConcOp>]) -> Result<(), String> {
     let log = run_concurrent(eng, streams);
+    #[cfg(feature = "debug_invariants")]
+    eng.validate()
+        .map_err(|e| format!("invariant violation after join: {e}"))?;
     verify_log(&log, eng.queue_lens())
 }
 

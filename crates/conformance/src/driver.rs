@@ -43,6 +43,18 @@ impl core::fmt::Display for Divergence {
     }
 }
 
+/// Under `debug_invariants`: turns a structure/engine invariant violation
+/// into a [`Divergence`] at the current step, so a validator failure is
+/// reported (and shrunk) exactly like a behavioral divergence.
+#[cfg(feature = "debug_invariants")]
+fn check_invariants(
+    validated: Result<(), String>,
+    step: usize,
+    op: impl core::fmt::Debug,
+) -> Result<(), Divergence> {
+    validated.map_err(|e| diverge(step, op, format!("invariant violation: {e}")))
+}
+
 fn diverge(step: usize, op: impl core::fmt::Debug, detail: String) -> Divergence {
     Divergence {
         step,
@@ -153,6 +165,8 @@ pub fn diff_posted<L: MatchList<PostedEntry>>(
                 format!("snapshot {got:?}, oracle {want:?}"),
             ));
         }
+        #[cfg(feature = "debug_invariants")]
+        check_invariants(subject.validate(), step, op)?;
     }
     Ok(())
 }
@@ -215,6 +229,8 @@ pub fn diff_umq<L: MatchList<UnexpectedEntry>>(
                 format!("snapshot {got:?}, oracle {want:?}"),
             ));
         }
+        #[cfg(feature = "debug_invariants")]
+        check_invariants(subject.validate(), step, op)?;
     }
     Ok(())
 }
@@ -240,6 +256,13 @@ pub trait ConformEngine {
     /// `(PRQ request ids, UMQ payload ids)` in FIFO order, when the
     /// engine exposes its queues ([`DynEngine`] does not).
     fn queue_ids(&self) -> Option<(Vec<u64>, Vec<u64>)>;
+    /// Structural invariant check; engines that expose validators override
+    /// this ([`MatchEngine`] validates both queues, the sharded engine its
+    /// cross-shard protocol state). Called after every op under
+    /// `--features debug_invariants`.
+    fn validate(&self) -> Result<(), String> {
+        Ok(())
+    }
 }
 
 impl<P, U> ConformEngine for MatchEngine<P, U>
@@ -273,6 +296,9 @@ where
             self.prq().snapshot().iter().map(|e| e.request).collect(),
             self.umq().snapshot().iter().map(|e| e.payload).collect(),
         ))
+    }
+    fn validate(&self) -> Result<(), String> {
+        MatchEngine::validate(self)
     }
 }
 
@@ -459,6 +485,8 @@ pub fn diff_engine<Eng: ConformEngine>(
                 ));
             }
         }
+        #[cfg(feature = "debug_invariants")]
+        check_invariants(subject.validate(), step, op)?;
     }
     Ok(())
 }

@@ -138,6 +138,12 @@ pub fn run_stepped<E: ConcEngine>(
         .flat_map(|m| m.into_inner().expect("log slot poisoned"))
         .collect();
     log.sort_unstable_by_key(|r| r.seq);
+    // The schedule is fully drained, so the engine is quiescent: run its
+    // structural validators before handing the log to verification.
+    #[cfg(feature = "debug_invariants")]
+    if let Err(e) = eng.validate() {
+        panic!("invariant violation after stepped schedule: {e}");
+    }
     log
 }
 

@@ -119,15 +119,27 @@ fn adversary() -> ShardedEngine<Lla<PostedEntry, 2>, Lla<UnexpectedEntry, 3>> {
 /// wildcard seq comparison — must be caught by the concurrent driver:
 /// wildcard-heavy racing streams produce a linearization the oracle
 /// rejects (a newer concrete receive overtook an older `MPI_ANY_SOURCE`
-/// receive).
+/// receive). Whether the race manifests in any single free-running run
+/// depends on thread timing, so the test retries across seeds and
+/// requires at least one conviction; each conviction must be an oracle
+/// disagreement, never a harness error.
 #[test]
 fn concurrent_driver_catches_the_wildcard_adversary() {
-    let streams = conc_ops(SEED.wrapping_add(50), 4, 2_500);
-    let err = run_and_verify(&adversary(), &streams)
-        .expect_err("the adversary must produce a non-linearizable history");
+    let mut caught = false;
+    for attempt in 0..8u64 {
+        let streams = conc_ops(SEED.wrapping_add(50 + attempt), 4, 2_500);
+        if let Err(err) = run_and_verify(&adversary(), &streams) {
+            assert!(
+                err.contains("oracle"),
+                "failure should be an oracle disagreement: {err}"
+            );
+            caught = true;
+            break;
+        }
+    }
     assert!(
-        err.contains("oracle"),
-        "failure should be an oracle disagreement: {err}"
+        caught,
+        "the adversary must produce a non-linearizable history within 8 runs"
     );
 }
 

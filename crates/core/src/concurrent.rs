@@ -195,6 +195,15 @@ where
             .into_inner()
             .expect("shared engine lock poisoned")
     }
+
+    /// Checks the wrapped engine's structural invariants (see
+    /// [`MatchEngine::validate`]). Takes the uncounted lock, so it must not
+    /// be called while this thread holds the engine guard; the conformance
+    /// drivers call it at quiescent points under
+    /// `--features debug_invariants`.
+    pub fn validate(&self) -> Result<(), String> {
+        self.lock_uncounted().validate()
+    }
 }
 
 #[cfg(test)]

@@ -207,6 +207,14 @@ where
         self.umq.heat_regions(&mut out);
         out
     }
+
+    /// Checks both queues' structural invariants (see
+    /// [`MatchList::validate`]). O(len); the conformance drivers call this
+    /// after every op under `--features debug_invariants`.
+    pub fn validate(&self) -> Result<(), String> {
+        self.prq.validate().map_err(|e| format!("prq: {e}"))?;
+        self.umq.validate().map_err(|e| format!("umq: {e}"))
+    }
 }
 
 /// Convenience constructors for the configurations the paper measures.

@@ -111,8 +111,9 @@ impl<E: Element> BaselineList<E> {
                     self.head = next;
                 } else {
                     // SAFETY: `prev` is a live node we just traversed.
-                    unsafe { (*prev).next = next };
-                    sink.write(unsafe { (*prev).sim_addr } + Node::<E>::NEXT_OFFSET, 8);
+                    let prev_node = unsafe { &mut *prev };
+                    prev_node.next = next;
+                    sink.write(prev_node.sim_addr + Node::<E>::NEXT_OFFSET, 8);
                 }
                 if cur == self.tail {
                     self.tail = prev;
@@ -175,8 +176,9 @@ impl<E: Element> BaselineList<E> {
                     self.head = next;
                 } else {
                     // SAFETY: `prev` is a live node we just traversed.
-                    unsafe { (*prev).next = next };
-                    sink.write(unsafe { (*prev).sim_addr } + Node::<E>::NEXT_OFFSET, 8);
+                    let prev_node = unsafe { &mut *prev };
+                    prev_node.next = next;
+                    sink.write(prev_node.sim_addr + Node::<E>::NEXT_OFFSET, 8);
                 }
                 if cur == self.tail {
                     self.tail = prev;
@@ -240,8 +242,9 @@ impl<E: Element> MatchList<E> for BaselineList<E> {
             self.head = node;
         } else {
             // SAFETY: `tail` is a live node owned by the list.
-            unsafe { (*self.tail).next = node };
-            sink.write(unsafe { (*self.tail).sim_addr } + Node::<E>::NEXT_OFFSET, 8);
+            let tail_node = unsafe { &mut *self.tail };
+            tail_node.next = node;
+            sink.write(tail_node.sim_addr + Node::<E>::NEXT_OFFSET, 8);
         }
         self.tail = node;
         self.len += 1;
@@ -304,6 +307,32 @@ impl<E: Element> MatchList<E> for BaselineList<E> {
 
     fn kind_name(&self) -> String {
         "baseline".to_owned()
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        let mut count = 0usize;
+        let mut cur = self.head;
+        let mut last = core::ptr::null_mut::<Node<E>>();
+        while !cur.is_null() {
+            if count > self.len {
+                return Err(format!("walk exceeds len == {} (cycle?)", self.len));
+            }
+            // SAFETY: traversal of exclusively-owned live nodes.
+            let node = unsafe { &*cur };
+            count += 1;
+            last = cur;
+            cur = node.next;
+        }
+        if count != self.len {
+            return Err(format!("walked {count} nodes but len == {}", self.len));
+        }
+        if last != self.tail {
+            return Err(format!(
+                "cached tail {:p} is not the last reachable node {last:p}",
+                self.tail
+            ));
+        }
+        Ok(())
     }
 }
 

@@ -188,6 +188,10 @@ impl<E: Element, const N: usize> Lla<E, N> {
         if empty {
             self.unlink(prev, cur);
         }
+        #[cfg(feature = "debug_invariants")]
+        if !empty {
+            self.debug_check_node(cur);
+        }
     }
 
     /// Walks the list calling `test` on each live entry; on `true`, removes
@@ -276,6 +280,9 @@ impl<E: Element, const N: usize> Lla<E, N> {
                 if guess < cap {
                     let (gc, gi) = self.pool.split_id(guess);
                     if gc == cc {
+                        // SAFETY: `guess < cap` and `gc == cc`, so `gi` is in
+                        // bounds of the cached chunk; the offset stays inside
+                        // one allocation (prefetch itself can never fault).
                         prefetch::read(unsafe { cbase.add(gi) });
                     } else {
                         prefetch::read(self.pool.real_ptr(guess));
@@ -380,47 +387,67 @@ impl<E: Element, const N: usize> Lla<E, N> {
         self.walk_remove(sink, |e| e.matches(probe))
     }
 
+    /// Checks one linked node's occupancy bitmap and trim indexes against
+    /// the in-band `HOLE_CONTEXT` marks (the source of truth).
+    fn check_node(n: &LlaNode<E, N>, cur: u32) -> Result<(), String> {
+        let (h, t) = (n.head as usize, n.tail as usize);
+        if h >= t || t > N {
+            return Err(format!("node {cur}: bad trim range {h}..{t} (N = {N})"));
+        }
+        for i in 0..N {
+            let live = !n.entries[i].is_hole();
+            if live && (i < h || i >= t) {
+                return Err(format!("node {cur}: live slot {i} outside {h}..{t}"));
+            }
+            if LlaNode::<E, N>::BITMAP && (n.occ >> i & 1 == 1) != live {
+                return Err(format!(
+                    "node {cur} slot {i}: bitmap says {}, in-band mark says {}",
+                    n.occ >> i & 1 == 1,
+                    live
+                ));
+            }
+        }
+        if LlaNode::<E, N>::BITMAP {
+            if n.occ.trailing_zeros() as usize != h {
+                return Err(format!("node {cur}: head {h} vs occ {:#b}", n.occ));
+            }
+            if (32 - n.occ.leading_zeros()) as usize != t {
+                return Err(format!("node {cur}: tail {t} vs occ {:#b}", n.occ));
+            }
+        } else if n.occ != 0 {
+            return Err(format!("node {cur}: occ must stay 0 when N > 32"));
+        }
+        if n.entries[h].is_hole() || n.entries[t - 1].is_hole() {
+            return Err(format!("node {cur}: untrimmed boundary hole in {h}..{t}"));
+        }
+        Ok(())
+    }
+
     /// Checks every linked node's occupancy bitmap and trim indexes against
-    /// the in-band `HOLE_CONTEXT` marks (the source of truth). Test-support
-    /// API: O(nodes × N) and never called on the hot path.
-    #[doc(hidden)]
+    /// the in-band `HOLE_CONTEXT` marks (the source of truth).
+    ///
+    /// First-class invariant checker: [`MatchList::validate`] builds on it,
+    /// the conformance drivers call it (through `validate`) after every
+    /// mutating op under `--features debug_invariants`, and the same
+    /// feature makes `append`/`remove_at` re-check the touched node
+    /// immediately. O(nodes × N); never called on the measured path.
     pub fn validate_occupancy(&self) -> Result<(), String> {
         let mut cur = self.head;
         while cur != NIL {
             let n = self.pool.get(cur);
-            let (h, t) = (n.head as usize, n.tail as usize);
-            if h >= t || t > N {
-                return Err(format!("node {cur}: bad trim range {h}..{t} (N = {N})"));
-            }
-            for i in 0..N {
-                let live = !n.entries[i].is_hole();
-                if live && (i < h || i >= t) {
-                    return Err(format!("node {cur}: live slot {i} outside {h}..{t}"));
-                }
-                if LlaNode::<E, N>::BITMAP && (n.occ >> i & 1 == 1) != live {
-                    return Err(format!(
-                        "node {cur} slot {i}: bitmap says {}, in-band mark says {}",
-                        n.occ >> i & 1 == 1,
-                        live
-                    ));
-                }
-            }
-            if LlaNode::<E, N>::BITMAP {
-                if n.occ.trailing_zeros() as usize != h {
-                    return Err(format!("node {cur}: head {h} vs occ {:#b}", n.occ));
-                }
-                if (32 - n.occ.leading_zeros()) as usize != t {
-                    return Err(format!("node {cur}: tail {t} vs occ {:#b}", n.occ));
-                }
-            } else if n.occ != 0 {
-                return Err(format!("node {cur}: occ must stay 0 when N > 32"));
-            }
-            if n.entries[h].is_hole() || n.entries[t - 1].is_hole() {
-                return Err(format!("node {cur}: untrimmed boundary hole in {h}..{t}"));
-            }
+            Self::check_node(n, cur)?;
             cur = n.next;
         }
         Ok(())
+    }
+
+    /// Under `debug_invariants`: panics if node `cur`'s occupancy/trim
+    /// state is inconsistent. Compiled out otherwise.
+    #[cfg(feature = "debug_invariants")]
+    fn debug_check_node(&self, cur: u32) {
+        if let Err(e) = Self::check_node(self.pool.get(cur), cur) {
+            panic!("LLA-{N} node invariant violated after mutation: {e}");
+        }
     }
 }
 
@@ -456,6 +483,8 @@ impl<E: Element, const N: usize> MatchList<E> for Lla<E, N> {
                 });
                 sink.write(tail_addr, 8);
                 self.len += 1;
+                #[cfg(feature = "debug_invariants")]
+                self.debug_check_node(self.tail);
                 return;
             }
         }
@@ -484,6 +513,8 @@ impl<E: Element, const N: usize> MatchList<E> for Lla<E, N> {
         }
         self.tail = id;
         self.len += 1;
+        #[cfg(feature = "debug_invariants")]
+        self.debug_check_node(id);
     }
 
     fn search_remove<S: AccessSink>(&mut self, probe: &E::Probe, sink: &mut S) -> Search<E> {
@@ -533,6 +564,43 @@ impl<E: Element, const N: usize> MatchList<E> for Lla<E, N> {
 
     fn kind_name(&self) -> String {
         format!("LLA-{N}")
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        self.validate_occupancy()?;
+        self.pool.validate()?;
+        // Length agreement: the walk, the cached `len`, and the pool's live
+        // count must tell the same story.
+        let (mut live, mut nodes) = (0usize, 0usize);
+        let mut cur = self.head;
+        while cur != NIL {
+            let n = self.pool.get(cur);
+            nodes += 1;
+            live += n.entries[n.head as usize..n.tail as usize]
+                .iter()
+                .filter(|e| !e.is_hole())
+                .count();
+            if n.next == NIL && cur != self.tail {
+                return Err(format!(
+                    "last node {cur} is not the cached tail {}",
+                    self.tail
+                ));
+            }
+            cur = n.next;
+        }
+        if live != self.len {
+            return Err(format!(
+                "walked {live} live entries but len == {}",
+                self.len
+            ));
+        }
+        if nodes != self.pool.live() {
+            return Err(format!(
+                "walked {nodes} linked nodes but the pool has {} live",
+                self.pool.live()
+            ));
+        }
+        Ok(())
     }
 }
 

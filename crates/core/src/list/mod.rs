@@ -132,6 +132,20 @@ pub trait MatchList<E: Element> {
 
     /// Short human-readable structure name (for reports).
     fn kind_name(&self) -> String;
+
+    /// Checks the structure's internal invariants, returning a description
+    /// of the first violation found.
+    ///
+    /// The default implementation accepts everything; structures with
+    /// nontrivial internal state override it ([`Lla`] checks occupancy
+    /// bitmaps, trim indexes, pool free-list integrity and length
+    /// agreement; [`BaselineList`] checks link/length/tail consistency).
+    /// O(len) or worse — never called on the measured path. The
+    /// `spc-conformance` drivers call this after every mutating op when
+    /// built with `--features debug_invariants`.
+    fn validate(&self) -> Result<(), String> {
+        Ok(())
+    }
 }
 
 /// Shared helper for binned structures: a FIFO of `(sequence, element)`

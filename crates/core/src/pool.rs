@@ -116,8 +116,63 @@ impl<T: Copy> Pool<T> {
     /// safe for a heater to touch).
     pub fn dealloc(&mut self, id: u32) {
         debug_assert_ne!(id, NIL);
+        #[cfg(feature = "debug_invariants")]
+        {
+            assert!(
+                (id as usize) < self.capacity(),
+                "dealloc of id {id} beyond pool capacity {}",
+                self.capacity()
+            );
+            assert!(
+                !self.free.contains(&id),
+                "double free of pool id {id} (already on the free list)"
+            );
+        }
         self.live -= 1;
         self.free.push(id);
+    }
+
+    /// Checks the free-list / id-split integrity invariants:
+    /// every free id is unique and in range, `live + free == capacity`, and
+    /// the power-of-two shift/mask id split agrees with plain division for
+    /// every allocatable id. O(capacity); called by [`MatchList::validate`]
+    /// implementations and the `debug_invariants` conformance wiring, never
+    /// on the hot path.
+    ///
+    /// [`MatchList::validate`]: crate::list::MatchList::validate
+    pub fn validate(&self) -> Result<(), String> {
+        let cap = self.capacity();
+        if self.live + self.free.len() != cap {
+            return Err(format!(
+                "live ({}) + free ({}) != capacity ({cap})",
+                self.live,
+                self.free.len()
+            ));
+        }
+        let mut seen = vec![false; cap];
+        for &id in &self.free {
+            let idx = id as usize;
+            if idx >= cap {
+                return Err(format!("free id {id} out of range (capacity {cap})"));
+            }
+            if seen[idx] {
+                return Err(format!("free id {id} appears twice on the free list"));
+            }
+            seen[idx] = true;
+        }
+        for id in 0..cap as u32 {
+            let (c, i) = self.split(id);
+            if c != id as usize / self.chunk_nodes || i != id as usize % self.chunk_nodes {
+                return Err(format!(
+                    "split({id}) = ({c}, {i}) disagrees with division by {}",
+                    self.chunk_nodes
+                ));
+            }
+            if c >= self.chunks.len() || i >= self.chunk_nodes {
+                return Err(format!("split({id}) = ({c}, {i}) out of bounds"));
+            }
+        }
+        Ok(())
     }
 
     /// Splits a node id into (chunk, slot). Cache-line-sized nodes give a

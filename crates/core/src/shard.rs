@@ -65,7 +65,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard};
 
 use crate::engine::{ArrivalOutcome, MatchEngine, RecvOutcome};
-use crate::entry::{Envelope, PostedEntry, RecvSpec, UnexpectedEntry, ANY_SOURCE};
+use crate::entry::{Element, Envelope, PostedEntry, RecvSpec, UnexpectedEntry, ANY_SOURCE};
 use crate::list::MatchList;
 use crate::stats::{ConcurrencyStats, EngineStats, LockStats, ShardStats};
 
@@ -106,6 +106,39 @@ where
     prq_idx: VecDeque<(u64, PostedEntry)>,
     stats: EngineStats,
     max_prq: u64,
+}
+
+/// FIFO seq-lane invariant: a parallel `(seq, entry)` index must be
+/// strictly seq-increasing (ops stamp under the lane's lock, so ties are
+/// impossible) and must list exactly the structure's live entries in the
+/// same FIFO order.
+fn check_seq_index<E: Element>(idx: &VecDeque<(u64, E)>, snapshot: Vec<E>) -> Result<(), String> {
+    for (pos, w) in idx.iter().zip(idx.iter().skip(1)).enumerate() {
+        let ((a, _), (b, _)) = w;
+        if a >= b {
+            return Err(format!(
+                "seq index not strictly increasing at position {pos}: {a} then {b}"
+            ));
+        }
+    }
+    if idx.len() != snapshot.len() {
+        return Err(format!(
+            "seq index holds {} entries but the structure holds {}",
+            idx.len(),
+            snapshot.len()
+        ));
+    }
+    for (pos, ((seq, ie), se)) in idx.iter().zip(snapshot.iter()).enumerate() {
+        if ie.id() != se.id() {
+            return Err(format!(
+                "seq index disagrees with the structure at FIFO position {pos} \
+                 (seq {seq}): index id {} vs structure id {}",
+                ie.id(),
+                se.id()
+            ));
+        }
+    }
+    Ok(())
 }
 
 /// A lock plus its contention counters (counted on the workload path,
@@ -256,6 +289,47 @@ where
 
     fn lock_all_uncounted(&self) -> Vec<MutexGuard<'_, ShardState<P, U>>> {
         self.shards.iter().map(|s| s.lock_uncounted()).collect()
+    }
+
+    /// Checks the engine's cross-shard invariants at a quiescent point (no
+    /// in-flight operations on other threads): per-shard seq indexes
+    /// strictly increasing and agreeing with the structures entry-for-entry,
+    /// `umq_counts` agreeing with the queued UMQ lengths, the wildcard
+    /// lane's three length views agreeing, and every underlying structure's
+    /// own [`MatchList::validate`].
+    ///
+    /// Takes the uncounted locks itself (shards in index order, then the
+    /// wildcard lane — the engine's fixed lock order), so it must **not**
+    /// be called while this thread holds any shard or wildcard guard. The
+    /// conformance drivers call it between ops and after thread joins under
+    /// `--features debug_invariants`.
+    pub fn validate(&self) -> Result<(), String> {
+        let guards = self.lock_all_uncounted();
+        let wild = self.wild.lock_uncounted();
+        for (si, g) in guards.iter().enumerate() {
+            g.eng.validate().map_err(|e| format!("shard {si}: {e}"))?;
+            check_seq_index(&g.prq_idx, g.eng.prq().snapshot())
+                .map_err(|e| format!("shard {si} prq: {e}"))?;
+            check_seq_index(&g.umq_idx, g.eng.umq().snapshot())
+                .map_err(|e| format!("shard {si} umq: {e}"))?;
+            let counted = self.umq_counts[si].load(Ordering::SeqCst);
+            if counted != g.eng.umq_len() {
+                return Err(format!(
+                    "shard {si}: umq_counts says {counted} but the queue holds {}",
+                    g.eng.umq_len()
+                ));
+            }
+        }
+        wild.prq.validate().map_err(|e| format!("wild prq: {e}"))?;
+        check_seq_index(&wild.prq_idx, wild.prq.snapshot()).map_err(|e| format!("wild: {e}"))?;
+        let published = self.wild_len.load(Ordering::SeqCst);
+        if published != wild.prq.len() {
+            return Err(format!(
+                "wild_len says {published} but the lane holds {}",
+                wild.prq.len()
+            ));
+        }
+        Ok(())
     }
 
     fn next_seq(&self) -> u64 {

@@ -174,10 +174,15 @@ fn packed_key_is_the_entry_prefix_bytes() {
     let mut rng = StdRng::seed_from_u64(0x9ACD_0004);
     for case in 0..10_000u64 {
         let e = random_posted(&mut rng, case);
+        // SAFETY: PostedEntry is repr(C), Copy, 24 bytes with no padding
+        // bytes read back as values; reinterpreting it as raw bytes is
+        // exactly the layout property this test pins.
         let raw: [u8; 24] = unsafe { core::mem::transmute(e) };
         let prefix = u64::from_le_bytes(raw[..8].try_into().unwrap());
         assert_eq!(e.packed_key(), prefix, "key != first 8 bytes for {e:?}");
         let m = UnexpectedEntry::from_envelope(random_envelope(&mut rng), case);
+        // SAFETY: UnexpectedEntry is repr(C), Copy, 16 bytes; same layout
+        // inspection as above.
         let raw: [u8; 16] = unsafe { core::mem::transmute(m) };
         let prefix = u64::from_le_bytes(raw[..8].try_into().unwrap());
         assert_eq!(m.packed_key(), prefix, "key != first 8 bytes for {m:?}");

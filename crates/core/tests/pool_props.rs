@@ -97,6 +97,123 @@ fn addr_space_allocations_do_not_overlap() {
     }
 }
 
+/// Non-power-of-two chunk capacity (256 KiB / 96 B = 2730 nodes) takes
+/// the division route in the id split. Across multiple chunks, the split
+/// must agree with plain division for every id, `sim_addr` must be
+/// derivable from the chunk base plus the slot offset, and the free-list
+/// validator must hold throughout.
+#[test]
+fn non_pow2_chunk_capacity_splits_by_division() {
+    let mut addr = AddrSpace::contiguous(1 << 30);
+    let mut pool: Pool<[u8; 96]> = Pool::new([0; 96]);
+    let n = pool.chunk_capacity();
+    assert_eq!(n, (256 << 10) / 96);
+    assert!(
+        !n.is_power_of_two(),
+        "96-byte nodes must not give a pow2 chunk"
+    );
+    let total = 2 * n + n / 2; // span three chunks, last one partial
+    let ids: Vec<u32> = (0..total)
+        .map(|i| pool.alloc([(i % 251) as u8; 96], &mut addr))
+        .collect();
+    pool.validate().unwrap();
+    for (i, &id) in ids.iter().enumerate() {
+        let (c, s) = pool.split_id(id);
+        assert_eq!((c, s), (id as usize / n, id as usize % n));
+        let (_, sim_base) = pool.chunk_raw(c);
+        assert_eq!(pool.sim_addr(id), sim_base + (s * 96) as u64);
+        assert_eq!(pool.get(id)[0], (i % 251) as u8);
+    }
+}
+
+/// Punching holes into the middle of a full pool and re-allocating must
+/// reuse exactly the freed ids (no capacity growth while holes remain),
+/// and the free-list validator must hold at every phase boundary.
+#[test]
+fn id_reuse_after_hole_punch() {
+    let mut rng = StdRng::seed_from_u64(0x401E);
+    let mut addr = AddrSpace::contiguous(1 << 30);
+    let mut pool: Pool<u64> = Pool::new(0);
+    let ids: Vec<u32> = (0..5000u64).map(|i| pool.alloc(i, &mut addr)).collect();
+    let cap_before = pool.capacity();
+    pool.validate().unwrap();
+    // Punch a random scatter of holes.
+    let mut holes: Vec<u32> = Vec::new();
+    for &id in &ids {
+        if rng.gen_range(0..4) == 0 {
+            pool.dealloc(id);
+            holes.push(id);
+        }
+    }
+    pool.validate().unwrap();
+    // Refill: every new allocation must land in a punched hole, with no
+    // chunk growth until the holes are exhausted.
+    let mut reused: Vec<u32> = (0..holes.len())
+        .map(|i| pool.alloc(u64::MAX - i as u64, &mut addr))
+        .collect();
+    assert_eq!(pool.capacity(), cap_before, "refill must not grow the pool");
+    reused.sort_unstable();
+    holes.sort_unstable();
+    assert_eq!(reused, holes, "refill must reuse exactly the freed ids");
+    pool.validate().unwrap();
+    // Untouched survivors keep their values across the churn.
+    for &id in &ids {
+        if holes.binary_search(&id).is_err() {
+            assert_eq!(*pool.get(id), id as u64);
+        }
+    }
+}
+
+/// The traversal hot paths cache `chunk_raw` across consecutive ids; that
+/// is only sound because chunk storage never moves. Growing the pool by
+/// several chunks must leave earlier chunks' base pointers and sim bases
+/// bit-identical, and reads through a pre-growth pointer must still see
+/// live node values.
+#[test]
+fn chunk_base_cache_survives_growth() {
+    let mut addr = AddrSpace::contiguous(1 << 30);
+    let mut pool: Pool<[u8; 64]> = Pool::new([0; 64]);
+    let n = pool.chunk_capacity();
+    let first: Vec<u32> = (0..n)
+        .map(|i| pool.alloc([i as u8; 64], &mut addr))
+        .collect();
+    let (base0, sim0) = pool.chunk_raw(0);
+    // Force growth: three more chunks of fresh allocations.
+    for i in 0..3 * n {
+        pool.alloc([(i / 7) as u8; 64], &mut addr);
+    }
+    pool.validate().unwrap();
+    assert_eq!(
+        pool.chunk_raw(0),
+        (base0, sim0),
+        "chunk 0 moved under growth"
+    );
+    for &id in first.iter().step_by(97) {
+        let (c, s) = pool.split_id(id);
+        assert_eq!(c, 0);
+        // SAFETY: `base0` was obtained from `chunk_raw(0)` and chunk storage
+        // never moves or shrinks for the pool's lifetime; `s` is a valid
+        // in-bounds slot for chunk 0, and the pool is not mutated while the
+        // reference derived here is alive.
+        let via_cache = unsafe { &*base0.add(s) };
+        assert_eq!(via_cache, pool.get(id));
+    }
+}
+
+/// With `debug_invariants` on, returning the same id twice is caught at
+/// the second `dealloc` instead of silently corrupting the free list.
+#[cfg(feature = "debug_invariants")]
+#[test]
+#[should_panic(expected = "double free of pool id")]
+fn double_free_is_caught_under_debug_invariants() {
+    let mut addr = AddrSpace::contiguous(1 << 30);
+    let mut pool: Pool<u64> = Pool::new(0);
+    let id = pool.alloc(7, &mut addr);
+    let _keep_live_nonzero = pool.alloc(8, &mut addr);
+    pool.dealloc(id);
+    pool.dealloc(id);
+}
+
 /// Scattered mode stays within its arena and respects alignment.
 #[test]
 fn scattered_stays_in_arena() {
