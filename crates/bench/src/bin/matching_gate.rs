@@ -318,6 +318,7 @@ fn main() {
                             wildcard: Some(wildcard),
                             path: Some(path.into()),
                             bytes_per_op: Some(bytes),
+                            ..report::Record::default()
                         });
                     }
                 }

@@ -9,7 +9,9 @@
 use crate::ops::{EngineOp, PostedOp, UmqOp};
 use crate::oracle::OracleList;
 use spc_core::dynengine::{DynEngine, EngineKind};
-use spc_core::engine::{ArrivalOutcome, MatchEngine, RecvOutcome};
+use spc_core::engine::{
+    ArrivalOutcome, MatchEngine, QueueBounds, RecvOutcome, TryArrivalOutcome, TryRecvOutcome,
+};
 use spc_core::entry::{Envelope, PostedEntry, RecvSpec, UnexpectedEntry, ANY_SOURCE, ANY_TAG};
 use spc_core::list::MatchList;
 use spc_core::NullSink;
@@ -500,6 +502,273 @@ pub fn diff_dyn_engine(
     diff_engine(&mut DynEngine::new(kind), mode, ops)
 }
 
+/// The engine surface the *bounded* differential driver needs: the
+/// admission-capped `try_*` operations plus the rejection counters they
+/// maintain. Implemented by [`MatchEngine`] for every structure pair.
+pub trait BoundedConformEngine {
+    /// See [`MatchEngine::try_post_recv`].
+    fn try_post_recv(&mut self, spec: RecvSpec, request: u64) -> TryRecvOutcome;
+    /// See [`MatchEngine::try_arrival`].
+    fn try_arrival(&mut self, env: Envelope, payload: u64) -> TryArrivalOutcome;
+    /// See [`MatchEngine::iprobe`].
+    fn iprobe(&mut self, spec: RecvSpec) -> Option<(u64, u32)>;
+    /// See [`MatchEngine::cancel_recv`].
+    fn cancel_recv(&mut self, request: u64) -> bool;
+    /// Current PRQ length.
+    fn prq_len(&self) -> usize;
+    /// Current UMQ length.
+    fn umq_len(&self) -> usize;
+    /// Empties both queues and clears statistics.
+    fn reset(&mut self);
+    /// `(prq_rejections, umq_rejections)` since construction or the last
+    /// reset.
+    fn rejections(&self) -> (u64, u64);
+    /// `(PRQ request ids, UMQ payload ids)` in FIFO order, when exposed.
+    fn queue_ids(&self) -> Option<(Vec<u64>, Vec<u64>)>;
+    /// Structural invariant check (see [`ConformEngine::validate`]).
+    fn validate(&self) -> Result<(), String> {
+        Ok(())
+    }
+}
+
+impl<P, U> BoundedConformEngine for MatchEngine<P, U>
+where
+    P: MatchList<PostedEntry>,
+    U: MatchList<UnexpectedEntry>,
+{
+    fn try_post_recv(&mut self, spec: RecvSpec, request: u64) -> TryRecvOutcome {
+        MatchEngine::try_post_recv(self, spec, request)
+    }
+    fn try_arrival(&mut self, env: Envelope, payload: u64) -> TryArrivalOutcome {
+        MatchEngine::try_arrival(self, env, payload)
+    }
+    fn iprobe(&mut self, spec: RecvSpec) -> Option<(u64, u32)> {
+        MatchEngine::iprobe(self, spec)
+    }
+    fn cancel_recv(&mut self, request: u64) -> bool {
+        MatchEngine::cancel_recv(self, request)
+    }
+    fn prq_len(&self) -> usize {
+        MatchEngine::prq_len(self)
+    }
+    fn umq_len(&self) -> usize {
+        MatchEngine::umq_len(self)
+    }
+    fn reset(&mut self) {
+        MatchEngine::reset(self)
+    }
+    fn rejections(&self) -> (u64, u64) {
+        let s = self.stats();
+        (s.prq_rejections, s.umq_rejections)
+    }
+    fn queue_ids(&self) -> Option<(Vec<u64>, Vec<u64>)> {
+        Some((
+            self.prq().snapshot().iter().map(|e| e.request).collect(),
+            self.umq().snapshot().iter().map(|e| e.payload).collect(),
+        ))
+    }
+    fn validate(&self) -> Result<(), String> {
+        MatchEngine::validate(self)
+    }
+}
+
+/// Bounded-admission counterpart of [`diff_engine`]: replays `ops`
+/// through a reference engine built with the same `bounds` (both queues
+/// backed by [`OracleList`]) and `subject`, driving every post/arrival
+/// through the capped `try_*` path and comparing outcomes — including
+/// *which* requests are rejected — queue lengths, rejection counters and
+/// snapshots after every step.
+///
+/// The subject must already be configured with `bounds`; admission is a
+/// policy on queue length, not structure, so rejection outcomes and
+/// counters are compared exactly in every [`DepthMode`]. Returns the
+/// total number of rejections the stream provoked (accumulated across
+/// `Clear` resets) so callers can assert the caps actually bit.
+pub fn diff_engine_bounded<Eng: BoundedConformEngine>(
+    subject: &mut Eng,
+    bounds: QueueBounds,
+    mode: DepthMode,
+    ops: &[EngineOp],
+) -> Result<u64, Divergence> {
+    let mut reference: MatchEngine<OracleList<PostedEntry>, OracleList<UnexpectedEntry>> =
+        MatchEngine::with_bounds(OracleList::new(), OracleList::new(), bounds);
+    let mut next_req = 0u64;
+    let mut next_payload = 0u64;
+    let mut total_rejections = 0u64;
+    for (step, op) in ops.iter().enumerate() {
+        match *op {
+            EngineOp::PostRecv { rank, tag, ctx } => {
+                let s = spec(rank, tag, ctx);
+                let req = next_req;
+                next_req += 1;
+                let live = reference.umq_len();
+                let want = reference.try_post_recv(s, req);
+                let got = BoundedConformEngine::try_post_recv(subject, s, req);
+                match (got, want) {
+                    (TryRecvOutcome::Posted, TryRecvOutcome::Posted) => {}
+                    (
+                        TryRecvOutcome::MatchedUnexpected {
+                            payload: gp,
+                            depth: gd,
+                        },
+                        TryRecvOutcome::MatchedUnexpected {
+                            payload: wp,
+                            depth: wd,
+                        },
+                    ) => {
+                        if gp != wp {
+                            return Err(diverge(
+                                step,
+                                op,
+                                format!("matched payload {gp}, oracle {wp}"),
+                            ));
+                        }
+                        depth_ok(mode, gd, wd, true, live).map_err(|d| diverge(step, op, d))?;
+                    }
+                    (
+                        TryRecvOutcome::RejectedPrqFull { depth: gd },
+                        TryRecvOutcome::RejectedPrqFull { depth: wd },
+                    ) => {
+                        depth_ok(mode, gd, wd, false, live).map_err(|d| diverge(step, op, d))?;
+                    }
+                    (g, w) => {
+                        return Err(diverge(step, op, format!("outcome {g:?}, oracle {w:?}")))
+                    }
+                }
+            }
+            EngineOp::Arrival { rank, tag, ctx } => {
+                let env = Envelope::new(rank, tag, ctx);
+                let payload = next_payload;
+                next_payload += 1;
+                let live = reference.prq_len();
+                let want = reference.try_arrival(env, payload);
+                let got = BoundedConformEngine::try_arrival(subject, env, payload);
+                match (got, want) {
+                    (TryArrivalOutcome::Queued, TryArrivalOutcome::Queued) => {}
+                    (
+                        TryArrivalOutcome::MatchedPosted {
+                            request: gr,
+                            depth: gd,
+                        },
+                        TryArrivalOutcome::MatchedPosted {
+                            request: wr,
+                            depth: wd,
+                        },
+                    ) => {
+                        if gr != wr {
+                            return Err(diverge(
+                                step,
+                                op,
+                                format!("matched request {gr}, oracle {wr}"),
+                            ));
+                        }
+                        depth_ok(mode, gd, wd, true, live).map_err(|d| diverge(step, op, d))?;
+                    }
+                    (
+                        TryArrivalOutcome::RejectedUmqFull { depth: gd },
+                        TryArrivalOutcome::RejectedUmqFull { depth: wd },
+                    ) => {
+                        depth_ok(mode, gd, wd, false, live).map_err(|d| diverge(step, op, d))?;
+                    }
+                    (g, w) => {
+                        return Err(diverge(step, op, format!("outcome {g:?}, oracle {w:?}")))
+                    }
+                }
+            }
+            EngineOp::Iprobe { rank, tag, ctx } => {
+                let s = spec(rank, tag, ctx);
+                let want = reference.iprobe(s);
+                let got = BoundedConformEngine::iprobe(subject, s);
+                if got != want {
+                    return Err(diverge(
+                        step,
+                        op,
+                        format!("iprobe {got:?}, oracle {want:?}"),
+                    ));
+                }
+            }
+            EngineOp::Cancel { nth } => {
+                let req = if next_req == 0 { nth } else { nth % next_req };
+                let want = reference.cancel_recv(req);
+                let got = BoundedConformEngine::cancel_recv(subject, req);
+                if got != want {
+                    return Err(diverge(
+                        step,
+                        op,
+                        format!("cancel({req}) -> {got}, oracle {want}"),
+                    ));
+                }
+            }
+            EngineOp::Clear => {
+                let s = reference.stats();
+                total_rejections += s.prq_rejections + s.umq_rejections;
+                reference.reset();
+                subject.reset();
+            }
+        }
+        if subject.prq_len() != reference.prq_len() || subject.umq_len() != reference.umq_len() {
+            return Err(diverge(
+                step,
+                op,
+                format!(
+                    "lens prq={}/umq={}, oracle prq={}/umq={}",
+                    subject.prq_len(),
+                    subject.umq_len(),
+                    reference.prq_len(),
+                    reference.umq_len()
+                ),
+            ));
+        }
+        let want_rej = (
+            reference.stats().prq_rejections,
+            reference.stats().umq_rejections,
+        );
+        if subject.rejections() != want_rej {
+            return Err(diverge(
+                step,
+                op,
+                format!(
+                    "rejection counters {:?}, oracle {:?}",
+                    subject.rejections(),
+                    want_rej
+                ),
+            ));
+        }
+        if let Some((got_prq, got_umq)) = subject.queue_ids() {
+            let want_prq: Vec<u64> = reference
+                .prq()
+                .snapshot()
+                .iter()
+                .map(|e| e.request)
+                .collect();
+            let want_umq: Vec<u64> = reference
+                .umq()
+                .snapshot()
+                .iter()
+                .map(|e| e.payload)
+                .collect();
+            if got_prq != want_prq {
+                return Err(diverge(
+                    step,
+                    op,
+                    format!("prq snapshot {got_prq:?}, oracle {want_prq:?}"),
+                ));
+            }
+            if got_umq != want_umq {
+                return Err(diverge(
+                    step,
+                    op,
+                    format!("umq snapshot {got_umq:?}, oracle {want_umq:?}"),
+                ));
+            }
+        }
+        #[cfg(feature = "debug_invariants")]
+        check_invariants(BoundedConformEngine::validate(subject), step, op)?;
+    }
+    let s = reference.stats();
+    Ok(total_rejections + s.prq_rejections + s.umq_rejections)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -512,6 +781,20 @@ mod tests {
         let mut subject: MatchEngine<OracleList<PostedEntry>, OracleList<UnexpectedEntry>> =
             MatchEngine::new(OracleList::new(), OracleList::new());
         diff_engine(&mut subject, DepthMode::Exact, &stream).unwrap();
+    }
+
+    #[test]
+    fn bounded_oracle_agrees_with_itself_and_rejects() {
+        let bounds = QueueBounds {
+            max_prq: 8,
+            max_umq: 8,
+        };
+        let mut subject: MatchEngine<OracleList<PostedEntry>, OracleList<UnexpectedEntry>> =
+            MatchEngine::with_bounds(OracleList::new(), OracleList::new(), bounds);
+        let stream = ops::engine_ops(2, 4_000);
+        let rejected = diff_engine_bounded(&mut subject, bounds, DepthMode::Exact, &stream)
+            .expect("oracle must agree with itself under identical caps");
+        assert!(rejected > 0, "caps of 8 over 4k ops must actually reject");
     }
 
     #[test]

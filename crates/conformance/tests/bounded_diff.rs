@@ -1,0 +1,165 @@
+//! Bounded-admission differential conformance: every structure behind
+//! `MatchEngine`'s capped `try_*` path agrees with the oracle engine
+//! built with the same `QueueBounds` — same matches, same rejections,
+//! same rejection counters — over long generated streams with caps small
+//! enough that backpressure actually engages.
+//!
+//! Plus harness-sensitivity checks: an engine whose admission check is
+//! off by one, and one that under-reports its rejection counters, are
+//! both convicted.
+
+use spc_conformance::{diff_engine_bounded, engine_ops, BoundedConformEngine, DepthMode};
+use spc_core::engine::{MatchEngine, QueueBounds, TryArrivalOutcome, TryRecvOutcome};
+use spc_core::entry::{Envelope, PostedEntry, RecvSpec, UnexpectedEntry};
+use spc_core::list::{BaselineList, HashBins, Lla, MatchList, SourceBins};
+
+const RANKS: usize = spc_conformance::ops::RANKS as usize;
+const SEED: u64 = 0xB0B0_CA9E;
+/// ≥10,000 ops per structure, per the bounded-conformance gate.
+const OPS: usize = 12_000;
+
+fn caps() -> QueueBounds {
+    // Small enough that the generator's burst phases overflow both
+    // queues many times over the stream.
+    QueueBounds {
+        max_prq: 12,
+        max_umq: 12,
+    }
+}
+
+fn check_bounded<P, U>(label: &str, prq: P, umq: U, mode: DepthMode)
+where
+    P: MatchList<PostedEntry>,
+    U: MatchList<UnexpectedEntry>,
+{
+    let mut subject = MatchEngine::with_bounds(prq, umq, caps());
+    let stream = engine_ops(SEED, OPS);
+    match diff_engine_bounded(&mut subject, caps(), mode, &stream) {
+        Ok(rejected) => assert!(
+            rejected > 0,
+            "{label}: caps of 12 over {OPS} ops must actually reject"
+        ),
+        Err(e) => panic!("{label}: {e}"),
+    }
+}
+
+#[test]
+fn bounded_baseline_matches_oracle_exactly() {
+    check_bounded(
+        "baseline",
+        BaselineList::<PostedEntry>::new(),
+        BaselineList::<UnexpectedEntry>::new(),
+        DepthMode::Exact,
+    );
+}
+
+#[test]
+fn bounded_lla_matches_oracle_exactly() {
+    check_bounded(
+        "lla",
+        Lla::<PostedEntry, 2>::new(),
+        Lla::<UnexpectedEntry, 3>::new(),
+        DepthMode::Exact,
+    );
+}
+
+#[test]
+fn bounded_source_bins_match_oracle() {
+    check_bounded(
+        "source-bins",
+        SourceBins::new(RANKS),
+        SourceBins::new(RANKS),
+        DepthMode::Bounded,
+    );
+}
+
+#[test]
+fn bounded_hash_bins_match_oracle() {
+    check_bounded(
+        "hash-bins",
+        HashBins::with_bins(4),
+        HashBins::with_bins(4),
+        DepthMode::Bounded,
+    );
+}
+
+/// Harness sensitivity: an engine configured with caps one higher than
+/// the contract admits a 13th entry where the oracle rejects — the
+/// driver must report the outcome disagreement (or the length skew it
+/// causes), never pass.
+#[test]
+fn off_by_one_admission_is_convicted() {
+    let mut sloppy = MatchEngine::with_bounds(
+        BaselineList::<PostedEntry>::new(),
+        BaselineList::<UnexpectedEntry>::new(),
+        QueueBounds {
+            max_prq: 13,
+            max_umq: 13,
+        },
+    );
+    let err = diff_engine_bounded(
+        &mut sloppy,
+        caps(),
+        DepthMode::Exact,
+        &engine_ops(SEED, OPS),
+    )
+    .expect_err("an off-by-one admission policy must diverge");
+    assert!(
+        err.detail.contains("outcome") || err.detail.contains("lens"),
+        "expected an outcome/length disagreement: {err}"
+    );
+}
+
+/// A wrapper that performs admission correctly but reports zeroed
+/// rejection counters, modeling stats drift.
+struct SilentRejections<E>(E);
+
+impl<E: BoundedConformEngine> BoundedConformEngine for SilentRejections<E> {
+    fn try_post_recv(&mut self, spec: RecvSpec, request: u64) -> TryRecvOutcome {
+        self.0.try_post_recv(spec, request)
+    }
+    fn try_arrival(&mut self, env: Envelope, payload: u64) -> TryArrivalOutcome {
+        self.0.try_arrival(env, payload)
+    }
+    fn iprobe(&mut self, spec: RecvSpec) -> Option<(u64, u32)> {
+        self.0.iprobe(spec)
+    }
+    fn cancel_recv(&mut self, request: u64) -> bool {
+        self.0.cancel_recv(request)
+    }
+    fn prq_len(&self) -> usize {
+        self.0.prq_len()
+    }
+    fn umq_len(&self) -> usize {
+        self.0.umq_len()
+    }
+    fn reset(&mut self) {
+        self.0.reset()
+    }
+    fn rejections(&self) -> (u64, u64) {
+        (0, 0)
+    }
+    fn queue_ids(&self) -> Option<(Vec<u64>, Vec<u64>)> {
+        self.0.queue_ids()
+    }
+    fn validate(&self) -> Result<(), String> {
+        self.0.validate()
+    }
+}
+
+/// Harness sensitivity: correct admission with under-reported counters
+/// is convicted by the counter comparison.
+#[test]
+fn under_reported_rejection_counters_are_convicted() {
+    let mut lying = SilentRejections(MatchEngine::with_bounds(
+        BaselineList::<PostedEntry>::new(),
+        BaselineList::<UnexpectedEntry>::new(),
+        caps(),
+    ));
+    let err = diff_engine_bounded(&mut lying, caps(), DepthMode::Exact, &engine_ops(SEED, OPS))
+        .expect_err("zeroed rejection counters must diverge");
+    assert!(
+        err.detail.contains("rejection counters"),
+        "expected a counter disagreement: {err}"
+    );
+}

@@ -8,8 +8,13 @@
 //! machinery, and the deterministic lockstep driver shrinks it to a
 //! paste-able handful of ops.
 
-use spc_conformance::concurrent::{conc_ops, run_and_verify, stress_multiplier, ConcEngine};
-use spc_conformance::{diff_engine, engine_ops_wild_bursts, render_ops, shrink_ops, DepthMode};
+use spc_conformance::concurrent::{
+    conc_ops, run_and_verify, stress_multiplier, ConcEngine, ConcOp,
+};
+use spc_conformance::{
+    diff_engine, engine_ops_wild_bursts, interleavings, render_ops, run_stepped, shrink_ops,
+    verify_log, DepthMode,
+};
 use spc_core::concurrent::SharedEngine;
 use spc_core::engine::MatchEngine;
 use spc_core::entry::{PostedEntry, UnexpectedEntry};
@@ -115,31 +120,66 @@ fn adversary() -> ShardedEngine<Lla<PostedEntry, 2>, Lla<UnexpectedEntry, 3>> {
     ShardedEngine::with_wildcard_check_disabled(SHARDS, Lla::new, Lla::new)
 }
 
+/// The two-thread scenario whose ordering decides the wildcard race:
+/// thread 0 posts an `MPI_ANY_SOURCE`/`MPI_ANY_TAG` receive; thread 1
+/// posts a concrete receive and then delivers a message matching both.
+fn wildcard_race_streams() -> Vec<Vec<ConcOp>> {
+    vec![
+        vec![ConcOp::Post {
+            rank: None,
+            tag: None,
+            ctx: 0,
+        }],
+        vec![
+            ConcOp::Post {
+                rank: Some(6),
+                tag: Some(3),
+                ctx: 0,
+            },
+            ConcOp::Arrive {
+                rank: 6,
+                tag: 3,
+                ctx: 0,
+            },
+        ],
+    ]
+}
+
 /// The injected adversary — a sharded engine whose arrivals skip the
-/// wildcard seq comparison — must be caught by the concurrent driver:
-/// wildcard-heavy racing streams produce a linearization the oracle
-/// rejects (a newer concrete receive overtook an older `MPI_ANY_SOURCE`
-/// receive). Whether the race manifests in any single free-running run
-/// depends on thread timing, so the test retries across seeds and
-/// requires at least one conviction; each conviction must be an oracle
-/// disagreement, never a harness error.
+/// wildcard seq comparison — is convicted *deterministically* by the
+/// interleaving scheduler: pin the op order so the wildcard receive
+/// linearizes before the concrete one, and the adversary's arrival hands
+/// the message to the newer concrete receive, a linearization the oracle
+/// rejects on every run (no free-running race to hope for, no retries).
+/// The scenario's other interleavings are exercised too: when the
+/// concrete receive is older, matching it shard-locally is correct, so
+/// those orders must pass even on the broken engine.
 #[test]
-fn concurrent_driver_catches_the_wildcard_adversary() {
-    let mut caught = false;
-    for attempt in 0..8u64 {
-        let streams = conc_ops(SEED.wrapping_add(50 + attempt), 4, 2_500);
-        if let Err(err) = run_and_verify(&adversary(), &streams) {
-            assert!(
-                err.contains("oracle"),
-                "failure should be an oracle disagreement: {err}"
-            );
-            caught = true;
-            break;
+fn interleaving_scheduler_convicts_the_wildcard_adversary() {
+    let streams = wildcard_race_streams();
+    let mut convictions = 0;
+    for schedule in interleavings(&[1, 2]) {
+        let eng = adversary();
+        let log = run_stepped(&eng, &streams, &schedule);
+        match verify_log(&log, eng.queue_lens()) {
+            Ok(()) => {}
+            Err(err) => {
+                assert!(
+                    err.contains("oracle"),
+                    "conviction must be an oracle disagreement: {err}"
+                );
+                assert_eq!(
+                    schedule,
+                    vec![0, 1, 1],
+                    "only the wildcard-first order exposes the skipped check"
+                );
+                convictions += 1;
+            }
         }
     }
-    assert!(
-        caught,
-        "the adversary must produce a non-linearizable history within 8 runs"
+    assert_eq!(
+        convictions, 1,
+        "the wildcard-first schedule must convict on every run"
     );
 }
 
@@ -177,11 +217,19 @@ fn wildcard_adversary_is_shrunk_to_a_pasteable_repro() {
 }
 
 /// Sanity check on the harness itself: the *correct* sharded engine
-/// passes the exact stream that convicted the adversary.
+/// passes every interleaving of the conviction scenario (the wildcard
+/// seq comparison resolves the race the way the oracle demands) and a
+/// free-running wildcard-heavy stream.
 #[test]
-fn correct_sharded_engine_passes_the_adversary_stream() {
-    let streams = conc_ops(SEED.wrapping_add(50), 4, 2_500);
-    let eng: ShardedEngine<Lla<PostedEntry, 2>, Lla<UnexpectedEntry, 3>> =
-        ShardedEngine::new(SHARDS, Lla::new, Lla::new);
-    run_and_verify(&eng, &streams).unwrap();
+fn correct_sharded_engine_passes_the_adversary_scenario() {
+    let mk = || -> ShardedEngine<Lla<PostedEntry, 2>, Lla<UnexpectedEntry, 3>> {
+        ShardedEngine::new(SHARDS, Lla::new, Lla::new)
+    };
+    let streams = wildcard_race_streams();
+    for schedule in interleavings(&[1, 2]) {
+        let eng = mk();
+        let log = run_stepped(&eng, &streams, &schedule);
+        verify_log(&log, eng.queue_lens()).unwrap_or_else(|e| panic!("schedule {schedule:?}: {e}"));
+    }
+    run_and_verify(&mk(), &conc_ops(SEED.wrapping_add(50), 4, 2_500)).unwrap();
 }

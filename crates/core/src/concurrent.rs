@@ -22,7 +22,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use std::sync::Mutex;
 
-use crate::engine::{ArrivalOutcome, MatchEngine, RecvOutcome};
+use crate::engine::{
+    ArrivalOutcome, MatchEngine, QueueBounds, RecvOutcome, TryArrivalOutcome, TryRecvOutcome,
+};
 use crate::entry::{Envelope, PostedEntry, RecvSpec, UnexpectedEntry};
 use crate::list::MatchList;
 use crate::stats::{ConcurrencyStats, EngineStats, ShardStats};
@@ -115,6 +117,51 @@ where
         let out = g.arrival(env, payload);
         self.note_occupancy(&g);
         (seq, out)
+    }
+
+    /// Thread-safe [`MatchEngine::try_post_recv`]: the wrapped engine's
+    /// admission caps apply (set them via [`Self::set_bounds`] or on the
+    /// engine before wrapping).
+    pub fn try_post_recv(&self, spec: RecvSpec, request: u64) -> TryRecvOutcome {
+        self.try_post_recv_seq(spec, request).1
+    }
+
+    /// [`Self::try_post_recv`] returning the operation's linearization
+    /// stamp.
+    pub fn try_post_recv_seq(&self, spec: RecvSpec, request: u64) -> (u64, TryRecvOutcome) {
+        let mut g = self.lock();
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let out = g.try_post_recv(spec, request);
+        self.note_occupancy(&g);
+        (seq, out)
+    }
+
+    /// Thread-safe [`MatchEngine::try_arrival`] under the wrapped engine's
+    /// admission caps.
+    pub fn try_arrival(&self, env: Envelope, payload: u64) -> TryArrivalOutcome {
+        self.try_arrival_seq(env, payload).1
+    }
+
+    /// [`Self::try_arrival`] returning the operation's linearization stamp.
+    pub fn try_arrival_seq(&self, env: Envelope, payload: u64) -> (u64, TryArrivalOutcome) {
+        let mut g = self.lock();
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let out = g.try_arrival(env, payload);
+        self.note_occupancy(&g);
+        (seq, out)
+    }
+
+    /// Replaces the wrapped engine's admission caps (linearized like any
+    /// workload op, but uncounted: it is configuration, not contention).
+    pub fn set_bounds(&self, bounds: QueueBounds) {
+        let mut g = self.lock_uncounted();
+        self.seq.fetch_add(1, Ordering::Relaxed);
+        g.set_bounds(bounds);
+    }
+
+    /// Current admission caps of the wrapped engine.
+    pub fn bounds(&self) -> QueueBounds {
+        self.lock_uncounted().bounds()
     }
 
     /// Thread-safe [`MatchEngine::cancel_recv`].
@@ -389,6 +436,49 @@ mod tests {
         all.sort_unstable();
         all.dedup();
         assert_eq!(all.len(), 4 * 200 * 2, "stamps are globally unique");
+    }
+
+    #[test]
+    fn bounded_ops_enforce_caps_across_threads() {
+        let eng = engine();
+        eng.set_bounds(QueueBounds {
+            max_prq: usize::MAX,
+            max_umq: 16,
+        });
+        assert_eq!(eng.bounds().max_umq, 16);
+        // 4 threads race 100 unmatched arrivals each; the UMQ may never
+        // exceed its cap and every op either queues or rejects.
+        let queued = AtomicU64::new(0);
+        let rejected = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for t in 0..4i32 {
+                let (eng, queued, rejected) = (&eng, &queued, &rejected);
+                s.spawn(move || {
+                    for i in 0..100 {
+                        match eng.try_arrival(Envelope::new(t, i, 0), i as u64) {
+                            TryArrivalOutcome::Queued => queued.fetch_add(1, Ordering::Relaxed),
+                            TryArrivalOutcome::RejectedUmqFull { .. } => {
+                                rejected.fetch_add(1, Ordering::Relaxed)
+                            }
+                            other => panic!("no posts, so no match: {other:?}"),
+                        };
+                    }
+                });
+            }
+        });
+        assert_eq!(queued.load(Ordering::Relaxed), 16, "cap admits exactly 16");
+        assert_eq!(rejected.load(Ordering::Relaxed), 400 - 16);
+        assert_eq!(eng.queue_lens(), (0, 16));
+        assert_eq!(eng.stats().umq_rejections, 400 - 16);
+        // Matching posts drain the cap back down; posts under the cap work.
+        assert!(matches!(
+            eng.try_post_recv(
+                RecvSpec::new(crate::entry::ANY_SOURCE, crate::entry::ANY_TAG, 0),
+                1
+            ),
+            TryRecvOutcome::MatchedUnexpected { .. }
+        ));
+        assert_eq!(eng.queue_lens().1, 15);
     }
 
     #[test]

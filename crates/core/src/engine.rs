@@ -42,6 +42,92 @@ pub enum ArrivalOutcome {
     Queued,
 }
 
+/// Admission caps for the two queues — the engine-visible backpressure
+/// policy behind the service-shaped traffic suite.
+///
+/// A cap bounds only the *append* side of search-else-append: an operation
+/// whose search hits is always admitted (it shrinks the queue), while one
+/// that would grow a queue past its cap is rejected instead of appended.
+/// Real transports surface this as receiver-not-ready / RNR backpressure;
+/// here the rejection is returned to the caller and counted in
+/// [`EngineStats::prq_rejections`] / [`EngineStats::umq_rejections`].
+///
+/// Only the `try_*` operations ([`MatchEngine::try_post_recv`],
+/// [`MatchEngine::try_arrival`]) consult the caps; the unbounded legacy
+/// paths are untouched and pay nothing for this feature.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QueueBounds {
+    /// Largest admitted PRQ length; a receive post that would grow the PRQ
+    /// past this is rejected.
+    pub max_prq: usize,
+    /// Largest admitted UMQ length; an arrival that would grow the UMQ past
+    /// this is rejected (the message is dropped at admission).
+    pub max_umq: usize,
+}
+
+impl QueueBounds {
+    /// No admission limits: `try_*` behaves exactly like the unbounded ops.
+    pub const UNBOUNDED: Self = Self {
+        max_prq: usize::MAX,
+        max_umq: usize::MAX,
+    };
+
+    /// The same cap on both queues.
+    pub fn both(cap: usize) -> Self {
+        Self {
+            max_prq: cap,
+            max_umq: cap,
+        }
+    }
+}
+
+impl Default for QueueBounds {
+    fn default() -> Self {
+        Self::UNBOUNDED
+    }
+}
+
+/// Result of a bounded receive post ([`MatchEngine::try_post_recv`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TryRecvOutcome {
+    /// An unexpected message satisfied the receive immediately (matches are
+    /// never rejected — they shrink the queue).
+    MatchedUnexpected {
+        /// The buffered message's payload handle.
+        payload: PayloadHandle,
+        /// Entries inspected in the UMQ.
+        depth: u32,
+    },
+    /// No unexpected message matched; the receive now waits on the PRQ.
+    Posted,
+    /// The UMQ search missed and the PRQ is at its admission cap: the
+    /// receive was **not** posted. The caller sees backpressure.
+    RejectedPrqFull {
+        /// Entries inspected in the (missed) UMQ search.
+        depth: u32,
+    },
+}
+
+/// Result of a bounded message arrival ([`MatchEngine::try_arrival`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TryArrivalOutcome {
+    /// A posted receive matched; the message is delivered.
+    MatchedPosted {
+        /// The satisfied receive request.
+        request: RequestHandle,
+        /// Entries inspected in the PRQ.
+        depth: u32,
+    },
+    /// No posted receive matched; the message is now on the UMQ.
+    Queued,
+    /// The PRQ search missed and the UMQ is at its admission cap: the
+    /// message was dropped at admission (a real transport would NACK it).
+    RejectedUmqFull {
+        /// Entries inspected in the (missed) PRQ search.
+        depth: u32,
+    },
+}
+
 /// A per-process matching engine parameterized over the PRQ and UMQ
 /// structures.
 pub struct MatchEngine<P, U>
@@ -51,6 +137,7 @@ where
 {
     prq: P,
     umq: U,
+    bounds: QueueBounds,
     stats: EngineStats,
 }
 
@@ -59,13 +146,30 @@ where
     P: MatchList<PostedEntry>,
     U: MatchList<UnexpectedEntry>,
 {
-    /// Creates an engine from its two queues.
+    /// Creates an engine from its two queues (unbounded admission).
     pub fn new(prq: P, umq: U) -> Self {
+        Self::with_bounds(prq, umq, QueueBounds::UNBOUNDED)
+    }
+
+    /// Creates an engine with admission caps for the `try_*` operations.
+    pub fn with_bounds(prq: P, umq: U, bounds: QueueBounds) -> Self {
         Self {
             prq,
             umq,
+            bounds,
             stats: EngineStats::new(),
         }
+    }
+
+    /// Current admission caps.
+    pub fn bounds(&self) -> QueueBounds {
+        self.bounds
+    }
+
+    /// Replaces the admission caps (takes effect on the next `try_*` op;
+    /// entries already queued above a lowered cap stay queued).
+    pub fn set_bounds(&mut self, bounds: QueueBounds) {
+        self.bounds = bounds;
     }
 
     /// Posts a receive (the `MPI_Recv`/`MPI_Irecv` entry path), reporting
@@ -129,6 +233,82 @@ where
     /// Handles a message arrival without instrumentation.
     pub fn arrival(&mut self, env: Envelope, payload: PayloadHandle) -> ArrivalOutcome {
         self.arrival_sink(env, payload, &mut NullSink)
+    }
+
+    /// Posts a receive under the admission caps: the UMQ search runs
+    /// unconditionally (and its depth is recorded — the work was done), but
+    /// on a miss the receive is only appended while `prq_len() <
+    /// bounds.max_prq`; otherwise it is rejected and
+    /// [`EngineStats::prq_rejections`] is bumped.
+    pub fn try_post_recv_sink<S: AccessSink>(
+        &mut self,
+        spec: RecvSpec,
+        request: RequestHandle,
+        sink: &mut S,
+    ) -> TryRecvOutcome {
+        let Search { found, depth } = self.umq.search_remove(&spec, sink);
+        self.stats.umq_search.record(depth as u64);
+        match found {
+            Some(msg) => {
+                self.stats.umq_hits += 1;
+                TryRecvOutcome::MatchedUnexpected {
+                    payload: msg.payload,
+                    depth,
+                }
+            }
+            None if self.prq.len() < self.bounds.max_prq => {
+                self.stats.prq_appends += 1;
+                self.prq.append(PostedEntry::from_spec(spec, request), sink);
+                TryRecvOutcome::Posted
+            }
+            None => {
+                self.stats.prq_rejections += 1;
+                TryRecvOutcome::RejectedPrqFull { depth }
+            }
+        }
+    }
+
+    /// [`Self::try_post_recv_sink`] without instrumentation.
+    pub fn try_post_recv(&mut self, spec: RecvSpec, request: RequestHandle) -> TryRecvOutcome {
+        self.try_post_recv_sink(spec, request, &mut NullSink)
+    }
+
+    /// Handles a message arrival under the admission caps: the PRQ search
+    /// runs unconditionally, but on a miss the message is only queued while
+    /// `umq_len() < bounds.max_umq`; otherwise it is dropped and
+    /// [`EngineStats::umq_rejections`] is bumped.
+    pub fn try_arrival_sink<S: AccessSink>(
+        &mut self,
+        env: Envelope,
+        payload: PayloadHandle,
+        sink: &mut S,
+    ) -> TryArrivalOutcome {
+        let Search { found, depth } = self.prq.search_remove(&env, sink);
+        self.stats.prq_search.record(depth as u64);
+        match found {
+            Some(recv) => {
+                self.stats.prq_hits += 1;
+                TryArrivalOutcome::MatchedPosted {
+                    request: recv.request,
+                    depth,
+                }
+            }
+            None if self.umq.len() < self.bounds.max_umq => {
+                self.stats.umq_appends += 1;
+                self.umq
+                    .append(UnexpectedEntry::from_envelope(env, payload), sink);
+                TryArrivalOutcome::Queued
+            }
+            None => {
+                self.stats.umq_rejections += 1;
+                TryArrivalOutcome::RejectedUmqFull { depth }
+            }
+        }
+    }
+
+    /// [`Self::try_arrival_sink`] without instrumentation.
+    pub fn try_arrival(&mut self, env: Envelope, payload: PayloadHandle) -> TryArrivalOutcome {
+        self.try_arrival_sink(env, payload, &mut NullSink)
     }
 
     /// Non-destructively checks whether an unexpected message would satisfy
@@ -352,6 +532,112 @@ mod tests {
             ArrivalOutcome::MatchedPosted { request, .. } => assert_eq!(request, 1),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn bounded_ops_reject_appends_but_never_matches() {
+        let mut e = MatchEngine::new(
+            Lla::<PostedEntry, 2>::new(),
+            Lla::<UnexpectedEntry, 3>::new(),
+        );
+        e.set_bounds(QueueBounds {
+            max_prq: 2,
+            max_umq: 1,
+        });
+        // PRQ admits up to the cap, then rejects.
+        assert_eq!(
+            e.try_post_recv(RecvSpec::new(1, 1, 0), 1),
+            TryRecvOutcome::Posted
+        );
+        assert_eq!(
+            e.try_post_recv(RecvSpec::new(2, 2, 0), 2),
+            TryRecvOutcome::Posted
+        );
+        assert_eq!(
+            e.try_post_recv(RecvSpec::new(3, 3, 0), 3),
+            TryRecvOutcome::RejectedPrqFull { depth: 0 }
+        );
+        assert_eq!(e.prq_len(), 2);
+        assert_eq!(e.stats().prq_rejections, 1);
+        // A matching arrival is admitted even though the UMQ cap is tiny —
+        // it hits the PRQ and shrinks it.
+        assert!(matches!(
+            e.try_arrival(Envelope::new(1, 1, 0), 10),
+            TryArrivalOutcome::MatchedPosted { request: 1, .. }
+        ));
+        // With the PRQ down to one entry, the post is admitted again.
+        assert_eq!(
+            e.try_post_recv(RecvSpec::new(3, 3, 0), 3),
+            TryRecvOutcome::Posted
+        );
+        // UMQ: one unmatched arrival fills the cap; the next is dropped.
+        assert_eq!(
+            e.try_arrival(Envelope::new(8, 8, 0), 20),
+            TryArrivalOutcome::Queued
+        );
+        assert_eq!(
+            e.try_arrival(Envelope::new(9, 9, 0), 21),
+            TryArrivalOutcome::RejectedUmqFull { depth: 2 }
+        );
+        assert_eq!(e.umq_len(), 1);
+        assert_eq!(e.stats().umq_rejections, 1);
+        // A receive matching the queued unexpected is admitted (UMQ hit),
+        // even at a full PRQ.
+        e.set_bounds(QueueBounds {
+            max_prq: 0,
+            max_umq: 1,
+        });
+        assert!(matches!(
+            e.try_post_recv(RecvSpec::new(8, 8, 0), 4),
+            TryRecvOutcome::MatchedUnexpected { payload: 20, .. }
+        ));
+    }
+
+    #[test]
+    fn unbounded_try_ops_mirror_legacy_ops() {
+        let mut a = engine();
+        let mut b = engine();
+        assert_eq!(b.bounds(), QueueBounds::UNBOUNDED);
+        for i in 0..32 {
+            let spec = RecvSpec::new(i % 5, i % 3, 0);
+            let env = Envelope::new((i + 1) % 5, i % 3, 0);
+            let legacy_recv = a.post_recv(spec, i as u64);
+            match (legacy_recv, b.try_post_recv(spec, i as u64)) {
+                (RecvOutcome::Posted, TryRecvOutcome::Posted) => {}
+                (
+                    RecvOutcome::MatchedUnexpected {
+                        payload: p1,
+                        depth: d1,
+                    },
+                    TryRecvOutcome::MatchedUnexpected {
+                        payload: p2,
+                        depth: d2,
+                    },
+                ) => {
+                    assert_eq!((p1, d1), (p2, d2));
+                }
+                other => panic!("diverged: {other:?}"),
+            }
+            let legacy_arr = a.arrival(env, i as u64);
+            match (legacy_arr, b.try_arrival(env, i as u64)) {
+                (ArrivalOutcome::Queued, TryArrivalOutcome::Queued) => {}
+                (
+                    ArrivalOutcome::MatchedPosted {
+                        request: r1,
+                        depth: d1,
+                    },
+                    TryArrivalOutcome::MatchedPosted {
+                        request: r2,
+                        depth: d2,
+                    },
+                ) => assert_eq!((r1, d1), (r2, d2)),
+                other => panic!("diverged: {other:?}"),
+            }
+        }
+        assert_eq!(a.prq_len(), b.prq_len());
+        assert_eq!(a.umq_len(), b.umq_len());
+        assert_eq!(b.stats().prq_rejections, 0);
+        assert_eq!(b.stats().umq_rejections, 0);
     }
 
     #[test]

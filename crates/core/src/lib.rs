@@ -70,7 +70,9 @@ pub mod shard;
 pub mod sink;
 pub mod stats;
 
-pub use engine::{ArrivalOutcome, MatchEngine, RecvOutcome};
+pub use engine::{
+    ArrivalOutcome, MatchEngine, QueueBounds, RecvOutcome, TryArrivalOutcome, TryRecvOutcome,
+};
 pub use entry::{Envelope, PostedEntry, RecvSpec, UnexpectedEntry, ANY_SOURCE, ANY_TAG};
 pub use shard::ShardedEngine;
 pub use sink::{AccessSink, CountingSink, NullSink};

@@ -13,8 +13,10 @@
 //! conformance harness runs against the prefetching paths).
 //!
 //! The lookahead distance is configurable through the `SPC_PREFETCH_DIST`
-//! environment variable (read once per process): `0` disables prefetching,
-//! `k` issues a *speculative* prefetch `k` nodes past the one being tested.
+//! environment variable (read once per process; unparsable values are
+//! reported once on stderr, not silently swallowed) or programmatically via
+//! [`set_distance`] for in-process sweeps: `0` disables prefetching, `k`
+//! issues a *speculative* prefetch `k` nodes past the one being tested.
 //! Both traversals guess the upcoming address without a dependent load —
 //! the LLA extrapolates along the pool's sequential id allocation, the
 //! baseline extrapolates the allocator stride observed between consecutive
@@ -23,7 +25,8 @@
 //! distance 1 leaves the fetch too little time to complete once queues
 //! spill L1, and distances past ~4 trash lines before use on short queues.
 
-use std::sync::OnceLock;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Once;
 
 /// Default lookahead distance in nodes.
 pub const DEFAULT_DISTANCE: usize = 2;
@@ -33,19 +36,66 @@ pub const DEFAULT_DISTANCE: usize = 2;
 /// clamped.
 pub const MAX_DISTANCE: usize = 8;
 
-static DISTANCE: OnceLock<usize> = OnceLock::new();
+/// Sentinel: the environment has not been consulted yet. `set_distance`
+/// clamps to [`MAX_DISTANCE`], so no caller can ever store this value.
+const UNSET: usize = usize::MAX;
+
+static DISTANCE: AtomicUsize = AtomicUsize::new(UNSET);
+static PARSE_DIAGNOSTIC: Once = Once::new();
 
 /// The process-wide prefetch lookahead distance, in nodes. `0` disables
-/// software prefetch. Set via `SPC_PREFETCH_DIST`; parsed once.
+/// software prefetch.
+///
+/// **Once-parsed contract:** `SPC_PREFETCH_DIST` is consulted exactly once,
+/// on the first call; later changes to the environment are not observed. An
+/// unparsable value falls back to [`DEFAULT_DISTANCE`] and emits a one-time
+/// `stderr` diagnostic rather than being swallowed silently. In-process
+/// sweeps (benches iterating over distances without re-`exec`ing) use
+/// [`set_distance`], which overrides whatever the environment said.
 #[inline]
 pub fn distance() -> usize {
-    *DISTANCE.get_or_init(|| {
-        std::env::var("SPC_PREFETCH_DIST")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .map(|d| d.min(MAX_DISTANCE))
-            .unwrap_or(DEFAULT_DISTANCE)
-    })
+    match DISTANCE.load(Ordering::Relaxed) {
+        UNSET => init_from_env(),
+        d => d,
+    }
+}
+
+#[cold]
+fn init_from_env() -> usize {
+    let d = match std::env::var("SPC_PREFETCH_DIST") {
+        Ok(v) => match v.parse::<usize>() {
+            Ok(d) => d.min(MAX_DISTANCE),
+            Err(_) => {
+                PARSE_DIAGNOSTIC.call_once(|| {
+                    eprintln!(
+                        "spc-core: SPC_PREFETCH_DIST={v:?} is not an integer in \
+                         0..={MAX_DISTANCE}; using default {DEFAULT_DISTANCE}"
+                    );
+                });
+                DEFAULT_DISTANCE
+            }
+        },
+        Err(_) => DEFAULT_DISTANCE,
+    };
+    // Racing first calls agree on the env value; a concurrent
+    // `set_distance` wins over the env (the CAS fails and we adopt it).
+    match DISTANCE.compare_exchange(UNSET, d, Ordering::Relaxed, Ordering::Relaxed) {
+        Ok(_) => d,
+        Err(current) => current,
+    }
+}
+
+/// Overrides the lookahead distance for the rest of the process (clamped to
+/// [`MAX_DISTANCE`]; returns the value actually installed). This exists for
+/// in-process distance sweeps — e.g. a bench bin measuring every distance in
+/// one run — which the env var alone cannot express because of the
+/// once-parsed contract on [`distance`]. Prefetch is a pure hint, so
+/// flipping the distance mid-run never changes match semantics, only
+/// traversal timing.
+pub fn set_distance(d: usize) -> usize {
+    let d = d.min(MAX_DISTANCE);
+    DISTANCE.store(d, Ordering::Relaxed);
+    d
 }
 
 /// Hints the CPU to pull the cache line holding `p` into all cache levels.
@@ -69,11 +119,19 @@ pub fn read<T>(p: *const T) {
 mod tests {
     use super::*;
 
+    /// One test owns the process-global distance: stability of the parsed
+    /// value, then the `set_distance` override (kept together so parallel
+    /// test threads never observe a mid-test override).
     #[test]
-    fn distance_is_bounded_and_stable() {
+    fn distance_is_bounded_stable_and_overridable() {
         let d = distance();
         assert!(d <= MAX_DISTANCE);
         assert_eq!(d, distance(), "parsed once, then constant");
+        assert_eq!(set_distance(5), 5);
+        assert_eq!(distance(), 5, "override is visible in-process");
+        assert_eq!(set_distance(100), MAX_DISTANCE, "override clamps");
+        assert_eq!(distance(), MAX_DISTANCE);
+        assert_eq!(set_distance(d), d, "restored for sibling tests");
     }
 
     #[test]

@@ -85,7 +85,9 @@ impl Histogram {
         self.width
     }
 
-    /// Records one observation.
+    /// Records one observation. Storage is dense: memory grows with
+    /// `max(v) / width`, so pick a width scaled to the value domain
+    /// (recording `u64::MAX` is fine with a proportionally large width).
     pub fn record(&mut self, v: u64) {
         let b = (v / self.width) as usize;
         if b >= self.counts.len() {
@@ -101,12 +103,13 @@ impl Histogram {
     }
 
     /// Iterates `(bucket_lo, bucket_hi_inclusive, count)` rows, including
-    /// empty interior buckets.
+    /// empty interior buckets. Bounds saturate at `u64::MAX`, so histograms
+    /// holding near-`u64::MAX` observations stay iterable.
     pub fn buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
-        self.counts
-            .iter()
-            .enumerate()
-            .map(move |(i, &c)| (i as u64 * self.width, (i as u64 + 1) * self.width - 1, c))
+        self.counts.iter().enumerate().map(move |(i, &c)| {
+            let lo = (i as u64).saturating_mul(self.width);
+            (lo, lo.saturating_add(self.width - 1), c)
+        })
     }
 
     /// Count in the bucket containing `v`.
@@ -117,9 +120,54 @@ impl Histogram {
             .unwrap_or(0)
     }
 
-    /// Largest recorded value's bucket upper bound, or 0 when empty.
+    /// Largest recorded value's bucket upper bound (**inclusive**, matching
+    /// the `(lo, hi, count)` convention of [`Self::buckets`]), or 0 when
+    /// empty. A histogram of width 20 whose deepest observation fell in
+    /// bucket 2 reports 59, not 60: values at exact multiples of the width
+    /// open the *next* bucket.
     pub fn max_bucket_hi(&self) -> u64 {
-        (self.counts.len() as u64) * self.width
+        match self.counts.len() as u64 {
+            0 => 0,
+            n => (n - 1)
+                .saturating_mul(self.width)
+                .saturating_add(self.width - 1),
+        }
+    }
+
+    /// Estimated `p`-quantile of the recorded values (`0.0 < p <= 1.0`),
+    /// or 0 when empty — the tail measurement behind the traffic suite's
+    /// p50/p99/p999 columns.
+    ///
+    /// Uses the nearest-rank definition resolved to bucket granularity: the
+    /// rank-`ceil(p·total)` observation's bucket is located by a cumulative
+    /// scan, then the value is linearly interpolated across the bucket's
+    /// span assuming its observations are evenly spread. The result is
+    /// always inside the selected bucket, so the error versus a
+    /// sorted-vector oracle is strictly less than one bucket width.
+    pub fn percentile(&self, p: f64) -> u64 {
+        assert!(
+            p > 0.0 && p <= 1.0,
+            "percentile {p} outside (0, 1] (pass 0.99 for p99)"
+        );
+        if self.total == 0 {
+            return 0;
+        }
+        // Nearest rank, 1-based; p <= 1.0 guarantees rank <= total.
+        let rank = ((p * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (lo, hi, c) in self.buckets() {
+            seen += c;
+            if seen >= rank && c > 0 {
+                // k-th of the bucket's c observations (1-based); place it at
+                // the midpoint of the k-th of c equal sub-spans.
+                let k = rank - (seen - c);
+                let span = hi - lo; // inclusive span, >= width - 1
+                let offset = ((2 * k - 1) as u128 * span as u128 / (2 * c) as u128) as u64;
+                return lo + offset.min(span);
+            }
+        }
+        // Unreachable: rank <= total and the counts sum to total.
+        self.max_bucket_hi()
     }
 
     /// Merges another histogram (same width) into this one.
@@ -251,6 +299,12 @@ pub struct EngineStats {
     pub umq_hits: u64,
     /// Number of receive posts appended to the PRQ.
     pub prq_appends: u64,
+    /// Receive posts rejected because the PRQ was at its admission cap
+    /// (only bounded engines — [`crate::engine::MatchEngine::try_post_recv`]
+    /// under [`crate::engine::QueueBounds`] — ever increment this).
+    pub prq_rejections: u64,
+    /// Arrivals rejected because the UMQ was at its admission cap.
+    pub umq_rejections: u64,
     /// Concurrency observability, populated by thread-safe engine wrappers
     /// ([`crate::concurrent::SharedEngine`], [`crate::shard::ShardedEngine`])
     /// when they snapshot their stats; `None` for single-threaded engines.
@@ -271,6 +325,8 @@ impl EngineStats {
         self.umq_appends += other.umq_appends;
         self.umq_hits += other.umq_hits;
         self.prq_appends += other.prq_appends;
+        self.prq_rejections += other.prq_rejections;
+        self.umq_rejections += other.umq_rejections;
         match (&mut self.concurrency, &other.concurrency) {
             (Some(a), Some(b)) => a.merge(b),
             (None, Some(b)) => self.concurrency = Some(b.clone()),
@@ -406,5 +462,141 @@ mod tests {
         let mut a = Histogram::new(5);
         let b = Histogram::new(10);
         a.merge(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width must be positive")]
+    fn histogram_rejects_zero_width() {
+        let _ = Histogram::new(0);
+    }
+
+    /// Regression: `max_bucket_hi` must agree with the inclusive `(lo, hi)`
+    /// convention of `buckets()`. Values at exact multiples of the width
+    /// open a fresh bucket, so the reported hi is `(n+1)*width - 1`, not
+    /// `(n+1)*width`. The pre-fix code returned the exclusive bound and
+    /// fails every assertion below by one.
+    #[test]
+    fn max_bucket_hi_is_inclusive_at_width_multiples() {
+        let mut h = Histogram::new(20);
+        assert_eq!(h.max_bucket_hi(), 0, "empty histogram reports 0");
+        h.record(0);
+        assert_eq!(h.max_bucket_hi(), 19);
+        h.record(19); // last value of bucket 0: hi unchanged
+        assert_eq!(h.max_bucket_hi(), 19);
+        h.record(20); // exact multiple: opens bucket 1
+        assert_eq!(h.max_bucket_hi(), 39);
+        h.record(40); // exact multiple again
+        assert_eq!(h.max_bucket_hi(), 59);
+        // The reported hi is always the last bucket row's inclusive hi.
+        let (_, last_hi, _) = h.buckets().last().unwrap();
+        assert_eq!(h.max_bucket_hi(), last_hi);
+        // Width-1 histograms: bucket i is exactly the value i.
+        let mut unit = Histogram::new(1);
+        unit.record(7);
+        assert_eq!(unit.max_bucket_hi(), 7);
+    }
+
+    /// `merge` with unequal bucket-vector lengths must work in both
+    /// directions: short-into-long leaves the tail intact, long-into-short
+    /// grows the receiver.
+    #[test]
+    fn histogram_merge_unequal_lengths_both_directions() {
+        let mut long = Histogram::new(5);
+        long.record(99); // 20 buckets
+        let mut short = Histogram::new(5);
+        short.record(3); // 1 bucket
+        let mut a = long.clone();
+        a.merge(&short);
+        let mut b = short.clone();
+        b.merge(&long);
+        assert_eq!(a.total(), 2);
+        assert_eq!(b.total(), 2);
+        assert_eq!(
+            a.buckets().collect::<Vec<_>>(),
+            b.buckets().collect::<Vec<_>>()
+        );
+        assert_eq!(a.max_bucket_hi(), 99);
+        // Merging an empty histogram is a no-op.
+        a.merge(&Histogram::new(5));
+        assert_eq!(a.total(), 2);
+    }
+
+    /// Near-`u64::MAX` observations (with a proportionally large width)
+    /// must not overflow the bucket-bound arithmetic: bounds saturate.
+    #[test]
+    fn histogram_handles_near_max_values() {
+        let width = 1u64 << 62;
+        let mut h = Histogram::new(width);
+        h.record(u64::MAX);
+        h.record(0);
+        assert_eq!(h.total(), 2);
+        assert_eq!(h.count_for(u64::MAX), 1);
+        let rows: Vec<_> = h.buckets().collect();
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[3], (3 * width, u64::MAX, 1));
+        assert_eq!(h.max_bucket_hi(), u64::MAX);
+        assert!(
+            h.percentile(1.0) >= 3 * width,
+            "p100 lands in the top bucket"
+        );
+    }
+
+    /// `percentile` against a sorted-vector oracle on seeded data: for every
+    /// probed quantile the histogram answer must sit within one bucket
+    /// width of the exact nearest-rank answer, and inside that value's
+    /// bucket. Pre-fix code had no `percentile` at all.
+    #[test]
+    fn percentile_tracks_sorted_vec_oracle() {
+        use spc_rng::{Rng, SeedableRng, StdRng};
+        let mut rng = StdRng::seed_from_u64(0x7AFF_1C5E);
+        for width in [1u64, 7, 20] {
+            let mut h = Histogram::new(width);
+            let mut vals: Vec<u64> = (0..5000)
+                .map(|_| {
+                    // Mild skew: squaring pushes mass toward small values,
+                    // like a queue-depth distribution.
+                    let u = rng.gen::<f64>();
+                    (u * u * 1000.0) as u64
+                })
+                .collect();
+            for &v in &vals {
+                h.record(v);
+            }
+            vals.sort_unstable();
+            for p in [0.5, 0.9, 0.99, 0.999, 1.0] {
+                let rank = ((p * vals.len() as f64).ceil() as usize).max(1);
+                let exact = vals[rank - 1];
+                let est = h.percentile(p);
+                assert!(
+                    est.abs_diff(exact) < width,
+                    "p{p} width {width}: est {est} vs exact {exact}"
+                );
+                assert_eq!(est / width, exact / width, "estimate stays in the bucket");
+            }
+        }
+        // Degenerate cases: empty and single-observation histograms.
+        assert_eq!(Histogram::new(10).percentile(0.5), 0);
+        let mut one = Histogram::new(10);
+        one.record(42);
+        assert_eq!(one.percentile(0.5) / 10, 4);
+        assert_eq!(one.percentile(1.0) / 10, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside (0, 1]")]
+    fn percentile_rejects_out_of_range_p() {
+        Histogram::new(10).percentile(0.0);
+    }
+
+    #[test]
+    fn engine_stats_merge_sums_rejections() {
+        let mut a = EngineStats::new();
+        a.prq_rejections = 2;
+        let mut b = EngineStats::new();
+        b.prq_rejections = 3;
+        b.umq_rejections = 7;
+        a.merge(&b);
+        assert_eq!(a.prq_rejections, 5);
+        assert_eq!(a.umq_rejections, 7);
     }
 }

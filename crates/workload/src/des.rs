@@ -1,0 +1,335 @@
+//! Open- and closed-loop queueing around a caller-supplied service function.
+//!
+//! The icarus-style outputs the traffic suite needs — sojourn-latency
+//! percentiles, rejection %, queue occupancy — come from a queueing model,
+//! not from back-to-back calls: a matching engine timed in a tight loop
+//! shows service time only, never the waiting that builds when arrivals are
+//! independent of completions. The discrete-event simulators here supply
+//! that model around *any* service function `serve(i) -> ns`:
+//!
+//! * [`open_loop`] — Poisson arrivals at a configured mean inter-arrival
+//!   gap (optionally modulated by [`Burst`] phases), one FIFO server, and a
+//!   **bounded run queue**: an arrival that finds `run_queue_cap` requests
+//!   waiting is rejected, never served. This is the "millions of users"
+//!   shape — clients do not slow down because the server is busy.
+//! * [`closed_loop`] — a fixed window of clients, each issuing its next
+//!   request the moment the previous one completes (plus optional think
+//!   time). Load is self-limiting, so nothing is rejected; latency grows
+//!   with the window instead.
+//!
+//! Time is simulated (f64 nanoseconds); the only real-time input is
+//! whatever the service function returns, so a synthetic service model
+//! makes whole scenarios deterministic and unit-testable.
+
+use spc_core::stats::{DepthStats, Histogram};
+use spc_rng::{Rng, SeedableRng, StdRng};
+use std::collections::VecDeque;
+
+/// Periodic burst modulation for the open-loop arrival process: during the
+/// second half of every `period` requests, the arrival *rate* is multiplied
+/// by `factor` (inter-arrival gaps divide by it).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Burst {
+    /// Requests per burst cycle (> 0); the burst occupies the second half.
+    pub period: usize,
+    /// Rate multiplier inside the burst (> 0; 1.0 disables, 4.0 is a 4×
+    /// arrival spike).
+    pub factor: f64,
+}
+
+/// Open-loop (arrival-driven) configuration.
+#[derive(Clone, Debug)]
+pub struct OpenLoopCfg {
+    /// Mean inter-arrival gap in simulated ns (Poisson process).
+    pub mean_interarrival_ns: f64,
+    /// Run-queue admission cap: arrivals finding this many requests
+    /// *waiting* (excluding the one in service) are rejected.
+    pub run_queue_cap: usize,
+    /// Optional burst phases.
+    pub burst: Option<Burst>,
+    /// Latency-histogram bucket width in ns.
+    pub latency_bucket_ns: u64,
+    /// Seed for the arrival process.
+    pub seed: u64,
+}
+
+/// Closed-loop (completion-driven) configuration.
+#[derive(Clone, Debug)]
+pub struct ClosedLoopCfg {
+    /// Concurrent clients (> 0); each has exactly one request outstanding.
+    pub clients: usize,
+    /// Simulated pause between a completion and the client's next issue.
+    pub think_ns: f64,
+    /// Latency-histogram bucket width in ns.
+    pub latency_bucket_ns: u64,
+}
+
+/// What a scenario run produced.
+#[derive(Clone, Debug)]
+pub struct LoopResult {
+    /// Sojourn latency (arrival → completion) of every *served* request.
+    pub latency: Histogram,
+    /// Run-queue backlog observed at each arrival (waiting requests, not
+    /// counting the one in service).
+    pub occupancy: DepthStats,
+    /// Requests that reached the server.
+    pub served: usize,
+    /// Requests rejected at the run-queue cap (open loop only).
+    pub rejected: usize,
+    /// Total simulated time the server spent serving.
+    pub busy_ns: f64,
+    /// Simulated end-to-end duration of the run.
+    pub makespan_ns: f64,
+}
+
+impl LoopResult {
+    /// Fraction of offered requests rejected at admission.
+    pub fn reject_frac(&self) -> f64 {
+        let offered = self.served + self.rejected;
+        if offered == 0 {
+            0.0
+        } else {
+            self.rejected as f64 / offered as f64
+        }
+    }
+
+    /// Server utilization over the run.
+    pub fn utilization(&self) -> f64 {
+        if self.makespan_ns > 0.0 {
+            self.busy_ns / self.makespan_ns
+        } else {
+            0.0
+        }
+    }
+}
+
+fn exp_sample<R: Rng>(rng: &mut R, mean: f64) -> f64 {
+    // Inverse CDF; gen::<f64>() is in [0, 1) so the log argument is (0, 1].
+    -mean * (1.0 - rng.gen::<f64>()).ln()
+}
+
+/// Runs `n` offered requests through a Poisson/FIFO/bounded-queue server.
+///
+/// `serve(i)` is called once per **admitted** request, in admission order,
+/// and returns that request's service time in ns; rejected requests never
+/// reach it (the work they would have done is refused at the door, which is
+/// the whole point of backpressure).
+pub fn open_loop(cfg: &OpenLoopCfg, n: usize, mut serve: impl FnMut(usize) -> u64) -> LoopResult {
+    assert!(
+        cfg.mean_interarrival_ns > 0.0,
+        "arrival gap must be positive"
+    );
+    if let Some(b) = cfg.burst {
+        assert!(b.period > 0 && b.factor > 0.0, "degenerate burst");
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut latency = Histogram::new(cfg.latency_bucket_ns.max(1));
+    let mut occupancy = DepthStats::new();
+    // Completion times of every admitted-but-not-finished request; the
+    // front is the request in service.
+    let mut in_flight: VecDeque<f64> = VecDeque::new();
+    let mut clock = 0.0f64;
+    let mut last_completion = 0.0f64;
+    let mut busy = 0.0f64;
+    let (mut served, mut rejected) = (0usize, 0usize);
+    for i in 0..n {
+        let mut gap = cfg.mean_interarrival_ns;
+        if let Some(b) = cfg.burst {
+            if (i % b.period) * 2 >= b.period {
+                gap /= b.factor;
+            }
+        }
+        clock += exp_sample(&mut rng, gap);
+        while in_flight.front().is_some_and(|&c| c <= clock) {
+            in_flight.pop_front();
+        }
+        // Everyone still in flight except the head is waiting.
+        let backlog = in_flight.len().saturating_sub(1);
+        occupancy.record(backlog as u64);
+        if backlog >= cfg.run_queue_cap {
+            rejected += 1;
+            continue;
+        }
+        let service = serve(served) as f64;
+        let start = if last_completion > clock {
+            last_completion
+        } else {
+            clock
+        };
+        let completion = start + service;
+        in_flight.push_back(completion);
+        latency.record((completion - clock) as u64);
+        busy += service;
+        last_completion = completion;
+        served += 1;
+    }
+    LoopResult {
+        latency,
+        occupancy,
+        served,
+        rejected,
+        busy_ns: busy,
+        makespan_ns: last_completion.max(clock),
+    }
+}
+
+/// Runs `n` requests from a fixed window of clients through one FIFO
+/// server. `serve(i)` is called once per request, in dispatch order.
+pub fn closed_loop(
+    cfg: &ClosedLoopCfg,
+    n: usize,
+    mut serve: impl FnMut(usize) -> u64,
+) -> LoopResult {
+    assert!(cfg.clients > 0, "closed loop needs at least one client");
+    assert!(cfg.think_ns >= 0.0, "think time cannot be negative");
+    let mut latency = Histogram::new(cfg.latency_bucket_ns.max(1));
+    let mut occupancy = DepthStats::new();
+    // Per-client time at which its next request is issued.
+    let mut ready: Vec<f64> = vec![0.0; cfg.clients];
+    let mut server_free = 0.0f64;
+    let mut busy = 0.0f64;
+    let mut makespan = 0.0f64;
+    for i in 0..n {
+        // FIFO over issue times: dispatch the earliest-ready client.
+        let (c, _) = ready
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("simulated times are finite"))
+            .expect("at least one client");
+        let issued = ready[c];
+        let start = if server_free > issued {
+            server_free
+        } else {
+            issued
+        };
+        // Clients whose requests were issued but not yet started are the
+        // queue this client waited in.
+        let waiting = ready.iter().filter(|&&r| r <= start).count() - 1;
+        occupancy.record(waiting as u64);
+        let service = serve(i) as f64;
+        let completion = start + service;
+        latency.record((completion - issued) as u64);
+        busy += service;
+        server_free = completion;
+        makespan = completion;
+        ready[c] = completion + cfg.think_ns;
+    }
+    LoopResult {
+        latency,
+        occupancy,
+        served: n,
+        rejected: 0,
+        busy_ns: busy,
+        makespan_ns: makespan,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn open_cfg(gap: f64, cap: usize) -> OpenLoopCfg {
+        OpenLoopCfg {
+            mean_interarrival_ns: gap,
+            run_queue_cap: cap,
+            burst: None,
+            latency_bucket_ns: 16,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn underloaded_open_loop_has_no_rejections_and_thin_tail() {
+        // Load 0.25: constant 50ns service, 200ns mean gap.
+        let r = open_loop(&open_cfg(200.0, 64), 20_000, |_| 50);
+        assert_eq!(r.rejected, 0);
+        assert_eq!(r.served, 20_000);
+        assert!(r.utilization() < 0.35, "util {}", r.utilization());
+        // Most requests find an idle server: p50 ≈ service time.
+        assert!(
+            r.latency.percentile(0.5) < 100,
+            "p50 {}",
+            r.latency.percentile(0.5)
+        );
+        assert!(r.occupancy.mean() < 0.5);
+    }
+
+    #[test]
+    fn overloaded_open_loop_rejects_and_saturates_the_cap() {
+        // Load 2.0: the queue fills to the cap and stays there.
+        let cap = 8;
+        let r = open_loop(&open_cfg(25.0, cap), 20_000, |_| 50);
+        assert!(r.rejected > 5_000, "rejected {}", r.rejected);
+        assert!(r.reject_frac() > 0.25 && r.reject_frac() < 0.75);
+        assert_eq!(r.occupancy.max, cap as u64, "backlog capped");
+        assert!(r.utilization() > 0.95, "server never starves");
+        // Served latencies are bounded by the cap: at most (cap+1) services
+        // ahead of you (plus sub-ns rounding).
+        assert!(r.latency.max_bucket_hi() <= ((cap as u64 + 2) * 50).next_multiple_of(16));
+    }
+
+    #[test]
+    fn bursts_fatten_the_tail_at_equal_mean_load() {
+        let calm = open_loop(&open_cfg(100.0, 1024), 40_000, |_| 50);
+        let mut cfg = open_cfg(100.0, 1024);
+        // Same offered load on average is not even needed — bursts at the
+        // *same base gap* strictly add pressure during spikes.
+        cfg.burst = Some(Burst {
+            period: 1000,
+            factor: 6.0,
+        });
+        let bursty = open_loop(&cfg, 40_000, |_| 50);
+        assert!(
+            bursty.latency.percentile(0.99) > 2 * calm.latency.percentile(0.99),
+            "burst p99 {} vs calm p99 {}",
+            bursty.latency.percentile(0.99),
+            calm.latency.percentile(0.99)
+        );
+    }
+
+    #[test]
+    fn closed_loop_latency_scales_with_the_client_window() {
+        let cfg = |w| ClosedLoopCfg {
+            clients: w,
+            think_ns: 0.0,
+            latency_bucket_ns: 8,
+        };
+        let one = closed_loop(&cfg(1), 5_000, |_| 100);
+        let four = closed_loop(&cfg(4), 5_000, |_| 100);
+        // One client: latency == service. Four: each waits for 3 peers.
+        // (Percentiles are bucket-resolved: exact to within one width.)
+        assert!(one.latency.percentile(0.5).abs_diff(100) < 8);
+        assert!(four.latency.percentile(0.5).abs_diff(400) < 8);
+        assert_eq!(four.rejected, 0, "closed loops never reject");
+        assert!(four.utilization() > 0.99);
+        assert_eq!(four.occupancy.max, 3, "window minus the one in service");
+    }
+
+    #[test]
+    fn think_time_drains_the_closed_queue() {
+        let r = closed_loop(
+            &ClosedLoopCfg {
+                clients: 4,
+                think_ns: 10_000.0,
+                latency_bucket_ns: 8,
+            },
+            2_000,
+            |_| 100,
+        );
+        // With think ≫ service the server idles between requests.
+        assert!(r.utilization() < 0.2, "util {}", r.utilization());
+        assert!(r.latency.percentile(0.5).abs_diff(100) < 8);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = open_loop(&open_cfg(80.0, 16), 10_000, |i| 40 + (i as u64 % 7) * 10);
+        let b = open_loop(&open_cfg(80.0, 16), 10_000, |i| 40 + (i as u64 % 7) * 10);
+        assert_eq!(a.served, b.served);
+        assert_eq!(a.rejected, b.rejected);
+        assert_eq!(
+            a.latency.buckets().collect::<Vec<_>>(),
+            b.latency.buckets().collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,293 @@
+//! Zipf-skewed popularity and hot-key churn.
+//!
+//! Jain's destination-address-locality study (see PAPERS.md) models
+//! datacenter traffic as Zipf-distributed over destinations; the classic
+//! web-caching exponent is s ≈ 1. The sampler here precomputes the CDF of
+//! `w(r) = 1/(r+1)^s` over the rank space and samples by binary search —
+//! O(log n) per draw, exact, and deterministic under `spc-rng`. Exponent 0
+//! gives every rank equal weight, so "uniform" is just `Zipf { s: 0.0 }`
+//! and the scenario matrix needs no special casing.
+
+use crate::Request;
+use spc_rng::{Rng, SeedableRng, StdRng};
+
+/// Source-popularity shapes the traffic matrix sweeps.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Popularity {
+    /// Every source equally likely.
+    Uniform,
+    /// Zipf-distributed ranks with exponent `s` (s ≈ 1.0 is the classic
+    /// web/service skew; larger is hotter).
+    Zipf {
+        /// The exponent; 0.0 degenerates to uniform.
+        s: f64,
+    },
+}
+
+impl Popularity {
+    /// The effective Zipf exponent (uniform is exponent 0).
+    pub fn exponent(self) -> f64 {
+        match self {
+            Popularity::Uniform => 0.0,
+            Popularity::Zipf { s } => s,
+        }
+    }
+
+    /// Matrix label: `uniform` or `zipf<s>`.
+    pub fn label(self) -> String {
+        match self {
+            Popularity::Uniform => "uniform".into(),
+            Popularity::Zipf { s } => format!("zipf{s}"),
+        }
+    }
+}
+
+/// Samples ranks `0..n` with probability ∝ `1/(rank+1)^s`.
+#[derive(Clone, Debug)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds the sampler for `n` ranks (> 0) with exponent `s` (>= 0).
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "zipf needs at least one rank");
+        assert!(s >= 0.0 && s.is_finite(), "zipf exponent must be >= 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for r in 0..n {
+            acc += 1.0 / ((r + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True when the rank space is a single key.
+    pub fn is_empty(&self) -> bool {
+        false // n > 0 is enforced at construction
+    }
+
+    /// Draws one rank: 0 is always the hottest.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let u = rng.gen::<f64>();
+        // First rank whose cumulative weight exceeds u.
+        self.cdf
+            .partition_point(|&c| c <= u)
+            .min(self.cdf.len() - 1)
+    }
+}
+
+/// Hot-key churn: every `every` requests the rank→source mapping rotates by
+/// `stride`, so the *identity* of the hot sources drifts while the
+/// popularity *shape* is preserved — the pattern that defeats caches warmed
+/// on a static hot set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Churn {
+    /// Requests between rotations (> 0).
+    pub every: usize,
+    /// Ranks the mapping shifts per rotation.
+    pub stride: u32,
+}
+
+/// Traffic-stream configuration for [`RequestGen`].
+#[derive(Clone, Debug)]
+pub struct TrafficCfg {
+    /// Number of distinct sources (the key space).
+    pub sources: u32,
+    /// Number of distinct tags (cycled per request).
+    pub tags: i32,
+    /// Source-popularity shape.
+    pub popularity: Popularity,
+    /// Fraction of requests taking the arrival-first (unexpected) path.
+    pub unexpected_frac: f64,
+    /// Optional hot-key rotation.
+    pub churn: Option<Churn>,
+    /// RNG seed; the stream is a pure function of this config.
+    pub seed: u64,
+}
+
+impl TrafficCfg {
+    /// A small default scenario: 256 sources, 8 tags, 30% unexpected.
+    pub fn new(popularity: Popularity, seed: u64) -> Self {
+        Self {
+            sources: 256,
+            tags: 8,
+            popularity,
+            unexpected_frac: 0.3,
+            churn: None,
+            seed,
+        }
+    }
+}
+
+/// Deterministic service-request stream: Zipf/uniform source draws, cycled
+/// tags, Bernoulli expected/unexpected mix, and optional churn.
+#[derive(Clone, Debug)]
+pub struct RequestGen {
+    cfg: TrafficCfg,
+    zipf: ZipfSampler,
+    rng: StdRng,
+    issued: usize,
+    offset: u32,
+}
+
+impl RequestGen {
+    /// Builds the stream from its config.
+    pub fn new(cfg: TrafficCfg) -> Self {
+        assert!(cfg.sources > 0 && cfg.tags > 0, "empty key space");
+        assert!(
+            (0.0..=1.0).contains(&cfg.unexpected_frac),
+            "unexpected_frac must be a probability"
+        );
+        if let Some(c) = cfg.churn {
+            assert!(c.every > 0, "churn period must be positive");
+        }
+        let zipf = ZipfSampler::new(cfg.sources as usize, cfg.popularity.exponent());
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        Self {
+            cfg,
+            zipf,
+            rng,
+            issued: 0,
+            offset: 0,
+        }
+    }
+
+    /// The stream's config.
+    pub fn cfg(&self) -> &TrafficCfg {
+        &self.cfg
+    }
+
+    /// The source the hottest rank currently maps to (shifts under churn).
+    pub fn hot_source(&self) -> i32 {
+        (self.offset % self.cfg.sources) as i32
+    }
+
+    /// Draws the next request.
+    pub fn next_request(&mut self) -> Request {
+        if let Some(c) = self.cfg.churn {
+            if self.issued > 0 && self.issued.is_multiple_of(c.every) {
+                self.offset = (self.offset + c.stride) % self.cfg.sources;
+            }
+        }
+        let rank = self.zipf.sample(&mut self.rng) as u32;
+        let source = ((rank + self.offset) % self.cfg.sources) as i32;
+        let tag = (self.issued as i32).rem_euclid(self.cfg.tags);
+        let unexpected = self.rng.gen_bool(self.cfg.unexpected_frac);
+        self.issued += 1;
+        Request {
+            source,
+            tag,
+            unexpected,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(pop: Popularity, n: u32, draws: usize) -> Vec<usize> {
+        let mut g = RequestGen::new(TrafficCfg {
+            sources: n,
+            tags: 4,
+            popularity: pop,
+            unexpected_frac: 0.5,
+            churn: None,
+            seed: 7,
+        });
+        let mut c = vec![0usize; n as usize];
+        for _ in 0..draws {
+            c[g.next_request().source as usize] += 1;
+        }
+        c
+    }
+
+    #[test]
+    fn uniform_is_flat_and_zipf_is_skewed() {
+        let u = counts(Popularity::Uniform, 16, 32_000);
+        let (&umin, &umax) = (u.iter().min().unwrap(), u.iter().max().unwrap());
+        assert!(
+            (umax as f64) < 1.5 * umin as f64,
+            "uniform spread too wide: {umin}..{umax}"
+        );
+        let z = counts(Popularity::Zipf { s: 1.0 }, 16, 32_000);
+        assert!(
+            z[0] > 4 * z[8],
+            "zipf(1) head {} must dominate mid-rank {}",
+            z[0],
+            z[8]
+        );
+        // Zipf with s=0 *is* uniform: identical stream, same seed.
+        assert_eq!(
+            counts(Popularity::Zipf { s: 0.0 }, 16, 2000),
+            counts(Popularity::Uniform, 16, 2000)
+        );
+    }
+
+    #[test]
+    fn zipf_head_probability_matches_harmonic_weight() {
+        // For n=4, s=1: P(0) = 1 / (1 + 1/2 + 1/3 + 1/4) = 0.48.
+        let z = ZipfSampler::new(4, 1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let head = (0..50_000).filter(|_| z.sample(&mut rng) == 0).count();
+        let p = head as f64 / 50_000.0;
+        assert!((p - 0.48).abs() < 0.02, "head probability {p}");
+    }
+
+    #[test]
+    fn churn_rotates_the_hot_source_without_changing_shape() {
+        let cfg = TrafficCfg {
+            sources: 64,
+            tags: 4,
+            popularity: Popularity::Zipf { s: 1.2 },
+            unexpected_frac: 0.0,
+            churn: Some(Churn {
+                every: 5000,
+                stride: 13,
+            }),
+            seed: 11,
+        };
+        let mut g = RequestGen::new(cfg);
+        let hot_of = |g: &mut RequestGen| {
+            let mut c = vec![0usize; 64];
+            for _ in 0..5000 {
+                c[g.next_request().source as usize] += 1;
+            }
+            (0..64).max_by_key(|&i| c[i]).unwrap()
+        };
+        let h0 = hot_of(&mut g);
+        let h1 = hot_of(&mut g);
+        let h2 = hot_of(&mut g);
+        assert_eq!(h0, 0, "hottest rank starts at source 0");
+        assert_eq!(h1, 13, "one rotation of stride 13");
+        assert_eq!(h2, 26, "two rotations");
+    }
+
+    #[test]
+    fn stream_is_deterministic_and_cycles_tags() {
+        let cfg = TrafficCfg::new(Popularity::Zipf { s: 1.0 }, 99);
+        let mut a = RequestGen::new(cfg.clone());
+        let mut b = RequestGen::new(cfg);
+        for i in 0..500 {
+            let (ra, rb) = (a.next_request(), b.next_request());
+            assert_eq!(ra, rb);
+            assert_eq!(ra.tag, i % 8);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exponent must be >= 0")]
+    fn negative_exponent_rejected() {
+        let _ = ZipfSampler::new(4, -1.0);
+    }
+}
