@@ -19,6 +19,7 @@ const HOT_PATH_FILES: &[&str] = &[
     "shard.rs",
     "concurrent.rs",
     "prefetch.rs",
+    "simd.rs",
     "sink.rs",
     "addr.rs",
 ];
@@ -146,7 +147,11 @@ fn safety_justified(lines: &[Line], i: usize) -> bool {
 // Rule 2: arch intrinsics must be cfg-gated with a portable fallback.
 // ---------------------------------------------------------------------------
 
-const INTRINSIC_TOKENS: &[&str] = &["_mm_prefetch", "arch::x86_64", "asm!"];
+/// `_mm_` covers the SSE family (including `_mm_prefetch`), `_mm256_` the
+/// AVX family — the SIMD kernels import them unqualified via
+/// `core::arch::x86_64::*`, so the `arch::x86_64` token alone would miss
+/// every call site.
+const INTRINSIC_TOKENS: &[&str] = &["_mm_", "_mm256_", "arch::x86_64", "asm!"];
 
 /// Files using x86-64 intrinsics must gate them behind
 /// `cfg(target_arch = "x86_64")` *and* provide a `cfg(not(target_arch …))`

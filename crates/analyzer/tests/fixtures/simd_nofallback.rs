@@ -1,0 +1,13 @@
+//! Fixture: a vector scan kernel gated for x86-64 — but with no negated-cfg
+//! portable fallback anywhere in the module, so a non-x86 build of it has no
+//! scan path at all. Rule 2 must flag every intrinsic line.
+
+#[cfg(target_arch = "x86_64")]
+pub fn scan(keys: &[u64]) -> u32 {
+    use core::arch::x86_64::*;
+    // SAFETY: fixture pretends the caller verified AVX2 and `keys.len() >= 4`.
+    unsafe {
+        let v = _mm256_loadu_si256(keys.as_ptr() as *const __m256i);
+        _mm256_movemask_epi8(v) as u32
+    }
+}

@@ -64,6 +64,34 @@ fn gated_intrinsic_without_fallback_is_caught() {
 }
 
 #[test]
+fn simd_kernel_without_portable_fallback_is_caught() {
+    let path = "crates/demo/src/simd.rs";
+    let findings = analyze_source(path, &fixture("simd_nofallback.rs"));
+    let hits = rule_findings(&findings, "intrinsic-gating");
+    assert_eq!(
+        hits.iter().map(|f| f.line).collect::<Vec<_>>(),
+        vec![7, 10, 11],
+        "the `arch::x86_64` import and both `_mm256_` call lines: {findings:?}"
+    );
+    for h in &hits {
+        assert!(h.message.contains("portable fallback"), "{h}");
+        assert_diagnostic_shape(h, path);
+    }
+    assert_eq!(findings.len(), 3, "no other rule fires: {findings:?}");
+}
+
+#[test]
+fn shipped_simd_module_passes() {
+    // The real kernels must satisfy the discipline the fixture violates:
+    // `cfg(target_arch)` gate + `cfg(not(target_arch …))` fallback, SAFETY
+    // on every unsafe, and no clocks/randomness (simd.rs is hot-path).
+    let p = Path::new(env!("CARGO_MANIFEST_DIR")).join("../core/src/simd.rs");
+    let src = std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("read {}: {e}", p.display()));
+    let findings = analyze_source("crates/core/src/simd.rs", &src);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
 fn nested_shard_lock_is_caught() {
     let path = "crates/core/src/shard.rs";
     let findings = analyze_source(path, &fixture("nested_lock.rs"));

@@ -29,6 +29,11 @@ const _: () = assert!(core::mem::size_of::<PaddedEntry>() == 32);
 impl Element for PaddedEntry {
     type Probe = Envelope;
 
+    // The padding sits after `inner`, so word 1 is still PostedEntry's
+    // status/mask word and the same affine packed-mask transform applies.
+    const MASK_WORD_AND: u64 = PostedEntry::MASK_WORD_AND;
+    const MASK_WORD_OR: u64 = PostedEntry::MASK_WORD_OR;
+
     fn matches(&self, probe: &Envelope) -> bool {
         self.inner.matches(probe)
     }

@@ -1,11 +1,13 @@
-//! Native hot-path benchmark gate for the packed-key matching optimisation.
+//! Native hot-path benchmark gate for the packed-key + SIMD matching
+//! optimisations.
 //!
 //! Runs a fixed, seeded workload matrix — queue depth × structure ×
-//! hit-position × wildcard ratio — through both the current packed-key
-//! search (`search_remove`) and, for the linear structures that kept it, the
-//! pre-optimisation field-wise scan (`search_remove_fieldwise`), and writes
-//! the results as `BENCH_matching.json` with the stable `spc-bench/1`
-//! schema (see the `spc-minibench` crate docs).
+//! hit-position × wildcard ratio × scan kernel — through the current
+//! search (`search_remove`, under each supported slab-scan kind) and, for
+//! the linear structures that kept it, the pre-optimisation field-wise scan
+//! (`search_remove_fieldwise`), and writes the results as
+//! `BENCH_matching.json` with the stable `spc-bench/1` schema (see the
+//! `spc-minibench` crate docs).
 //!
 //! Methodology: each cell builds a fresh list of `depth` entries over a
 //! small tag alphabet with *unique (rank, tag) pairs*, so a probe targets
@@ -20,17 +22,36 @@
 //! acceptance gate keys on). Wall time per op comes from
 //! `spc_minibench::measure_ns` (the same calibrate-then-best-mean core the
 //! criterion-style targets use); simulated bytes per op come from replaying
-//! one full probe cycle against a `CountingSink` twin.
+//! one full probe cycle against a `CountingSink` twin; the cachesim columns
+//! (`lines_per_op`, `l1_hit_pct`, `l3_hit_pct`) come from replaying the
+//! identical seeded op stream against an `spc-cachesim` `MemSim` on the
+//! Sandy Bridge profile — one full warm-up cycle, a stats reset, then one
+//! measured cycle — so a timing win can be *attributed*: a SIMD row that is
+//! faster at identical lines/op and hit ratios won on compute, not on a
+//! layout change.
+//!
+//! Every non-portable packed cell also runs a built-in **cross-check**: a
+//! twin pair of lists replays the same probe cycle under the cell's kind
+//! and under the portable scalar kernel in lockstep, and any divergence in
+//! match identity or reported depth aborts the run with a nonzero exit.
+//! CI runs the quick matrix twice (`SPC_SCAN_KIND=portable` and
+//! `SPC_SCAN_KIND=simd256`) so both the fallback and the vector kernels are
+//! exercised and compared on every push.
 //!
 //! Usage: `matching_gate [--quick] [--out <path>]` (also `--json <path>`;
 //! default `BENCH_matching.json`). `--quick` shrinks the matrix and budgets
-//! for CI smoke runs and marks the JSON `"quick": true`. The binary exits
-//! nonzero only on panic or an unwritable output path — perf regressions
-//! are recorded, not fatal, so CI stays green on noisy runners.
+//! for CI smoke runs and marks the JSON `"quick": true`. The `SPC_SCAN_KIND`
+//! environment variable restricts the packed sweep to one kernel
+//! (`portable`/`simd128`/`simd256`, downgraded to the best the CPU
+//! supports). The binary exits nonzero on panic, an unwritable output path,
+//! or a kernel cross-check divergence — perf regressions are recorded, not
+//! fatal, so CI stays green on noisy runners.
 
 use criterion::{measure_ns, report};
+use spc_cachesim::{ArchProfile, MemSim};
 use spc_core::entry::{Envelope, PostedEntry, RecvSpec, ANY_SOURCE};
 use spc_core::list::{BaselineList, HashBins, Lla, MatchList, RankTrie, Search, SourceBins};
+use spc_core::simd::{self, ScanKind};
 use spc_core::sink::{CountingSink, NullSink};
 use spc_rng::{Rng, SeedableRng, StdRng};
 use std::time::Duration;
@@ -49,13 +70,51 @@ fn rank_count(depth: usize) -> usize {
     64usize.max(depth.div_ceil(TAGS) + 1)
 }
 
+/// Measured code path plus the slab-scan kernel under it — the `path` and
+/// `scan_kind` JSON columns.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Variant {
+    /// The pre-packed-key field-by-field comparator.
+    Fieldwise,
+    /// The packed-key search under a specific slab-scan kernel.
+    Packed(ScanKind),
+}
+
+impl Variant {
+    fn path(self) -> &'static str {
+        match self {
+            Variant::Fieldwise => "fieldwise",
+            Variant::Packed(_) => "packed",
+        }
+    }
+
+    /// The `scan_kind` column: `fieldwise` < `packed` (scalar portable)
+    /// < `simd128` < `simd256`.
+    fn scan_kind(self) -> &'static str {
+        match self {
+            Variant::Fieldwise => "fieldwise",
+            Variant::Packed(ScanKind::Portable) => "packed",
+            Variant::Packed(k) => k.as_str(),
+        }
+    }
+
+    /// Installs the kernel this variant measures (fieldwise never consults
+    /// the scan kind, but pinning portable keeps the cell hermetic).
+    fn install(self) {
+        match self {
+            Variant::Fieldwise => simd::set_scan_kind(ScanKind::Portable),
+            Variant::Packed(k) => simd::set_scan_kind(k),
+        };
+    }
+}
+
 /// One point of the workload matrix.
 struct Cell {
     structure: &'static str,
     depth: usize,
     hit: &'static str,
     wildcard: f64,
-    path: &'static str,
+    variant: Variant,
 }
 
 struct MeasureCfg {
@@ -65,12 +124,15 @@ struct MeasureCfg {
 
 /// Object-safe facade over the concrete list types and search paths, so one
 /// cell runner drives every matrix point. `*_null` methods time against a
-/// `NullSink`; `*_count` methods replay against the byte-accounting twin.
+/// `NullSink`; `*_count` methods replay against the byte-accounting twin;
+/// `*_sim` methods replay against the cache-hierarchy simulator.
 trait GateList {
     fn append_null(&mut self, e: PostedEntry);
     fn append_count(&mut self, e: PostedEntry, sink: &mut CountingSink);
+    fn append_sim(&mut self, e: PostedEntry, sink: &mut MemSim);
     fn search_null(&mut self, p: &Envelope) -> Search<PostedEntry>;
     fn search_count(&mut self, p: &Envelope, sink: &mut CountingSink) -> Search<PostedEntry>;
+    fn search_sim(&mut self, p: &Envelope, sink: &mut MemSim) -> Search<PostedEntry>;
 }
 
 /// The current packed-key path, available on every structure.
@@ -83,10 +145,16 @@ impl<L: MatchList<PostedEntry>> GateList for Packed<L> {
     fn append_count(&mut self, e: PostedEntry, sink: &mut CountingSink) {
         self.0.append(e, sink);
     }
+    fn append_sim(&mut self, e: PostedEntry, sink: &mut MemSim) {
+        self.0.append(e, sink);
+    }
     fn search_null(&mut self, p: &Envelope) -> Search<PostedEntry> {
         self.0.search_remove(p, &mut NullSink)
     }
     fn search_count(&mut self, p: &Envelope, sink: &mut CountingSink) -> Search<PostedEntry> {
+        self.0.search_remove(p, sink)
+    }
+    fn search_sim(&mut self, p: &Envelope, sink: &mut MemSim) -> Search<PostedEntry> {
         self.0.search_remove(p, sink)
     }
 }
@@ -102,10 +170,16 @@ impl GateList for FieldwiseBaseline {
     fn append_count(&mut self, e: PostedEntry, sink: &mut CountingSink) {
         self.0.append(e, sink);
     }
+    fn append_sim(&mut self, e: PostedEntry, sink: &mut MemSim) {
+        self.0.append(e, sink);
+    }
     fn search_null(&mut self, p: &Envelope) -> Search<PostedEntry> {
         self.0.search_remove_fieldwise(p, &mut NullSink)
     }
     fn search_count(&mut self, p: &Envelope, sink: &mut CountingSink) -> Search<PostedEntry> {
+        self.0.search_remove_fieldwise(p, sink)
+    }
+    fn search_sim(&mut self, p: &Envelope, sink: &mut MemSim) -> Search<PostedEntry> {
         self.0.search_remove_fieldwise(p, sink)
     }
 }
@@ -119,27 +193,35 @@ impl<const N: usize> GateList for FieldwiseLla<N> {
     fn append_count(&mut self, e: PostedEntry, sink: &mut CountingSink) {
         self.0.append(e, sink);
     }
+    fn append_sim(&mut self, e: PostedEntry, sink: &mut MemSim) {
+        self.0.append(e, sink);
+    }
     fn search_null(&mut self, p: &Envelope) -> Search<PostedEntry> {
         self.0.search_remove_fieldwise(p, &mut NullSink)
     }
     fn search_count(&mut self, p: &Envelope, sink: &mut CountingSink) -> Search<PostedEntry> {
         self.0.search_remove_fieldwise(p, sink)
     }
+    fn search_sim(&mut self, p: &Envelope, sink: &mut MemSim) -> Search<PostedEntry> {
+        self.0.search_remove_fieldwise(p, sink)
+    }
 }
 
-fn make_list(structure: &str, path: &str, depth: usize) -> Box<dyn GateList> {
+fn make_list(structure: &str, variant: Variant, depth: usize) -> Box<dyn GateList> {
     let ranks = rank_count(depth);
-    match (structure, path) {
-        ("baseline", "packed") => Box::new(Packed(BaselineList::<PostedEntry>::new())),
-        ("baseline", "fieldwise") => Box::new(FieldwiseBaseline(BaselineList::new())),
-        ("lla2", "packed") => Box::new(Packed(Lla::<PostedEntry, 2>::new())),
-        ("lla2", "fieldwise") => Box::new(FieldwiseLla::<2>(Lla::new())),
-        ("lla8", "packed") => Box::new(Packed(Lla::<PostedEntry, 8>::new())),
-        ("lla8", "fieldwise") => Box::new(FieldwiseLla::<8>(Lla::new())),
-        ("bins", "packed") => Box::new(Packed(SourceBins::<PostedEntry>::new(ranks))),
-        ("hashbins", "packed") => Box::new(Packed(HashBins::<PostedEntry>::new())),
-        ("ranktrie", "packed") => Box::new(Packed(RankTrie::<PostedEntry>::new(ranks))),
-        _ => panic!("no {path} path for {structure}"),
+    match (structure, variant) {
+        ("baseline", Variant::Packed(_)) => Box::new(Packed(BaselineList::<PostedEntry>::new())),
+        ("baseline", Variant::Fieldwise) => Box::new(FieldwiseBaseline(BaselineList::new())),
+        ("lla2", Variant::Packed(_)) => Box::new(Packed(Lla::<PostedEntry, 2>::new())),
+        ("lla2", Variant::Fieldwise) => Box::new(FieldwiseLla::<2>(Lla::new())),
+        ("lla8", Variant::Packed(_)) => Box::new(Packed(Lla::<PostedEntry, 8>::new())),
+        ("lla8", Variant::Fieldwise) => Box::new(FieldwiseLla::<8>(Lla::new())),
+        ("lla32", Variant::Packed(_)) => Box::new(Packed(Lla::<PostedEntry, 32>::new())),
+        ("lla32", Variant::Fieldwise) => Box::new(FieldwiseLla::<32>(Lla::new())),
+        ("bins", Variant::Packed(_)) => Box::new(Packed(SourceBins::<PostedEntry>::new(ranks))),
+        ("hashbins", Variant::Packed(_)) => Box::new(Packed(HashBins::<PostedEntry>::new())),
+        ("ranktrie", Variant::Packed(_)) => Box::new(Packed(RankTrie::<PostedEntry>::new(ranks))),
+        (s, _) => panic!("no fieldwise path for {s}"),
     }
 }
 
@@ -150,7 +232,7 @@ fn make_list(structure: &str, path: &str, depth: usize) -> Box<dyn GateList> {
 /// reuse. A `wildcard` fraction instead posts `MPI_ANY_SOURCE` under a
 /// reserved per-entry tag, unique by construction so wildcards never
 /// shadow a probe's target. The rng stream depends only on
-/// (depth, wildcard), so old- and new-path cells measure the identical
+/// (depth, wildcard), so every variant of a cell measures the identical
 /// population.
 fn make_entries(depth: usize, wildcard: f64) -> Vec<PostedEntry> {
     let mut rng = StdRng::seed_from_u64(SEED ^ (depth as u64) << 8 ^ (wildcard * 1024.0) as u64);
@@ -183,24 +265,121 @@ fn hit_probes(entries: &[PostedEntry], t: usize) -> Vec<Envelope> {
     probes
 }
 
-/// Runs one matrix cell: times the steady-state loop, then replays one full
-/// probe cycle against a `CountingSink` twin. Returns (ns/op, bytes/op).
-fn run_cell(cell: &Cell, cfg: &MeasureCfg) -> (f64, f64) {
-    let entries = make_entries(cell.depth, cell.wildcard);
-    let mut list = make_list(cell.structure, cell.path, cell.depth);
-    for e in &entries {
-        list.append_null(*e);
-    }
-    let probes = match cell.hit {
-        "front" => hit_probes(&entries, cell.depth / 8),
-        "mid" => hit_probes(&entries, cell.depth / 2),
-        "back" => hit_probes(&entries, cell.depth - 1),
+fn cell_probes(cell: &Cell, entries: &[PostedEntry]) -> Vec<Envelope> {
+    match cell.hit {
+        "front" => hit_probes(entries, cell.depth / 8),
+        "mid" => hit_probes(entries, cell.depth / 2),
+        "back" => hit_probes(entries, cell.depth - 1),
         // The top rank is never posted (`rank_count` reserves it), but tag
         // 0 is heavily reused, so a miss scan exercises the realistic
         // fail-on-rank-after-tag-passes comparator path.
         "miss" => vec![Envelope::new(rank_count(cell.depth) as i32 - 1, 0, 0)],
         other => panic!("unknown hit position {other}"),
+    }
+}
+
+/// Cachesim-derived columns for one cell, from a `MemSim` replay.
+struct SimColumns {
+    lines_per_op: f64,
+    l1_hit_pct: f64,
+    l3_hit_pct: f64,
+}
+
+/// Lockstep twin replay: the cell's kernel vs the portable scalar, same
+/// probes on identical fresh lists. Any divergence in match identity or
+/// depth is a kernel bug — abort the gate, don't record around it.
+fn cross_check(cell: &Cell, entries: &[PostedEntry], probes: &[Envelope], kind: ScanKind) {
+    let mut ours = make_list(cell.structure, cell.variant, cell.depth);
+    let mut reference = make_list(cell.structure, cell.variant, cell.depth);
+    for e in entries {
+        ours.append_null(*e);
+        reference.append_null(*e);
+    }
+    // Two full cycles so the second starts from rotated (steady) state.
+    for k in 0..probes.len() * 2 {
+        let p = &probes[k % probes.len()];
+        simd::set_scan_kind(kind);
+        let a = ours.search_null(p);
+        simd::set_scan_kind(ScanKind::Portable);
+        let b = reference.search_null(p);
+        let ar = a.found.map(|e| e.request);
+        let br = b.found.map(|e| e.request);
+        if ar != br || a.depth != b.depth {
+            eprintln!(
+                "gate: CROSS-CHECK DIVERGENCE at {} op {k}: \
+                 {kind:?} found {ar:?} depth {} vs portable found {br:?} depth {}",
+                label(cell),
+                a.depth,
+                b.depth
+            );
+            std::process::exit(2);
+        }
+        if let Some(e) = a.found {
+            ours.append_null(e);
+        }
+        if let Some(e) = b.found {
+            reference.append_null(e);
+        }
+    }
+    simd::set_scan_kind(kind);
+}
+
+/// Replays the cell's op stream against the cache hierarchy: appends and
+/// one full probe cycle warm the simulated caches, then one measured cycle
+/// produces the per-op line and hit-ratio columns.
+fn run_sim(cell: &Cell, entries: &[PostedEntry], probes: &[Envelope]) -> SimColumns {
+    let mut list = make_list(cell.structure, cell.variant, cell.depth);
+    let mut mem = MemSim::new(ArchProfile::sandy_bridge());
+    for e in entries {
+        list.append_sim(*e, &mut mem);
+    }
+    // One warm-up cycle returns a hit cell to its original FIFO order
+    // (the rotation period equals the cycle length), so the measured
+    // cycle replays the identical op stream on warm caches.
+    for cycle in 0..2 {
+        if cycle == 1 {
+            mem.reset_stats();
+        }
+        for p in probes {
+            let s = list.search_sim(p, &mut mem);
+            if let Some(e) = s.found {
+                list.append_sim(e, &mut mem);
+            }
+        }
+    }
+    let st = mem.stats();
+    let total = st.l1_hits + st.l2_hits + st.l3_hits + st.dram_loads + st.net_cache_hits;
+    let ops = probes.len() as f64;
+    let pct = |x: u64| {
+        if total == 0 {
+            0.0
+        } else {
+            100.0 * x as f64 / total as f64
+        }
     };
+    SimColumns {
+        lines_per_op: total as f64 / ops,
+        l1_hit_pct: pct(st.l1_hits),
+        l3_hit_pct: pct(total - st.dram_loads),
+    }
+}
+
+/// Runs one matrix cell: times the steady-state loop, then replays one full
+/// probe cycle against a `CountingSink` twin and the cachesim. Returns
+/// (ns/op, bytes/op, sim columns).
+fn run_cell(cell: &Cell, cfg: &MeasureCfg) -> (f64, f64, SimColumns) {
+    cell.variant.install();
+    let entries = make_entries(cell.depth, cell.wildcard);
+    let probes = cell_probes(cell, &entries);
+    if let Variant::Packed(kind) = cell.variant {
+        if kind != ScanKind::Portable {
+            cross_check(cell, &entries, &probes, kind);
+        }
+    }
+    let mut list = make_list(cell.structure, cell.variant, cell.depth);
+    for e in &entries {
+        list.append_null(*e);
+    }
     let expect_hit = cell.hit != "miss";
     // The probe index and the list's rotation state advance together, so the
     // cycle stays aligned across calibration batches and the bytes replay.
@@ -231,7 +410,8 @@ fn run_cell(cell: &Cell, cfg: &MeasureCfg) -> (f64, f64) {
         }
     }
     let bytes = (sink.bytes_read + sink.bytes_written) as f64 / probes.len() as f64;
-    (ns, bytes)
+    let sim = run_sim(cell, &entries, &probes);
+    (ns, bytes, sim)
 }
 
 fn label(cell: &Cell) -> String {
@@ -241,7 +421,7 @@ fn label(cell: &Cell) -> String {
         cell.depth,
         cell.hit,
         (cell.wildcard * 1000.0) as u64,
-        cell.path
+        cell.variant.scan_kind()
     )
 }
 
@@ -257,10 +437,35 @@ fn main() {
         }
     }
 
+    // `SPC_SCAN_KIND` restricts the packed sweep to one kernel — this first
+    // call parses it (emitting the one-time diagnostic on garbage) and
+    // clamps to what the CPU supports.
+    let env_forced = std::env::var("SPC_SCAN_KIND").is_ok();
+    let installed = simd::scan_kind();
+    let packed_kinds: Vec<ScanKind> = if env_forced {
+        vec![installed]
+    } else {
+        let best = simd::detect_best();
+        ScanKind::ALL.into_iter().filter(|k| *k <= best).collect()
+    };
+    println!(
+        "gate: packed scan kinds: [{}]{}",
+        packed_kinds
+            .iter()
+            .map(|k| Variant::Packed(*k).scan_kind())
+            .collect::<Vec<_>>()
+            .join(", "),
+        if env_forced { " (SPC_SCAN_KIND)" } else { "" }
+    );
+
+    // (structure, has a slab scan the SIMD kernels accelerate). Binned
+    // structures search per-channel `SeqFifo`s with the scalar packed
+    // compare, so they get one packed row regardless of the kind sweep.
     let structures: &[(&str, bool)] = &[
         ("baseline", true),
         ("lla2", true),
         ("lla8", true),
+        ("lla32", true),
         ("bins", false),
         ("hashbins", false),
         ("ranktrie", false),
@@ -289,26 +494,32 @@ fn main() {
     };
 
     let mut records = Vec::new();
-    for &(structure, has_fieldwise) in structures {
+    for &(structure, slab) in structures {
         for &depth in depths {
             for &hit in hits {
                 for &wildcard in wildcards {
-                    let paths: &[&str] = if has_fieldwise {
-                        &["packed", "fieldwise"]
+                    let mut variants: Vec<Variant> = Vec::new();
+                    if slab {
+                        variants.push(Variant::Fieldwise);
+                        variants.extend(packed_kinds.iter().map(|k| Variant::Packed(*k)));
                     } else {
-                        &["packed"]
-                    };
-                    for &path in paths {
+                        variants.push(Variant::Packed(ScanKind::Portable));
+                    }
+                    for variant in variants {
                         let cell = Cell {
                             structure,
                             depth,
                             hit,
                             wildcard,
-                            path,
+                            variant,
                         };
-                        let (ns, bytes) = run_cell(&cell, &cfg);
+                        let (ns, bytes, sim) = run_cell(&cell, &cfg);
                         let name = label(&cell);
-                        println!("gate: {name:<44} {ns:>10.1} ns/op  {bytes:>9.1} B/op");
+                        println!(
+                            "gate: {name:<46} {ns:>9.1} ns/op  {bytes:>9.1} B/op  \
+                             {:>7.2} lines/op  L1 {:>5.1}%  L3 {:>5.1}%",
+                            sim.lines_per_op, sim.l1_hit_pct, sim.l3_hit_pct
+                        );
                         records.push(report::Record {
                             name,
                             ns_per_op: ns,
@@ -316,8 +527,12 @@ fn main() {
                             depth: Some(depth as u64),
                             hit: Some(hit.into()),
                             wildcard: Some(wildcard),
-                            path: Some(path.into()),
+                            path: Some(cell.variant.path().into()),
+                            scan_kind: Some(cell.variant.scan_kind().into()),
                             bytes_per_op: Some(bytes),
+                            lines_per_op: Some(sim.lines_per_op),
+                            l1_hit_pct: Some(sim.l1_hit_pct),
+                            l3_hit_pct: Some(sim.l3_hit_pct),
                             ..report::Record::default()
                         });
                     }
@@ -326,24 +541,49 @@ fn main() {
         }
     }
 
-    // Old-vs-new summary over the deep-scan cells the acceptance gate keys
-    // on: full-scan misses and back-of-list hits at depth >= 256.
+    // SIMD-vs-scalar summary over the deep-scan cells the acceptance gate
+    // keys on: full-scan misses and back-of-list hits at depth >= 256. The
+    // lines/op delta is printed alongside so a timing win is attributable
+    // (same lines -> compute win; fewer lines -> locality win).
+    let deep = |r: &&report::Record| {
+        r.depth.unwrap_or(0) >= 256
+            && r.wildcard == Some(0.0)
+            && matches!(r.hit.as_deref(), Some("miss") | Some("back"))
+    };
     println!("\ngate: packed vs fieldwise (deep scans, wildcard 0):");
-    for r in &records {
-        if r.path.as_deref() != Some("fieldwise")
-            || r.depth.unwrap_or(0) < 256
-            || r.wildcard != Some(0.0)
-            || !matches!(r.hit.as_deref(), Some("miss") | Some("back"))
-        {
+    for r in records.iter().filter(deep) {
+        if r.scan_kind.as_deref() != Some("fieldwise") {
             continue;
         }
-        let packed_name = r.name.replace("/fieldwise", "/packed");
-        if let Some(p) = records.iter().find(|x| x.name == packed_name) {
+        let new_name = r.name.replace("/fieldwise", "/packed");
+        if let Some(p) = records.iter().find(|x| x.name == new_name) {
             let gain = 100.0 * (r.ns_per_op - p.ns_per_op) / r.ns_per_op;
             println!(
-                "gate:   {:<40} {:>8.1} -> {:>8.1} ns/op  ({gain:+.1}%)",
-                packed_name, r.ns_per_op, p.ns_per_op
+                "gate:   {:<42} {:>8.1} -> {:>8.1} ns/op  ({gain:+.1}%)",
+                new_name, r.ns_per_op, p.ns_per_op
             );
+        }
+    }
+    for simd_kind in ["simd128", "simd256"] {
+        let mut shown = false;
+        for r in records.iter().filter(deep) {
+            if r.scan_kind.as_deref() != Some(simd_kind) {
+                continue;
+            }
+            let scalar_name = r.name.replace(&format!("/{simd_kind}"), "/packed");
+            if let Some(p) = records.iter().find(|x| x.name == scalar_name) {
+                if !shown {
+                    println!("\ngate: {simd_kind} vs packed scalar (deep scans, wildcard 0):");
+                    shown = true;
+                }
+                let gain = 100.0 * (p.ns_per_op - r.ns_per_op) / p.ns_per_op;
+                let dl = r.lines_per_op.unwrap_or(0.0) - p.lines_per_op.unwrap_or(0.0);
+                println!(
+                    "gate:   {:<42} {:>8.1} -> {:>8.1} ns/op  ({gain:+.1}%)  \
+                     lines/op {dl:+.2}",
+                    r.name, p.ns_per_op, r.ns_per_op
+                );
+            }
         }
     }
 

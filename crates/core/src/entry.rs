@@ -344,6 +344,27 @@ pub trait Element: Copy + core::fmt::Debug + 'static {
     /// element types like [`UnexpectedEntry`]).
     fn packed_mask(&self) -> u64;
 
+    /// AND half of the affine word-1 → packed-mask transform (see
+    /// [`Element::MASK_WORD_OR`]).
+    const MASK_WORD_AND: u64;
+
+    /// OR half of the transform. The SIMD slab kernels load each entry's
+    /// raw second word (bytes 8..16) and must derive [`Element::packed_mask`]
+    /// without a scalar call per lane; every element type guarantees
+    ///
+    /// ```text
+    /// packed_mask() == (word1 & MASK_WORD_AND) | MASK_WORD_OR
+    /// ```
+    ///
+    /// where `word1` is the entry's bytes 8..16 read as a little-endian
+    /// `u64`. For [`PostedEntry`] word1 is `tag_mask | (rank_mask << 32)`
+    /// and the transform truncates the rank mask to 16 bits and forces the
+    /// always-compared context bits on; for [`UnexpectedEntry`] word1 is
+    /// the payload handle (matching garbage) and the transform ignores it
+    /// entirely. The contract is pinned by transmute property tests in
+    /// `tests/packed_props.rs`.
+    const MASK_WORD_OR: u64;
+
     /// An in-band hole marker that can never match any probe.
     fn hole() -> Self;
 
@@ -380,6 +401,12 @@ pub trait ProbeKey: Copy {
 
 impl Element for PostedEntry {
     type Probe = Envelope;
+
+    // word1 = tag_mask | (rank_mask << 32); keep its low 48 bits (the rank
+    // mask's meaningful 16) and force the context bits on — exactly
+    // `pack_mask(tag_mask, rank_mask)`.
+    const MASK_WORD_AND: u64 = 0x0000_FFFF_FFFF_FFFF;
+    const MASK_WORD_OR: u64 = 0xFFFF_u64 << KEY_CTX_SHIFT;
 
     #[inline]
     fn matches(&self, probe: &Envelope) -> bool {
@@ -438,6 +465,11 @@ impl Element for PostedEntry {
 
 impl Element for UnexpectedEntry {
     type Probe = RecvSpec;
+
+    // word1 is the payload handle — matching garbage; the packed mask is
+    // the constant `!0` (a buffered message is fully concrete).
+    const MASK_WORD_AND: u64 = 0;
+    const MASK_WORD_OR: u64 = !0;
 
     #[inline]
     fn matches(&self, probe: &RecvSpec) -> bool {

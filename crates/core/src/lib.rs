@@ -67,6 +67,7 @@ pub mod pool;
 pub mod prefetch;
 pub mod replay;
 pub mod shard;
+pub mod simd;
 pub mod sink;
 pub mod stats;
 

@@ -18,6 +18,7 @@ use crate::addr::AddrSpace;
 use crate::entry::{Element, PackedProbe, ProbeKey};
 use crate::list::{Footprint, MatchList, Search};
 use crate::prefetch;
+use crate::simd;
 use crate::sink::AccessSink;
 
 /// Bytes of request state between the match fields and the list link,
@@ -131,13 +132,38 @@ impl<E: Element> BaselineList<E> {
         Search::miss(depth)
     }
 
-    /// Packed-key walk: compares each node's precomputed `u64` key against
-    /// `probe` (one XOR+AND+compare) and issues a stride-speculative
-    /// prefetch [`prefetch::distance`] hops ahead so upcoming nodes' lines
-    /// are in flight while the current one is tested. Access-sink charges
-    /// are identical to [`Self::walk_remove`] — the simulated trace is
-    /// byte-for-byte the same; only native latency changes.
+    /// Packed-key walk behind [`MatchList::search_remove`]: dispatches
+    /// between the scalar one-node-per-test chase and the batched
+    /// multi-node SIMD walk. Both issue identical access-sink charges to
+    /// [`Self::walk_remove`] — the simulated trace is byte-for-byte the
+    /// same; only native latency changes.
+    ///
+    /// The batched walk only engages under an *explicitly forced* kind
+    /// ([`simd::scan_kind_forced`], via `SPC_SCAN_KIND` or
+    /// [`simd::set_scan_kind`]). Measured on the gate, gathering keys
+    /// along a dependent pointer chase never beats the scalar chase —
+    /// every next-pointer load still serializes, and batching only delays
+    /// the compare — so the auto-detected default must not regress the
+    /// paper's reference structure. Forcing a kind keeps the path
+    /// measurable (and conformance-tested) without making it the default.
     fn packed_walk_remove<S: AccessSink>(
+        &mut self,
+        probe: &PackedProbe,
+        sink: &mut S,
+    ) -> Search<E> {
+        match simd::scan_kind_forced() {
+            Some(kind) if kind.key_batch() > 1 => {
+                self.packed_walk_remove_batched(kind, probe, sink)
+            }
+            _ => self.packed_walk_remove_scalar(probe, sink),
+        }
+    }
+
+    /// Scalar packed walk: compares each node's precomputed `u64` key
+    /// against `probe` (one XOR+AND+compare) and issues a
+    /// stride-speculative prefetch [`prefetch::distance`] hops ahead so
+    /// upcoming nodes' lines are in flight while the current one is tested.
+    fn packed_walk_remove_scalar<S: AccessSink>(
         &mut self,
         probe: &PackedProbe,
         sink: &mut S,
@@ -191,6 +217,113 @@ impl<E: Element> BaselineList<E> {
             sink.read(node.sim_addr + Node::<E>::NEXT_OFFSET, 8);
             prev = cur;
             cur = node.next;
+        }
+        Search::miss(depth)
+    }
+
+    /// Batched SIMD walk: gathers up to [`simd::ScanKind::key_batch`]
+    /// consecutive nodes' precomputed key/mask pairs while pointer-chasing
+    /// them (same per-node stride-speculative prefetch as the scalar walk),
+    /// then tests the whole batch with one vector compare
+    /// ([`simd::match_keys`]). The entry test is off the chase's critical
+    /// path — the next batch's pointers are already known when the compare
+    /// issues. In practice the dependent next-pointer loads dominate and
+    /// this never beats the scalar chase (see `packed_walk_remove`), so
+    /// the path is reachable only under a forced scan kind: it exists for
+    /// measurement — the gate's "where SIMD does NOT pay" rows — and as a
+    /// conformance target, not as a production default.
+    ///
+    /// Sink charges are replayed post-hoc in the scalar walk's exact
+    /// order — entry read, link read per non-matching node, entry read then
+    /// predecessor link write at the hit — so simulated traces stay
+    /// byte-for-byte identical across scan kinds. (Natively a hit in
+    /// mid-batch has already touched up to `batch - 1` trailing nodes'
+    /// lines; that is a latency effect only, invisible to the sink.)
+    fn packed_walk_remove_batched<S: AccessSink>(
+        &mut self,
+        kind: simd::ScanKind,
+        probe: &PackedProbe,
+        sink: &mut S,
+    ) -> Search<E> {
+        const MAX_BATCH: usize = 4;
+        let batch = kind.key_batch().min(MAX_BATCH);
+        let dist = prefetch::distance() as isize;
+        let mut depth = 0u32;
+        let mut prev: *mut Node<E> = core::ptr::null_mut();
+        let mut cur = self.head;
+        let mut ptrs: [*mut Node<E>; MAX_BATCH] = [core::ptr::null_mut(); MAX_BATCH];
+        let mut keys = [0u64; MAX_BATCH];
+        let mut masks = [0u64; MAX_BATCH];
+        while !cur.is_null() {
+            // Gather phase: chase up to `batch` links, collecting each
+            // node's precomputed key/mask.
+            let mut n = 0usize;
+            let mut walk = cur;
+            while n < batch && !walk.is_null() {
+                // SAFETY: `walk` chains from `self.head` through live
+                // `next` pointers; nodes are exclusively owned and nothing
+                // frees them during the gather.
+                let node = unsafe { &*walk };
+                if dist != 0 && !node.next.is_null() {
+                    // Same stride-speculative guess as the scalar walk,
+                    // issued per node gathered (see that walk for why).
+                    let stride = (node.next as isize).wrapping_sub(walk as isize);
+                    let guess = (node.next as usize).wrapping_add((stride * dist) as usize);
+                    prefetch::read(guess as *const Node<E>);
+                    prefetch::read((guess + core::mem::offset_of!(Node<E>, next)) as *const u8);
+                }
+                ptrs[n] = walk;
+                keys[n] = node.key;
+                masks[n] = node.mask;
+                n += 1;
+                walk = node.next;
+            }
+            let cand = simd::match_keys(kind, &keys[..n], &masks[..n], probe);
+            if cand == 0 {
+                for &p in &ptrs[..n] {
+                    // SAFETY: gathered above from live nodes.
+                    let node = unsafe { &*p };
+                    sink.read(node.sim_addr, core::mem::size_of::<E>() as u32);
+                    sink.read(node.sim_addr + Node::<E>::NEXT_OFFSET, 8);
+                }
+                depth += n as u32;
+                prev = ptrs[n - 1];
+                cur = walk;
+            } else {
+                let hi = cand.trailing_zeros() as usize;
+                for &p in &ptrs[..hi] {
+                    // SAFETY: gathered above from live nodes.
+                    let node = unsafe { &*p };
+                    sink.read(node.sim_addr, core::mem::size_of::<E>() as u32);
+                    sink.read(node.sim_addr + Node::<E>::NEXT_OFFSET, 8);
+                }
+                let hit_ptr = ptrs[hi];
+                // SAFETY: gathered above from a live node; unlinked and
+                // freed exactly once below.
+                let node = unsafe { &*hit_ptr };
+                sink.read(node.sim_addr, core::mem::size_of::<E>() as u32);
+                depth += hi as u32 + 1;
+                let entry = node.entry;
+                let next = node.next;
+                let hit_prev = if hi == 0 { prev } else { ptrs[hi - 1] };
+                if hit_prev.is_null() {
+                    self.head = next;
+                } else {
+                    // SAFETY: the hit's predecessor is a live node we just
+                    // traversed (either gathered or the previous batch's
+                    // last node).
+                    let prev_node = unsafe { &mut *hit_prev };
+                    prev_node.next = next;
+                    sink.write(prev_node.sim_addr + Node::<E>::NEXT_OFFSET, 8);
+                }
+                if hit_ptr == self.tail {
+                    self.tail = hit_prev;
+                }
+                // SAFETY: `hit_ptr` is unlinked; reclaim exactly once.
+                drop(unsafe { Box::from_raw(hit_ptr) });
+                self.len -= 1;
+                return Search::hit(entry, depth);
+            }
         }
         Search::miss(depth)
     }

@@ -14,10 +14,11 @@
 //! node is unlinked and returned to the element pool.
 
 use crate::addr::AddrSpace;
-use crate::entry::{packed_matches, Element, PackedProbe, PostedEntry, ProbeKey, UnexpectedEntry};
+use crate::entry::{Element, PackedProbe, PostedEntry, ProbeKey, UnexpectedEntry};
 use crate::list::{Footprint, MatchList, Search};
 use crate::pool::{Pool, NIL};
 use crate::prefetch;
+use crate::simd;
 use crate::sink::AccessSink;
 
 /// One LLA node: header (8 B) + `N` entries + next link, padded to a
@@ -171,8 +172,34 @@ impl<E: Element, const N: usize> Lla<E, N> {
                 node.head = 0;
                 node.tail = 0;
             } else {
-                node.head = node.occ.trailing_zeros() as u16;
-                node.tail = (32 - node.occ.leading_zeros()) as u16;
+                let h = node.occ.trailing_zeros();
+                let t = 32 - node.occ.leading_zeros();
+                #[cfg(feature = "debug_invariants")]
+                {
+                    // Width guard on the u32-scan → u16-trim narrowing: the
+                    // recomputed bounds must bracket the occupancy bitmap
+                    // exactly *and* stay within the node's N slots — a stray
+                    // occupancy bit at position >= N (the bitmap is 32 bits
+                    // wide regardless of N) would otherwise narrow into a
+                    // tail that walks slots the node does not have.
+                    assert!(
+                        h < t && t as usize <= N,
+                        "LLA-{N}: trim bounds {h}..{t} out of range after remove"
+                    );
+                    let range = (((1u64 << t) - 1) & !((1u64 << h) - 1)) as u32;
+                    assert!(
+                        node.occ & !range == 0,
+                        "LLA-{N}: occupancy {:#b} outside trim {h}..{t}",
+                        node.occ
+                    );
+                    assert!(
+                        node.occ >> h & 1 == 1 && node.occ >> (t - 1) & 1 == 1,
+                        "LLA-{N}: trim {h}..{t} not tight against {:#b}",
+                        node.occ
+                    );
+                }
+                node.head = h as u16;
+                node.tail = t as u16;
             }
         } else {
             while node.head < node.tail && node.entries[node.head as usize].is_hole() {
@@ -238,13 +265,73 @@ impl<E: Element, const N: usize> Lla<E, N> {
     ///
     /// Differences from [`Self::walk_remove`], all latency-only: the node
     /// reference is resolved once per node (one pool id→pointer split per
-    /// node instead of per slot); bitmap nodes are scanned branchlessly
-    /// against the occupancy register, never charging hole slots; the match
-    /// test is the one-`u64` XOR+AND+compare against the precomputed packed
-    /// keys; and a software prefetch is issued [`prefetch::distance`] pool
-    /// ids ahead each hop, exploiting the pool's sequential id allocation.
+    /// node instead of per slot); node slabs are scanned through the
+    /// [`simd`] kernels — 2 (SSE2) or 4 (AVX2) packed key/mask pairs per
+    /// instruction under the detected/forced [`simd::scan_kind`], the
+    /// scalar packed loop otherwise — and the resulting candidate bitmap
+    /// is ANDed with the occupancy register (`N <= 32`) or the hole bitmap
+    /// (windowed large-arity scan) and bit-scanned to the first live hit;
+    /// and a software prefetch is issued [`prefetch::distance`] pool ids
+    /// ahead each hop, exploiting the pool's sequential id allocation.
     fn packed_walk_remove<S: AccessSink>(
         &mut self,
+        probe: &PackedProbe,
+        sink: &mut S,
+    ) -> Search<E> {
+        // Resolved once per search, not per node: the kind is a process
+        // atomic and the kernels are bit-for-bit equivalent, so mid-walk
+        // changes could only add an atomic load to every node. The walk
+        // body is monomorphised per kind through `#[target_feature]`
+        // wrappers so the vector kernels inline into the node loop — the
+        // probe splats hoist out of the loop and no per-node call (or
+        // AVX/SSE transition) is paid; dispatching per node instead costs
+        // more than the vector kernels save on small nodes.
+        match simd::scan_kind() {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `Simd256` is only ever installed after
+            // `is_x86_feature_detected!("avx2")` (see `simd::set_scan_kind`).
+            simd::ScanKind::Simd256 => unsafe { self.packed_walk_avx2(probe, sink) },
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: SSE2 is part of the x86-64 baseline ISA.
+            simd::ScanKind::Simd128 => unsafe { self.packed_walk_sse2(probe, sink) },
+            _ => self.packed_walk_body(simd::ScanKind::Portable, probe, sink),
+        }
+    }
+
+    /// AVX2-enabled instantiation of the walk body: the `simd` kernels it
+    /// calls carry the same target feature, so they inline into the node
+    /// loop instead of paying a call per node.
+    ///
+    /// # Safety
+    /// Caller must ensure AVX2 is available (runtime-detected).
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn packed_walk_avx2<S: AccessSink>(
+        &mut self,
+        probe: &PackedProbe,
+        sink: &mut S,
+    ) -> Search<E> {
+        self.packed_walk_body(simd::ScanKind::Simd256, probe, sink)
+    }
+
+    /// SSE2-enabled instantiation of the walk body (x86-64 baseline ISA).
+    ///
+    /// # Safety
+    /// Caller must ensure SSE2 is available (x86-64 baseline: always).
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "sse2")]
+    unsafe fn packed_walk_sse2<S: AccessSink>(
+        &mut self,
+        probe: &PackedProbe,
+        sink: &mut S,
+    ) -> Search<E> {
+        self.packed_walk_body(simd::ScanKind::Simd128, probe, sink)
+    }
+
+    #[inline(always)]
+    fn packed_walk_body<S: AccessSink>(
+        &mut self,
+        kind: simd::ScanKind,
         probe: &PackedProbe,
         sink: &mut S,
     ) -> Search<E> {
@@ -299,29 +386,24 @@ impl<E: Element, const N: usize> Lla<E, N> {
             let next = node.next;
             let mut hit: Option<(u32, E)> = None;
             if LlaNode::<E, N>::BITMAP {
-                // Branchless node scan: evaluate the one-`u64` packed test
-                // on every slot in straight-line code (`m << i` accumulates
-                // a candidate bitmap), then mask with the occupancy
-                // register — stale hole bodies and slots outside the trim
-                // range can never match, and no per-slot branch exists for
-                // the predictor to miss. The constant `0..N` trip count
-                // fully unrolls with no bounds checks (a dynamic
-                // `head..tail` slice defeats both). The candidate set
+                // Batched node scan: [`simd::scan_candidates`] evaluates
+                // the one-`u64` packed test on every slot — 2 or 4 lanes
+                // per instruction under the SIMD kinds, the same
+                // branchless `m << i` accumulate loop under the portable
+                // kind — then the candidate bitmap is masked with the
+                // occupancy register: stale hole bodies and slots outside
+                // the trim range can never match, and no per-slot branch
+                // exists for the predictor to miss. The candidate set
                 // decides hit/miss with one branch per node; depth comes
                 // from a popcount over the live bits actually inspected.
                 // Sink charges are issued for exactly the live slots the
                 // sequential scan would have read, so simulated traces are
-                // unchanged (and the charge loops fold to nothing under
-                // `NullSink`).
+                // identical across scan kinds (and the charge loops fold
+                // to nothing under `NullSink`).
                 let occ = node.occ;
                 let h = node.head as usize;
                 let t = (node.tail as usize).min(N);
-                let mut cand: u32 = 0;
-                for (i, e) in node.entries.iter().enumerate() {
-                    let m = packed_matches(e.packed_key(), e.packed_mask(), probe) as u32;
-                    cand |= m << i;
-                }
-                cand &= occ;
+                let cand = simd::scan_candidates(kind, &node.entries, probe) & occ;
                 if cand == 0 {
                     for i in h..t {
                         if occ >> i & 1 == 1 {
@@ -348,18 +430,56 @@ impl<E: Element, const N: usize> Lla<E, N> {
                     hit = Some((i as u32, node.entries[i]));
                 }
             } else {
-                for i in node.head..node.tail {
-                    let e = node.entries[i as usize];
-                    sink.read(
-                        node_addr + LlaNode::<E, N>::entry_offset(i as usize),
-                        core::mem::size_of::<E>() as u32,
-                    );
-                    if e.is_hole() {
-                        continue;
+                // Large-arity fallback: no occupancy register, so scan
+                // `head..tail` in 32-slot windows through the slab kernels
+                // and mask hole slots out of the candidates ([`simd::scan_slab`]
+                // derives both bitmaps from the same loads; a hole can
+                // otherwise packed-match a degenerate probe carrying the
+                // reserved context). Sink charges and depth accounting are
+                // identical to the retired per-slot loop: every slot up to
+                // and including the hit is charged in order, and depth
+                // counts live slots only.
+                let h = node.head as usize;
+                let t = node.tail as usize;
+                let mut ws = h;
+                while ws < t {
+                    let wlen = (t - ws).min(32);
+                    let wmask = (u32::MAX as u64 >> (32 - wlen)) as u32;
+                    if dist != 0 && ws + wlen < t {
+                        // The slab spans many lines; streaming the next
+                        // window's lines while this one is tested keeps the
+                        // batched compare fed (the hardware streamer lags
+                        // a 2–4-entry-per-instruction consumer).
+                        let next_len = (t - ws - wlen).min(32);
+                        prefetch::read_span(
+                            node.entries[ws + wlen..].as_ptr(),
+                            next_len * core::mem::size_of::<E>(),
+                        );
                     }
-                    depth += 1;
-                    if packed_matches(e.packed_key(), e.packed_mask(), probe) {
-                        hit = Some((i as u32, e));
+                    let scan = simd::scan_slab(kind, &node.entries[ws..ws + wlen], probe);
+                    let live = !scan.holes & wmask;
+                    let cand = scan.cand & live;
+                    if cand == 0 {
+                        for j in ws..ws + wlen {
+                            sink.read(
+                                node_addr + LlaNode::<E, N>::entry_offset(j),
+                                core::mem::size_of::<E>() as u32,
+                            );
+                        }
+                        depth += live.count_ones();
+                        ws += wlen;
+                    } else {
+                        let ci = cand.trailing_zeros() as usize;
+                        for j in ws..=ws + ci {
+                            sink.read(
+                                node_addr + LlaNode::<E, N>::entry_offset(j),
+                                core::mem::size_of::<E>() as u32,
+                            );
+                        }
+                        // Live bits at or below the hit (`31 - ci` keeps
+                        // the all-ones mask well-defined at slot 31).
+                        depth += (live & (u32::MAX >> (31 - ci))).count_ones();
+                        hit = Some(((ws + ci) as u32, node.entries[ws + ci]));
                         break;
                     }
                 }
@@ -898,6 +1018,50 @@ mod tests {
             .unwrap();
         assert_eq!(l.node_count(), 0);
         l.validate_occupancy().unwrap();
+    }
+
+    #[test]
+    fn width_32_trim_survives_boundary_hole_punches() {
+        // Regression guard for the trim recompute in `remove_at`: the
+        // bitmap path derives the u16 head/tail from u32 bit scans
+        // (`trailing_zeros` / `32 - leading_zeros`), and at the full
+        // 32-slot width those scans produce values up to 32 — which must
+        // land in the 16-bit header untruncated and keep bracketing the
+        // occupancy bitmap (the `debug_invariants` build asserts exactly
+        // that inside `remove_at`). Punch both extreme slots of full
+        // nodes, then interiors, then drain.
+        let mut l: Lla<PostedEntry, 32> = Lla::new();
+        let mut s = NullSink;
+        for i in 0..64 {
+            l.append(post(0, i, i as u64), &mut s);
+        }
+        assert_eq!(l.node_count(), 2);
+        // Slot 31 of each node (tail trim with bit 31 live beforehand),
+        // then slot 0 (head trim), then interior runs against both edges.
+        for tag in [31, 63, 0, 32, 1, 2, 30, 33, 62] {
+            l.search_remove(&Envelope::new(0, tag, 0), &mut s)
+                .found
+                .unwrap();
+            l.validate_occupancy().unwrap();
+        }
+        // A full miss inspects exactly the surviving live entries.
+        let r = l.search_remove(&Envelope::new(9, 9, 9), &mut s);
+        assert!(r.found.is_none());
+        assert_eq!(r.depth, 64 - 9);
+        // FIFO order is intact across the punched nodes.
+        let snap = l.snapshot();
+        assert_eq!(snap.len(), 64 - 9);
+        assert_eq!(snap[0].tag, 3);
+        assert!(snap.windows(2).all(|w| w[0].tag < w[1].tag));
+        // Drain by search hit, trimming through every remaining pattern.
+        for e in snap {
+            l.search_remove(&Envelope::new(0, e.tag, 0), &mut s)
+                .found
+                .unwrap();
+            l.validate_occupancy().unwrap();
+        }
+        assert!(l.is_empty());
+        assert_eq!(l.node_count(), 0);
     }
 
     #[test]

@@ -24,6 +24,19 @@
 //! stall. The default of 2 was picked on the `matching_gate` workload:
 //! distance 1 leaves the fetch too little time to complete once queues
 //! spill L1, and distances past ~4 trash lines before use on short queues.
+//!
+//! **Interaction with SIMD batch scanning** (`spc_core::simd`): the batched
+//! kernels consume 2–4 entries per instruction, so a node's match tests
+//! finish in a fraction of the scalar time and a distance tuned for the
+//! scalar scan leaves the fetch *less* slack, not more — the next node is
+//! needed sooner. The distance is counted in *nodes*, which keeps it
+//! batch-width-agnostic (an LLA-8 node is 8 entries whatever the scan
+//! kind), but sweeps should re-tune it per scan kind; the baseline list's
+//! batched walk likewise gathers [`spc_core::simd::ScanKind::key_batch`]
+//! nodes per probe test and still prefetches per node collected. The
+//! windowed large-arity scan streams whole upcoming windows via
+//! [`read_span`] instead, because a 32-entry window spans many lines and
+//! its address is known with no dependent load.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Once;
@@ -115,6 +128,19 @@ pub fn read<T>(p: *const T) {
     }
 }
 
+/// Hints the CPU to pull every cache line of the `bytes`-byte span starting
+/// at `p`. Used by the windowed large-arity slab scan, where one 32-entry
+/// window covers many lines whose addresses are known without a dependent
+/// load. Same contract as [`read`]: a pure hint that never faults.
+#[inline]
+pub fn read_span<T>(p: *const T, bytes: usize) {
+    let mut off = 0usize;
+    while off < bytes {
+        read((p as *const u8).wrapping_add(off));
+        off += crate::CACHE_LINE;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -140,5 +166,9 @@ mod tests {
         read(&v as *const u64);
         read(core::ptr::null::<u64>());
         read(0xdead_beef_usize as *const u8);
+        let buf = [0u8; 1024];
+        read_span(buf.as_ptr(), buf.len());
+        read_span(buf.as_ptr(), 0);
+        read_span(core::ptr::null::<u8>(), 128);
     }
 }

@@ -166,6 +166,43 @@ fn holes_never_match_any_probe_under_either_compare() {
 }
 
 #[test]
+fn packed_mask_is_an_affine_transform_of_the_second_word() {
+    // The SIMD slab kernels load each entry's raw second word (bytes 8..16)
+    // and rebuild `packed_mask()` as `(word1 & MASK_WORD_AND) | MASK_WORD_OR`
+    // — one vector AND + OR instead of a scalar call per lane. Pin that
+    // contract against the in-memory representation for both entry types,
+    // across every wildcard shape and the in-band hole marker.
+    let mut rng = StdRng::seed_from_u64(0x9ACD_0005);
+    for case in 0..10_000u64 {
+        let e = random_posted(&mut rng, case);
+        // SAFETY: PostedEntry is repr(C), Copy, 24 bytes with no padding
+        // bytes read back as values; reinterpreting it as raw bytes is
+        // exactly the layout property this test pins.
+        let raw: [u8; 24] = unsafe { core::mem::transmute(e) };
+        let word1 = u64::from_le_bytes(raw[8..16].try_into().unwrap());
+        assert_eq!(
+            e.packed_mask(),
+            (word1 & PostedEntry::MASK_WORD_AND) | PostedEntry::MASK_WORD_OR,
+            "mask transform broken for {e:?}"
+        );
+        let m = if rng.gen_range(0..8u32) == 0 {
+            UnexpectedEntry::hole()
+        } else {
+            UnexpectedEntry::from_envelope(random_envelope(&mut rng), case)
+        };
+        // SAFETY: UnexpectedEntry is repr(C), Copy, 16 bytes; same layout
+        // inspection as above.
+        let raw: [u8; 16] = unsafe { core::mem::transmute(m) };
+        let word1 = u64::from_le_bytes(raw[8..16].try_into().unwrap());
+        assert_eq!(
+            m.packed_mask(),
+            (word1 & UnexpectedEntry::MASK_WORD_AND) | UnexpectedEntry::MASK_WORD_OR,
+            "mask transform broken for {m:?}"
+        );
+    }
+}
+
+#[test]
 fn packed_key_is_the_entry_prefix_bytes() {
     // The packed key is documented as the entry's first 8 bytes
     // reinterpreted little-endian — which is what lets the compiler fold
