@@ -24,9 +24,28 @@ pub struct AllowEntry {
     pub rationale: &'static str,
 }
 
-/// Atomics that are part of the wildcard-lane publication protocol:
-/// `Relaxed` on these is *always* an error in `shard.rs`, allowlist or not.
-pub const GUARDED_ATOMICS: &[&str] = &["seq", "wild_len", "umq_counts"];
+/// Atomics that are part of a publication protocol: `Relaxed` on these is
+/// *always* an error in the seqlock-scope files, allowlist or not.
+///
+/// * `seq`, `wild_len`, `umq_counts` — wildcard-lane store-buffering pair
+///   (`shard.rs`),
+/// * `v` — the seqlock version word (`seqsnap.rs`): readers decide snapshot
+///   consistency from it,
+/// * `rows_len`, `live_rows`, `overflow` — snapshot-row publication fields
+///   lock-free probes and the wildcard pre-scan read (`seqsnap.rs`),
+/// * `head`, `tail` — ingest-ring SPSC indices (`ingest.rs`): the consumer's
+///   visibility of slot contents hangs off them.
+pub const GUARDED_ATOMICS: &[&str] = &[
+    "seq",
+    "wild_len",
+    "umq_counts",
+    "v",
+    "rows_len",
+    "live_rows",
+    "overflow",
+    "head",
+    "tail",
+];
 
 /// The allowlist. Telemetry only — nothing here orders memory the matching
 /// protocol reads.
@@ -60,6 +79,105 @@ pub const RELAXED_ALLOWLIST: &[AllowEntry] = &[
         receiver: "matched_ref",
         rationale: "per-thread clone of the test-local match counter; see \
                     `matched`",
+    },
+    AllowEntry {
+        file: "shard.rs",
+        receiver: "snap_retries",
+        rationale: "counts seqlock read retries for SnapReadStats; the retry \
+                    decision itself reads the SeqCst version word, this only \
+                    tallies how often it fired",
+    },
+    AllowEntry {
+        file: "shard.rs",
+        receiver: "snap_fallbacks",
+        rationale: "counts lock-free probes that gave up and took the locked \
+                    slow path; telemetry for SnapReadStats, never consulted \
+                    by matching",
+    },
+    AllowEntry {
+        file: "shard.rs",
+        receiver: "prescan_parks",
+        rationale: "counts wildcard pre-scans that proved no match and parked \
+                    without locking shards; SnapReadStats telemetry only",
+    },
+    AllowEntry {
+        file: "shard.rs",
+        receiver: "prescan_fallbacks",
+        rationale: "counts wildcard pre-scans that fell back to the locked \
+                    scan; SnapReadStats telemetry only",
+    },
+    AllowEntry {
+        file: "seqsnap.rs",
+        receiver: "count",
+        rationale: "MirrorDepth sample tally; readers take a whole-lane \
+                    seqlock snapshot, so torn counter reads cannot escape",
+    },
+    AllowEntry {
+        file: "seqsnap.rs",
+        receiver: "sum",
+        rationale: "MirrorDepth running sum for mean traversal depth; \
+                    reporting only, validated against the locked engine under \
+                    debug_invariants",
+    },
+    AllowEntry {
+        file: "seqsnap.rs",
+        receiver: "max",
+        rationale: "MirrorDepth running max; monotone telemetry read only in \
+                    stats snapshots",
+    },
+    AllowEntry {
+        file: "seqsnap.rs",
+        receiver: "min",
+        rationale: "MirrorDepth running min; monotone telemetry read only in \
+                    stats snapshots",
+    },
+    AllowEntry {
+        file: "seqsnap.rs",
+        receiver: "prq_hits",
+        rationale: "MirrorStats match tally mirrored for lock-free stats(); \
+                    updated under the shard lock, read without ordering \
+                    guarantees by design",
+    },
+    AllowEntry {
+        file: "seqsnap.rs",
+        receiver: "umq_hits",
+        rationale: "MirrorStats match tally mirrored for lock-free stats(); \
+                    see `prq_hits`",
+    },
+    AllowEntry {
+        file: "seqsnap.rs",
+        receiver: "prq_appends",
+        rationale: "MirrorStats append tally mirrored for lock-free stats(); \
+                    see `prq_hits`",
+    },
+    AllowEntry {
+        file: "seqsnap.rs",
+        receiver: "umq_appends",
+        rationale: "MirrorStats append tally mirrored for lock-free stats(); \
+                    see `prq_hits`",
+    },
+    AllowEntry {
+        file: "seqsnap.rs",
+        receiver: "max_prq",
+        rationale: "MirrorStats occupancy high-water mark; fetch_max telemetry \
+                    read only in stats snapshots",
+    },
+    AllowEntry {
+        file: "seqsnap.rs",
+        receiver: "max_umq",
+        rationale: "MirrorStats occupancy high-water mark; see `max_prq`",
+    },
+    AllowEntry {
+        file: "ingest.rs",
+        receiver: "enqueued",
+        rationale: "ring telemetry: lifetime push tally read in accounting \
+                    checks after producer joins (the join orders it); FIFO \
+                    visibility rides on the SeqCst head/tail indices",
+    },
+    AllowEntry {
+        file: "ingest.rs",
+        receiver: "drained",
+        rationale: "ring telemetry: lifetime pop tally; see `enqueued`",
     },
 ];
 

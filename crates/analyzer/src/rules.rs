@@ -17,6 +17,8 @@ const HOT_PATH_FILES: &[&str] = &[
     "entry.rs",
     "engine.rs",
     "shard.rs",
+    "seqsnap.rs",
+    "ingest.rs",
     "concurrent.rs",
     "prefetch.rs",
     "simd.rs",
@@ -40,6 +42,14 @@ fn is_shard(path: &str) -> bool {
     file_name(path) == "shard.rs"
 }
 
+/// Files that participate in the seqlock/ingest-ring publication protocols:
+/// the sharded engine itself, the versioned snapshot lanes it publishes
+/// through, and the SPSC ingest rings feeding it. `Ordering::Relaxed` in any
+/// of these is rule-4 territory.
+fn is_seqlock_scope(path: &str) -> bool {
+    matches!(file_name(path), "shard.rs" | "seqsnap.rs" | "ingest.rs")
+}
+
 fn is_list_impl(path: &str) -> bool {
     let norm = path.replace('\\', "/");
     norm.contains("crates/core/src/list/")
@@ -52,6 +62,8 @@ pub fn check_all(path: &str, lines: &[Line]) -> Vec<Finding> {
     intrinsic_gating(path, lines, &mut out);
     if is_shard(path) {
         lock_discipline(path, lines, &mut out);
+    }
+    if is_seqlock_scope(path) {
         relaxed_ordering(path, lines, &mut out);
     }
     if is_list_impl(path) {
@@ -337,9 +349,11 @@ fn relaxed_receiver(code: &str) -> Option<String> {
     None
 }
 
-/// In `shard.rs`, `Ordering::Relaxed` is an error on the wildcard-lane
-/// protocol atomics (`seq`, `wild_len`, `umq_counts`) and on any atomic not
-/// in [`allowlist::RELAXED_ALLOWLIST`].
+/// In the seqlock-scope files (`shard.rs`, `seqsnap.rs`, `ingest.rs`),
+/// `Ordering::Relaxed` is an error on the protocol atomics — the wildcard
+/// lane's `seq`/`wild_len`/`umq_counts`, the seqlock version and snapshot-row
+/// publication fields, and the ingest-ring head/tail indices — and on any
+/// atomic not in [`allowlist::RELAXED_ALLOWLIST`].
 pub fn relaxed_ordering(path: &str, lines: &[Line], out: &mut Vec<Finding>) {
     let file = file_name(path);
     for (i, line) in lines.iter().enumerate() {
@@ -362,9 +376,10 @@ pub fn relaxed_ordering(path: &str, lines: &[Line], out: &mut Vec<Finding>) {
                 i + 1,
                 "relaxed-ordering",
                 format!(
-                    "Ordering::Relaxed on `{recv}`: the wildcard-lane protocol \
-                     requires SeqCst on seq/wild_len/umq_counts (store-buffering \
-                     pair between posters and arrivals)"
+                    "Ordering::Relaxed on `{recv}`: the wildcard-lane, seqlock \
+                     and ingest-ring protocols require SeqCst on their \
+                     publication atomics (store-buffering pairs between \
+                     writers and lock-free readers)"
                 ),
             ));
             continue;

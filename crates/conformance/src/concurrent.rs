@@ -35,6 +35,7 @@ use crate::oracle::OracleList;
 use spc_core::concurrent::SharedEngine;
 use spc_core::engine::{ArrivalOutcome, MatchEngine, RecvOutcome};
 use spc_core::entry::{Envelope, PostedEntry, RecvSpec, UnexpectedEntry, ANY_SOURCE, ANY_TAG};
+use spc_core::ingest::{BatchedEngine, IngestOp};
 use spc_core::list::MatchList;
 use spc_core::shard::ShardedEngine;
 use spc_rng::{Rng, SeedableRng, StdRng};
@@ -264,6 +265,15 @@ fn spec_of(rank: Option<i32>, tag: Option<i32>, ctx: u16) -> RecvSpec {
     RecvSpec::new(rank.unwrap_or(ANY_SOURCE), tag.unwrap_or(ANY_TAG), ctx)
 }
 
+/// Sorts a merged log into linearization order: by seq stamp, with
+/// probes ahead of a mutating op sharing their stamp. Lock-free probes
+/// read the seq counter without claiming a stamp, so a probe stamped `s`
+/// observed every writer `< s` and linearizes *before* the writer that
+/// next claims `s`.
+pub fn sort_log(log: &mut [LogRecord]) {
+    log.sort_unstable_by_key(|r| (r.seq, !matches!(r.action, Action::Probe { .. })));
+}
+
 /// Per-thread execution state: resolves [`ConcOp`]s to concrete handles
 /// from the thread's id space and records seq-stamped outcomes.
 pub struct ThreadExec {
@@ -422,8 +432,168 @@ pub fn run_concurrent<E: ConcEngine>(eng: &E, streams: &[Vec<ConcOp>]) -> Vec<Lo
             .collect()
     });
     let mut log: Vec<LogRecord> = per_thread.into_iter().flatten().collect();
-    log.sort_unstable_by_key(|r| r.seq);
+    sort_log(&mut log);
     log
+}
+
+/// Runs the per-thread streams against a [`BatchedEngine`] — one ring
+/// producer per stream — and returns the merged log in linearization
+/// order, *including* the drain log entries for every buffered op.
+///
+/// Buffered posts and arrivals linearize at drain time, so their log
+/// records come from the engine's drain log (which must be enabled, see
+/// [`BatchedEngine::with_drain_log`]) rather than from the issuing
+/// thread. After the producers join, the rings' exactly-once accounting
+/// is checked — `enqueued - drained` must equal the entries still in
+/// flight — then [`BatchedEngine::flush_all`] applies the stragglers so
+/// the final log covers every op issued.
+pub fn run_concurrent_batched<P, U>(
+    eng: &BatchedEngine<P, U>,
+    streams: &[Vec<ConcOp>],
+) -> Result<Vec<LogRecord>, String>
+where
+    P: MatchList<PostedEntry> + Send,
+    U: MatchList<UnexpectedEntry> + Send,
+{
+    assert!(
+        streams.len() <= eng.num_producers(),
+        "need one ring producer per stream"
+    );
+    let direct: Vec<Vec<LogRecord>> = std::thread::scope(|s| {
+        let handles: Vec<_> = streams
+            .iter()
+            .enumerate()
+            .map(|(t, ops)| {
+                s.spawn(move || {
+                    let p = eng.producer(t);
+                    let id = |c: u64| ((t as u64) << 32) | c;
+                    let (mut posted, mut sent) = (0u64, 0u64);
+                    let mut out = Vec::new();
+                    for op in ops {
+                        match *op {
+                            ConcOp::Post { rank, tag, ctx } => {
+                                let req = id(posted);
+                                posted += 1;
+                                // `None`: buffered — its record surfaces in
+                                // the drain log when the ring is applied.
+                                if let Some((seq, o)) = p.post_recv(spec_of(rank, tag, ctx), req) {
+                                    let matched = match o {
+                                        RecvOutcome::MatchedUnexpected { payload, .. } => {
+                                            Some(payload)
+                                        }
+                                        RecvOutcome::Posted => None,
+                                    };
+                                    out.push(LogRecord {
+                                        seq,
+                                        thread: t,
+                                        action: Action::Post {
+                                            rank,
+                                            tag,
+                                            ctx,
+                                            req,
+                                            matched,
+                                        },
+                                    });
+                                }
+                            }
+                            ConcOp::Arrive { rank, tag, ctx } => {
+                                let payload = id(sent);
+                                sent += 1;
+                                p.arrival(Envelope::new(rank, tag, ctx), payload);
+                            }
+                            ConcOp::Probe { rank, tag, ctx } => {
+                                let (seq, found) = p.iprobe_seq(spec_of(rank, tag, ctx));
+                                out.push(LogRecord {
+                                    seq,
+                                    thread: t,
+                                    action: Action::Probe {
+                                        rank,
+                                        tag,
+                                        ctx,
+                                        found,
+                                    },
+                                });
+                            }
+                            ConcOp::Cancel { nth } => {
+                                let req = if posted == 0 {
+                                    id(u32::MAX as u64)
+                                } else {
+                                    id(nth % posted)
+                                };
+                                let (seq, hit) = p.cancel_recv_seq(req);
+                                out.push(LogRecord {
+                                    seq,
+                                    thread: t,
+                                    action: Action::Cancel { req, hit },
+                                });
+                            }
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("producer thread panicked"))
+            .collect()
+    });
+    // Exactly-once accounting over the rings, counting entries still in
+    // flight at the join, then after the final flush.
+    let (enq, drn, pending) = (eng.enqueued(), eng.drained(), eng.pending());
+    if enq - drn != pending as u64 {
+        return Err(format!(
+            "ring accounting broken at join: {enq} enqueued - {drn} drained != {pending} in flight"
+        ));
+    }
+    eng.flush_all();
+    if eng.pending() != 0 || eng.enqueued() != eng.drained() {
+        return Err(format!(
+            "rings not drained by flush_all: {} pending, {} enqueued vs {} drained",
+            eng.pending(),
+            eng.enqueued(),
+            eng.drained()
+        ));
+    }
+    let drain = eng.take_drain_log();
+    if drain.len() as u64 != eng.drained() {
+        return Err(format!(
+            "drain log recorded {} entries but {} ops drained: a buffered op \
+             was applied without being logged",
+            drain.len(),
+            eng.drained()
+        ));
+    }
+    let mut log: Vec<LogRecord> = direct.into_iter().flatten().collect();
+    log.extend(drain.into_iter().map(|r| LogRecord {
+        seq: r.seq,
+        thread: r.producer,
+        action: match r.op {
+            IngestOp::Post { spec, request } => Action::Post {
+                rank: (spec.rank != ANY_SOURCE).then_some(spec.rank),
+                tag: (spec.tag != ANY_TAG).then_some(spec.tag),
+                ctx: spec.context_id,
+                req: request,
+                matched: r.matched,
+            },
+            IngestOp::Arrive { env, payload } => Action::Arrive {
+                rank: env.rank,
+                tag: env.tag,
+                ctx: env.context_id,
+                payload,
+                matched: r.matched,
+            },
+        },
+    }));
+    let issued: usize = streams.iter().map(|s| s.len()).sum();
+    if log.len() != issued {
+        return Err(format!(
+            "log covers {} ops but {issued} were issued: records lost or duplicated",
+            log.len()
+        ));
+    }
+    sort_log(&mut log);
+    Ok(log)
 }
 
 /// Replays a seq-sorted log through the oracle engine, checking that the
@@ -434,10 +604,16 @@ pub fn run_concurrent<E: ConcEngine>(eng: &E, streams: &[Vec<ConcOp>]) -> Vec<Lo
 /// must equal the oracle's, proving no entry was lost or duplicated in
 /// either queue.
 pub fn verify_log(log: &[LogRecord], final_lens: (usize, usize)) -> Result<(), String> {
+    // Mutating ops claim unique stamps; lock-free probes share the stamp
+    // of the writer that claims it next (and linearize before it). So a
+    // stamp may repeat only while the earlier record is a probe.
     for w in log.windows(2) {
-        if w[0].seq >= w[1].seq {
+        let ordered = w[0].seq < w[1].seq
+            || (w[0].seq == w[1].seq && matches!(w[0].action, Action::Probe { .. }));
+        if !ordered {
             return Err(format!(
-                "seq stamps not strictly increasing: {} (thread {}) then {} (thread {})",
+                "seq stamps out of linearization order: {} (thread {}) then {} (thread {}) — \
+                 only probes may share a stamp, ahead of at most one mutating op",
                 w[0].seq, w[0].thread, w[1].seq, w[1].thread
             ));
         }
@@ -534,6 +710,31 @@ pub fn run_and_verify<E: ConcEngine>(eng: &E, streams: &[Vec<ConcOp>]) -> Result
     verify_log(&log, eng.queue_lens())
 }
 
+/// Convenience for the batched engine: builds a
+/// [`BatchedEngine`] (one producer per stream, drain log enabled), races
+/// the streams through the rings, then verifies the merged
+/// direct-plus-drain log against the oracle. Under
+/// `--features debug_invariants`, the wrapped engine's structural
+/// validators also run at the quiescent point after the final flush.
+pub fn run_and_verify_batched<P, U>(
+    streams: &[Vec<ConcOp>],
+    shards: usize,
+    batch: usize,
+    mk_prq: impl FnMut() -> P,
+    mk_umq: impl FnMut() -> U,
+) -> Result<(), String>
+where
+    P: MatchList<PostedEntry> + Send,
+    U: MatchList<UnexpectedEntry> + Send,
+{
+    let eng = BatchedEngine::new(shards, streams.len(), batch, mk_prq, mk_umq).with_drain_log();
+    let log = run_concurrent_batched(&eng, streams)?;
+    #[cfg(feature = "debug_invariants")]
+    eng.validate()
+        .map_err(|e| format!("invariant violation after final flush: {e}"))?;
+    verify_log(&log, eng.queue_lens())
+}
+
 /// Op count scale factor for the concurrent suites: reads
 /// `SPC_CONC_OPS_MULT` (a positive integer; defaults to 1). CI's stress
 /// job raises it to run the same tests over much longer histories.
@@ -578,6 +779,18 @@ mod tests {
     }
 
     #[test]
+    fn batched_engine_history_is_linearizable() {
+        run_and_verify_batched::<Lla<PostedEntry, 2>, Lla<UnexpectedEntry, 3>>(
+            &conc_ops(3, 4, 1_000),
+            4,
+            16,
+            Lla::new,
+            Lla::new,
+        )
+        .unwrap();
+    }
+
+    #[test]
     fn verify_rejects_a_duplicated_match() {
         // Hand-build a log where one payload satisfies two receives.
         let post = |seq, req| LogRecord {
@@ -607,7 +820,12 @@ mod tests {
     }
 
     #[test]
-    fn verify_rejects_duplicate_seq_stamps() {
+    fn verify_rejects_duplicate_seq_stamps_on_mutating_ops() {
+        let cancel = |seq| LogRecord {
+            seq,
+            thread: 0,
+            action: Action::Cancel { req: 9, hit: false },
+        };
         let probe = |seq| LogRecord {
             seq,
             thread: 0,
@@ -618,8 +836,15 @@ mod tests {
                 found: None,
             },
         };
-        let err = verify_log(&[probe(3), probe(3)], (0, 0)).unwrap_err();
-        assert!(err.contains("strictly increasing"), "{err}");
+        // Two mutating ops must never share a stamp; neither may a
+        // mutating op precede a probe with the same stamp.
+        let err = verify_log(&[cancel(3), cancel(3)], (0, 0)).unwrap_err();
+        assert!(err.contains("share a stamp"), "{err}");
+        let err = verify_log(&[cancel(3), probe(3)], (0, 0)).unwrap_err();
+        assert!(err.contains("share a stamp"), "{err}");
+        // Lock-free probes legitimately share the stamp of the writer
+        // that claims it next — probes-first groups are a linearization.
+        verify_log(&[probe(3), probe(3), cancel(3), cancel(4)], (0, 0)).unwrap();
     }
 
     #[test]

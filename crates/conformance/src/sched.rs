@@ -137,7 +137,7 @@ pub fn run_stepped<E: ConcEngine>(
         .into_iter()
         .flat_map(|m| m.into_inner().expect("log slot poisoned"))
         .collect();
-    log.sort_unstable_by_key(|r| r.seq);
+    crate::concurrent::sort_log(&mut log);
     // The schedule is fully drained, so the engine is quiescent: run its
     // structural validators before handing the log to verification.
     #[cfg(feature = "debug_invariants")]

@@ -9,7 +9,7 @@
 //! paste-able handful of ops.
 
 use spc_conformance::concurrent::{
-    conc_ops, run_and_verify, stress_multiplier, ConcEngine, ConcOp,
+    conc_ops, run_and_verify, run_and_verify_batched, stress_multiplier, ConcEngine, ConcOp,
 };
 use spc_conformance::{
     diff_engine, engine_ops_wild_bursts, interleavings, render_ops, run_stepped, shrink_ops,
@@ -44,7 +44,30 @@ fn check_conc<E: ConcEngine>(label: &str, mk: impl Fn() -> E, seed: u64) {
     }
 }
 
-/// Both engines over one structure family.
+/// Races producer streams through a batched engine's ingest rings at 2,
+/// 4 and 8 threads, verifying the merged direct-plus-drain-log
+/// linearization against the oracle (exactly-once accounting of in-ring
+/// entries included — see `run_concurrent_batched`).
+fn check_batched<P, U>(
+    label: &str,
+    mk_p: impl Fn() -> P + Copy,
+    mk_u: impl Fn() -> U + Copy,
+    seed: u64,
+) where
+    P: MatchList<PostedEntry> + Send,
+    U: MatchList<UnexpectedEntry> + Send,
+{
+    const BATCH: usize = 16;
+    for threads in [2usize, 4, 8] {
+        let per_thread = total_ops().div_ceil(threads);
+        let streams = conc_ops(seed ^ (threads as u64), threads, per_thread);
+        if let Err(e) = run_and_verify_batched(&streams, SHARDS, BATCH, mk_p, mk_u) {
+            panic!("batched/{label} @ {threads} threads: {e}");
+        }
+    }
+}
+
+/// All three engines over one structure family.
 fn check_both<P, U>(
     label: &str,
     mk_p: impl Fn() -> P + Copy,
@@ -64,6 +87,7 @@ fn check_both<P, U>(
         || ShardedEngine::new(SHARDS, mk_p, mk_u),
         seed ^ 0x5A5A,
     );
+    check_batched(label, mk_p, mk_u, seed ^ 0xB47C);
 }
 
 #[test]
@@ -114,6 +138,63 @@ fn rank_trie_concurrent_conformance() {
         || RankTrie::new(RANKS),
         SEED.wrapping_add(4),
     );
+}
+
+/// Entries still sitting in the ingest rings when the producer threads
+/// join are neither lost nor double-applied: the accounting sees them in
+/// flight, the final flush linearizes each exactly once, and the drain
+/// log covers all of them.
+#[test]
+fn entries_in_flight_at_join_are_accounted_exactly_once() {
+    use spc_core::entry::{Envelope, RecvSpec};
+    use spc_core::ingest::{BatchedEngine, IngestOp};
+
+    let eng = BatchedEngine::<Lla<PostedEntry, 2>, Lla<UnexpectedEntry, 3>>::new(
+        SHARDS,
+        2,
+        64,
+        Lla::new,
+        Lla::new,
+    )
+    .with_drain_log();
+    std::thread::scope(|s| {
+        for t in 0..2usize {
+            let eng = &eng;
+            s.spawn(move || {
+                let p = eng.producer(t);
+                for i in 0..5u64 {
+                    let id = ((t as u64) << 32) | i;
+                    p.post_recv(RecvSpec::new((i % 3) as i32, i as i32, 0), id);
+                    p.arrival(Envelope::new((i % 3) as i32, i as i32, 0), id | 1 << 16);
+                }
+            });
+        }
+    });
+    // Far fewer ops than the 64-slot batch and no probes: every op is
+    // still in flight at the join.
+    assert_eq!(eng.pending(), 20, "all ops should still be buffered");
+    assert_eq!((eng.enqueued(), eng.drained()), (20, 0));
+    assert_eq!(eng.queue_lens(), (0, 0), "nothing linearized yet");
+    assert_eq!(eng.flush_all(), 20);
+    assert_eq!((eng.pending(), eng.enqueued(), eng.drained()), (0, 20, 20));
+
+    let log = eng.take_drain_log();
+    assert_eq!(log.len(), 20, "drain log must cover every buffered op");
+    let mut posts = std::collections::HashSet::new();
+    let mut arrivals = std::collections::HashSet::new();
+    for r in &log {
+        match r.op {
+            IngestOp::Post { request, .. } => assert!(posts.insert(request)),
+            IngestOp::Arrive { payload, .. } => assert!(arrivals.insert(payload)),
+        }
+    }
+    assert_eq!((posts.len(), arrivals.len()), (10, 10));
+    // Per-producer FIFO drain: each arrival finds the post buffered
+    // before it, so the queues fully pair off.
+    assert_eq!(eng.queue_lens(), (0, 0));
+    assert_eq!(eng.stats().prq_hits, 10);
+    #[cfg(feature = "debug_invariants")]
+    eng.validate().unwrap();
 }
 
 fn adversary() -> ShardedEngine<Lla<PostedEntry, 2>, Lla<UnexpectedEntry, 3>> {

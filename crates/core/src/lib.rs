@@ -62,10 +62,12 @@ pub mod dynengine;
 pub mod engine;
 pub mod entry;
 pub mod heater;
+pub mod ingest;
 pub mod list;
 pub mod pool;
 pub mod prefetch;
 pub mod replay;
+pub mod seqsnap;
 pub mod shard;
 pub mod simd;
 pub mod sink;

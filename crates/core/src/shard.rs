@@ -59,15 +59,53 @@
 //! structure for cross-shard arbitration. The [`MatchList`] FIFO contract
 //! guarantees structure and index always agree on which entry a probe
 //! matches first (debug asserts verify it).
+//!
+//! ## Lock-free read paths
+//!
+//! Read-only operations no longer take any lock. Each shard publishes a
+//! [`SnapRows`] mirror of its unexpected queue (seq-ordered atomic rows
+//! under a seqlock version word) and a [`MirrorStats`] mirror of its
+//! counters; every mutating operation follows the **version-odd before
+//! seq stamp** writer protocol documented in [`crate::seqsnap`], so a
+//! reader that (1) loads the global seq `s0`, (2) walks each lane's
+//! mirror under its version check, and (3) re-checks the global seq,
+//! obtains a snapshot linearizable at `s0`. On that protocol ride:
+//!
+//! * [`ShardedEngine::iprobe`] — bounded seqlock retries, then the locked
+//!   fallback ([`SnapReadStats`] counts both).
+//! * [`ShardedEngine::queue_lens`] / [`ShardedEngine::stats`] /
+//!   [`ShardedEngine::shard_stats`] — pure mirror reads, never a lock.
+//! * The wildcard **candidate pre-scan**: when the unexpected counts are
+//!   nonzero, a wildcard post first tries to prove "no queued message
+//!   matches me" from the published snapshots (validated against the
+//!   per-shard counts, so an in-flight arrival that could miss the
+//!   `wild_len` bump forces the fallback) and parks without touching a
+//!   single shard lock; only a possible match pays for the locked slow
+//!   path.
+//!
+//! Batched ingestion ([`crate::ingest`]) reuses the same locked op
+//! bodies: [`ShardedEngine::drain_rings`] applies a whole ring batch
+//! under one lock acquisition, stamping each op at drain time.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard};
 
 use crate::engine::{ArrivalOutcome, MatchEngine, RecvOutcome};
-use crate::entry::{Element, Envelope, PostedEntry, RecvSpec, UnexpectedEntry, ANY_SOURCE};
+use crate::entry::{
+    packed_matches, Element, Envelope, PostedEntry, RecvSpec, UnexpectedEntry, ANY_SOURCE,
+};
+use crate::ingest::{IngestOp, IngestRing};
 use crate::list::MatchList;
-use crate::stats::{ConcurrencyStats, EngineStats, LockStats, ShardStats};
+use crate::seqsnap::{MirrorStats, SnapRows};
+use crate::stats::{ConcurrencyStats, EngineStats, LockStats, ShardStats, SnapReadStats};
+
+/// Published rows per shard snapshot mirror before the sticky overflow
+/// flag sends readers to the locked path.
+const SNAP_ROWS_MAX: usize = 65_536;
+
+/// Seqlock attempts before a lock-free probe falls back to locking.
+const SNAP_PROBE_RETRIES: usize = 8;
 
 /// Per-shard state behind the shard's lock: the sub-engine plus the
 /// seq-ordered parallel indexes used for cross-shard FIFO arbitration.
@@ -81,31 +119,17 @@ where
     prq_idx: VecDeque<(u64, PostedEntry)>,
     /// `(seq, entry)` for every live UMQ entry, in seq (= FIFO) order.
     umq_idx: VecDeque<(u64, UnexpectedEntry)>,
-    max_prq: u64,
-    max_umq: u64,
-}
-
-impl<P, U> ShardState<P, U>
-where
-    P: MatchList<PostedEntry>,
-    U: MatchList<UnexpectedEntry>,
-{
-    fn note_occupancy(&mut self) {
-        self.max_prq = self.max_prq.max(self.eng.prq_len() as u64);
-        self.max_umq = self.max_umq.max(self.eng.umq_len() as u64);
-    }
 }
 
 /// The wildcard lane: `MPI_ANY_SOURCE` receives only, with its own lock,
-/// structure, seq index and stats.
+/// structure and seq index (stats live in the engine's lock-free
+/// `wild_mirror`).
 struct WildState<P>
 where
     P: MatchList<PostedEntry>,
 {
     prq: P,
     prq_idx: VecDeque<(u64, PostedEntry)>,
-    stats: EngineStats,
-    max_prq: u64,
 }
 
 /// FIFO seq-lane invariant: a parallel `(seq, entry)` index must be
@@ -188,6 +212,14 @@ where
     U: MatchList<UnexpectedEntry>,
 {
     shards: Vec<Counted<ShardState<P, U>>>,
+    /// Per-shard published mirrors of the unexpected queues — the
+    /// seqlock-protected rows every lock-free read path walks.
+    snaps: Vec<SnapRows>,
+    /// Per-shard lock-free stat/length mirrors, written under the shard
+    /// lock, read by `stats`/`queue_lens`/`shard_stats` with no lock.
+    mirrors: Vec<MirrorStats>,
+    /// The wildcard lane's stat/length mirror.
+    wild_mirror: MirrorStats,
     /// Per-shard unexpected-message counts maintained *outside* the shard
     /// locks: queued UMQ entries plus in-flight arrivals that have not yet
     /// resolved to matched-or-queued. The wildcard fast path reads these
@@ -210,6 +242,21 @@ where
     /// When false, arrivals skip the wildcard seq comparison whenever
     /// their own shard has a match — the injected conformance adversary.
     check_wild_overtaking: bool,
+    /// When false, mutating ops skip the snapshot commit (no version bump,
+    /// rows never published) — the injected "skips the seq bump on write"
+    /// conformance adversary. See [`Self::with_snap_commit_disabled`].
+    snap_commit: bool,
+    /// When true, probes and the wildcard pre-scan use the locked paths —
+    /// the pre-seqlock behavior, kept selectable for the scaling gate.
+    locked_reads: AtomicBool,
+    /// Lock-free probe attempts that had to retry (writer interference).
+    snap_retries: AtomicU64,
+    /// Lock-free probes that exhausted their retries and locked.
+    snap_fallbacks: AtomicU64,
+    /// Wildcard posts parked by the lock-free candidate pre-scan.
+    prescan_parks: AtomicU64,
+    /// Wildcard posts the pre-scan sent to the locked slow path.
+    prescan_fallbacks: AtomicU64,
 }
 
 impl<P, U> ShardedEngine<P, U>
@@ -220,10 +267,15 @@ where
     /// Builds an engine with `num_shards` shards, each wrapping fresh
     /// structures from the factories (plus one more `P` for the wildcard
     /// lane).
-    pub fn new(
+    pub fn new(num_shards: usize, mk_prq: impl FnMut() -> P, mk_umq: impl FnMut() -> U) -> Self {
+        Self::build(num_shards, mk_prq, mk_umq, true)
+    }
+
+    fn build(
         num_shards: usize,
         mut mk_prq: impl FnMut() -> P,
         mut mk_umq: impl FnMut() -> U,
+        snap_commit: bool,
     ) -> Self {
         assert!(num_shards >= 1, "need at least one shard");
         let shards = (0..num_shards)
@@ -232,24 +284,31 @@ where
                     eng: MatchEngine::new(mk_prq(), mk_umq()),
                     prq_idx: VecDeque::new(),
                     umq_idx: VecDeque::new(),
-                    max_prq: 0,
-                    max_umq: 0,
                 })
             })
             .collect();
         Self {
             shards,
+            snaps: (0..num_shards)
+                .map(|_| SnapRows::new(snap_commit, SNAP_ROWS_MAX))
+                .collect(),
+            mirrors: (0..num_shards).map(|_| MirrorStats::new()).collect(),
+            wild_mirror: MirrorStats::new(),
             umq_counts: (0..num_shards).map(|_| AtomicUsize::new(0)).collect(),
             wild: Counted::new(WildState {
                 prq: mk_prq(),
                 prq_idx: VecDeque::new(),
-                stats: EngineStats::new(),
-                max_prq: 0,
             }),
             seq: AtomicU64::new(0),
             wild_len: AtomicUsize::new(0),
             wild_crossings: AtomicU64::new(0),
             check_wild_overtaking: true,
+            snap_commit,
+            locked_reads: AtomicBool::new(false),
+            snap_retries: AtomicU64::new(0),
+            snap_fallbacks: AtomicU64::new(0),
+            prescan_parks: AtomicU64::new(0),
+            prescan_fallbacks: AtomicU64::new(0),
         }
     }
 
@@ -269,6 +328,38 @@ where
         e
     }
 
+    /// The seqlock-protocol adversary: identical to [`Self::new`] except
+    /// that mutating ops **skip the snapshot commit** — no version bump,
+    /// no published rows — so lock-free probes answer from a stale
+    /// snapshot and miss queued messages. Exists so the conformance
+    /// harness can prove the interleaving scheduler convicts this class
+    /// of bug deterministically; never use it as an engine.
+    pub fn with_snap_commit_disabled(
+        num_shards: usize,
+        mk_prq: impl FnMut() -> P,
+        mk_umq: impl FnMut() -> U,
+    ) -> Self {
+        Self::build(num_shards, mk_prq, mk_umq, false)
+    }
+
+    /// Forces probes and the wildcard pre-scan back onto the locked
+    /// paths (`true`) — the pre-seqlock engine the scaling gate measures
+    /// as its "sharded-locked" variant — or restores the lock-free
+    /// default (`false`).
+    pub fn set_locked_reads(&self, locked: bool) {
+        self.locked_reads.store(locked, Ordering::SeqCst);
+    }
+
+    /// Retry/fallback counters for the lock-free read paths.
+    pub fn snap_read_stats(&self) -> SnapReadStats {
+        SnapReadStats {
+            probe_retries: self.snap_retries.load(Ordering::Relaxed),
+            probe_fallbacks: self.snap_fallbacks.load(Ordering::Relaxed),
+            prescan_parks: self.prescan_parks.load(Ordering::Relaxed),
+            prescan_fallbacks: self.prescan_fallbacks.load(Ordering::Relaxed),
+        }
+    }
+
     /// Number of shards.
     pub fn num_shards(&self) -> usize {
         self.shards.len()
@@ -278,6 +369,11 @@ where
     /// 16-bit domain, so sharding uses the same truncation).
     fn shard_of(&self, rank: i32) -> usize {
         (rank as u32 as usize & 0xFFFF) % self.shards.len()
+    }
+
+    /// Shard owning a source rank, for the batched-ingestion ring router.
+    pub(crate) fn shard_index(&self, rank: i32) -> usize {
+        self.shard_of(rank)
     }
 
     /// Locks every shard in index order (the fixed global lock order that
@@ -319,6 +415,7 @@ where
                     g.eng.umq_len()
                 ));
             }
+            self.validate_mirrors(si, g)?;
         }
         wild.prq.validate().map_err(|e| format!("wild prq: {e}"))?;
         check_seq_index(&wild.prq_idx, wild.prq.snapshot()).map_err(|e| format!("wild: {e}"))?;
@@ -328,6 +425,83 @@ where
                 "wild_len says {published} but the lane holds {}",
                 wild.prq.len()
             ));
+        }
+        let (wmp, wmu) = self.wild_mirror.lens();
+        if (wmp, wmu) != (wild.prq.len(), 0) {
+            return Err(format!(
+                "wild mirror lens say ({wmp}, {wmu}) but the lane holds ({}, 0)",
+                wild.prq.len()
+            ));
+        }
+        Ok(())
+    }
+
+    /// Quiescent cross-checks of shard `si`'s lock-free mirrors against
+    /// the locked truth: mirrored lengths, mirrored stat counters
+    /// (field-by-field — [`EngineStats`] has no `PartialEq`), and the
+    /// published snapshot rows against the seq index entry-for-entry.
+    fn validate_mirrors(&self, si: usize, g: &ShardState<P, U>) -> Result<(), String> {
+        let (mp, mu) = self.mirrors[si].lens();
+        if (mp, mu) != (g.eng.prq_len(), g.eng.umq_len()) {
+            return Err(format!(
+                "shard {si}: mirror lens say ({mp}, {mu}) but the queues hold ({}, {})",
+                g.eng.prq_len(),
+                g.eng.umq_len()
+            ));
+        }
+        let inner = g.eng.stats();
+        let mirror = self.mirrors[si].snapshot();
+        if mirror.prq_search != inner.prq_search || mirror.umq_search != inner.umq_search {
+            return Err(format!(
+                "shard {si}: mirrored search depths diverged \
+                 (prq {:?} vs {:?}, umq {:?} vs {:?})",
+                mirror.prq_search, inner.prq_search, mirror.umq_search, inner.umq_search
+            ));
+        }
+        let m4 = (
+            mirror.prq_hits,
+            mirror.umq_hits,
+            mirror.prq_appends,
+            mirror.umq_appends,
+        );
+        let i4 = (
+            inner.prq_hits,
+            inner.umq_hits,
+            inner.prq_appends,
+            inner.umq_appends,
+        );
+        if m4 != i4 {
+            return Err(format!(
+                "shard {si}: mirrored counters {m4:?} != engine counters {i4:?}"
+            ));
+        }
+        // The adversary never publishes; after overflow the mirror is
+        // legitimately incomplete (readers already fall back).
+        if !self.snap_commit || self.snaps[si].overflowed() {
+            return Ok(());
+        }
+        let mut rows = Vec::new();
+        if !self.snaps[si].read_into(&mut rows) {
+            return Err(format!(
+                "shard {si}: published snapshot unreadable at quiescence"
+            ));
+        }
+        if rows.len() != g.umq_idx.len() {
+            return Err(format!(
+                "shard {si}: snapshot publishes {} rows but the seq index holds {}",
+                rows.len(),
+                g.umq_idx.len()
+            ));
+        }
+        for (pos, (&(rs, rk, rv), (es, e))) in rows.iter().zip(g.umq_idx.iter()).enumerate() {
+            if rs != *es || rk != e.match_key() || rv != e.payload {
+                return Err(format!(
+                    "shard {si}: snapshot row {pos} is ({rs}, {rk:#x}, {rv}) but the \
+                     index holds ({es}, {:#x}, {})",
+                    e.match_key(),
+                    e.payload
+                ));
+            }
         }
         Ok(())
     }
@@ -353,8 +527,28 @@ where
         }
         let si = self.shard_of(spec.rank);
         let mut g = self.shards[si].lock();
+        self.post_recv_locked(si, &mut g, spec, request)
+    }
+
+    /// The concrete-source post body, shared by the direct path and the
+    /// ring drain. Caller holds shard `si`'s lock; the spec's rank must
+    /// route to `si`. Follows the writer protocol: window open, *then*
+    /// stamp, then mutate, then close.
+    fn post_recv_locked(
+        &self,
+        si: usize,
+        g: &mut ShardState<P, U>,
+        spec: RecvSpec,
+        request: u64,
+    ) -> (u64, RecvOutcome) {
+        debug_assert_eq!(self.shard_of(spec.rank), si, "op routed to wrong shard");
+        let snap = &self.snaps[si];
+        let m = &self.mirrors[si];
+        snap.begin();
         let seq = self.next_seq();
+        let pre = g.eng.stats().umq_search.sum;
         let out = g.eng.post_recv(spec, request);
+        let depth = g.eng.stats().umq_search.sum - pre;
         match out {
             RecvOutcome::MatchedUnexpected { payload, .. } => {
                 let pos = g
@@ -362,16 +556,21 @@ where
                     .iter()
                     .position(|(_, e)| e.matches(&spec))
                     .expect("structure matched, so the seq index must too");
-                let (_, e) = g.umq_idx.remove(pos).expect("position exists");
+                let (eseq, e) = g.umq_idx.remove(pos).expect("position exists");
                 debug_assert_eq!(e.payload, payload, "structure and index disagree");
+                snap.kill(eseq);
                 self.umq_counts[si].fetch_sub(1, Ordering::SeqCst);
+                m.add_umq_hit();
             }
             RecvOutcome::Posted => {
                 g.prq_idx
                     .push_back((seq, PostedEntry::from_spec(spec, request)));
+                m.add_prq_append();
             }
         }
-        g.note_occupancy();
+        m.umq_search.record(depth);
+        m.note_occupancy(g.eng.prq_len(), g.eng.umq_len());
+        snap.end();
         (seq, out)
     }
 
@@ -394,13 +593,19 @@ where
             // have hidden a message that was still queued at our
             // linearization point — retry through the slow path.
             if all_empty && self.seq.load(Ordering::SeqCst) == seq + 1 {
-                let entry = PostedEntry::from_spec(spec, request);
-                wild.prq.append(entry, &mut crate::sink::NullSink);
-                wild.prq_idx.push_back((seq, entry));
-                wild.stats.umq_search.record(0);
-                wild.stats.prq_appends += 1;
-                wild.max_prq = wild.max_prq.max(wild.prq.len() as u64);
+                self.park_wild(&mut wild, seq, spec, request, 0);
                 return (seq, RecvOutcome::Posted);
+            }
+            // Counts are nonzero (or a racer stamped): before paying for
+            // every shard lock, try to prove "no queued message matches"
+            // from the published snapshots alone.
+            if !self.locked_reads.load(Ordering::SeqCst) {
+                if let Some(inspected) = self.wild_prescan_clear(&spec, seq) {
+                    self.prescan_parks.fetch_add(1, Ordering::Relaxed);
+                    self.park_wild(&mut wild, seq, spec, request, inspected);
+                    return (seq, RecvOutcome::Posted);
+                }
+                self.prescan_fallbacks.fetch_add(1, Ordering::Relaxed);
             }
             self.wild_len.fetch_sub(1, Ordering::SeqCst);
             // The wildcard lock is released before the slow path re-locks
@@ -409,12 +614,70 @@ where
         self.post_recv_wild_slow(spec, request)
     }
 
+    /// Lock-free wildcard candidate pre-scan: walks every shard's
+    /// published snapshot and returns `Some(rows inspected)` iff the
+    /// composite snapshot is valid at the caller's stamp `seq` *and* no
+    /// live row matches `spec` — in which case parking immediately is
+    /// linearizable at `seq`. Caller holds the wildcard lock and has
+    /// already published its `wild_len` bump and taken `seq`.
+    ///
+    /// Validity needs three checks: every lane read under a stable
+    /// version, every lane's live-row count equal to its `umq_counts`
+    /// entry (an in-flight arrival that pre-bumped its count but has not
+    /// yet published may have read `wild_len` *before* our bump — the
+    /// count mismatch is the only trace it leaves), and the global seq
+    /// unchanged (no racing remover with a later stamp).
+    fn wild_prescan_clear(&self, spec: &RecvSpec, seq: u64) -> Option<u64> {
+        let probe = spec.packed();
+        let mut rows: Vec<(u64, u64, u64)> = Vec::new();
+        for (si, snap) in self.snaps.iter().enumerate() {
+            let before = rows.len();
+            if !snap.read_into(&mut rows) {
+                return None;
+            }
+            if rows.len() - before != self.umq_counts[si].load(Ordering::SeqCst) {
+                return None;
+            }
+        }
+        if self.seq.load(Ordering::SeqCst) != seq + 1 {
+            return None;
+        }
+        rows.iter()
+            .all(|&(_, key, _)| !packed_matches(key, !0, &probe))
+            .then_some(rows.len() as u64)
+    }
+
+    /// Parks a wildcard receive in the lane (caller holds the wildcard
+    /// lock and accounts for `wild_len` itself). `inspected` is the
+    /// number of unexpected entries examined before concluding no match.
+    fn park_wild(
+        &self,
+        wild: &mut WildState<P>,
+        seq: u64,
+        spec: RecvSpec,
+        request: u64,
+        inspected: u64,
+    ) {
+        let entry = PostedEntry::from_spec(spec, request);
+        wild.prq.append(entry, &mut crate::sink::NullSink);
+        wild.prq_idx.push_back((seq, entry));
+        self.wild_mirror.umq_search.record(inspected);
+        self.wild_mirror.add_prq_append();
+        self.wild_mirror.note_occupancy(wild.prq.len(), 0);
+    }
+
     /// The wildcard slow path: all shard locks + the wildcard lane, a
     /// global (seq-ordered) search of every shard's unexpected queue,
     /// then either an immediate match or parking in the wildcard lane.
     fn post_recv_wild_slow(&self, spec: RecvSpec, request: u64) -> (u64, RecvOutcome) {
         let mut guards = self.lock_all();
         let mut wild = self.wild.lock();
+        // A match (if any) lives in a shard unknown until the scan ends,
+        // so the writer protocol demands opening *every* lane's write
+        // window before stamping (we hold every lock anyway).
+        for s in &self.snaps {
+            s.begin();
+        }
         let seq = self.next_seq();
 
         // Globally earliest matching unexpected message: each shard's seq
@@ -436,10 +699,12 @@ where
                 }
             }
         }
-        match best {
-            Some((_, si)) => {
+        let result = match best {
+            Some((bseq, si)) => {
                 let g = &mut guards[si];
+                let pre = g.eng.stats().umq_search.sum;
                 let out = g.eng.post_recv(spec, request);
+                let depth = g.eng.stats().umq_search.sum - pre;
                 let RecvOutcome::MatchedUnexpected { payload, .. } = out else {
                     panic!("seq index found a match the structure missed");
                 };
@@ -448,9 +713,15 @@ where
                     .iter()
                     .position(|(_, e)| e.matches(&spec))
                     .expect("match present");
-                let (_, e) = g.umq_idx.remove(pos).expect("position exists");
+                let (eseq, e) = g.umq_idx.remove(pos).expect("position exists");
                 debug_assert_eq!(e.payload, payload);
+                debug_assert_eq!(eseq, bseq);
+                self.snaps[si].kill(eseq);
                 self.umq_counts[si].fetch_sub(1, Ordering::SeqCst);
+                let m = &self.mirrors[si];
+                m.umq_search.record(depth);
+                m.add_umq_hit();
+                m.note_occupancy(g.eng.prq_len(), g.eng.umq_len());
                 // The shard sub-engine already recorded the hit; only the
                 // globally-inspected depth is reported to the caller.
                 (
@@ -462,16 +733,15 @@ where
                 )
             }
             None => {
-                let entry = PostedEntry::from_spec(spec, request);
-                wild.prq.append(entry, &mut crate::sink::NullSink);
-                wild.prq_idx.push_back((seq, entry));
-                wild.stats.umq_search.record(inspected as u64);
-                wild.stats.prq_appends += 1;
-                wild.max_prq = wild.max_prq.max(wild.prq.len() as u64);
+                self.park_wild(&mut wild, seq, spec, request, inspected as u64);
                 self.wild_len.fetch_add(1, Ordering::SeqCst);
                 (seq, RecvOutcome::Posted)
             }
+        };
+        for s in &self.snaps {
+            s.end();
         }
+        result
     }
 
     /// Handles a message arrival: shard fast path, with the wildcard-lane
@@ -483,8 +753,21 @@ where
     /// [`Self::arrival`] returning the operation's linearization stamp.
     pub fn arrival_seq(&self, env: Envelope, payload: u64) -> (u64, ArrivalOutcome) {
         let si = self.shard_of(env.rank);
-        let shard = &self.shards[si];
-        let mut g = shard.lock();
+        let mut g = self.shards[si].lock();
+        self.arrival_locked(si, &mut g, env, payload)
+    }
+
+    /// The arrival body, shared by the direct path and the ring drain.
+    /// Caller holds shard `si`'s lock; the envelope's rank must route to
+    /// `si`.
+    fn arrival_locked(
+        &self,
+        si: usize,
+        g: &mut ShardState<P, U>,
+        env: Envelope,
+        payload: u64,
+    ) -> (u64, ArrivalOutcome) {
+        debug_assert_eq!(self.shard_of(env.rank), si, "op routed to wrong shard");
         // Pre-bump this shard's unexpected count *before* reading the
         // wildcard-lane occupancy — the arrival half of the store-buffering
         // pair: a racing fast-path wildcard post either sees this bump (and
@@ -498,6 +781,9 @@ where
         } else {
             None
         };
+        let snap = &self.snaps[si];
+        let m = &self.mirrors[si];
+        snap.begin();
         let seq = self.next_seq();
 
         let mut shard_scan = 0u32;
@@ -533,10 +819,14 @@ where
             let (iseq, ie) = w.prq_idx.remove(pos).expect("position exists");
             debug_assert_eq!(ie.request, recv.request);
             debug_assert_eq!(Some(iseq), wild_first);
-            w.stats.prq_search.record((shard_scan + wild_scan) as u64);
-            w.stats.prq_hits += 1;
+            self.wild_mirror
+                .prq_search
+                .record((shard_scan + wild_scan) as u64);
+            self.wild_mirror.add_prq_hit();
+            self.wild_mirror.note_occupancy(w.prq.len(), 0);
             self.wild_len.fetch_sub(1, Ordering::SeqCst);
             self.umq_counts[si].fetch_sub(1, Ordering::SeqCst);
+            snap.end();
             return (
                 seq,
                 ArrivalOutcome::MatchedPosted {
@@ -547,7 +837,9 @@ where
         }
 
         drop(wild);
+        let pre = g.eng.stats().prq_search.sum;
         let out = g.eng.arrival(env, payload);
+        let depth = g.eng.stats().prq_search.sum - pre;
         match out {
             ArrivalOutcome::MatchedPosted { request, .. } => {
                 let pos = g
@@ -560,15 +852,20 @@ where
                 debug_assert_eq!(Some(iseq), shard_first);
                 // Matched, so nothing was queued: undo the pre-bump.
                 self.umq_counts[si].fetch_sub(1, Ordering::SeqCst);
+                m.add_prq_hit();
             }
             ArrivalOutcome::Queued => {
                 debug_assert!(shard_first.is_none());
-                g.umq_idx
-                    .push_back((seq, UnexpectedEntry::from_envelope(env, payload)));
+                let e = UnexpectedEntry::from_envelope(env, payload);
+                g.umq_idx.push_back((seq, e));
+                snap.append(seq, e.match_key(), payload);
+                m.add_umq_append();
                 // The pre-bump stands: it now counts the queued message.
             }
         }
-        g.note_occupancy();
+        m.prq_search.record(depth);
+        m.note_occupancy(g.eng.prq_len(), g.eng.umq_len());
+        snap.end();
         (seq, out)
     }
 
@@ -584,8 +881,11 @@ where
     pub fn cancel_recv_seq(&self, request: u64) -> (u64, bool) {
         let mut guards = self.lock_all();
         let mut wild = self.wild.lock();
+        // Cancels touch PRQ state only — no unexpected-queue rows — so no
+        // snapshot write window is needed; the stamp alone makes racing
+        // lock-free probes retry, which is conservative and sound.
         let seq = self.next_seq();
-        for g in guards.iter_mut() {
+        for (si, g) in guards.iter_mut().enumerate() {
             if g.eng.cancel_recv(request) {
                 let pos = g
                     .prq_idx
@@ -593,6 +893,7 @@ where
                     .position(|(_, e)| e.request == request)
                     .expect("structure removed the entry, index must hold it");
                 g.prq_idx.remove(pos);
+                self.mirrors[si].note_occupancy(g.eng.prq_len(), g.eng.umq_len());
                 return (seq, true);
             }
         }
@@ -603,6 +904,7 @@ where
                 .position(|(_, e)| e.request == recv.request)
                 .expect("index holds every wild entry");
             wild.prq_idx.remove(pos);
+            self.wild_mirror.note_occupancy(wild.prq.len(), 0);
             self.wild_len.fetch_sub(1, Ordering::SeqCst);
             return (seq, true);
         }
@@ -618,7 +920,56 @@ where
     }
 
     /// [`Self::iprobe`] returning the operation's linearization stamp.
+    ///
+    /// The lock-free path takes its stamp by *loading* the seq counter
+    /// rather than advancing it, so several concurrent probes may share a
+    /// stamp with each other and with the next writer; a probe always
+    /// linearizes *before* a same-stamp writer (it validated the
+    /// pre-writer snapshot), which is how the conformance log sorts them.
     pub fn iprobe_seq(&self, spec: RecvSpec) -> (u64, Option<(u64, u32)>) {
+        if !self.locked_reads.load(Ordering::SeqCst) {
+            if let Some(r) = self.iprobe_snap(&spec) {
+                return r;
+            }
+            self.snap_fallbacks.fetch_add(1, Ordering::Relaxed);
+        }
+        self.iprobe_locked(spec)
+    }
+
+    /// Seqlock probe: up to [`SNAP_PROBE_RETRIES`] attempts at a
+    /// composite snapshot of every shard's published rows, merged in seq
+    /// (= arrival FIFO) order. `None` means every attempt hit writer
+    /// interference (or a mirror overflowed) and the caller must lock.
+    fn iprobe_snap(&self, spec: &RecvSpec) -> Option<(u64, Option<(u64, u32)>)> {
+        let probe = spec.packed();
+        let mut rows: Vec<(u64, u64, u64)> = Vec::new();
+        for _ in 0..SNAP_PROBE_RETRIES {
+            rows.clear();
+            let s0 = self.seq.load(Ordering::SeqCst);
+            let ok = self.snaps.iter().all(|snap| snap.read_into(&mut rows));
+            if !ok || self.seq.load(Ordering::SeqCst) != s0 {
+                self.snap_retries.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            rows.sort_unstable_by_key(|&(s, ..)| s);
+            let mut depth = 0u32;
+            for &(_, key, payload) in &rows {
+                depth += 1;
+                // Published rows carry the entry's packed key; unexpected
+                // entries constrain every bit (mask `!0`), exactly like
+                // `UnexpectedEntry::matches`.
+                if packed_matches(key, !0, &probe) {
+                    return Some((s0, Some((payload, depth))));
+                }
+            }
+            return Some((s0, None));
+        }
+        None
+    }
+
+    /// The locked probe (also the `set_locked_reads` baseline): all shard
+    /// locks, merged seq-index scan.
+    fn iprobe_locked(&self, spec: RecvSpec) -> (u64, Option<(u64, u32)>) {
         let guards = self.lock_all();
         let seq = self.next_seq();
         let mut rows: Vec<(u64, u64, bool)> = Vec::new();
@@ -638,44 +989,81 @@ where
         (seq, None)
     }
 
+    /// Applies every buffered op in `rings` (pairs of `(producer id,
+    /// ring)` targeting shard `si`) under **one** lock acquisition,
+    /// stamping each op at drain time and reporting `(producer, seq, op,
+    /// matched handle)` to `record`. Returns the number of ops applied.
+    /// The consumer side of each ring is serialized by the shard lock
+    /// taken here.
+    pub(crate) fn drain_rings(
+        &self,
+        si: usize,
+        rings: &[(usize, &IngestRing)],
+        mut record: impl FnMut(usize, u64, IngestOp, Option<u64>),
+    ) -> usize {
+        if rings.iter().all(|(_, r)| r.is_empty()) {
+            return 0;
+        }
+        let mut g = self.shards[si].lock();
+        let mut n = 0;
+        for (p, ring) in rings {
+            while let Some(op) = ring.pop() {
+                n += 1;
+                match op {
+                    IngestOp::Post { spec, request } => {
+                        let (seq, out) = self.post_recv_locked(si, &mut g, spec, request);
+                        let matched = match out {
+                            RecvOutcome::MatchedUnexpected { payload, .. } => Some(payload),
+                            RecvOutcome::Posted => None,
+                        };
+                        record(*p, seq, op, matched);
+                    }
+                    IngestOp::Arrive { env, payload } => {
+                        let (seq, out) = self.arrival_locked(si, &mut g, env, payload);
+                        let matched = match out {
+                            ArrivalOutcome::MatchedPosted { request, .. } => Some(request),
+                            ArrivalOutcome::Queued => None,
+                        };
+                        record(*p, seq, op, matched);
+                    }
+                }
+            }
+        }
+        n
+    }
+
     /// Current queue lengths `(prq, umq)`, wildcard lane included.
-    /// Uncounted: snapshots never pollute the contention counters.
+    /// Lock-free: reads the per-shard mirrors and the wildcard length
+    /// atomic — exact at quiescence, transiently stale mid-race, and
+    /// never a lock acquisition or contention event.
     pub fn queue_lens(&self) -> (usize, usize) {
-        let guards = self.lock_all_uncounted();
-        let wild = self.wild.lock_uncounted();
-        let mut prq = wild.prq.len();
+        let mut prq = self.wild_len.load(Ordering::SeqCst);
         let mut umq = 0;
-        for g in guards.iter() {
-            prq += g.eng.prq_len();
-            umq += g.eng.umq_len();
+        for m in &self.mirrors {
+            let (p, u) = m.lens();
+            prq += p;
+            umq += u;
         }
         (prq, umq)
     }
 
     /// Merged statistics across every shard and the wildcard lane, with
     /// [`EngineStats::concurrency`] populated (per-shard contention,
-    /// occupancy highwater marks, wildcard-lane crossings). Uncounted.
+    /// occupancy highwater marks, wildcard-lane crossings). Lock-free:
+    /// assembled entirely from the stat mirrors, so a stats-polling
+    /// thread never touches a shard lock (`validate` proves the mirrors
+    /// equal the locked truth at quiescence).
     pub fn stats(&self) -> EngineStats {
-        let guards = self.lock_all_uncounted();
-        let wild = self.wild.lock_uncounted();
         let mut total = EngineStats::new();
-        let mut shards = Vec::with_capacity(guards.len());
-        for (g, c) in guards.iter().zip(self.shards.iter()) {
-            total.merge(g.eng.stats());
-            shards.push(ShardStats {
-                lock: c.lock_stats(),
-                max_prq_len: g.max_prq,
-                max_umq_len: g.max_umq,
-            });
+        let mut shards = Vec::with_capacity(self.shards.len());
+        for (m, c) in self.mirrors.iter().zip(self.shards.iter()) {
+            total.merge(&m.snapshot());
+            shards.push(m.shard_row(c.lock_stats()));
         }
-        total.merge(&wild.stats);
+        total.merge(&self.wild_mirror.snapshot());
         total.concurrency = Some(ConcurrencyStats {
             shards,
-            wild: Some(ShardStats {
-                lock: self.wild.lock_stats(),
-                max_prq_len: wild.max_prq,
-                max_umq_len: 0,
-            }),
+            wild: Some(self.wild_mirror.shard_row(self.wild.lock_stats())),
             wild_crossings: self.wild_crossings.load(Ordering::Relaxed),
         });
         total
@@ -692,17 +1080,12 @@ where
         t
     }
 
-    /// Per-shard contention and occupancy rows (uncounted).
+    /// Per-shard contention and occupancy rows (lock-free mirror reads).
     pub fn shard_stats(&self) -> Vec<ShardStats> {
-        let guards = self.lock_all_uncounted();
-        guards
+        self.mirrors
             .iter()
             .zip(self.shards.iter())
-            .map(|(g, c)| ShardStats {
-                lock: c.lock_stats(),
-                max_prq_len: g.max_prq,
-                max_umq_len: g.max_umq,
-            })
+            .map(|(m, c)| m.shard_row(c.lock_stats()))
             .collect()
     }
 
@@ -731,19 +1114,27 @@ where
     pub fn reset(&self) {
         let mut guards = self.lock_all();
         let mut wild = self.wild.lock();
+        for s in &self.snaps {
+            s.begin();
+        }
         self.next_seq();
-        for g in guards.iter_mut() {
+        for (si, g) in guards.iter_mut().enumerate() {
             g.eng.reset();
             g.prq_idx.clear();
             g.umq_idx.clear();
+            self.snaps[si].clear();
+            self.mirrors[si].clear();
         }
         wild.prq.clear();
         wild.prq_idx.clear();
-        wild.stats = EngineStats::new();
+        self.wild_mirror.clear();
         for c in &self.umq_counts {
             c.store(0, Ordering::SeqCst);
         }
         self.wild_len.store(0, Ordering::SeqCst);
+        for s in &self.snaps {
+            s.end();
+        }
     }
 }
 
@@ -1053,5 +1444,142 @@ mod tests {
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_rejected() {
         let _ = engine(0);
+    }
+
+    #[test]
+    fn stats_polling_thread_adds_no_lock_traffic() {
+        use std::sync::atomic::AtomicBool;
+        const OPS: i32 = 2_000;
+        let eng = engine(4);
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            let eng_ref = &eng;
+            let stop_ref = &stop;
+            s.spawn(move || {
+                while !stop_ref.load(Ordering::SeqCst) {
+                    let _ = eng_ref.queue_lens();
+                    let _ = eng_ref.stats();
+                    let _ = eng_ref.shard_stats();
+                }
+            });
+            // A single writer: its acquisitions are uncontended unless the
+            // poller takes locks — which it must not (the regression this
+            // test pins).
+            for i in 0..OPS {
+                eng_ref.post_recv(RecvSpec::new(i % 7, i, 0), i as u64);
+                eng_ref.arrival(Envelope::new(i % 7, i, 0), i as u64);
+            }
+            stop_ref.store(true, Ordering::SeqCst);
+        });
+        let ls = eng.lock_stats();
+        assert_eq!(ls.contended, 0, "snapshot reads must never contend");
+        assert_eq!(
+            ls.acquisitions,
+            2 * OPS as u64,
+            "snapshot reads must not acquire at all"
+        );
+    }
+
+    #[test]
+    fn lock_free_and_locked_iprobe_agree() {
+        let eng = engine(4);
+        for i in 0..32 {
+            eng.arrival(Envelope::new(i % 5, i % 3, 0), 1000 + i as u64);
+        }
+        // Consume one queued message so tombstones are exercised too.
+        assert!(matches!(
+            eng.post_recv(RecvSpec::new(1, 1, 0), 5),
+            RecvOutcome::MatchedUnexpected { .. }
+        ));
+        for spec in [
+            RecvSpec::new(2, 2, 0),
+            RecvSpec::new(1, 1, 0),
+            RecvSpec::new(ANY_SOURCE, 1, 0),
+            RecvSpec::new(2, ANY_TAG, 0),
+            RecvSpec::new(ANY_SOURCE, ANY_TAG, 0),
+            RecvSpec::new(9, 9, 0),
+        ] {
+            let lock_free = eng.iprobe(spec);
+            eng.set_locked_reads(true);
+            let locked = eng.iprobe(spec);
+            eng.set_locked_reads(false);
+            assert_eq!(lock_free, locked, "probe divergence for {spec:?}");
+        }
+        assert_eq!(
+            eng.snap_read_stats().probe_fallbacks,
+            0,
+            "single-threaded probes must succeed on the seqlock path"
+        );
+        eng.validate().unwrap();
+    }
+
+    #[test]
+    fn snap_commit_adversary_hides_queued_messages_from_lock_free_probes() {
+        let eng: TestEngine = ShardedEngine::with_snap_commit_disabled(4, Lla::new, Lla::new);
+        eng.arrival(Envelope::new(2, 2, 0), 22);
+        // The arrival skipped its snapshot commit, so the seqlock probe
+        // deterministically answers from the stale (empty) snapshot...
+        assert_eq!(
+            eng.iprobe(RecvSpec::new(2, 2, 0)),
+            None,
+            "the commit-skipping adversary must hide the message"
+        );
+        // ...while the locked path still sees the truth.
+        eng.set_locked_reads(true);
+        assert_eq!(eng.iprobe(RecvSpec::new(2, 2, 0)), Some((22, 1)));
+    }
+
+    #[test]
+    fn wildcard_prescan_parks_lock_free_when_no_queued_message_matches() {
+        let eng = engine(4);
+        eng.arrival(Envelope::new(6, 2, 0), 60); // queued: counts nonzero
+        let before: u64 = eng.shard_stats().iter().map(|s| s.lock.acquisitions).sum();
+        assert!(matches!(
+            eng.post_recv(RecvSpec::new(ANY_SOURCE, 9, 0), 1),
+            RecvOutcome::Posted
+        ));
+        let after: u64 = eng.shard_stats().iter().map(|s| s.lock.acquisitions).sum();
+        assert_eq!(
+            after, before,
+            "a non-matching pre-scan must park without shard locks"
+        );
+        assert_eq!(eng.snap_read_stats().prescan_parks, 1);
+        // The parked wildcard is fully live: a matching arrival crosses
+        // into the lane and takes it.
+        match eng.arrival(Envelope::new(3, 9, 0), 99) {
+            ArrivalOutcome::MatchedPosted { request, .. } => assert_eq!(request, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+        // With locked reads forced, the same situation pays the slow path.
+        eng.set_locked_reads(true);
+        let before: u64 = eng.shard_stats().iter().map(|s| s.lock.acquisitions).sum();
+        assert!(matches!(
+            eng.post_recv(RecvSpec::new(ANY_SOURCE, 9, 0), 2),
+            RecvOutcome::Posted
+        ));
+        let after: u64 = eng.shard_stats().iter().map(|s| s.lock.acquisitions).sum();
+        assert_eq!(after - before, 4, "locked reads force the all-lock path");
+        eng.validate().unwrap();
+    }
+
+    #[test]
+    fn mirrors_stay_exact_across_mixed_operations() {
+        let eng = engine(3);
+        eng.post_recv(RecvSpec::new(1, 1, 0), 1);
+        eng.post_recv(RecvSpec::new(ANY_SOURCE, 5, 0), 2);
+        eng.arrival(Envelope::new(1, 1, 0), 10); // shard prq hit
+        eng.arrival(Envelope::new(2, 5, 0), 11); // wild hit
+        eng.arrival(Envelope::new(4, 9, 0), 12); // queued
+        eng.post_recv(RecvSpec::new(4, 9, 0), 3); // umq hit
+        eng.post_recv(RecvSpec::new(ANY_SOURCE, 7, 0), 4); // parked
+        assert!(eng.cancel_recv(4));
+        eng.validate().unwrap();
+        let s = eng.stats();
+        assert_eq!(s.prq_hits, 2);
+        assert_eq!(s.umq_hits, 1);
+        assert_eq!(eng.queue_lens(), (0, 0));
+        eng.reset();
+        eng.validate().unwrap();
+        assert_eq!(eng.stats().prq_hits, 0);
     }
 }

@@ -210,6 +210,22 @@ impl LockStats {
     }
 }
 
+/// Retry/fallback counters for the sharded engine's lock-free read
+/// paths: how often seqlock probes had to retry or give up, and how the
+/// wildcard candidate pre-scan resolved. All pure telemetry — correctness
+/// never depends on them (a fallback is just the locked path).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SnapReadStats {
+    /// Lock-free probe attempts invalidated by writer interference.
+    pub probe_retries: u64,
+    /// Probes that exhausted their retries and took the locked path.
+    pub probe_fallbacks: u64,
+    /// Wildcard posts parked lock-free by the candidate pre-scan.
+    pub prescan_parks: u64,
+    /// Wildcard posts the pre-scan sent to the locked slow path.
+    pub prescan_fallbacks: u64,
+}
+
 /// Per-shard contention and occupancy observability for a sharded engine
 /// (one row per shard; the wildcard lane gets its own row in
 /// [`ConcurrencyStats`]).
