@@ -21,6 +21,7 @@ const HOT_PATH_FILES: &[&str] = &[
     "ingest.rs",
     "concurrent.rs",
     "prefetch.rs",
+    "envcfg.rs",
     "simd.rs",
     "sink.rs",
     "addr.rs",

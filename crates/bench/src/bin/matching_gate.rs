@@ -38,19 +38,32 @@
 //! `SPC_SCAN_KIND=simd256`) so both the fallback and the vector kernels are
 //! exercised and compared on every push.
 //!
+//! The matrix also sweeps the **traversal-prefetch scheme**: the main pass
+//! runs under the installed scheme (default `stride`), then the packed
+//! linear structures re-run under `off`, `chase`, and `adaptive`, pinned to
+//! the best scan kernel so the scheme is the only variable. Scheme rows
+//! carry `prefetch_scheme` / `prefetch_dist` columns, and their cachesim
+//! replay arms the simulated pointer-chase unit (degree 1 for `chase`, 2
+//! for `adaptive`) so the native `prefetcht0` chase has a simulated
+//! counterpart — the L1-hit delta against the stride row attributes the
+//! timing change to locality.
+//!
 //! Usage: `matching_gate [--quick] [--out <path>]` (also `--json <path>`;
 //! default `BENCH_matching.json`). `--quick` shrinks the matrix and budgets
 //! for CI smoke runs and marks the JSON `"quick": true`. The `SPC_SCAN_KIND`
 //! environment variable restricts the packed sweep to one kernel
 //! (`portable`/`simd128`/`simd256`, downgraded to the best the CPU
-//! supports). The binary exits nonzero on panic, an unwritable output path,
-//! or a kernel cross-check divergence — perf regressions are recorded, not
-//! fatal, so CI stays green on noisy runners.
+//! supports); `SPC_PREFETCH_SCHEME` (`off`/`stride`/`chase`/`adaptive`)
+//! pins the whole matrix to one scheme and skips the scheme sweep. The
+//! binary exits nonzero on panic, an unwritable output path, or a kernel
+//! cross-check divergence — perf regressions are recorded, not fatal, so CI
+//! stays green on noisy runners.
 
 use criterion::{measure_ns, report};
 use spc_cachesim::{ArchProfile, MemSim};
 use spc_core::entry::{Envelope, PostedEntry, RecvSpec, ANY_SOURCE};
 use spc_core::list::{BaselineList, HashBins, Lla, MatchList, RankTrie, Search, SourceBins};
+use spc_core::prefetch::{self, PrefetchScheme};
 use spc_core::simd::{self, ScanKind};
 use spc_core::sink::{CountingSink, NullSink};
 use spc_rng::{Rng, SeedableRng, StdRng};
@@ -109,12 +122,48 @@ impl Variant {
 }
 
 /// One point of the workload matrix.
+#[derive(Clone, Copy)]
 struct Cell {
     structure: &'static str,
     depth: usize,
     hit: &'static str,
     wildcard: f64,
     variant: Variant,
+    /// Traversal-prefetch scheme installed while the cell runs. The
+    /// fieldwise reference path never prefetches, so its rows always
+    /// report `off` regardless of this value.
+    scheme: PrefetchScheme,
+}
+
+impl Cell {
+    /// The `prefetch_scheme` JSON column.
+    fn scheme_column(&self) -> &'static str {
+        match self.variant {
+            Variant::Fieldwise => "off",
+            Variant::Packed(_) => self.scheme.as_str(),
+        }
+    }
+
+    /// Pointer-chase depth for the cell's cachesim replay. The native
+    /// stride scheme's `prefetcht0` hints are invisible to the access-trace
+    /// sink, so the simulated hierarchy only distinguishes schemes through
+    /// its chase unit: one-node lookahead wherever the native walk issues
+    /// the dependent chase (the forced chase scheme, and the adaptive
+    /// scheme when its controller converged into the chase regime —
+    /// `adaptive_dist` is the converged distance of the timed list).
+    fn sim_chase_degree(&self, adaptive_dist: Option<usize>) -> u32 {
+        match (self.variant, self.scheme) {
+            (Variant::Fieldwise, _) => 0,
+            (_, PrefetchScheme::Chase) => 1,
+            (_, PrefetchScheme::Adaptive) => {
+                // Mirror the native arity gate: at distance 1 only the
+                // pointer-bound structures chase (`ADAPTIVE_CHASE_MAX_ARITY`).
+                let pointer_bound = matches!(self.structure, "baseline" | "lla2" | "lla8");
+                u32::from(adaptive_dist == Some(1) && pointer_bound)
+            }
+            _ => 0,
+        }
+    }
 }
 
 struct MeasureCfg {
@@ -133,6 +182,9 @@ trait GateList {
     fn search_null(&mut self, p: &Envelope) -> Search<PostedEntry>;
     fn search_count(&mut self, p: &Envelope, sink: &mut CountingSink) -> Search<PostedEntry>;
     fn search_sim(&mut self, p: &Envelope, sink: &mut MemSim) -> Search<PostedEntry>;
+    /// Converged adaptive-controller lookahead (`None` off the packed
+    /// linear structures).
+    fn adaptive_dist(&self) -> Option<usize>;
 }
 
 /// The current packed-key path, available on every structure.
@@ -156,6 +208,9 @@ impl<L: MatchList<PostedEntry>> GateList for Packed<L> {
     }
     fn search_sim(&mut self, p: &Envelope, sink: &mut MemSim) -> Search<PostedEntry> {
         self.0.search_remove(p, sink)
+    }
+    fn adaptive_dist(&self) -> Option<usize> {
+        self.0.adaptive_prefetch_distance()
     }
 }
 
@@ -182,6 +237,9 @@ impl GateList for FieldwiseBaseline {
     fn search_sim(&mut self, p: &Envelope, sink: &mut MemSim) -> Search<PostedEntry> {
         self.0.search_remove_fieldwise(p, sink)
     }
+    fn adaptive_dist(&self) -> Option<usize> {
+        None
+    }
 }
 
 struct FieldwiseLla<const N: usize>(Lla<PostedEntry, N>);
@@ -204,6 +262,9 @@ impl<const N: usize> GateList for FieldwiseLla<N> {
     }
     fn search_sim(&mut self, p: &Envelope, sink: &mut MemSim) -> Search<PostedEntry> {
         self.0.search_remove_fieldwise(p, sink)
+    }
+    fn adaptive_dist(&self) -> Option<usize> {
+        None
     }
 }
 
@@ -327,9 +388,15 @@ fn cross_check(cell: &Cell, entries: &[PostedEntry], probes: &[Envelope], kind: 
 /// Replays the cell's op stream against the cache hierarchy: appends and
 /// one full probe cycle warm the simulated caches, then one measured cycle
 /// produces the per-op line and hit-ratio columns.
-fn run_sim(cell: &Cell, entries: &[PostedEntry], probes: &[Envelope]) -> SimColumns {
+fn run_sim(
+    cell: &Cell,
+    entries: &[PostedEntry],
+    probes: &[Envelope],
+    adaptive_dist: Option<usize>,
+) -> SimColumns {
     let mut list = make_list(cell.structure, cell.variant, cell.depth);
-    let mut mem = MemSim::new(ArchProfile::sandy_bridge());
+    let prof = ArchProfile::sandy_bridge().with_pointer_chase(cell.sim_chase_degree(adaptive_dist));
+    let mut mem = MemSim::new(prof);
     for e in entries {
         list.append_sim(*e, &mut mem);
     }
@@ -364,11 +431,26 @@ fn run_sim(cell: &Cell, entries: &[PostedEntry], probes: &[Envelope]) -> SimColu
     }
 }
 
+/// One scheme's measurements over a cell's shared list.
+struct SchemeRun {
+    scheme: PrefetchScheme,
+    ns: f64,
+    bytes: f64,
+    sim: SimColumns,
+    dist: u64,
+}
+
 /// Runs one matrix cell: times the steady-state loop, then replays one full
-/// probe cycle against a `CountingSink` twin and the cachesim. Returns
-/// (ns/op, bytes/op, sim columns).
-fn run_cell(cell: &Cell, cfg: &MeasureCfg) -> (f64, f64, SimColumns) {
+/// probe cycle against a `CountingSink` twin and the cachesim — once under
+/// the cell's own scheme, then again under each of `extra_schemes` on the
+/// SAME list object. The traversal-prefetch scheme is a process-global
+/// switch that never changes how the list is laid out, so re-timing one
+/// list under every scheme makes the allocation layout (which on this
+/// matrix moves individual cells by tens of percent run-to-run) cancel
+/// exactly in any scheme-vs-scheme comparison.
+fn run_cell(cell: &Cell, cfg: &MeasureCfg, extra_schemes: &[PrefetchScheme]) -> Vec<SchemeRun> {
     cell.variant.install();
+    prefetch::set_scheme(cell.scheme);
     let entries = make_entries(cell.depth, cell.wildcard);
     let probes = cell_probes(cell, &entries);
     if let Variant::Packed(kind) = cell.variant {
@@ -382,46 +464,74 @@ fn run_cell(cell: &Cell, cfg: &MeasureCfg) -> (f64, f64, SimColumns) {
     }
     let expect_hit = cell.hit != "miss";
     // The probe index and the list's rotation state advance together, so the
-    // cycle stays aligned across calibration batches and the bytes replay.
+    // cycle stays aligned across calibration batches, the bytes replay, and
+    // every subsequent scheme's timed loop (each replay is exactly one
+    // rotation period).
     let mut k = 0usize;
-    let ns = measure_ns(cfg.samples, cfg.time, |b| {
-        b.iter(|| {
-            let s = list.search_null(&probes[k % probes.len()]);
+    let mut runs = Vec::with_capacity(1 + extra_schemes.len());
+    for scheme in std::iter::once(cell.scheme).chain(extra_schemes.iter().copied()) {
+        prefetch::set_scheme(scheme);
+        let scheme_cell = Cell { scheme, ..*cell };
+        let ns = measure_ns(cfg.samples, cfg.time, |b| {
+            b.iter(|| {
+                let s = list.search_null(&probes[k % probes.len()]);
+                k += 1;
+                debug_assert_eq!(s.found.is_some(), expect_hit);
+                if let Some(e) = s.found {
+                    list.append_null(e);
+                }
+                s.depth
+            })
+        });
+        let mut sink = CountingSink::new();
+        for _ in 0..probes.len() {
+            let s = list.search_count(&probes[k % probes.len()], &mut sink);
             k += 1;
-            debug_assert_eq!(s.found.is_some(), expect_hit);
+            assert_eq!(
+                s.found.is_some(),
+                expect_hit,
+                "cell {} desynced",
+                label(&scheme_cell)
+            );
             if let Some(e) = s.found {
-                list.append_null(e);
+                list.append_count(e, &mut sink);
             }
-            s.depth
-        })
-    });
-    let mut sink = CountingSink::new();
-    for _ in 0..probes.len() {
-        let s = list.search_count(&probes[k % probes.len()], &mut sink);
-        k += 1;
-        assert_eq!(
-            s.found.is_some(),
-            expect_hit,
-            "cell {} desynced",
-            label(cell)
-        );
-        if let Some(e) = s.found {
-            list.append_count(e, &mut sink);
         }
+        let bytes = (sink.bytes_read + sink.bytes_written) as f64 / probes.len() as f64;
+        // Read the controller AFTER this scheme's timed+replay stream, so an
+        // adaptive run reports the distance it actually converged to.
+        let adaptive = list.adaptive_dist();
+        let sim = run_sim(&scheme_cell, &entries, &probes, adaptive);
+        // The `prefetch_dist` column: nodes of lookahead the walk actually
+        // ran with — the configured stride for fixed schemes, one for the
+        // dependent chase, and the controller's converged decision for
+        // adaptive.
+        let dist = match (cell.variant, scheme) {
+            (Variant::Fieldwise, _) | (_, PrefetchScheme::Off) => 0,
+            (_, PrefetchScheme::Stride) => prefetch::distance() as u64,
+            (_, PrefetchScheme::Chase) => 1,
+            (_, PrefetchScheme::Adaptive) => adaptive.unwrap_or(0) as u64,
+        };
+        runs.push(SchemeRun {
+            scheme,
+            ns,
+            bytes,
+            sim,
+            dist,
+        });
     }
-    let bytes = (sink.bytes_read + sink.bytes_written) as f64 / probes.len() as f64;
-    let sim = run_sim(cell, &entries, &probes);
-    (ns, bytes, sim)
+    runs
 }
 
 fn label(cell: &Cell) -> String {
     format!(
-        "gate/{}/{}/{}/w{}/{}",
+        "gate/{}/{}/{}/w{}/{}/{}",
         cell.structure,
         cell.depth,
         cell.hit,
         (cell.wildcard * 1000.0) as u64,
-        cell.variant.scan_kind()
+        cell.variant.scan_kind(),
+        cell.scheme_column()
     )
 }
 
@@ -456,6 +566,35 @@ fn main() {
             .collect::<Vec<_>>()
             .join(", "),
         if env_forced { " (SPC_SCAN_KIND)" } else { "" }
+    );
+
+    // `SPC_PREFETCH_SCHEME` pins the whole matrix to one traversal-prefetch
+    // scheme (same forced-vs-default contract as `SPC_SCAN_KIND`); without
+    // it the matrix runs under the default stride scheme and the packed
+    // linear structures are re-timed under the other three on the same list.
+    let scheme_env_forced = std::env::var("SPC_PREFETCH_SCHEME").is_ok();
+    let installed_scheme = prefetch::scheme();
+    let sweep_schemes: Vec<PrefetchScheme> = if scheme_env_forced {
+        Vec::new()
+    } else {
+        PrefetchScheme::ALL
+            .into_iter()
+            .filter(|s| *s != installed_scheme)
+            .collect()
+    };
+    println!(
+        "gate: prefetch scheme: {}{}; sweep: [{}]",
+        installed_scheme.as_str(),
+        if scheme_env_forced {
+            " (SPC_PREFETCH_SCHEME)"
+        } else {
+            ""
+        },
+        sweep_schemes
+            .iter()
+            .map(|s| s.as_str())
+            .collect::<Vec<_>>()
+            .join(", ")
     );
 
     // (structure, has a slab scan the SIMD kernels accelerate). Binned
@@ -494,6 +633,44 @@ fn main() {
     };
 
     let mut records = Vec::new();
+    let run_and_record =
+        |cell: &Cell, extras: &[PrefetchScheme], records: &mut Vec<report::Record>| {
+            for run in run_cell(cell, &cfg, extras) {
+                let rcell = Cell {
+                    scheme: run.scheme,
+                    ..*cell
+                };
+                let name = label(&rcell);
+                println!(
+                    "gate: {name:<52} {:>9.1} ns/op  {:>9.1} B/op  \
+                     {:>7.2} lines/op  L1 {:>5.1}%  L3 {:>5.1}%",
+                    run.ns, run.bytes, run.sim.lines_per_op, run.sim.l1_hit_pct, run.sim.l3_hit_pct
+                );
+                records.push(report::Record {
+                    name,
+                    ns_per_op: run.ns,
+                    structure: Some(rcell.structure.into()),
+                    depth: Some(rcell.depth as u64),
+                    hit: Some(rcell.hit.into()),
+                    wildcard: Some(rcell.wildcard),
+                    path: Some(rcell.variant.path().into()),
+                    scan_kind: Some(rcell.variant.scan_kind().into()),
+                    prefetch_scheme: Some(rcell.scheme_column().into()),
+                    prefetch_dist: Some(run.dist),
+                    bytes_per_op: Some(run.bytes),
+                    lines_per_op: Some(run.sim.lines_per_op),
+                    l1_hit_pct: Some(run.sim.l1_hit_pct),
+                    l3_hit_pct: Some(run.sim.l3_hit_pct),
+                    ..report::Record::default()
+                });
+            }
+        };
+    // Prefetch-scheme sweep: the packed linear structures (the only ones
+    // whose traversal prefetches) are re-timed under every non-default
+    // scheme ON THE SAME LIST as their main-matrix row, pinned to the best
+    // available kernel — the scheme is then the sole variable (same kernel,
+    // same heap layout) against the matching main-matrix rows.
+    let sweep_kind = *packed_kinds.last().expect("at least portable");
     for &(structure, slab) in structures {
         for &depth in depths {
             for &hit in hits {
@@ -512,29 +689,15 @@ fn main() {
                             hit,
                             wildcard,
                             variant,
+                            scheme: installed_scheme,
                         };
-                        let (ns, bytes, sim) = run_cell(&cell, &cfg);
-                        let name = label(&cell);
-                        println!(
-                            "gate: {name:<46} {ns:>9.1} ns/op  {bytes:>9.1} B/op  \
-                             {:>7.2} lines/op  L1 {:>5.1}%  L3 {:>5.1}%",
-                            sim.lines_per_op, sim.l1_hit_pct, sim.l3_hit_pct
-                        );
-                        records.push(report::Record {
-                            name,
-                            ns_per_op: ns,
-                            structure: Some(structure.into()),
-                            depth: Some(depth as u64),
-                            hit: Some(hit.into()),
-                            wildcard: Some(wildcard),
-                            path: Some(cell.variant.path().into()),
-                            scan_kind: Some(cell.variant.scan_kind().into()),
-                            bytes_per_op: Some(bytes),
-                            lines_per_op: Some(sim.lines_per_op),
-                            l1_hit_pct: Some(sim.l1_hit_pct),
-                            l3_hit_pct: Some(sim.l3_hit_pct),
-                            ..report::Record::default()
-                        });
+                        let extras: &[PrefetchScheme] =
+                            if slab && variant == Variant::Packed(sweep_kind) {
+                                &sweep_schemes
+                            } else {
+                                &[]
+                            };
+                        run_and_record(&cell, extras, &mut records);
                     }
                 }
             }
@@ -581,6 +744,33 @@ fn main() {
                 println!(
                     "gate:   {:<42} {:>8.1} -> {:>8.1} ns/op  ({gain:+.1}%)  \
                      lines/op {dl:+.2}",
+                    r.name, p.ns_per_op, r.ns_per_op
+                );
+            }
+        }
+    }
+
+    // Scheme summary over the same deep-scan cells: dependent chase and the
+    // adaptive controller vs the fixed-distance stride default. The L1 delta
+    // comes from the cachesim replay (its chase unit converts warm L2 hits
+    // into L1 hits), attributing the timing change to locality.
+    for scheme in ["chase", "adaptive"] {
+        let mut shown = false;
+        for r in records.iter().filter(deep) {
+            if r.prefetch_scheme.as_deref() != Some(scheme) {
+                continue;
+            }
+            let stride_name = r.name.replace(&format!("/{scheme}"), "/stride");
+            if let Some(p) = records.iter().find(|x| x.name == stride_name) {
+                if !shown {
+                    println!("\ngate: {scheme} vs stride (deep scans, wildcard 0):");
+                    shown = true;
+                }
+                let gain = 100.0 * (p.ns_per_op - r.ns_per_op) / p.ns_per_op;
+                let dl1 = r.l1_hit_pct.unwrap_or(0.0) - p.l1_hit_pct.unwrap_or(0.0);
+                println!(
+                    "gate:   {:<48} {:>8.1} -> {:>8.1} ns/op  ({gain:+.1}%)  \
+                     L1 {dl1:+.1}pp",
                     r.name, p.ns_per_op, r.ns_per_op
                 );
             }

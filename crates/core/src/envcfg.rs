@@ -1,0 +1,166 @@
+//! One-shot environment-variable switches for process-wide tuning knobs.
+//!
+//! Three hot-path knobs share the exact same life cycle: `SPC_SCAN_KIND`
+//! ([`crate::simd::scan_kind`]), `SPC_PREFETCH_DIST`
+//! ([`crate::prefetch::distance`]) and `SPC_PREFETCH_SCHEME`
+//! ([`crate::prefetch::scheme`]). Each is
+//!
+//! * parsed from the environment **exactly once** per process — later
+//!   changes to the environment are not observed, so a traversal never
+//!   flips behaviour mid-run because some other thread touched `setenv`;
+//! * reported **once on stderr** when the value is unparsable, rather than
+//!   silently swallowed (a typo in a bench script must not masquerade as a
+//!   measurement of the default);
+//! * overridable in-process via a `set_*` function for sweeps (a bench bin
+//!   measuring every value in one run, which the once-parsed contract on
+//!   the env var alone cannot express); and
+//! * **tri-state**: readers can distinguish a value that was *explicitly
+//!   requested* (env var or `set_*`) from one that was merely
+//!   detected/defaulted. Paths that only pay off situationally (the
+//!   baseline list's batched gather walk) engage under a forced value but
+//!   not under mere detection.
+//!
+//! [`EnvSwitch`] is that life cycle, implemented once. The stored word
+//! encodes `value << 1 | forced` with `usize::MAX` as the "environment not
+//! yet consulted" sentinel, so values must stay below `usize::MAX >> 1` —
+//! trivially true for the small enums and clamped distances stored here.
+//! All atomics are `Relaxed`: the switch is a single word with no
+//! associated data to publish, and racing initializers agree on the env
+//! value (a racing `set` wins — the install CAS fails and the reader
+//! adopts the override).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Once;
+
+/// Sentinel: the environment has not been consulted yet. Installed values
+/// are `value << 1 | forced`, so no caller can ever store this.
+const UNSET: usize = usize::MAX;
+
+/// Low bit of the stored word: the value was *explicitly requested* (env
+/// var or [`EnvSwitch::set`]) rather than detected/defaulted.
+const FORCED: usize = 1;
+
+/// A process-wide configuration word parsed once from an environment
+/// variable, with a one-time parse diagnostic, an in-process override, and
+/// a forced-vs-detected bit. See the module docs for the contract.
+pub struct EnvSwitch {
+    /// Environment variable consulted on first read (e.g. `SPC_SCAN_KIND`).
+    var: &'static str,
+    /// `value << 1 | forced`, or [`UNSET`].
+    state: AtomicUsize,
+    /// Guards the one-time unparsable-value stderr report.
+    parse_diagnostic: Once,
+}
+
+impl EnvSwitch {
+    /// A switch bound to `var`, not yet initialised from the environment.
+    pub const fn new(var: &'static str) -> Self {
+        EnvSwitch {
+            var,
+            state: AtomicUsize::new(UNSET),
+            parse_diagnostic: Once::new(),
+        }
+    }
+
+    /// The current `(value, forced)` pair, consulting the environment on
+    /// the first call.
+    ///
+    /// `parse` maps the raw env string to a value (returning `None` on
+    /// garbage) and may clamp — e.g. downgrade an unsupported SIMD kind —
+    /// since it runs only on explicit requests. `default` supplies the
+    /// detected/fallback value, and `expected`/`fallback_desc` complete the
+    /// one-time diagnostic: `spc-core: VAR="garbage" is not <expected>;
+    /// using <fallback_desc>`.
+    #[inline]
+    pub fn get(
+        &self,
+        parse: fn(&str) -> Option<usize>,
+        default: fn() -> usize,
+        expected: &'static str,
+        fallback_desc: &'static str,
+    ) -> (usize, bool) {
+        match self.state.load(Ordering::Relaxed) {
+            UNSET => self.init_from_env(parse, default, expected, fallback_desc),
+            v => (v >> 1, v & FORCED != 0),
+        }
+    }
+
+    #[cold]
+    fn init_from_env(
+        &self,
+        parse: fn(&str) -> Option<usize>,
+        default: fn() -> usize,
+        expected: &'static str,
+        fallback_desc: &'static str,
+    ) -> (usize, bool) {
+        let (value, forced) = match std::env::var(self.var) {
+            Ok(v) => match parse(&v) {
+                Some(value) => (value, true),
+                None => {
+                    self.parse_diagnostic.call_once(|| {
+                        eprintln!(
+                            "spc-core: {var}={v:?} is not {expected}; using {fallback_desc}",
+                            var = self.var
+                        );
+                    });
+                    (default(), false)
+                }
+            },
+            Err(_) => (default(), false),
+        };
+        let enc = value << 1 | usize::from(forced);
+        // Racing first calls agree on the env value; a concurrent `set`
+        // wins over the env (the CAS fails and we adopt it).
+        match self
+            .state
+            .compare_exchange(UNSET, enc, Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Ok(_) => (value, forced),
+            Err(current) => (current >> 1, current & FORCED != 0),
+        }
+    }
+
+    /// Installs `value` for the rest of the process, marking it *forced*.
+    /// Callers clamp before installing (the switch stores opaque words).
+    pub fn set(&self, value: usize) {
+        debug_assert!(value < UNSET >> 1, "value collides with the sentinel");
+        self.state.store(value << 1 | FORCED, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A switch bound to a variable that is never set: the default applies,
+    /// is not forced, and stays stable; `set` then forces an override.
+    #[test]
+    fn default_then_override() {
+        static SW: EnvSwitch = EnvSwitch::new("SPC_TEST_ENVCFG_UNSET_VAR");
+        let parse = |s: &str| s.parse::<usize>().ok();
+        let default = || 7usize;
+        assert_eq!(SW.get(parse, default, "an integer", "default 7"), (7, false));
+        assert_eq!(
+            SW.get(parse, default, "an integer", "default 7"),
+            (7, false),
+            "parsed once, then constant"
+        );
+        SW.set(3);
+        assert_eq!(
+            SW.get(parse, default, "an integer", "default 7"),
+            (3, true),
+            "override is visible and forced"
+        );
+    }
+
+    /// `set` before the first `get` wins over the environment entirely.
+    #[test]
+    fn early_set_preempts_env() {
+        static SW: EnvSwitch = EnvSwitch::new("SPC_TEST_ENVCFG_PREEMPTED_VAR");
+        SW.set(11);
+        assert_eq!(
+            SW.get(|s| s.parse().ok(), || 0, "an integer", "default 0"),
+            (11, true)
+        );
+    }
+}

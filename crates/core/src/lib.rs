@@ -60,6 +60,7 @@ pub mod addr;
 pub mod concurrent;
 pub mod dynengine;
 pub mod engine;
+pub mod envcfg;
 pub mod entry;
 pub mod heater;
 pub mod ingest;

@@ -62,6 +62,9 @@ pub struct BaselineList<E: Element> {
     tail: *mut Node<E>,
     len: usize,
     addr: AddrSpace,
+    /// Self-tuning prefetch lookahead, consulted only under
+    /// [`prefetch::PrefetchScheme::Adaptive`].
+    adaptive: prefetch::AdaptiveDist,
 }
 
 // SAFETY: all nodes are exclusively owned by the list (created from `Box`,
@@ -86,6 +89,7 @@ impl<E: Element> BaselineList<E> {
             tail: core::ptr::null_mut(),
             len: 0,
             addr,
+            adaptive: prefetch::AdaptiveDist::new(),
         }
     }
 
@@ -151,24 +155,32 @@ impl<E: Element> BaselineList<E> {
         probe: &PackedProbe,
         sink: &mut S,
     ) -> Search<E> {
-        match simd::scan_kind_forced() {
+        let plan = prefetch::walk_plan(&self.adaptive);
+        let r = match simd::scan_kind_forced() {
             Some(kind) if kind.key_batch() > 1 => {
-                self.packed_walk_remove_batched(kind, probe, sink)
+                self.packed_walk_remove_batched(kind, plan, probe, sink)
             }
-            _ => self.packed_walk_remove_scalar(probe, sink),
+            _ => self.packed_walk_remove_scalar(plan, probe, sink),
+        };
+        if plan.feedback {
+            self.adaptive.observe(r.depth as usize);
         }
+        r
     }
 
     /// Scalar packed walk: compares each node's precomputed `u64` key
-    /// against `probe` (one XOR+AND+compare) and issues a
-    /// stride-speculative prefetch [`prefetch::distance`] hops ahead so
-    /// upcoming nodes' lines are in flight while the current one is tested.
+    /// against `probe` (one XOR+AND+compare) and, per the resolved
+    /// [`prefetch::WalkPrefetch`] plan, issues a dependent chase prefetch
+    /// of the already-loaded `next` node and/or a stride-speculative
+    /// prefetch `plan.stride` hops ahead so upcoming nodes' lines are in
+    /// flight while the current one is tested.
     fn packed_walk_remove_scalar<S: AccessSink>(
         &mut self,
+        plan: prefetch::WalkPrefetch,
         probe: &PackedProbe,
         sink: &mut S,
     ) -> Search<E> {
-        let dist = prefetch::distance() as isize;
+        let dist = plan.stride as isize;
         let mut depth = 0u32;
         let mut prev: *mut Node<E> = core::ptr::null_mut();
         let mut cur = self.head;
@@ -176,22 +188,37 @@ impl<E: Element> BaselineList<E> {
             // SAFETY: `cur` was produced by `Box::into_raw` in `append` and
             // has not been freed (the list exclusively owns its nodes).
             let node = unsafe { &*cur };
-            if dist != 0 && !node.next.is_null() {
-                // Stride-speculative prefetch: append-order heap nodes land
-                // at a near-constant allocator stride, so extrapolating the
-                // observed `next - cur` stride `dist` hops past `next`
-                // reaches upcoming nodes without the serial demand-load
-                // chain a scout pointer would pay. The guess is only a
-                // prefetch hint — a wrong stride (churned free list) warms
-                // an unrelated line and costs nothing; the address is never
-                // dereferenced.
-                let stride = (node.next as isize).wrapping_sub(cur as isize);
-                let guess = (node.next as usize).wrapping_add((stride * dist) as usize);
-                prefetch::read(guess as *const Node<E>);
-                // The link sits past the request-state gap on the node's
-                // second cache line; without this the chase would still
-                // demand-miss that line every hop.
-                prefetch::read((guess + core::mem::offset_of!(Node<E>, next)) as *const u8);
+            if !node.next.is_null() {
+                if plan.chase {
+                    // Pointer-chase prefetch: `node.next` is already
+                    // resident (it rode in on the node's second line), so
+                    // the pointed-to node's entry line and link line can be
+                    // fetched with perfect accuracy while this node's match
+                    // test runs. Lookahead is inherently one node — the
+                    // next `next` is not loaded yet.
+                    prefetch::read(node.next);
+                    prefetch::read_second_line(
+                        node.next as usize,
+                        core::mem::offset_of!(Node<E>, next),
+                    );
+                }
+                if dist != 0 {
+                    // Stride-speculative prefetch: append-order heap nodes
+                    // land at a near-constant allocator stride, so
+                    // extrapolating the observed `next - cur` stride `dist`
+                    // hops past `next` reaches upcoming nodes without the
+                    // serial demand-load chain a scout pointer would pay.
+                    // The guess is only a prefetch hint — a wrong stride
+                    // (churned free list) warms an unrelated line and costs
+                    // nothing; the address is never dereferenced.
+                    let stride = (node.next as isize).wrapping_sub(cur as isize);
+                    let guess = (node.next as usize).wrapping_add((stride * dist) as usize);
+                    prefetch::read(guess as *const Node<E>);
+                    // The link sits past the request-state gap; when the
+                    // allocation straddles a line boundary the link line
+                    // would otherwise demand-miss every hop.
+                    prefetch::read_second_line(guess, core::mem::offset_of!(Node<E>, next));
+                }
             }
             sink.read(node.sim_addr, core::mem::size_of::<E>() as u32);
             depth += 1;
@@ -242,12 +269,13 @@ impl<E: Element> BaselineList<E> {
     fn packed_walk_remove_batched<S: AccessSink>(
         &mut self,
         kind: simd::ScanKind,
+        plan: prefetch::WalkPrefetch,
         probe: &PackedProbe,
         sink: &mut S,
     ) -> Search<E> {
         const MAX_BATCH: usize = 4;
         let batch = kind.key_batch().min(MAX_BATCH);
-        let dist = prefetch::distance() as isize;
+        let dist = plan.stride as isize;
         let mut depth = 0u32;
         let mut prev: *mut Node<E> = core::ptr::null_mut();
         let mut cur = self.head;
@@ -264,13 +292,24 @@ impl<E: Element> BaselineList<E> {
                 // `next` pointers; nodes are exclusively owned and nothing
                 // frees them during the gather.
                 let node = unsafe { &*walk };
-                if dist != 0 && !node.next.is_null() {
-                    // Same stride-speculative guess as the scalar walk,
-                    // issued per node gathered (see that walk for why).
-                    let stride = (node.next as isize).wrapping_sub(walk as isize);
-                    let guess = (node.next as usize).wrapping_add((stride * dist) as usize);
-                    prefetch::read(guess as *const Node<E>);
-                    prefetch::read((guess + core::mem::offset_of!(Node<E>, next)) as *const u8);
+                if !node.next.is_null() {
+                    if plan.chase {
+                        // Same dependent chase prefetch as the scalar walk,
+                        // issued per node gathered.
+                        prefetch::read(node.next);
+                        prefetch::read_second_line(
+                            node.next as usize,
+                            core::mem::offset_of!(Node<E>, next),
+                        );
+                    }
+                    if dist != 0 {
+                        // Same stride-speculative guess as the scalar walk,
+                        // issued per node gathered (see that walk for why).
+                        let stride = (node.next as isize).wrapping_sub(walk as isize);
+                        let guess = (node.next as usize).wrapping_add((stride * dist) as usize);
+                        prefetch::read(guess as *const Node<E>);
+                        prefetch::read_second_line(guess, core::mem::offset_of!(Node<E>, next));
+                    }
                 }
                 ptrs[n] = walk;
                 keys[n] = node.key;
@@ -359,6 +398,10 @@ impl<E: Element> Drop for BaselineList<E> {
 }
 
 impl<E: Element> MatchList<E> for BaselineList<E> {
+    fn adaptive_prefetch_distance(&self) -> Option<usize> {
+        Some(self.adaptive.distance())
+    }
+
     fn append<S: AccessSink>(&mut self, e: E, sink: &mut S) {
         let sim_addr = self.addr.alloc(Node::<E>::SIM_SIZE, 8);
         let node = Box::into_raw(Box::new(Node {

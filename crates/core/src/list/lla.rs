@@ -107,6 +107,9 @@ pub struct Lla<E: Element, const N: usize> {
     head: u32,
     tail: u32,
     len: usize,
+    /// Self-tuning prefetch lookahead, consulted only under
+    /// [`prefetch::PrefetchScheme::Adaptive`].
+    adaptive: prefetch::AdaptiveDist,
 }
 
 impl<E: Element, const N: usize> Lla<E, N> {
@@ -119,6 +122,7 @@ impl<E: Element, const N: usize> Lla<E, N> {
             head: NIL,
             tail: NIL,
             len: 0,
+            adaptive: prefetch::AdaptiveDist::for_arity(N as u32),
         }
     }
 
@@ -271,8 +275,10 @@ impl<E: Element, const N: usize> Lla<E, N> {
     /// scalar packed loop otherwise — and the resulting candidate bitmap
     /// is ANDed with the occupancy register (`N <= 32`) or the hole bitmap
     /// (windowed large-arity scan) and bit-scanned to the first live hit;
-    /// and a software prefetch is issued [`prefetch::distance`] pool ids
-    /// ahead each hop, exploiting the pool's sequential id allocation.
+    /// and software prefetch is issued per the resolved
+    /// [`prefetch::WalkPrefetch`] plan — a dependent chase of the resident
+    /// `next` pool id and/or a speculative guess `stride` pool ids ahead,
+    /// exploiting the pool's sequential id allocation.
     fn packed_walk_remove<S: AccessSink>(
         &mut self,
         probe: &PackedProbe,
@@ -286,16 +292,21 @@ impl<E: Element, const N: usize> Lla<E, N> {
         // probe splats hoist out of the loop and no per-node call (or
         // AVX/SSE transition) is paid; dispatching per node instead costs
         // more than the vector kernels save on small nodes.
-        match simd::scan_kind() {
+        let plan = prefetch::walk_plan(&self.adaptive);
+        let r = match simd::scan_kind() {
             #[cfg(target_arch = "x86_64")]
             // SAFETY: `Simd256` is only ever installed after
             // `is_x86_feature_detected!("avx2")` (see `simd::set_scan_kind`).
-            simd::ScanKind::Simd256 => unsafe { self.packed_walk_avx2(probe, sink) },
+            simd::ScanKind::Simd256 => unsafe { self.packed_walk_avx2(plan, probe, sink) },
             #[cfg(target_arch = "x86_64")]
             // SAFETY: SSE2 is part of the x86-64 baseline ISA.
-            simd::ScanKind::Simd128 => unsafe { self.packed_walk_sse2(probe, sink) },
-            _ => self.packed_walk_body(simd::ScanKind::Portable, probe, sink),
+            simd::ScanKind::Simd128 => unsafe { self.packed_walk_sse2(plan, probe, sink) },
+            _ => self.packed_walk_body(simd::ScanKind::Portable, plan, probe, sink),
+        };
+        if plan.feedback {
+            self.adaptive.observe(r.depth as usize);
         }
+        r
     }
 
     /// AVX2-enabled instantiation of the walk body: the `simd` kernels it
@@ -308,10 +319,11 @@ impl<E: Element, const N: usize> Lla<E, N> {
     #[target_feature(enable = "avx2")]
     unsafe fn packed_walk_avx2<S: AccessSink>(
         &mut self,
+        plan: prefetch::WalkPrefetch,
         probe: &PackedProbe,
         sink: &mut S,
     ) -> Search<E> {
-        self.packed_walk_body(simd::ScanKind::Simd256, probe, sink)
+        self.packed_walk_body(simd::ScanKind::Simd256, plan, probe, sink)
     }
 
     /// SSE2-enabled instantiation of the walk body (x86-64 baseline ISA).
@@ -322,20 +334,22 @@ impl<E: Element, const N: usize> Lla<E, N> {
     #[target_feature(enable = "sse2")]
     unsafe fn packed_walk_sse2<S: AccessSink>(
         &mut self,
+        plan: prefetch::WalkPrefetch,
         probe: &PackedProbe,
         sink: &mut S,
     ) -> Search<E> {
-        self.packed_walk_body(simd::ScanKind::Simd128, probe, sink)
+        self.packed_walk_body(simd::ScanKind::Simd128, plan, probe, sink)
     }
 
     #[inline(always)]
     fn packed_walk_body<S: AccessSink>(
         &mut self,
         kind: simd::ScanKind,
+        plan: prefetch::WalkPrefetch,
         probe: &PackedProbe,
         sink: &mut S,
     ) -> Search<E> {
-        let dist = prefetch::distance() as u32;
+        let dist = plan.stride as u32;
         let cap = self.pool.capacity() as u32;
         let node_sz = core::mem::size_of::<LlaNode<E, N>>() as u64;
         // Chunk cache: consecutive pool ids live in the same chunk, so the
@@ -384,6 +398,23 @@ impl<E: Element, const N: usize> Lla<E, N> {
             // (mutation happens only in `remove_at`, after the last use).
             let node = unsafe { &*cbase.add(i) };
             let next = node.next;
+            if plan.chase && next != NIL {
+                // Pointer-chase prefetch: `next` rode in on the header line
+                // just read, so the successor node's first line is fetched
+                // with perfect accuracy — no allocator-stride guesswork —
+                // while this node's slab scan runs. Lookahead is inherently
+                // one node; the stride guess above (when enabled) covers the
+                // deeper horizon.
+                let (nc, ni) = self.pool.split_id(next);
+                if nc == cc {
+                    // SAFETY: `next` is a live linked pool id, so `ni` is in
+                    // bounds of the cached chunk (and prefetch itself can
+                    // never fault).
+                    prefetch::read(unsafe { cbase.add(ni) });
+                } else {
+                    prefetch::read(self.pool.real_ptr(next));
+                }
+            }
             let mut hit: Option<(u32, E)> = None;
             if LlaNode::<E, N>::BITMAP {
                 // Batched node scan: [`simd::scan_candidates`] evaluates
@@ -445,11 +476,13 @@ impl<E: Element, const N: usize> Lla<E, N> {
                 while ws < t {
                     let wlen = (t - ws).min(32);
                     let wmask = (u32::MAX as u64 >> (32 - wlen)) as u32;
-                    if dist != 0 && ws + wlen < t {
+                    if (dist != 0 || plan.chase) && ws + wlen < t {
                         // The slab spans many lines; streaming the next
                         // window's lines while this one is tested keeps the
                         // batched compare fed (the hardware streamer lags
-                        // a 2–4-entry-per-instruction consumer).
+                        // a 2–4-entry-per-instruction consumer). The window
+                        // address needs no dependent load, so every active
+                        // scheme streams it; only `Off` disables it.
                         let next_len = (t - ws - wlen).min(32);
                         prefetch::read_span(
                             node.entries[ws + wlen..].as_ptr(),
@@ -578,6 +611,10 @@ impl<E: Element, const N: usize> Default for Lla<E, N> {
 }
 
 impl<E: Element, const N: usize> MatchList<E> for Lla<E, N> {
+    fn adaptive_prefetch_distance(&self) -> Option<usize> {
+        Some(self.adaptive.distance())
+    }
+
     fn append<S: AccessSink>(&mut self, e: E, sink: &mut S) {
         // Fast path: room at the tail node.
         if self.tail != NIL {

@@ -48,7 +48,7 @@
 //! by transmute property tests next to the packed-key prefix-byte pin.
 
 use crate::entry::{packed_matches, Element, PackedProbe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use crate::envcfg::EnvSwitch;
 use std::sync::Once;
 
 /// Key bits that identify an in-band hole: the context-id field (bits
@@ -119,19 +119,13 @@ impl ScanKind {
     }
 }
 
-/// Sentinel: the environment has not been consulted yet. Installed values
-/// are `index() << 1 | forced`, so no caller can ever store this.
-const UNSET: usize = usize::MAX;
-
-/// Low bit of the stored value: the kind was *explicitly requested*
-/// (`SPC_SCAN_KIND` or [`set_scan_kind`]) rather than auto-detected.
-/// Callers whose vector path only pays off situationally (the baseline
-/// list's batched gather walk) engage it under a forced kind but not under
-/// mere detection — see [`scan_kind_forced`].
-const FORCED: usize = 1;
-
-static KIND: AtomicUsize = AtomicUsize::new(UNSET);
-static PARSE_DIAGNOSTIC: Once = Once::new();
+/// The tri-state forced/detected switch behind `SPC_SCAN_KIND` — see
+/// [`crate::envcfg`] for the shared once-parsed / one-time-diagnostic /
+/// in-process-override contract. The forced bit matters here: callers
+/// whose vector path only pays off situationally (the baseline list's
+/// batched gather walk) engage it under a forced kind but not under mere
+/// detection — see [`scan_kind_forced`].
+static KIND: EnvSwitch = EnvSwitch::new("SPC_SCAN_KIND");
 static DOWNGRADE_DIAGNOSTIC: Once = Once::new();
 
 /// The best kind this CPU can actually execute.
@@ -180,10 +174,7 @@ fn clamp_supported(k: ScanKind) -> ScanKind {
 /// kind in one run) use [`set_scan_kind`].
 #[inline]
 pub fn scan_kind() -> ScanKind {
-    match KIND.load(Ordering::Relaxed) {
-        UNSET => init_from_env().0,
-        v => ScanKind::from_index(v >> 1),
-    }
+    ScanKind::from_index(kind_switch().0)
 }
 
 /// The scan kind, but only when it was *explicitly requested* — via
@@ -199,40 +190,21 @@ pub fn scan_kind() -> ScanKind {
 /// path; production defaults keep the scalar chase.
 #[inline]
 pub fn scan_kind_forced() -> Option<ScanKind> {
-    let v = match KIND.load(Ordering::Relaxed) {
-        UNSET => {
-            let (k, forced) = init_from_env();
-            return forced.then_some(k);
-        }
-        v => v,
-    };
-    (v & FORCED != 0).then(|| ScanKind::from_index(v >> 1))
+    let (i, forced) = kind_switch();
+    forced.then(|| ScanKind::from_index(i))
 }
 
-#[cold]
-fn init_from_env() -> (ScanKind, bool) {
-    let (k, forced) = match std::env::var("SPC_SCAN_KIND") {
-        Ok(v) => match ScanKind::parse(&v) {
-            Some(k) => (clamp_supported(k), true),
-            None => {
-                PARSE_DIAGNOSTIC.call_once(|| {
-                    eprintln!(
-                        "spc-core: SPC_SCAN_KIND={v:?} is not one of \
-                         portable|simd128|simd256; using detected best"
-                    );
-                });
-                (detect_best(), false)
-            }
-        },
-        Err(_) => (detect_best(), false),
-    };
-    let enc = k.index() << 1 | usize::from(forced);
-    // Racing first calls agree on the env value; a concurrent
-    // `set_scan_kind` wins over the env (the CAS fails and we adopt it).
-    match KIND.compare_exchange(UNSET, enc, Ordering::Relaxed, Ordering::Relaxed) {
-        Ok(_) => (k, forced),
-        Err(current) => (ScanKind::from_index(current >> 1), current & FORCED != 0),
-    }
+/// The `(kind index, forced)` pair from the shared switch; parse clamps an
+/// explicitly requested kind to CPU support before it is installed, so the
+/// dispatcher never sees an unexecutable kind.
+#[inline]
+fn kind_switch() -> (usize, bool) {
+    KIND.get(
+        |s| ScanKind::parse(s).map(|k| clamp_supported(k).index()),
+        || detect_best().index(),
+        "one of portable|simd128|simd256",
+        "detected best",
+    )
 }
 
 /// Overrides the scan kind for the rest of the process (clamped to what the
@@ -243,7 +215,7 @@ fn init_from_env() -> (ScanKind, bool) {
 /// installed kind counts as *forced* (see [`scan_kind_forced`]).
 pub fn set_scan_kind(k: ScanKind) -> ScanKind {
     let k = clamp_supported(k);
-    KIND.store(k.index() << 1 | FORCED, Ordering::Relaxed);
+    KIND.set(k.index());
     k
 }
 
