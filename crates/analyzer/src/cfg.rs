@@ -1,0 +1,576 @@
+//! Lightweight per-function control flow: a statement tree (brace /
+//! branch / loop / early-return aware) plus bounded path enumeration.
+//!
+//! The protocol passes don't need a full CFG — they need *every
+//! distinct event order a function body can execute*. The tree models
+//! `if`/`else`, `match` arms, loops (analyzed at zero, one and two
+//! iterations to expose skipped and double-executed steps), `return`,
+//! `break` and `continue`. Everything else — `let` chains, method
+//! chains, closures, struct literals — is a [`Stmt::Leaf`] whose tokens
+//! are scanned in order.
+//!
+//! Disambiguation note: a `{` starts a nested block only when the
+//! statement's *first* token is a control keyword (or the `{` itself
+//! opens the statement). Rust forbids struct literals in `if`/`while`/
+//! `match` header positions, so this classification is exact for the
+//! headers and conservatively treats `Foo { .. }` expression statements
+//! as leaves.
+
+use crate::token::Tok;
+use std::ops::Range;
+
+/// One statement in the tree. Token ranges index the file's token
+/// stream.
+#[derive(Debug)]
+pub enum Stmt {
+    /// A straight-line statement (or expression): events execute in
+    /// token order.
+    Leaf(Range<usize>),
+    /// `if cond { then } else { else_ }` — `else if` chains nest in
+    /// `else_`.
+    If {
+        cond: Range<usize>,
+        then: Vec<Stmt>,
+        else_: Vec<Stmt>,
+    },
+    /// `match scrutinee { arms }` — exactly one arm executes.
+    Match {
+        scrutinee: Range<usize>,
+        arms: Vec<Vec<Stmt>>,
+    },
+    /// `loop` / `while cond` / `for pat in iter` — header tokens
+    /// (condition / iterator expression) run on every entry.
+    Loop {
+        header: Range<usize>,
+        body: Vec<Stmt>,
+    },
+    /// A plain `{ … }` or `unsafe { … }` block.
+    Block(Vec<Stmt>),
+    /// `return expr?;` — the expression tokens still execute.
+    Return(Range<usize>),
+    /// `break` (loop exit).
+    Break,
+    /// `continue` (back to the loop header).
+    Continue,
+}
+
+/// Parses the token range *inside* a body's braces into a statement
+/// list. `lo..hi` must exclude the delimiters themselves.
+pub fn parse_block(toks: &[Tok], lo: usize, hi: usize) -> Vec<Stmt> {
+    let mut stmts = Vec::new();
+    let mut i = lo;
+    while i < hi {
+        let t = &toks[i];
+        if t.is_punct(";") {
+            i += 1;
+            continue;
+        }
+        if t.is_ident("if") {
+            let (stmt, next) = parse_if(toks, i, hi);
+            stmts.push(stmt);
+            i = next;
+            continue;
+        }
+        if t.is_ident("match") {
+            let Some(open) = find_block_open(toks, i + 1, hi) else {
+                stmts.push(Stmt::Leaf(i..hi));
+                break;
+            };
+            let close = close_of(toks, open, hi);
+            stmts.push(Stmt::Match {
+                scrutinee: i + 1..open,
+                arms: parse_arms(toks, open + 1, close),
+            });
+            i = close + 1;
+            continue;
+        }
+        if t.is_ident("loop") || t.is_ident("while") || t.is_ident("for") {
+            let Some(open) = find_block_open(toks, i + 1, hi) else {
+                stmts.push(Stmt::Leaf(i..hi));
+                break;
+            };
+            let close = close_of(toks, open, hi);
+            stmts.push(Stmt::Loop {
+                header: i + 1..open,
+                body: parse_block(toks, open + 1, close),
+            });
+            i = close + 1;
+            continue;
+        }
+        if t.is_open('{')
+            || (t.is_ident("unsafe") && toks.get(i + 1).is_some_and(|n| n.is_open('{')))
+        {
+            let open = if t.is_open('{') { i } else { i + 1 };
+            let close = close_of(toks, open, hi);
+            stmts.push(Stmt::Block(parse_block(toks, open + 1, close)));
+            i = close + 1;
+            continue;
+        }
+        if t.is_ident("return") {
+            let end = stmt_end(toks, i + 1, hi);
+            stmts.push(Stmt::Return(i + 1..end));
+            i = end + 1;
+            continue;
+        }
+        if t.is_ident("break") {
+            stmts.push(Stmt::Break);
+            i = stmt_end(toks, i + 1, hi) + 1;
+            continue;
+        }
+        if t.is_ident("continue") {
+            stmts.push(Stmt::Continue);
+            i = stmt_end(toks, i + 1, hi) + 1;
+            continue;
+        }
+        // Leaf: swallow to the terminating `;` at this nesting level
+        // (balanced groups — closures, struct literals, `if` expressions
+        // in `let` — ride along inside).
+        let end = stmt_end(toks, i, hi);
+        stmts.push(Stmt::Leaf(i..end));
+        i = end + 1;
+    }
+    stmts
+}
+
+/// Parses `if` at `i`; returns the statement and the next index.
+fn parse_if(toks: &[Tok], i: usize, hi: usize) -> (Stmt, usize) {
+    let Some(open) = find_block_open(toks, i + 1, hi) else {
+        return (Stmt::Leaf(i..hi), hi);
+    };
+    let close = close_of(toks, open, hi);
+    let then = parse_block(toks, open + 1, close);
+    let cond = i + 1..open;
+    let mut next = close + 1;
+    let mut else_ = Vec::new();
+    if toks.get(next).filter(|t| t.is_ident("else")).is_some() && next < hi {
+        if toks.get(next + 1).is_some_and(|t| t.is_ident("if")) {
+            let (nested, after) = parse_if(toks, next + 1, hi);
+            else_ = vec![nested];
+            next = after;
+        } else if let Some(eopen) = find_block_open(toks, next + 1, hi) {
+            let eclose = close_of(toks, eopen, hi);
+            else_ = parse_block(toks, eopen + 1, eclose);
+            next = eclose + 1;
+        }
+    }
+    (Stmt::If { cond, then, else_ }, next)
+}
+
+/// Splits a match body into arms. Each arm is `pat (if guard)? => body`,
+/// where body is either a block or an expression ending at a top-level
+/// `,`. Guard and pattern tokens are prepended to the arm as a leaf so
+/// events in guards are seen.
+fn parse_arms(toks: &[Tok], lo: usize, hi: usize) -> Vec<Vec<Stmt>> {
+    let mut arms = Vec::new();
+    let mut i = lo;
+    while i < hi {
+        // Find the `=>` at this level.
+        let mut depth = 0i32;
+        let mut arrow = None;
+        let mut k = i;
+        while k < hi {
+            let t = &toks[k];
+            match t.kind {
+                crate::token::TokKind::Open => depth += 1,
+                crate::token::TokKind::Close => depth -= 1,
+                _ => {}
+            }
+            if depth == 0 && t.is_punct("=>") {
+                arrow = Some(k);
+                break;
+            }
+            k += 1;
+        }
+        let Some(arrow) = arrow else { break };
+        let pat = i..arrow;
+        let mut arm = vec![Stmt::Leaf(pat)];
+        let body_start = arrow + 1;
+        if toks.get(body_start).is_some_and(|t| t.is_open('{')) {
+            let close = close_of(toks, body_start, hi);
+            arm.extend(parse_block(toks, body_start + 1, close));
+            i = close + 1;
+            if toks.get(i).is_some_and(|t| t.is_punct(",")) {
+                i += 1;
+            }
+        } else {
+            // Expression arm: to the `,` at this level (or `hi`).
+            let mut depth = 0i32;
+            let mut k = body_start;
+            while k < hi {
+                let t = &toks[k];
+                match t.kind {
+                    crate::token::TokKind::Open => depth += 1,
+                    crate::token::TokKind::Close => depth -= 1,
+                    _ => {}
+                }
+                if depth == 0 && t.is_punct(",") {
+                    break;
+                }
+                k += 1;
+            }
+            arm.extend(parse_block(toks, body_start, k));
+            i = k + 1;
+        }
+        arms.push(arm);
+    }
+    arms
+}
+
+/// First `{` from `from` that opens a block at this nesting level
+/// (skipping over balanced `(`/`[` groups and closure bodies inside
+/// them).
+fn find_block_open(toks: &[Tok], from: usize, hi: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (k, t) in toks.iter().enumerate().take(hi).skip(from) {
+        match t.kind {
+            crate::token::TokKind::Open => {
+                if t.is_open('{') && depth == 0 {
+                    return Some(k);
+                }
+                depth += 1;
+            }
+            crate::token::TokKind::Close => depth -= 1,
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Matching `}` for the `{` at `open`, clamped to `hi`.
+fn close_of(toks: &[Tok], open: usize, hi: usize) -> usize {
+    crate::token::matching_close(toks, open).min(hi)
+}
+
+/// End (exclusive) of a leaf statement starting at `i`: the `;` at this
+/// nesting level, or `hi`.
+fn stmt_end(toks: &[Tok], i: usize, hi: usize) -> usize {
+    let mut depth = 0i32;
+    for (k, t) in toks.iter().enumerate().take(hi).skip(i) {
+        match t.kind {
+            crate::token::TokKind::Open => depth += 1,
+            crate::token::TokKind::Close => depth -= 1,
+            _ => {}
+        }
+        if depth == 0 && t.is_punct(";") {
+            return k;
+        }
+    }
+    hi
+}
+
+// ---------------------------------------------------------------------------
+// Path enumeration
+// ---------------------------------------------------------------------------
+
+/// How a path leaves a statement list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Exit {
+    /// Fell through to the next statement.
+    Fall,
+    /// `return` — leaves the function.
+    Return,
+    /// `break` — leaves the innermost loop.
+    Break,
+    /// `continue` — back to the innermost loop header.
+    Continue,
+}
+
+/// One enumerated path: the events encountered, in execution order, and
+/// how the path exits.
+#[derive(Debug, Clone)]
+pub struct Path<E> {
+    pub events: Vec<E>,
+    pub exit: Exit,
+}
+
+/// Cap on enumerated paths per function; beyond it the enumeration
+/// truncates (documented approximation — real bodies stay far under).
+pub const PATH_CAP: usize = 512;
+
+/// Enumerates every event path through `stmts`. `extract` maps a leaf
+/// token range to its events. Loops contribute zero-, one- and
+/// two-iteration unrollings — enough to expose "skips a step" and
+/// "double-executes a step" protocol violations — except *bulk* loops
+/// (every one-iteration path yields exactly the same single event),
+/// which model `for s in &self.snaps { s.begin() }` sweeps over
+/// distinct objects and contribute that event once.
+pub fn paths<E: Clone + PartialEq>(
+    stmts: &[Stmt],
+    extract: &dyn Fn(Range<usize>) -> Vec<E>,
+) -> Vec<Path<E>> {
+    let mut acc = vec![Path {
+        events: Vec::new(),
+        exit: Exit::Fall,
+    }];
+    for s in stmts {
+        let mut next = Vec::new();
+        let stmt_paths = stmt_paths(s, extract);
+        for p in &acc {
+            if p.exit != Exit::Fall {
+                next.push(p.clone());
+                continue;
+            }
+            for sp in &stmt_paths {
+                let mut events = p.events.clone();
+                events.extend(sp.events.iter().cloned());
+                next.push(Path {
+                    events,
+                    exit: sp.exit,
+                });
+                if next.len() >= PATH_CAP {
+                    break;
+                }
+            }
+            if next.len() >= PATH_CAP {
+                break;
+            }
+        }
+        next.dedup_by(|a, b| a.events == b.events && a.exit == b.exit);
+        acc = next;
+    }
+    acc
+}
+
+fn stmt_paths<E: Clone + PartialEq>(
+    s: &Stmt,
+    extract: &dyn Fn(Range<usize>) -> Vec<E>,
+) -> Vec<Path<E>> {
+    match s {
+        Stmt::Leaf(r) => vec![Path {
+            events: extract(r.clone()),
+            exit: Exit::Fall,
+        }],
+        Stmt::Return(r) => vec![Path {
+            events: extract(r.clone()),
+            exit: Exit::Return,
+        }],
+        Stmt::Break => vec![Path {
+            events: Vec::new(),
+            exit: Exit::Break,
+        }],
+        Stmt::Continue => vec![Path {
+            events: Vec::new(),
+            exit: Exit::Continue,
+        }],
+        Stmt::Block(body) => paths(body, extract),
+        Stmt::If { cond, then, else_ } => {
+            let cond_events = extract(cond.clone());
+            let mut out = Vec::new();
+            let mut branches = paths(then, extract);
+            if else_.is_empty() {
+                branches.push(Path {
+                    events: Vec::new(),
+                    exit: Exit::Fall,
+                });
+            } else {
+                branches.extend(paths(else_, extract));
+            }
+            for b in branches {
+                let mut events = cond_events.clone();
+                events.extend(b.events);
+                out.push(Path {
+                    events,
+                    exit: b.exit,
+                });
+            }
+            out
+        }
+        Stmt::Match { scrutinee, arms } => {
+            let scrut_events = extract(scrutinee.clone());
+            let mut out = Vec::new();
+            if arms.is_empty() {
+                out.push(Path {
+                    events: scrut_events,
+                    exit: Exit::Fall,
+                });
+                return out;
+            }
+            for arm in arms {
+                for b in paths(arm, extract) {
+                    let mut events = scrut_events.clone();
+                    events.extend(b.events);
+                    out.push(Path {
+                        events,
+                        exit: b.exit,
+                    });
+                }
+            }
+            out
+        }
+        Stmt::Loop { header, body } => loop_paths(header, body, extract),
+    }
+}
+
+fn loop_paths<E: Clone + PartialEq>(
+    header: &Range<usize>,
+    body: &[Stmt],
+    extract: &dyn Fn(Range<usize>) -> Vec<E>,
+) -> Vec<Path<E>> {
+    let header_events = extract(header.clone());
+    let body_paths = paths(body, extract);
+    // One iteration, as seen from *after* the loop: Break/Fall/Continue
+    // all land after the loop (while/for conditions may exit any time);
+    // Return propagates.
+    let one_iter: Vec<Path<E>> = body_paths
+        .iter()
+        .map(|p| {
+            let mut events = header_events.clone();
+            events.extend(p.events.iter().cloned());
+            Path {
+                events,
+                exit: if p.exit == Exit::Return {
+                    Exit::Return
+                } else {
+                    Exit::Fall
+                },
+            }
+        })
+        .collect();
+    // Bulk-sweep collapse: every iteration performs exactly the same
+    // single event — a `for x in &collection { x.op() }` over distinct
+    // objects. Emitting it once (and assuming ≥1 iteration: the swept
+    // collections here are never empty) avoids fabricating double-op /
+    // zero-op paths.
+    let is_bulk = header_events.is_empty()
+        && !body_paths.is_empty()
+        && body_paths.iter().all(|p| {
+            p.exit == Exit::Fall && p.events.len() == 1 && p.events[0] == body_paths[0].events[0]
+        });
+    if is_bulk {
+        return one_iter;
+    }
+    let mut out = Vec::new();
+    // Zero iterations (while/for may not run at all).
+    out.push(Path {
+        events: header_events.clone(),
+        exit: Exit::Fall,
+    });
+    // One iteration.
+    out.extend(one_iter.iter().cloned());
+    // Two iterations: catches steps that must not repeat.
+    for p1 in body_paths.iter().filter(|p| p.exit != Exit::Return) {
+        if p1.exit == Exit::Break {
+            continue; // broke out: no second iteration
+        }
+        for p2 in &body_paths {
+            let mut events = header_events.clone();
+            events.extend(p1.events.iter().cloned());
+            events.extend(header_events.iter().cloned());
+            events.extend(p2.events.iter().cloned());
+            out.push(Path {
+                events,
+                exit: if p2.exit == Exit::Return {
+                    Exit::Return
+                } else {
+                    Exit::Fall
+                },
+            });
+            if out.len() >= PATH_CAP {
+                break;
+            }
+        }
+        if out.len() >= PATH_CAP {
+            break;
+        }
+    }
+    out.dedup_by(|a, b| a.events == b.events && a.exit == b.exit);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan;
+    use crate::token::{tokenize, Tok};
+
+    /// Events = the single-letter idents in leaves (a, b, c, …).
+    fn event_paths(src: &str) -> Vec<(Vec<String>, Exit)> {
+        let toks: Vec<Tok> = tokenize(&scan(src));
+        let stmts = parse_block(&toks, 0, toks.len());
+        let extract = |r: std::ops::Range<usize>| -> Vec<String> {
+            toks[r]
+                .iter()
+                .filter(|t| t.kind == crate::token::TokKind::Ident && t.text.len() == 1)
+                .map(|t| t.text.clone())
+                .collect()
+        };
+        paths(&stmts, &extract)
+            .into_iter()
+            .map(|p| (p.events, p.exit))
+            .collect()
+    }
+
+    fn has(paths: &[(Vec<String>, Exit)], evs: &[&str], exit: Exit) -> bool {
+        paths
+            .iter()
+            .any(|(e, x)| *x == exit && e.iter().map(String::as_str).eq(evs.iter().copied()))
+    }
+
+    #[test]
+    fn if_else_forks() {
+        let p = event_paths("a(); if q { b(); } else { c(); } d();");
+        assert!(has(&p, &["a", "q", "b", "d"], Exit::Fall));
+        assert!(has(&p, &["a", "q", "c", "d"], Exit::Fall));
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn early_return_skips_tail() {
+        let p = event_paths("a(); if q { return r; } b();");
+        assert!(has(&p, &["a", "q", "r"], Exit::Return));
+        assert!(has(&p, &["a", "q", "b"], Exit::Fall));
+    }
+
+    #[test]
+    fn match_arms_fork_and_guards_are_seen() {
+        let p = event_paths("match s { Xx if g => { a(); } Other => b(), } c();");
+        assert!(has(&p, &["s", "g", "a", "c"], Exit::Fall));
+        assert!(has(&p, &["s", "b", "c"], Exit::Fall));
+    }
+
+    #[test]
+    fn loops_unroll_zero_one_two() {
+        let p = event_paths("while q { a(); } b();");
+        assert!(has(&p, &["q", "b"], Exit::Fall), "zero iterations");
+        assert!(has(&p, &["q", "a", "b"], Exit::Fall), "one");
+        assert!(has(&p, &["q", "a", "q", "a", "b"], Exit::Fall), "two");
+    }
+
+    #[test]
+    fn break_exits_loop_continue_repeats() {
+        let p = event_paths("loop { a(); if q { break; } }; b();");
+        assert!(has(&p, &["a", "q", "b"], Exit::Fall), "break path: {p:?}");
+        // A continue-free second iteration also exists.
+        assert!(has(&p, &["a", "q", "a", "q", "b"], Exit::Fall));
+    }
+
+    #[test]
+    fn bulk_sweep_collapses_to_one_event() {
+        // `for it in snaps { s(); }` — all iterations one identical event.
+        let p = event_paths("for it in snaps { s(); } t();");
+        assert!(has(&p, &["s", "t"], Exit::Fall));
+        assert_eq!(p.len(), 1, "no zero- or two-iteration variants: {p:?}");
+    }
+
+    #[test]
+    fn nested_closures_stay_inside_their_leaf() {
+        let p = event_paths("let x = vv.iter().map(|y| f(y)).count(); a();");
+        assert_eq!(p.len(), 1, "closure body is not a branch: {p:?}");
+        assert!(has(&p, &["x", "y", "f", "y", "a"], Exit::Fall));
+    }
+
+    #[test]
+    fn struct_literal_statement_is_a_leaf() {
+        let p = event_paths("let s = St { f: a }; b();");
+        assert_eq!(p.len(), 1);
+        assert!(has(&p, &["s", "f", "a", "b"], Exit::Fall));
+    }
+
+    #[test]
+    fn path_cap_bounds_explosion() {
+        // 12 sequential ifs would be 4096 paths; the cap truncates.
+        let src = "if a { b(); } ".repeat(12);
+        let p = event_paths(&src);
+        assert!(p.len() <= PATH_CAP);
+    }
+}

@@ -1,0 +1,339 @@
+//! Item extraction: functions (with attributes, signatures and body
+//! token ranges) and `#[cfg(test)]` module regions, from the token
+//! stream.
+//!
+//! The extractor is linear and permissive: it records *every* `fn`
+//! keyword followed by a name, including nested functions (passes
+//! deduplicate overlapping findings). What the analysis passes need is
+//! captured structurally — attribute text, parameter `name: Type` pairs,
+//! the return-type text, and whether the item sits in test or
+//! `debug_invariants`-gated code.
+
+use crate::token::{matching_close, Tok, TokKind};
+
+/// One extracted function item.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Function name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Raw text of each attribute on the item (`cfg(test)`, `inline`, …;
+    /// the `#[` and `]` are stripped).
+    pub attrs: Vec<String>,
+    /// `(name, type-text)` per parameter; `self` receivers are skipped.
+    pub params: Vec<(String, String)>,
+    /// Return-type text (empty when the function returns `()`).
+    pub ret: String,
+    /// Token index range `[open, close]` of the body braces; `None` for
+    /// bodyless trait-method declarations.
+    pub body: Option<(usize, usize)>,
+    /// Inside a `#[cfg(test)] mod`, or carrying `#[test]`/`#[cfg(test)]`.
+    pub is_test: bool,
+    /// Behind a `cfg(feature = …)` gate (attr on the item or an enclosing
+    /// gated `mod`). The scanner blanks string literals, so the feature
+    /// *name* is invisible at token level; the only cargo feature in this
+    /// workspace is `debug_invariants` (off by default), so any
+    /// feature-gated item is off the measured build.
+    pub is_gated: bool,
+}
+
+impl FnItem {
+    /// True when any attribute contains `needle`.
+    pub fn has_attr(&self, needle: &str) -> bool {
+        self.attrs.iter().any(|a| a.contains(needle))
+    }
+}
+
+/// Joined text of a token range (space-separated; enough for substring
+/// checks on types and attributes).
+pub fn range_text(toks: &[Tok], lo: usize, hi: usize) -> String {
+    let mut s = String::new();
+    for t in toks.iter().take(hi.min(toks.len())).skip(lo) {
+        if !s.is_empty() {
+            s.push(' ');
+        }
+        s.push_str(&t.text);
+    }
+    s
+}
+
+/// Extracts all functions from `toks`, flagging test/gated regions.
+pub fn extract_fns(toks: &[Tok]) -> Vec<FnItem> {
+    // Pass 1: `#[cfg(test)] mod` and gated-mod brace regions.
+    let test_regions = attr_mod_regions(toks, "test");
+    let gated_regions = attr_mod_regions(toks, "feature");
+
+    let mut out = Vec::new();
+    let mut pending_attrs: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        // Attribute: `#` `[` … `]` — collect text, attach to next item.
+        if t.is_punct("#") && toks.get(i + 1).is_some_and(|n| n.is_open('[')) {
+            let close = matching_close(toks, i + 1);
+            pending_attrs.push(range_text(toks, i + 2, close));
+            i = close + 1;
+            continue;
+        }
+        if t.is_ident("fn") {
+            let Some(name_tok) = toks.get(i + 1).filter(|n| n.kind == TokKind::Ident) else {
+                i += 1;
+                pending_attrs.clear();
+                continue;
+            };
+            let mut j = i + 2;
+            // Generic params: skip `<…>` (shift tokens count double).
+            if toks.get(j).is_some_and(|t| t.is_punct("<")) {
+                let mut depth = 0i32;
+                while j < toks.len() {
+                    match toks[j].text.as_str() {
+                        "<" | "<<" => depth += if toks[j].text == "<<" { 2 } else { 1 },
+                        ">" | ">>" => {
+                            depth -= if toks[j].text == ">>" { 2 } else { 1 };
+                            if depth <= 0 {
+                                j += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            }
+            // Parameter list.
+            let mut params = Vec::new();
+            if toks.get(j).is_some_and(|t| t.is_open('(')) {
+                let pclose = matching_close(toks, j);
+                params = parse_params(toks, j + 1, pclose);
+                j = pclose + 1;
+            }
+            // Return type: `-> …` until `{`, `;`, or `where`.
+            let mut ret = String::new();
+            if toks.get(j).is_some_and(|t| t.is_punct("->")) {
+                let start = j + 1;
+                let mut k = start;
+                while k < toks.len() {
+                    let tk = &toks[k];
+                    if tk.is_open('{') || tk.is_punct(";") || tk.is_ident("where") {
+                        break;
+                    }
+                    k += 1;
+                }
+                ret = range_text(toks, start, k);
+                j = k;
+            }
+            // Skip a where clause.
+            while j < toks.len() && !toks[j].is_open('{') && !toks[j].is_punct(";") {
+                j += 1;
+            }
+            let body = if toks.get(j).is_some_and(|t| t.is_open('{')) {
+                Some((j, matching_close(toks, j)))
+            } else {
+                None
+            };
+            let attrs = std::mem::take(&mut pending_attrs);
+            let in_test_region = test_regions.iter().any(|&(lo, hi)| i > lo && i < hi);
+            let in_gated_region = gated_regions.iter().any(|&(lo, hi)| i > lo && i < hi);
+            out.push(FnItem {
+                name: name_tok.text.clone(),
+                line: t.line,
+                is_test: in_test_region
+                    || attrs.iter().any(|a| {
+                        a.contains("test") && (a.starts_with("test") || a.contains("cfg ( test"))
+                    }),
+                is_gated: in_gated_region || attrs.iter().any(|a| a.contains("cfg ( feature")),
+                attrs,
+                params,
+                ret,
+                body,
+            });
+            // Continue scanning *inside* the body so nested fns are found.
+            i = match body {
+                Some((open, _)) => open + 1,
+                None => j + 1,
+            };
+            continue;
+        }
+        if t.kind == TokKind::Ident
+            && !matches!(
+                t.text.as_str(),
+                "pub" | "const" | "unsafe" | "extern" | "async"
+            )
+        {
+            // Any other item-ish token consumes pending attributes (so a
+            // `#[derive]` on a struct doesn't leak onto the next fn).
+            pending_attrs.clear();
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Brace regions `(open_idx, close_idx)` of `mod` items whose preceding
+/// attribute mentions `marker` (e.g. `cfg(test)`, `cfg(feature =
+/// "debug_invariants")`).
+fn attr_mod_regions(toks: &[Tok], marker: &str) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_punct("#") && toks.get(i + 1).is_some_and(|n| n.is_open('[')) {
+            let close = matching_close(toks, i + 1);
+            let text = range_text(toks, i + 2, close);
+            if text.contains("cfg") && text.contains(marker) {
+                // Look ahead (skipping further attributes) for `mod X {`.
+                let mut j = close + 1;
+                while j < toks.len() && toks[j].is_punct("#") {
+                    if toks.get(j + 1).is_some_and(|n| n.is_open('[')) {
+                        j = matching_close(toks, j + 1) + 1;
+                    } else {
+                        break;
+                    }
+                }
+                if toks.get(j).is_some_and(|t| t.is_ident("mod"))
+                    && toks.get(j + 1).is_some_and(|t| t.kind == TokKind::Ident)
+                    && toks.get(j + 2).is_some_and(|t| t.is_open('{'))
+                {
+                    regions.push((j + 2, matching_close(toks, j + 2)));
+                }
+            }
+            i = close + 1;
+            continue;
+        }
+        i += 1;
+    }
+    regions
+}
+
+/// Splits a parameter-list token range at top-level commas into
+/// `(name, type-text)` pairs; `self` receivers (with any `&`/`mut`/
+/// lifetime decoration) are skipped.
+fn parse_params(toks: &[Tok], lo: usize, hi: usize) -> Vec<(String, String)> {
+    let mut params = Vec::new();
+    let mut start = lo;
+    let mut depth = 0i32;
+    let mut k = lo;
+    while k <= hi && k < toks.len() {
+        let at_end = k == hi;
+        let t = &toks[k];
+        if !at_end {
+            match t.kind {
+                TokKind::Open => depth += 1,
+                TokKind::Close => depth -= 1,
+                _ => {}
+            }
+            // `<` depth for generic args inside param types.
+            if t.is_punct("<") {
+                depth += 1;
+            } else if t.is_punct(">") {
+                depth -= 1;
+            }
+        }
+        if at_end || (depth == 0 && t.is_punct(",")) {
+            if k > start {
+                if let Some(p) = parse_one_param(toks, start, k) {
+                    params.push(p);
+                }
+            }
+            start = k + 1;
+        }
+        k += 1;
+    }
+    params
+}
+
+fn parse_one_param(toks: &[Tok], lo: usize, hi: usize) -> Option<(String, String)> {
+    // Find the top-level `:` — name before, type after.
+    let mut depth = 0i32;
+    for k in lo..hi {
+        let t = &toks[k];
+        match t.kind {
+            TokKind::Open => depth += 1,
+            TokKind::Close => depth -= 1,
+            _ => {}
+        }
+        if depth == 0 && t.is_punct(":") {
+            // Name: last ident before the colon (skips `mut`, patterns).
+            let name = toks[lo..k]
+                .iter()
+                .rev()
+                .find(|t| t.kind == TokKind::Ident && t.text != "mut")?
+                .text
+                .clone();
+            return Some((name, range_text(toks, k + 1, hi)));
+        }
+    }
+    // No colon: a `self` receiver — skip.
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan;
+    use crate::token::tokenize;
+
+    fn fns(src: &str) -> Vec<FnItem> {
+        extract_fns(&tokenize(&scan(src)))
+    }
+
+    #[test]
+    fn extracts_name_params_ret_and_body() {
+        let f = &fns("pub fn scan_slab(&self, kind: ScanKind, n: u64) -> Option<u32> { None }")[0];
+        assert_eq!(f.name, "scan_slab");
+        assert_eq!(f.params.len(), 2);
+        assert_eq!(f.params[0], ("kind".into(), "ScanKind".into()));
+        assert_eq!(f.params[1].0, "n");
+        assert_eq!(f.ret, "Option < u32 >");
+        assert!(f.body.is_some());
+    }
+
+    #[test]
+    fn generics_and_where_clauses_are_skipped() {
+        let f = &fns("fn map<F: Fn(u64) -> bool>(&self, f: F) -> usize where F: Send { 0 }")[0];
+        assert_eq!(f.name, "map");
+        assert_eq!(f.params[0].0, "f");
+        assert_eq!(f.ret, "usize");
+    }
+
+    #[test]
+    fn attributes_attach_and_test_mods_mark() {
+        let src = "#[inline(always)]\nfn hot() {}\n\
+                   #[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {}\n    fn helper() {}\n}\n";
+        let items = fns(src);
+        assert!(items[0].has_attr("inline"));
+        assert!(!items[0].is_test);
+        assert!(items[1].is_test, "#[test] fn");
+        assert!(items[2].is_test, "fn inside #[cfg(test)] mod");
+    }
+
+    #[test]
+    fn gated_fns_and_mods_are_marked() {
+        let src = "#[cfg(feature = \"debug_invariants\")]\nfn validate() {}\n\
+                   #[cfg(feature = \"debug_invariants\")]\nmod checks {\n    fn deep() {}\n}\n\
+                   fn normal() {}\n";
+        let items = fns(src);
+        assert!(items[0].is_gated);
+        assert!(items[1].is_gated, "fn inside gated mod");
+        assert!(!items[2].is_gated);
+    }
+
+    #[test]
+    fn nested_fns_are_both_extracted() {
+        let items = fns("fn outer() {\n    fn inner(x: u32) -> u32 { x }\n    inner(1);\n}\n");
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[1].name, "inner");
+    }
+
+    #[test]
+    fn derive_attrs_do_not_leak_onto_fns() {
+        let items = fns("#[derive(Debug)]\nstruct S;\nfn f() {}\n");
+        assert!(items[0].attrs.is_empty());
+    }
+
+    #[test]
+    fn string_return_types_are_visible() {
+        let f = &fns("fn validate(&self) -> Result<(), String> { Ok(()) }")[0];
+        assert!(f.ret.contains("String"));
+    }
+}

@@ -1,83 +1,47 @@
-//! The six project-specific rules.
+//! The original project-specific rules (SPC01–SPC03, SPC05, SPC06),
+//! migrated onto the token stream.
 //!
-//! Each rule is a pure function from `(path, scanned lines)` to findings.
-//! Rules are deliberately approximate — they are tuned to this workspace's
-//! idiom and pinned by the fixture suite in `tests/rules.rs`, not a general
-//! Rust analysis. Where a rule must under- or over-approximate, it
-//! over-approximates (flags) so a human looks at the site.
+//! `safety-comment` (SPC01) is the one rule that stays line-oriented:
+//! its subject *is* the comment stream, which the tokenizer deliberately
+//! drops. Everything else consumes [`crate::token`] tokens and
+//! [`crate::items`] functions, so multi-line expressions, odd
+//! formatting, and string/comment content can no longer confuse a
+//! substring match. `atomic-ordering` (SPC04) lives in
+//! [`crate::ordering`] as a requirement table; the protocol and
+//! hot-path families are [`crate::protocol`], [`crate::lockgraph`] and
+//! [`crate::hotlints`].
 
-use crate::allowlist::{self, GUARDED_ATOMICS};
+use crate::items::FnItem;
 use crate::scan::{has_word, Line};
+use crate::scopes::{file_name, is_hot};
+use crate::token::{Tok, TokKind};
 use crate::Finding;
-
-/// File names (under `crates/core/src/`) whose code runs on the measured
-/// hot path and must stay deterministic and clock-free.
-const HOT_PATH_FILES: &[&str] = &[
-    "pool.rs",
-    "entry.rs",
-    "engine.rs",
-    "shard.rs",
-    "seqsnap.rs",
-    "ingest.rs",
-    "concurrent.rs",
-    "prefetch.rs",
-    "envcfg.rs",
-    "simd.rs",
-    "sink.rs",
-    "addr.rs",
-];
-
-fn file_name(path: &str) -> &str {
-    path.rsplit('/').next().unwrap_or(path)
-}
-
-fn is_hot_path(path: &str) -> bool {
-    let norm = path.replace('\\', "/");
-    if !norm.contains("crates/core/src/") {
-        return false;
-    }
-    norm.contains("/list/") || HOT_PATH_FILES.contains(&file_name(&norm))
-}
 
 fn is_shard(path: &str) -> bool {
     file_name(path) == "shard.rs"
 }
 
-/// Files that participate in the seqlock/ingest-ring publication protocols:
-/// the sharded engine itself, the versioned snapshot lanes it publishes
-/// through, and the SPSC ingest rings feeding it. `Ordering::Relaxed` in any
-/// of these is rule-4 territory.
-fn is_seqlock_scope(path: &str) -> bool {
-    matches!(file_name(path), "shard.rs" | "seqsnap.rs" | "ingest.rs")
-}
-
 fn is_list_impl(path: &str) -> bool {
-    let norm = path.replace('\\', "/");
-    norm.contains("crates/core/src/list/")
+    path.replace('\\', "/").contains("crates/core/src/list/")
 }
 
-/// Runs every rule that applies to `path` over `lines`.
-pub fn check_all(path: &str, lines: &[Line]) -> Vec<Finding> {
-    let mut out = Vec::new();
-    safety_comments(path, lines, &mut out);
-    intrinsic_gating(path, lines, &mut out);
+/// Runs every line/token rule that applies to `path`.
+pub fn check_all(path: &str, lines: &[Line], toks: &[Tok], fns: &[FnItem], out: &mut Vec<Finding>) {
+    safety_comments(path, lines, out);
+    intrinsic_gating(path, toks, out);
     if is_shard(path) {
-        lock_discipline(path, lines, &mut out);
-    }
-    if is_seqlock_scope(path) {
-        relaxed_ordering(path, lines, &mut out);
+        lock_discipline(path, toks, fns, out);
     }
     if is_list_impl(path) {
-        sink_routing(path, lines, &mut out);
+        sink_routing(path, toks, fns, out);
     }
-    if is_hot_path(path) {
-        determinism(path, lines, &mut out);
+    if is_hot(path) {
+        determinism(path, toks, out);
     }
-    out
 }
 
 // ---------------------------------------------------------------------------
-// Rule 1: every `unsafe` needs an adjacent SAFETY justification.
+// SPC01: every `unsafe` needs an adjacent SAFETY justification.
 // ---------------------------------------------------------------------------
 
 /// `unsafe` blocks need a `// SAFETY:` comment on the same line, on the
@@ -157,36 +121,70 @@ fn safety_justified(lines: &[Line], i: usize) -> bool {
 }
 
 // ---------------------------------------------------------------------------
-// Rule 2: arch intrinsics must be cfg-gated with a portable fallback.
+// SPC02: arch intrinsics must be cfg-gated with a portable fallback.
 // ---------------------------------------------------------------------------
 
-/// `_mm_` covers the SSE family (including `_mm_prefetch`), `_mm256_` the
-/// AVX family — the SIMD kernels import them unqualified via
-/// `core::arch::x86_64::*`, so the `arch::x86_64` token alone would miss
-/// every call site.
-const INTRINSIC_TOKENS: &[&str] = &["_mm_", "_mm256_", "arch::x86_64", "asm!"];
+/// Whether token `k` is an arch-intrinsic site: an `_mm_*`/`_mm256_*`
+/// ident, an `asm!` invocation, or the `x86_64` module in an
+/// `arch::x86_64` path.
+fn is_intrinsic_site(toks: &[Tok], k: usize) -> bool {
+    let t = &toks[k];
+    if t.kind != TokKind::Ident {
+        return false;
+    }
+    if t.text.starts_with("_mm_") || t.text.starts_with("_mm256_") {
+        return true;
+    }
+    if t.text == "asm" && toks.get(k + 1).is_some_and(|n| n.is_punct("!")) {
+        return true;
+    }
+    t.text == "x86_64" && k >= 2 && toks[k - 1].is_punct("::") && toks[k - 2].is_ident("arch")
+}
+
+/// `cfg`-group scan: does any `#[cfg(...)]`-ish token group contain
+/// `target_arch`, and is any of those wrapped in `not(...)`?
+fn cfg_gates(toks: &[Tok]) -> (bool, bool) {
+    let mut gated = false;
+    let mut fallback = false;
+    for (k, t) in toks.iter().enumerate() {
+        if !t.is_ident("target_arch") {
+            continue;
+        }
+        gated = true;
+        if k >= 2 && toks[k - 1].is_open('(') && toks[k - 2].is_ident("not") {
+            fallback = true;
+        }
+    }
+    (gated, fallback)
+}
 
 /// Files using x86-64 intrinsics must gate them behind
 /// `cfg(target_arch = "x86_64")` *and* provide a `cfg(not(target_arch …))`
 /// fallback in the same module, so non-x86 builds stay green.
-pub fn intrinsic_gating(path: &str, lines: &[Line], out: &mut Vec<Finding>) {
-    let gated = lines.iter().any(|l| l.raw.contains("cfg(target_arch"));
-    let fallback = lines.iter().any(|l| l.raw.contains("cfg(not(target_arch"));
-    for (i, line) in lines.iter().enumerate() {
-        if !INTRINSIC_TOKENS.iter().any(|t| line.code.contains(t)) {
+pub fn intrinsic_gating(path: &str, toks: &[Tok], out: &mut Vec<Finding>) {
+    let (gated, fallback) = cfg_gates(toks);
+    let mut last_line = 0;
+    for k in 0..toks.len() {
+        if !is_intrinsic_site(toks, k) {
             continue;
         }
+        let line = toks[k].line;
+        if line == last_line {
+            continue; // one finding per source line
+        }
         if !gated {
+            last_line = line;
             out.push(Finding::new(
                 path,
-                i + 1,
+                line,
                 "intrinsic-gating",
                 "arch intrinsic without a `cfg(target_arch = \"x86_64\")` gate",
             ));
         } else if !fallback {
+            last_line = line;
             out.push(Finding::new(
                 path,
-                i + 1,
+                line,
                 "intrinsic-gating",
                 "gated arch intrinsic without a `cfg(not(target_arch …))` \
                  portable fallback in the same module",
@@ -196,7 +194,7 @@ pub fn intrinsic_gating(path: &str, lines: &[Line], out: &mut Vec<Finding>) {
 }
 
 // ---------------------------------------------------------------------------
-// Rule 3: shard lock discipline.
+// SPC03: shard lock discipline.
 // ---------------------------------------------------------------------------
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -215,315 +213,267 @@ struct Guard {
     binding: Option<String>,
 }
 
-fn lock_acquisition(code: &str) -> Option<LockKind> {
-    if code.contains(".wild.lock()") || code.contains(".wild.lock_uncounted()") {
-        return Some(LockKind::Wild);
+/// Classifies a call token as a shard-engine lock acquisition.
+fn lock_kind(toks: &[Tok], k: usize) -> Option<LockKind> {
+    let t = &toks[k];
+    if t.kind != TokKind::Ident
+        || k == 0
+        || !toks[k - 1].is_punct(".")
+        || !toks.get(k + 1).is_some_and(|n| n.is_open('('))
+    {
+        return None;
     }
-    if code.contains(".lock_all()") || code.contains(".lock_all_uncounted()") {
-        return Some(LockKind::AllShards);
+    match t.text.as_str() {
+        "lock_all" | "lock_all_uncounted" => Some(LockKind::AllShards),
+        "lock" | "lock_uncounted" => {
+            let chain = crate::token::receiver_chain(toks, k - 1);
+            match chain.last().map(String::as_str) {
+                Some("wild") => Some(LockKind::Wild),
+                Some("shards") => Some(LockKind::Shard),
+                _ => None,
+            }
+        }
+        _ => None,
     }
-    let single_lock = code.contains(".lock()") || code.contains(".lock_uncounted()");
-    if single_lock && (code.contains("shards[") || code.contains("shards.iter()")) {
-        return Some(LockKind::Shard);
-    }
-    None
-}
-
-fn let_binding(code: &str) -> Option<String> {
-    let t = code.trim_start();
-    let rest = t.strip_prefix("let ")?;
-    let rest = rest.strip_prefix("mut ").unwrap_or(rest);
-    let name: String = rest
-        .chars()
-        .take_while(|c| c.is_alphanumeric() || *c == '_')
-        .collect();
-    (!name.is_empty()).then_some(name)
 }
 
 /// Flags lock-order violations in `shard.rs`: the engine's documented
 /// discipline is *shards first (in index order, or exactly one), wildcard
 /// lane last*. Nested shard acquisitions and wild→shard acquisitions are
 /// the deadlock/lock-inversion shapes this rule catches. Guard lifetimes
-/// are approximated by brace depth and explicit `drop(binding)` calls.
-pub fn lock_discipline(path: &str, lines: &[Line], out: &mut Vec<Finding>) {
-    let mut depth: i32 = 0;
-    let mut guards: Vec<Guard> = Vec::new();
-    for (i, line) in lines.iter().enumerate() {
-        // Explicit releases first: `drop(name)`.
-        if let Some(pos) = line.code.find("drop(") {
-            let inner: String = line.code[pos + 5..]
-                .chars()
-                .take_while(|c| c.is_alphanumeric() || *c == '_')
-                .collect();
-            if let Some(gi) = guards
-                .iter()
-                .rposition(|g| g.binding.as_deref() == Some(inner.as_str()))
-            {
-                guards.remove(gi);
-            }
-        }
-        // Track the minimum brace depth reached on this line; guards from
-        // blocks that close here die even if a sibling block reopens
-        // (`} else {`).
-        let mut cur = depth;
-        let mut min = depth;
-        for c in line.code.chars() {
-            match c {
-                '{' => cur += 1,
-                '}' => {
-                    cur -= 1;
-                    min = min.min(cur);
-                }
-                _ => {}
-            }
-        }
-        guards.retain(|g| g.depth <= min);
-        if let Some(kind) = lock_acquisition(&line.code) {
-            let conflict = guards.iter().find(|g| {
-                matches!(
-                    (g.kind, kind),
-                    (LockKind::Wild, LockKind::Shard)
-                        | (LockKind::Wild, LockKind::AllShards)
-                        | (LockKind::Shard, LockKind::Shard)
-                        | (LockKind::Shard, LockKind::AllShards)
-                        | (LockKind::AllShards, LockKind::Shard)
-                        | (LockKind::AllShards, LockKind::AllShards)
-                        | (LockKind::Wild, LockKind::Wild)
-                )
-            });
-            if let Some(held) = conflict {
-                out.push(Finding::new(
-                    path,
-                    i + 1,
-                    "lock-discipline",
-                    format!(
-                        "acquiring {:?} lock while {:?} lock is held breaks the \
-                         shards-then-wildcard lock order",
-                        kind, held.kind
-                    ),
-                ));
-            }
-            guards.push(Guard {
-                kind,
-                depth: cur,
-                binding: let_binding(&line.code),
-            });
-        }
-        depth = cur;
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Rule 4: Ordering::Relaxed only on allowlisted telemetry atomics.
-// ---------------------------------------------------------------------------
-
-const ATOMIC_METHODS: &[&str] = &[
-    ".load(",
-    ".store(",
-    ".fetch_add(",
-    ".fetch_sub(",
-    ".fetch_max(",
-    ".fetch_min(",
-    ".fetch_or(",
-    ".fetch_and(",
-    ".swap(",
-    ".compare_exchange",
-];
-
-fn relaxed_receiver(code: &str) -> Option<String> {
-    for m in ATOMIC_METHODS {
-        if let Some(pos) = code.find(m) {
-            let prefix = &code[..pos];
-            let name: String = prefix
-                .chars()
-                .rev()
-                .take_while(|c| c.is_alphanumeric() || *c == '_')
-                .collect::<Vec<_>>()
-                .into_iter()
-                .rev()
-                .collect();
-            if !name.is_empty() {
-                return Some(name);
-            }
-        }
-    }
-    None
-}
-
-/// In the seqlock-scope files (`shard.rs`, `seqsnap.rs`, `ingest.rs`),
-/// `Ordering::Relaxed` is an error on the protocol atomics — the wildcard
-/// lane's `seq`/`wild_len`/`umq_counts`, the seqlock version and snapshot-row
-/// publication fields, and the ingest-ring head/tail indices — and on any
-/// atomic not in [`allowlist::RELAXED_ALLOWLIST`].
-pub fn relaxed_ordering(path: &str, lines: &[Line], out: &mut Vec<Finding>) {
-    let file = file_name(path);
-    for (i, line) in lines.iter().enumerate() {
-        if !line.code.contains("Ordering::Relaxed") {
-            continue;
-        }
-        let Some(recv) = relaxed_receiver(&line.code) else {
-            out.push(Finding::new(
-                path,
-                i + 1,
-                "relaxed-ordering",
-                "Ordering::Relaxed on an atomic this scanner cannot attribute; \
-                 move the operation onto one line so the receiver is checkable",
-            ));
+/// are tracked by brace depth, statement ends (for unbound temporaries)
+/// and explicit `drop(binding)` calls, per function.
+pub fn lock_discipline(path: &str, toks: &[Tok], fns: &[FnItem], out: &mut Vec<Finding>) {
+    for f in fns.iter().filter(|f| !f.is_test) {
+        let Some((open, close)) = f.body else {
             continue;
         };
-        if GUARDED_ATOMICS.contains(&recv.as_str()) {
-            out.push(Finding::new(
-                path,
-                i + 1,
-                "relaxed-ordering",
-                format!(
-                    "Ordering::Relaxed on `{recv}`: the wildcard-lane, seqlock \
-                     and ingest-ring protocols require SeqCst on their \
-                     publication atomics (store-buffering pairs between \
-                     writers and lock-free readers)"
-                ),
-            ));
-            continue;
-        }
-        match allowlist::lookup(file, &recv) {
-            Some(entry) if !entry.rationale.trim().is_empty() => {}
-            Some(_) => out.push(Finding::new(
-                path,
-                i + 1,
-                "relaxed-ordering",
-                format!("allowlist entry for `{recv}` has an empty rationale"),
-            )),
-            None => out.push(Finding::new(
-                path,
-                i + 1,
-                "relaxed-ordering",
-                format!(
-                    "Ordering::Relaxed on `{recv}` which is not in the analyzer \
-                     allowlist; add an entry with a rationale or use SeqCst"
-                ),
-            )),
+        let mut guards: Vec<Guard> = Vec::new();
+        let mut depth = 0i32;
+        let mut pending_let: Option<String> = None;
+        let mut k = open + 1;
+        while k < close.min(toks.len()) {
+            let t = &toks[k];
+            match t.kind {
+                TokKind::Open if t.text == "{" => {
+                    depth += 1;
+                    pending_let = None;
+                }
+                TokKind::Close if t.text == "}" => {
+                    depth -= 1;
+                    guards.retain(|g| g.depth <= depth);
+                    pending_let = None;
+                }
+                TokKind::Punct if t.text == ";" => {
+                    guards.retain(|g| g.binding.is_some() || g.depth < depth);
+                    pending_let = None;
+                }
+                TokKind::Ident if t.text == "let" => {
+                    if let Some(n) = toks.get(k + 1).filter(|n| n.kind == TokKind::Ident) {
+                        let name = if n.text == "mut" {
+                            toks.get(k + 2).filter(|n| n.kind == TokKind::Ident)
+                        } else {
+                            Some(n)
+                        };
+                        pending_let = name.map(|n| n.text.clone());
+                    }
+                }
+                TokKind::Ident if t.text == "drop" => {
+                    if toks.get(k + 1).is_some_and(|n| n.is_open('('))
+                        && toks.get(k + 3).is_some_and(|n| n.is_close(')'))
+                    {
+                        if let Some(arg) = toks.get(k + 2).filter(|a| a.kind == TokKind::Ident) {
+                            if let Some(gi) = guards
+                                .iter()
+                                .rposition(|g| g.binding.as_deref() == Some(&arg.text))
+                            {
+                                guards.remove(gi);
+                            }
+                        }
+                    }
+                }
+                _ => {
+                    if let Some(kind) = lock_kind(toks, k) {
+                        let conflict = guards.iter().find(|g| {
+                            matches!(
+                                (g.kind, kind),
+                                (LockKind::Wild, LockKind::Shard)
+                                    | (LockKind::Wild, LockKind::AllShards)
+                                    | (LockKind::Shard, LockKind::Shard)
+                                    | (LockKind::Shard, LockKind::AllShards)
+                                    | (LockKind::AllShards, LockKind::Shard)
+                                    | (LockKind::AllShards, LockKind::AllShards)
+                                    | (LockKind::Wild, LockKind::Wild)
+                            )
+                        });
+                        if let Some(held) = conflict {
+                            out.push(Finding::new(
+                                path,
+                                t.line,
+                                "lock-discipline",
+                                format!(
+                                    "acquiring {:?} lock while {:?} lock is held breaks the \
+                                     shards-then-wildcard lock order",
+                                    kind, held.kind
+                                ),
+                            ));
+                        }
+                        guards.push(Guard {
+                            kind,
+                            depth,
+                            binding: pending_let.clone(),
+                        });
+                    }
+                }
+            }
+            k += 1;
         }
     }
 }
 
 // ---------------------------------------------------------------------------
-// Rule 5: MatchList impls must charge memory touches to the AccessSink.
+// SPC05: MatchList impls must charge memory touches to the AccessSink.
 // ---------------------------------------------------------------------------
 
 /// In `list/*.rs`, a function that takes an `AccessSink` parameter and reads
-/// entry storage (`.entries[…]`, `.entry`, `packed_matches(…)`) must either
+/// entry storage (`.entries[…]`, `.entry*`, `packed_matches(…)`) must either
 /// call the sink or forward it; a sink-taking function that never mentions
 /// its sink again is bypassing the instrumentation the locality study
 /// depends on.
-pub fn sink_routing(path: &str, lines: &[Line], out: &mut Vec<Finding>) {
-    let mut i = 0;
-    while i < lines.len() {
-        let code = &lines[i].code;
-        if !(has_word(code, "fn") && code.contains("fn ")) {
-            i += 1;
+pub fn sink_routing(path: &str, toks: &[Tok], fns: &[FnItem], out: &mut Vec<Finding>) {
+    for f in fns {
+        if !f.params.iter().any(|(n, _)| n == "sink") {
             continue;
         }
-        // Join the signature until its body opens (or the item ends without
-        // a body, e.g. trait method declarations).
-        let mut sig = String::new();
-        let mut j = i;
-        let mut body_open = None;
-        while j < lines.len() {
-            sig.push_str(&lines[j].code);
-            sig.push(' ');
-            if lines[j].code.contains('{') {
-                body_open = Some(j);
-                break;
-            }
-            if lines[j].code.trim_end().ends_with(';') {
-                break;
-            }
-            j += 1;
-        }
-        let Some(open) = body_open else {
-            i = j + 1;
+        let Some((open, close)) = f.body else {
             continue;
         };
-        let sig_only = sig.split('{').next().unwrap_or("");
-        let takes_sink = sig_only.contains("sink:");
-        // Walk the body by brace depth.
-        let mut depth = 0i32;
-        let mut end = open;
-        'outer: for (k, l) in lines.iter().enumerate().skip(open) {
-            for c in l.code.chars() {
-                match c {
-                    '{' => depth += 1,
-                    '}' => {
-                        depth -= 1;
-                        if depth == 0 {
-                            end = k;
-                            break 'outer;
-                        }
-                    }
-                    _ => {}
-                }
+        let mut uses_sink = false;
+        let mut touches_entries = false;
+        for k in open + 1..close.min(toks.len()) {
+            let t = &toks[k];
+            if t.kind != TokKind::Ident {
+                continue;
             }
-            end = k;
-        }
-        if takes_sink {
-            let body = &lines[open..=end];
-            let uses_sink = body.iter().any(|l| {
-                l.code.contains("sink.")
-                    || l.code.contains("sink)")
-                    || l.code.contains("sink,")
-                    || l.code.contains("*sink")
-            });
-            let touches_entries = body.iter().any(|l| {
-                l.code.contains(".entries[")
-                    || l.code.contains(".entry")
-                    || l.code.contains("packed_matches(")
-            });
-            if touches_entries && !uses_sink {
-                out.push(Finding::new(
-                    path,
-                    i + 1,
-                    "sink-routing",
-                    "function takes an AccessSink but reads entry storage \
-                     without charging or forwarding it — memory touches are \
-                     invisible to the locality instrumentation",
-                ));
+            if t.text == "sink" {
+                uses_sink = true;
+            }
+            let after_dot = toks[k - 1].is_punct(".");
+            if after_dot && (t.text == "entries" || t.text.starts_with("entry")) {
+                touches_entries = true;
+            }
+            if t.text == "packed_matches" && toks.get(k + 1).is_some_and(|n| n.is_open('(')) {
+                touches_entries = true;
             }
         }
-        i = end + 1;
+        if touches_entries && !uses_sink {
+            out.push(Finding::new(
+                path,
+                f.line,
+                "sink-routing",
+                "function takes an AccessSink but reads entry storage \
+                 without charging or forwarding it — memory touches are \
+                 invisible to the locality instrumentation",
+            ));
+        }
     }
 }
 
 // ---------------------------------------------------------------------------
-// Rule 6: hot-path determinism.
+// SPC06: hot-path determinism.
 // ---------------------------------------------------------------------------
 
-const NONDETERMINISM: &[(&str, &str)] = &[
-    ("Instant::now", "wall-clock reads"),
-    ("SystemTime", "wall-clock reads"),
-    ("thread_rng", "ambient randomness"),
-    ("rand::", "ambient randomness"),
-    ("RandomState::new", "randomized hashing seeds"),
-];
-
-/// The measured hot path (`crates/core/src/{list/*, pool, entry, engine,
-/// shard, concurrent, prefetch, sink, addr}.rs`) must be clock- and
-/// randomness-free so identical seeds give identical traversals; timing
-/// belongs in the benches, randomness in `spc-rng`'s seeded streams.
-pub fn determinism(path: &str, lines: &[Line], out: &mut Vec<Finding>) {
-    for (i, line) in lines.iter().enumerate() {
-        for (tok, why) in NONDETERMINISM {
-            if line.code.contains(tok) {
-                out.push(Finding::new(
-                    path,
-                    i + 1,
-                    "hot-path-determinism",
-                    format!(
-                        "`{tok}` ({why}) in a hot-path module; keep the \
-                         measured path deterministic — seed via spc-rng, time \
-                         in the benches"
-                    ),
-                ));
-            }
+/// The measured hot path must be clock- and randomness-free so identical
+/// seeds give identical traversals; timing belongs in the benches,
+/// randomness in `spc-rng`'s seeded streams.
+pub fn determinism(path: &str, toks: &[Tok], out: &mut Vec<Finding>) {
+    let emit = |line: usize, tok: &str, why: &str, out: &mut Vec<Finding>| {
+        out.push(Finding::new(
+            path,
+            line,
+            "hot-path-determinism",
+            format!(
+                "`{tok}` ({why}) in a hot-path module; keep the \
+                 measured path deterministic — seed via spc-rng, time \
+                 in the benches"
+            ),
+        ));
+    };
+    for (k, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
         }
+        let path2 = |a: &str, b: &str| {
+            t.text == a
+                && toks.get(k + 1).is_some_and(|n| n.is_punct("::"))
+                && toks.get(k + 2).is_some_and(|n| n.is_ident(b))
+        };
+        if path2("Instant", "now") {
+            emit(t.line, "Instant::now", "wall-clock reads", out);
+        } else if t.text == "SystemTime" {
+            emit(t.line, "SystemTime", "wall-clock reads", out);
+        } else if t.text == "thread_rng" {
+            emit(t.line, "thread_rng", "ambient randomness", out);
+        } else if t.text == "rand" && toks.get(k + 1).is_some_and(|n| n.is_punct("::")) {
+            emit(t.line, "rand::", "ambient randomness", out);
+        } else if path2("RandomState", "new") {
+            emit(t.line, "RandomState::new", "randomized hashing seeds", out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::extract_fns;
+    use crate::scan::scan;
+    use crate::token::tokenize;
+
+    fn run_all(path: &str, src: &str) -> Vec<Finding> {
+        let lines = scan(src);
+        let toks = tokenize(&lines);
+        let fns = extract_fns(&toks);
+        let mut out = Vec::new();
+        check_all(path, &lines, &toks, &fns, &mut out);
+        out
+    }
+
+    #[test]
+    fn multiline_lock_acquisition_is_tracked() {
+        // The old line-based rule needed the receiver and `.lock()` on one
+        // line; the token walk does not.
+        let src = "impl E {\n fn f(&self) {\n  let w = self\n   .wild\n   .lock();\n\
+                   \n  let g = self.shards[0].lock();\n  let _ = (&w, &g);\n }\n}\n";
+        let f = run_all("crates/core/src/shard.rs", src);
+        assert!(
+            f.iter().any(|f| f.rule == "lock-discipline"),
+            "wild-then-shard across lines: {f:?}"
+        );
+    }
+
+    #[test]
+    fn matching_helper_is_not_a_lock() {
+        // `.lock()` on an unrelated receiver (`self.cache.lock()`) is not a
+        // shard/wild acquisition and must not participate.
+        let src = "impl E {\n fn f(&self) {\n  let c = self.cache.lock();\n\
+                   \n  let g = self.shards[0].lock();\n  let _ = (&c, &g);\n }\n}\n";
+        let f = run_all("crates/core/src/shard.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn determinism_does_not_fire_on_substrings() {
+        // `rand` only as a path head; `operand::` must not fire.
+        let src = "fn f() { let x = operand::eval(); grand_total(); }\n";
+        let f = run_all("crates/core/src/engine.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn sink_forwarding_counts_as_use() {
+        let src = "impl L {\n fn walk(&self, sink: &mut dyn AccessSink) -> u32 {\n\
+                   \n  self.inner.walk(sink)\n }\n}\n";
+        let f = run_all("crates/core/src/list/lla.rs", src);
+        assert!(f.is_empty(), "{f:?}");
     }
 }

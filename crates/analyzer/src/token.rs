@@ -1,0 +1,366 @@
+//! A Rust tokenizer on top of the [`crate::scan`] stripper.
+//!
+//! [`crate::scan::scan`] classifies bytes (code / comment / literal) and
+//! blanks literal *contents*; this module turns the surviving code stream
+//! into a flat token list with line numbers — the representation every
+//! analysis pass (CFG construction, protocol state machines, the lock
+//! graph, the ordering table) consumes. It is still not a full Rust
+//! lexer: literals arrive pre-blanked, so a [`TokKind::Str`] token carries
+//! no contents, and numeric literal suffixes ride along in the token
+//! text. That is exactly enough for structural analysis, and the fixture
+//! suite pins the shapes this workspace uses.
+
+use crate::scan::Line;
+
+/// Token classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `unsafe`, `seq`, …).
+    Ident,
+    /// Lifetime (`'a`) — the tick and the name form one token.
+    Lifetime,
+    /// Numeric literal, including any suffix (`1`, `0x3f`, `2u64`).
+    Num,
+    /// String literal (contents were blanked by the scanner).
+    Str,
+    /// Char literal (contents blanked).
+    Char,
+    /// Punctuation / operator, possibly multi-char (`::`, `->`, `=>`).
+    Punct,
+    /// Opening delimiter: `(`, `[` or `{`.
+    Open,
+    /// Closing delimiter: `)`, `]` or `}`.
+    Close,
+}
+
+/// One token: kind, text, and the 1-based source line it starts on.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Classification.
+    pub kind: TokKind,
+    /// The token text (`{`, `fn`, `::`, …). Strings are just `"`-`"`.
+    pub text: String,
+    /// 1-based line number.
+    pub line: usize,
+}
+
+impl Tok {
+    /// True when this token is the identifier `word`.
+    pub fn is_ident(&self, word: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == word
+    }
+
+    /// True when this token is the punctuation `p`.
+    pub fn is_punct(&self, p: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == p
+    }
+
+    /// True for an [`TokKind::Open`] token with this delimiter char.
+    pub fn is_open(&self, d: char) -> bool {
+        self.kind == TokKind::Open && self.text.starts_with(d)
+    }
+
+    /// True for a [`TokKind::Close`] token with this delimiter char.
+    pub fn is_close(&self, d: char) -> bool {
+        self.kind == TokKind::Close && self.text.starts_with(d)
+    }
+}
+
+/// Multi-char operators, longest first so maximal munch wins.
+const MULTI_PUNCT: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=",
+    "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>", "..",
+];
+
+/// Tokenizes the code portions of scanned `lines`.
+pub fn tokenize(lines: &[Line]) -> Vec<Tok> {
+    let mut out = Vec::new();
+    for (li, line) in lines.iter().enumerate() {
+        let lineno = li + 1;
+        let chars: Vec<char> = line.code.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            let c = chars[i];
+            if c.is_whitespace() {
+                i += 1;
+                continue;
+            }
+            if c == '"' {
+                // The scanner blanked contents; find the closing quote.
+                let mut j = i + 1;
+                while j < chars.len() && chars[j] != '"' {
+                    j += 1;
+                }
+                out.push(Tok {
+                    kind: TokKind::Str,
+                    text: "\"\"".into(),
+                    line: lineno,
+                });
+                i = (j + 1).min(chars.len());
+                continue;
+            }
+            if c == '\'' {
+                // Blanked char literal ('  ') or a lifetime ('a).
+                if chars
+                    .get(i + 1)
+                    .is_some_and(|n| n.is_alphabetic() || *n == '_')
+                {
+                    let mut j = i + 1;
+                    while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                        j += 1;
+                    }
+                    out.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text: chars[i..j].iter().collect(),
+                        line: lineno,
+                    });
+                    i = j;
+                } else {
+                    let mut j = i + 1;
+                    while j < chars.len() && chars[j] != '\'' {
+                        j += 1;
+                    }
+                    out.push(Tok {
+                        kind: TokKind::Char,
+                        text: "''".into(),
+                        line: lineno,
+                    });
+                    i = (j + 1).min(chars.len());
+                }
+                continue;
+            }
+            if c.is_alphabetic() || c == '_' {
+                let mut j = i;
+                while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                    j += 1;
+                }
+                out.push(Tok {
+                    kind: TokKind::Ident,
+                    text: chars[i..j].iter().collect(),
+                    line: lineno,
+                });
+                i = j;
+                continue;
+            }
+            if c.is_ascii_digit() {
+                let mut j = i;
+                while j < chars.len()
+                    && (chars[j].is_alphanumeric() || chars[j] == '_' || chars[j] == '.')
+                {
+                    // `1..n` range: stop the literal before `..`.
+                    if chars[j] == '.' && chars.get(j + 1) == Some(&'.') {
+                        break;
+                    }
+                    j += 1;
+                }
+                out.push(Tok {
+                    kind: TokKind::Num,
+                    text: chars[i..j].iter().collect(),
+                    line: lineno,
+                });
+                i = j;
+                continue;
+            }
+            match c {
+                '(' | '[' | '{' => {
+                    out.push(Tok {
+                        kind: TokKind::Open,
+                        text: c.to_string(),
+                        line: lineno,
+                    });
+                    i += 1;
+                }
+                ')' | ']' | '}' => {
+                    out.push(Tok {
+                        kind: TokKind::Close,
+                        text: c.to_string(),
+                        line: lineno,
+                    });
+                    i += 1;
+                }
+                _ => {
+                    let rest: String = chars[i..chars.len().min(i + 3)].iter().collect();
+                    let m = MULTI_PUNCT.iter().find(|p| rest.starts_with(**p));
+                    match m {
+                        Some(p) => {
+                            out.push(Tok {
+                                kind: TokKind::Punct,
+                                text: (*p).to_string(),
+                                line: lineno,
+                            });
+                            i += p.len();
+                        }
+                        None => {
+                            out.push(Tok {
+                                kind: TokKind::Punct,
+                                text: c.to_string(),
+                                line: lineno,
+                            });
+                            i += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Finds the index of the matching close delimiter for the open delimiter
+/// at `open` (which must be a [`TokKind::Open`] token). Returns the token
+/// slice's length when unbalanced (callers treat that as "to the end").
+pub fn matching_close(toks: &[Tok], open: usize) -> usize {
+    debug_assert!(toks[open].kind == TokKind::Open);
+    let mut depth = 0usize;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        match t.kind {
+            TokKind::Open => depth += 1,
+            TokKind::Close => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+    }
+    toks.len()
+}
+
+/// The receiver chain of a method call: walking left from the `.` at
+/// `dot`, collects the field-access idents (`self.snaps[si].kill` →
+/// `["snaps"]`, `slot.w0.store` → `["slot", "w0"]`), skipping index
+/// groups. Stops at anything that is not an ident, `self`, `.`, or a
+/// closing `]`/`)` group. Returns idents in source order, `self`
+/// excluded.
+pub fn receiver_chain(toks: &[Tok], dot: usize) -> Vec<String> {
+    let mut chain = Vec::new();
+    let mut i = dot; // toks[dot] is the `.`
+    loop {
+        if i == 0 {
+            break;
+        }
+        let prev = i - 1;
+        match toks[prev].kind {
+            TokKind::Ident => {
+                if toks[prev].text != "self" {
+                    chain.push(toks[prev].text.clone());
+                }
+                // Continue if a field access precedes.
+                if prev >= 1 && (toks[prev - 1].is_punct(".") || toks[prev - 1].is_punct("::")) {
+                    i = prev - 1;
+                    // step over the `.`/`::` to its left-hand side
+                    if i == 0 {
+                        break;
+                    }
+                    continue;
+                }
+                break;
+            }
+            TokKind::Close if toks[prev].text == "]" || toks[prev].text == ")" => {
+                // Skip the bracket group `[si]` / call `(…)`.
+                let close_ch = toks[prev].text.chars().next().unwrap();
+                let open_ch = if close_ch == ']' { '[' } else { '(' };
+                let mut depth = 0usize;
+                let mut j = prev;
+                loop {
+                    if toks[j].kind == TokKind::Close && toks[j].text.starts_with(close_ch) {
+                        depth += 1;
+                    } else if toks[j].kind == TokKind::Open && toks[j].text.starts_with(open_ch) {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    if j == 0 {
+                        break;
+                    }
+                    j -= 1;
+                }
+                if j == 0 {
+                    break;
+                }
+                i = j;
+                continue;
+            }
+            _ => break,
+        }
+    }
+    chain.reverse();
+    chain
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        tokenize(&scan(src))
+    }
+
+    #[test]
+    fn idents_keywords_and_multichar_ops() {
+        let t = toks("fn f() -> u32 { a::b(x) => 1..=2 }");
+        let texts: Vec<&str> = t.iter().map(|t| t.text.as_str()).collect();
+        assert!(texts.contains(&"->"));
+        assert!(texts.contains(&"::"));
+        assert!(texts.contains(&"=>"));
+        assert!(texts.contains(&"..="));
+        assert!(t[0].is_ident("fn"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let t = toks("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(t
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "'a"));
+        assert!(t.iter().any(|t| t.kind == TokKind::Char));
+    }
+
+    #[test]
+    fn strings_are_opaque_single_tokens() {
+        let t = toks("let s = \"Ordering::Relaxed\"; g();");
+        assert_eq!(t.iter().filter(|t| t.kind == TokKind::Str).count(), 1);
+        assert!(!t.iter().any(|t| t.is_ident("Relaxed")));
+    }
+
+    #[test]
+    fn line_numbers_are_1_based_and_track() {
+        let t = toks("a\nb\n\nc");
+        let lines: Vec<usize> = t.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn matching_close_spans_nesting() {
+        let t = toks("{ a ( b [ c ] ) { d } }");
+        assert_eq!(matching_close(&t, 0), t.len() - 1);
+        let open_paren = t.iter().position(|t| t.is_open('(')).unwrap();
+        assert!(t[matching_close(&t, open_paren)].is_close(')'));
+    }
+
+    #[test]
+    fn receiver_chains() {
+        let t = toks("self.snaps[si].kill(eseq)");
+        let dot = t.iter().rposition(|t| t.is_punct(".")).unwrap();
+        assert_eq!(receiver_chain(&t, dot), vec!["snaps"]);
+
+        let t = toks("slot.w0.store(v, o)");
+        let dot = t.iter().rposition(|t| t.is_punct(".")).unwrap();
+        assert_eq!(receiver_chain(&t, dot), vec!["slot", "w0"]);
+
+        let t = toks("self.umq_counts[si].fetch_sub(1, x)");
+        let dot = t.iter().rposition(|t| t.is_punct(".")).unwrap();
+        assert_eq!(receiver_chain(&t, dot), vec!["umq_counts"]);
+    }
+
+    #[test]
+    fn numeric_literals_keep_suffixes_and_stop_at_ranges() {
+        let t = toks("0x3fu64 1..4 2.5");
+        assert!(t[0].text == "0x3fu64");
+        assert!(t.iter().any(|x| x.is_punct("..")));
+        assert!(t.iter().any(|x| x.text == "2.5"));
+    }
+}

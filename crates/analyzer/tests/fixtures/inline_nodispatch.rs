@@ -1,0 +1,15 @@
+//! Seeded violation: a SIMD dispatch seam (a function taking the
+//! `kind: ScanKind` selector) without `#[inline]` — the selector cannot
+//! constant-fold at the call site. The inlined variant must not fire.
+//! Analyzed under the virtual path `crates/core/src/simd.rs`.
+
+pub fn scan_slab(kind: ScanKind, keys: &[u64], probe: u64) -> Option<u32> {
+    let _ = (kind, keys, probe);
+    None
+}
+
+#[inline(always)]
+pub fn scan_one(kind: ScanKind, key: u64, probe: u64) -> bool {
+    let _ = (kind, key, probe);
+    false
+}

@@ -130,18 +130,18 @@ fn drop_releases_a_guard() {
 fn relaxed_on_guarded_atomic_is_caught() {
     let path = "crates/core/src/shard.rs";
     let findings = analyze_source(path, &fixture("relaxed_guarded.rs"));
-    let hits = rule_findings(&findings, "relaxed-ordering");
+    let hits = rule_findings(&findings, "atomic-ordering");
     assert_eq!(
         hits.len(),
         2,
-        "guarded atomic + non-allowlisted: {findings:?}"
+        "guarded atomic + missing-table-entry atomic: {findings:?}"
     );
     assert_eq!(hits[0].line, 7, "Relaxed on wild_len");
     assert!(hits[0].message.contains("wild_len"));
     assert!(hits[0].message.contains("SeqCst"));
     assert_eq!(
         hits[1].line, 11,
-        "Relaxed on an atomic missing an allowlist entry"
+        "Relaxed on an atomic missing a requirement-table entry"
     );
     assert!(hits[1].message.contains("bananas"));
     assert_diagnostic_shape(hits[0], path);
@@ -214,21 +214,26 @@ fn workspace_tree_is_clean() {
         .join("../..")
         .canonicalize()
         .expect("workspace root");
-    let findings = spc_analyzer::run(&root).expect("walk workspace");
+    let result = spc_analyzer::run(&root).expect("walk workspace");
     assert!(
-        findings.is_empty(),
+        result.findings.is_empty(),
         "the real tree must pass its own gates:\n{}",
-        findings
+        result
+            .findings
             .iter()
             .map(|f| f.to_string())
             .collect::<Vec<_>>()
             .join("\n")
     );
+    assert!(
+        result.dot.contains("digraph lock_order"),
+        "the run must also produce the lock-order DOT artifact"
+    );
 }
 
 #[test]
-fn allowlist_rationales_are_nonempty() {
-    for e in spc_analyzer::allowlist::RELAXED_ALLOWLIST {
+fn ordering_spec_rationales_are_nonempty() {
+    for e in spc_analyzer::ordering::SPECS {
         assert!(
             !e.rationale.trim().is_empty(),
             "{}:{} needs a rationale",
@@ -236,4 +241,211 @@ fn allowlist_rationales_are_nonempty() {
             e.receiver
         );
     }
+}
+
+// ---------------------------------------------------------------------------
+// Seqlock writer protocol (SPC07)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn seqlock_reordered_stamp_is_caught() {
+    let path = "crates/core/src/seqsnap.rs";
+    let findings = analyze_source(path, &fixture("seqlock_reorder.rs"));
+    let hits = rule_findings(&findings, "seqlock-protocol");
+    assert!(!hits.is_empty(), "{findings:?}");
+    assert!(
+        hits.iter().any(|f| f.message.contains("stamp")),
+        "the mutation-before-stamp order must be named: {hits:?}"
+    );
+    assert_diagnostic_shape(hits[0], path);
+}
+
+#[test]
+fn seqlock_skipped_end_is_caught() {
+    let path = "crates/core/src/seqsnap.rs";
+    let findings = analyze_source(path, &fixture("seqlock_skip_end.rs"));
+    let hits = rule_findings(&findings, "seqlock-protocol");
+    assert!(!hits.is_empty(), "{findings:?}");
+    assert!(
+        hits.iter()
+            .any(|f| f.message.contains("window still open") || f.message.contains("end")),
+        "the open write window must be reported: {hits:?}"
+    );
+}
+
+#[test]
+fn seqlock_correct_writer_is_clean() {
+    let path = "crates/core/src/seqsnap.rs";
+    let findings = analyze_source(path, &fixture("seqlock_ok.rs"));
+    assert!(
+        rule_findings(&findings, "seqlock-protocol").is_empty(),
+        "begin → mutate → stamp → end is the documented protocol: {findings:?}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// SPSC ring protocol (SPC08)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn spsc_dual_producer_is_caught() {
+    let path = "crates/core/src/ingest.rs";
+    let findings = analyze_source(path, &fixture("spsc_dual_producer.rs"));
+    let hits = rule_findings(&findings, "spsc-protocol");
+    assert!(!hits.is_empty(), "{findings:?}");
+    assert!(
+        hits.iter().any(|f| f.message.contains("producer")),
+        "{hits:?}"
+    );
+    assert_diagnostic_shape(hits[0], path);
+}
+
+#[test]
+fn spsc_slot_write_after_publish_is_caught() {
+    let path = "crates/core/src/ingest.rs";
+    let findings = analyze_source(path, &fixture("spsc_reorder.rs"));
+    let hits = rule_findings(&findings, "spsc-protocol");
+    assert!(!hits.is_empty(), "{findings:?}");
+    assert!(
+        hits.iter().any(|f| f.message.contains("advance")),
+        "the slot-after-advance order must be named: {hits:?}"
+    );
+}
+
+#[test]
+fn spsc_correct_publish_order_is_clean() {
+    let path = "crates/core/src/ingest.rs";
+    let findings = analyze_source(path, &fixture("spsc_ok.rs"));
+    assert!(
+        rule_findings(&findings, "spsc-protocol").is_empty(),
+        "slots-then-tail / slots-then-head is the documented order: {findings:?}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Lock-order graph (SPC09)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn lock_order_cycle_is_caught() {
+    let path = "crates/core/src/engine.rs";
+    let findings = analyze_source(path, &fixture("lock_cycle.rs"));
+    let hits = rule_findings(&findings, "lock-order-graph");
+    assert!(!hits.is_empty(), "{findings:?}");
+    assert!(
+        hits[0].message.contains("cycle"),
+        "the cycle must be spelled out: {hits:?}"
+    );
+    assert_diagnostic_shape(hits[0], path);
+}
+
+#[test]
+fn consistent_lock_order_has_no_cycle() {
+    let path = "crates/core/src/engine.rs";
+    let src = "impl E {\n    fn a(&self) {\n        let g1 = self.alpha.lock();\n        \
+               let g2 = self.beta.lock();\n        let _ = (&g1, &g2);\n    }\n    \
+               fn b(&self) {\n        let g1 = self.alpha.lock();\n        \
+               let g2 = self.beta.lock();\n        let _ = (&g1, &g2);\n    }\n}\n";
+    let findings = analyze_source(path, src);
+    assert!(
+        rule_findings(&findings, "lock-order-graph").is_empty(),
+        "{findings:?}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Hot-path cost lints (SPC10–SPC12)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn hot_path_alloc_is_caught() {
+    let path = "crates/core/src/shard.rs";
+    let findings = analyze_source(path, &fixture("hot_alloc.rs"));
+    let hits = rule_findings(&findings, "hot-path-alloc");
+    assert_eq!(hits.len(), 2, "the vec! and the growing push: {findings:?}");
+    assert_diagnostic_shape(hits[0], path);
+}
+
+#[test]
+fn hot_path_panic_is_caught() {
+    let path = "crates/core/src/shard.rs";
+    let findings = analyze_source(path, &fixture("hot_panic.rs"));
+    let hits = rule_findings(&findings, "hot-path-panic");
+    assert_eq!(
+        hits.len(),
+        2,
+        "the unwrap and the panic!; the lock-poisoning expect is exempt: {findings:?}"
+    );
+}
+
+#[test]
+fn simd_dispatch_without_inline_is_caught() {
+    let path = "crates/core/src/simd.rs";
+    let findings = analyze_source(path, &fixture("inline_nodispatch.rs"));
+    let hits = rule_findings(&findings, "inline-dispatch");
+    assert_eq!(hits.len(), 1, "{findings:?}");
+    assert!(hits[0].message.contains("scan_slab"), "{hits:?}");
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions and machine-readable output (SPC14 + diag)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn unused_suppression_fails_the_run() {
+    let path = "crates/core/src/shard.rs";
+    let findings = analyze_source(path, &fixture("unused_allow.rs"));
+    let hits = rule_findings(&findings, "suppression-hygiene");
+    assert_eq!(hits.len(), 1, "{findings:?}");
+    assert!(hits[0].message.contains("unused suppression"), "{hits:?}");
+}
+
+#[test]
+fn suppression_with_rationale_silences_a_finding() {
+    let path = "crates/core/src/shard.rs";
+    let src = "impl E {\n    fn probe(&self) {\n        \
+               // spc-allow(hot-path-alloc): scratch for a cold diagnostics branch\n        \
+               let v = vec![0u8; 4];\n        let _ = v;\n    }\n}\n";
+    let findings = analyze_source(path, src);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn json_and_sarif_outputs_are_well_formed() {
+    let findings = analyze_source("crates/core/src/engine.rs", &fixture("hotpath_clock.rs"));
+    assert!(!findings.is_empty());
+    let json = spc_analyzer::diag::to_json(&findings);
+    assert!(json.contains("\"schema\": \"spc-analyzer/1\""), "{json}");
+    assert!(json.contains("\"rule_id\": \"SPC06\""), "{json}");
+    let sarif = spc_analyzer::diag::to_sarif(&findings);
+    assert!(sarif.contains("\"version\": \"2.1.0\""), "{sarif}");
+    assert!(sarif.contains("\"ruleId\": \"SPC06\""), "{sarif}");
+}
+
+#[test]
+fn baseline_subtracts_known_findings_only() {
+    let findings = analyze_source("crates/core/src/engine.rs", &fixture("hotpath_clock.rs"));
+    let baseline_text = spc_analyzer::diag::write_baseline(&findings);
+    let entries = spc_analyzer::diag::parse_baseline(&baseline_text).expect("round-trip");
+    let diffed = spc_analyzer::diag::diff_baseline(findings.clone(), &entries);
+    assert!(diffed.is_empty(), "baselined findings are subtracted");
+    let fresh = analyze_source("crates/core/src/prefetch.rs", &fixture("adaptive_clock.rs"));
+    let still_there = spc_analyzer::diag::diff_baseline(fresh, &entries);
+    assert!(
+        !still_there.is_empty(),
+        "findings not in the baseline must survive the diff"
+    );
+}
+
+#[test]
+fn every_rule_has_a_stable_registry_entry() {
+    let ids: Vec<&str> = spc_analyzer::diag::RULES.iter().map(|r| r.id).collect();
+    for (i, id) in ids.iter().enumerate() {
+        assert_eq!(
+            *id,
+            format!("SPC{:02}", i + 1),
+            "registry must stay append-only and densely numbered"
+        );
+    }
+    assert_eq!(ids.len(), 14);
 }

@@ -1,4 +1,5 @@
 //! Simulated address space.
+//! spc-scope: hot-path
 //!
 //! The locality study needs deterministic, reproducible addresses: the
 //! baseline linked list's nodes come from a churned general-purpose heap
@@ -122,6 +123,7 @@ impl AddrSpace {
                     gap_min
                 }
             }
+            // spc-allow(hot-path-panic): arm excluded by the Scattered dispatch above; kept loud
             AddrMode::Scattered { .. } => unreachable!("handled above"),
         };
         let addr = (self.next + gap + align - 1) & !(align - 1);

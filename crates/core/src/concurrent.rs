@@ -1,4 +1,5 @@
 //! Thread-safe matching engine for `MPI_THREAD_MULTIPLE`-style use.
+//! spc-scope: hot-path
 //!
 //! The paper's motivation (§2.3): "the MPI standard permits multithreaded
 //! communication ... Since multithreaded communication increases message
@@ -218,6 +219,7 @@ where
     /// no wildcard lane.
     pub fn concurrency_stats(&self) -> ConcurrencyStats {
         ConcurrencyStats {
+            // spc-allow(hot-path-alloc): observability snapshot, not the message path
             shards: vec![ShardStats {
                 lock: self.lock_stats(),
                 max_prq_len: self.max_prq.load(Ordering::Relaxed),
@@ -240,6 +242,7 @@ where
     pub fn into_inner(self) -> MatchEngine<P, U> {
         self.inner
             .into_inner()
+            // spc-allow(hot-path-panic): teardown-only; poisoning here means a worker died
             .expect("shared engine lock poisoned")
     }
 

@@ -1,4 +1,5 @@
 //! Runtime-selectable matching engine.
+//! spc-scope: cold
 //!
 //! The figure/table harnesses and the rank simulator choose the queue
 //! structure from configuration at runtime; [`DynEngine`] wraps every

@@ -1,4 +1,5 @@
 //! The matching engine: the protocol glue around the two queues (§2.1).
+//! spc-scope: hot-path
 //!
 //! Every MPI process keeps a **posted receive queue** (PRQ) of receives
 //! waiting for messages and an **unexpected message queue** (UMQ) of

@@ -1,4 +1,5 @@
 //! Match-entry types and matching semantics.
+//! spc-scope: hot-path
 //!
 //! The layouts here follow §3.1 and Figure 2 of the paper exactly:
 //!

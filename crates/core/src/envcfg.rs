@@ -1,4 +1,5 @@
 //! One-shot environment-variable switches for process-wide tuning knobs.
+//! spc-scope: hot-path
 //!
 //! Three hot-path knobs share the exact same life cycle: `SPC_SCAN_KIND`
 //! ([`crate::simd::scan_kind`]), `SPC_PREFETCH_DIST`
@@ -139,7 +140,10 @@ mod tests {
         static SW: EnvSwitch = EnvSwitch::new("SPC_TEST_ENVCFG_UNSET_VAR");
         let parse = |s: &str| s.parse::<usize>().ok();
         let default = || 7usize;
-        assert_eq!(SW.get(parse, default, "an integer", "default 7"), (7, false));
+        assert_eq!(
+            SW.get(parse, default, "an integer", "default 7"),
+            (7, false)
+        );
         assert_eq!(
             SW.get(parse, default, "an integer", "default 7"),
             (7, false),

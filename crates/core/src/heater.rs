@@ -1,4 +1,5 @@
 //! Hot caching: a heater thread that manipulates temporal locality (§3.2).
+//! spc-scope: cold
 //!
 //! The heater iterates over a list of registered memory regions, reading the
 //! first bytes of every cache line into a throwaway accumulator, sleeps for
@@ -106,8 +107,8 @@ impl HeatBuffer {
         let mut acc = 0u64;
         let mut lines = 0;
         // First word of each 64-byte line.
-        for w in self.words.iter().step_by(8) {
-            acc = acc.wrapping_add(w.load(Ordering::Relaxed));
+        for i in (0..self.words.len()).step_by(8) {
+            acc = acc.wrapping_add(self.words[i].load(Ordering::Relaxed));
             lines += 1;
         }
         std::hint::black_box(acc);
@@ -295,7 +296,7 @@ impl Heater {
     pub fn stats(&self) -> HeaterStats {
         HeaterStats {
             lines_touched: self.shared.touches.load(Ordering::Relaxed),
-            passes: self.shared.passes.load(Ordering::Relaxed),
+            passes: self.shared.passes.load(Ordering::Acquire),
             active_regions: self.shared.active_regions.load(Ordering::Relaxed),
         }
     }

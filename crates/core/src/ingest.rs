@@ -1,4 +1,5 @@
 //! Batched ingestion for the sharded engine: per-producer rings that
+//! spc-scope: hot-path
 //! amortize one shard-lock acquisition over a whole batch of operations.
 //!
 //! Even with [`crate::shard::ShardedEngine`]'s per-source decomposition,
@@ -207,6 +208,7 @@ impl IngestRing {
     /// Consumer side: pops up to `max` ops into `out`, returning how
     /// many were taken.
     pub fn drain_into(&self, out: &mut Vec<IngestOp>, max: usize) -> usize {
+        out.reserve(max.min(self.len()));
         let mut n = 0;
         while n < max {
             let Some(op) = self.pop() else { break };
@@ -322,6 +324,7 @@ where
             let n = self
                 .inner
                 .drain_rings(si, rings, |producer, seq, op, matched| {
+                    // spc-allow(hot-path-alloc): drain-log capture, active only when logging is on
                     recs.push(DrainRecord {
                         producer,
                         seq,

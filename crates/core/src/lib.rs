@@ -60,8 +60,8 @@ pub mod addr;
 pub mod concurrent;
 pub mod dynengine;
 pub mod engine;
-pub mod envcfg;
 pub mod entry;
+pub mod envcfg;
 pub mod heater;
 pub mod ingest;
 pub mod list;

@@ -404,6 +404,7 @@ impl<E: Element> MatchList<E> for BaselineList<E> {
 
     fn append<S: AccessSink>(&mut self, e: E, sink: &mut S) {
         let sim_addr = self.addr.alloc(Node::<E>::SIM_SIZE, 8);
+        // spc-allow(hot-path-alloc): per-node heap allocation IS the baseline under study
         let node = Box::into_raw(Box::new(Node {
             entry: e,
             key: e.packed_key(),
@@ -476,6 +477,7 @@ impl<E: Element> MatchList<E> for BaselineList<E> {
         while !cur.is_null() {
             // SAFETY: traversal of exclusively-owned live nodes.
             let node = unsafe { &*cur };
+            // spc-allow(hot-path-alloc): heater registration path, runs per region not per message
             out.push((node.sim_addr, Node::<E>::SIM_SIZE));
             cur = node.next;
         }

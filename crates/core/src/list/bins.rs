@@ -75,10 +75,13 @@ impl<E: Element> MatchList<E> for SourceBins<E> {
         self.next_seq += 1;
         match e.bin_source() {
             Some(src) => {
+                // spc-allow(hot-path-panic): MPI source ranks are non-negative by contract
                 let src = usize::try_from(src).expect("source rank must be non-negative");
                 assert!(src < self.bins.len(), "rank {src} outside communicator");
+                // spc-allow(hot-path-alloc): SeqFifo::push is the list insert, not Vec growth
                 self.bins[src].push(seq, e, sink);
             }
+            // spc-allow(hot-path-alloc): SeqFifo::push is the list insert, not Vec growth
             None => self.wild.push(seq, e, sink),
         }
         self.len += 1;
@@ -87,6 +90,7 @@ impl<E: Element> MatchList<E> for SourceBins<E> {
     fn search_remove<S: AccessSink>(&mut self, probe: &E::Probe, sink: &mut S) -> Search<E> {
         let r = match probe.bin_source() {
             Some(src) => {
+                // spc-allow(hot-path-panic): MPI source ranks are non-negative by contract
                 let src = usize::try_from(src).expect("source rank must be non-negative");
                 assert!(src < self.bins.len(), "rank {src} outside communicator");
                 // Split borrow: bin and wildcard channel are disjoint fields.
@@ -172,6 +176,7 @@ impl<E: Element> MatchList<E> for SourceBins<E> {
         for b in self.bins.iter().chain(core::iter::once(&self.wild)) {
             let (base, len) = b.region();
             if len > 0 {
+                // spc-allow(hot-path-alloc): heater registration path, runs per region not per message
                 out.push((base, len));
             }
         }

@@ -1,4 +1,5 @@
 //! Match-list data structures.
+//! spc-scope: hot-path
 //!
 //! All structures implement [`MatchList`] for both queue element types
 //! ([`crate::entry::PostedEntry`] and [`crate::entry::UnexpectedEntry`]) and
@@ -229,6 +230,7 @@ impl<E: Element> SeqFifo<E> {
     pub(crate) fn remove(&mut self, pos: usize) -> (u64, E) {
         self.items
             .remove(pos)
+            // spc-allow(hot-path-panic): position comes from find() on the same structure
             .expect("SeqFifo::remove position out of range")
     }
 
@@ -265,6 +267,7 @@ pub(crate) fn merged_search_remove<E: Element, S: AccessSink>(
     sink: &mut S,
 ) -> Search<E> {
     let (bin_hit, d1) = bin.find(probe, None, sink);
+    // spc-allow(hot-path-panic): position comes from find() on the same structure
     let bin_seq = bin_hit.map(|p| bin.iter().nth(p).expect("found position exists").0);
     // Only scan the wildcard channel up to the bin match's sequence number:
     // anything newer cannot win.
@@ -332,6 +335,7 @@ pub(crate) fn collect_metas<'a, E: Element>(
     let mut all = Vec::new();
     for (ci, ch) in channels.enumerate() {
         for (pos, (seq, e)) in ch.iter().enumerate() {
+            // spc-allow(hot-path-alloc): wildcard gather-scan worklist, sized by live entries
             all.push(ChanMeta {
                 seq: *seq,
                 channel: ci,

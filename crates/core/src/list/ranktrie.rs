@@ -114,22 +114,26 @@ impl<E: Element> RankTrie<E> {
         sink.read(self.table_base + i1 as u64 * 4, 4);
         assert!(i1 < self.root.len(), "rank {rank} exceeds trie capacity");
         if self.root[i1] == NONE {
+            // spc-allow(hot-path-alloc): first-touch level creation, amortized once per rank
             self.l2.push(vec![NONE; self.dims[1] as usize]);
             self.root[i1] = (self.l2.len() - 1) as u32;
         }
         let t2 = self.root[i1] as usize;
         if self.l2[t2][i2] == NONE {
+            // spc-allow(hot-path-alloc): first-touch level creation, amortized once per rank
             self.l3.push(vec![NONE; self.dims[2] as usize]);
             self.l2[t2][i2] = (self.l3.len() - 1) as u32;
         }
         let t3 = self.l2[t2][i2] as usize;
         if self.l3[t3][i3] == NONE {
+            // spc-allow(hot-path-alloc): first-touch level creation, amortized once per rank
             self.l4.push(vec![NONE; self.dims[3] as usize]);
             self.l3[t3][i3] = (self.l4.len() - 1) as u32;
         }
         let t4 = self.l3[t3][i3] as usize;
         if self.l4[t4][i4] == NONE {
             let leaf_base = self.region_base + self.leaves.len() as u64 * LEAF_REGION;
+            // spc-allow(hot-path-alloc): first-touch level creation, amortized once per rank
             self.leaves.push(SeqFifo::new(leaf_base));
             self.l4[t4][i4] = (self.leaves.len() - 1) as u32;
         }
@@ -159,9 +163,12 @@ impl<E: Element> MatchList<E> for RankTrie<E> {
         self.next_seq += 1;
         match e.bin_source() {
             Some(src) => {
+                // spc-allow(hot-path-panic): MPI source ranks are non-negative by contract
                 let leaf = self.find_or_create_leaf(u32::try_from(src).expect("rank >= 0"), sink);
+                // spc-allow(hot-path-alloc): SeqFifo::push is the list insert, not Vec growth
                 self.leaves[leaf].push(seq, e, sink);
             }
+            // spc-allow(hot-path-alloc): SeqFifo::push is the list insert, not Vec growth
             None => self.wild.push(seq, e, sink),
         }
         self.len += 1;
@@ -170,6 +177,7 @@ impl<E: Element> MatchList<E> for RankTrie<E> {
     fn search_remove<S: AccessSink>(&mut self, probe: &E::Probe, sink: &mut S) -> Search<E> {
         let r = match probe.bin_source() {
             Some(src) => {
+                // spc-allow(hot-path-panic): MPI source ranks are non-negative by contract
                 match self.find_leaf(u32::try_from(src).expect("rank >= 0"), sink) {
                     Some(leaf) => {
                         let (leaves, wild) = (&mut self.leaves, &mut self.wild);
@@ -268,6 +276,7 @@ impl<E: Element> MatchList<E> for RankTrie<E> {
         for leaf in self.leaves.iter().chain(core::iter::once(&self.wild)) {
             let (base, len) = leaf.region();
             if len > 0 {
+                // spc-allow(hot-path-alloc): heater registration path, runs per region not per message
                 out.push((base, len));
             }
         }

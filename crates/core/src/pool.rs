@@ -1,4 +1,5 @@
 //! Chunked element pool.
+//! spc-scope: hot-path
 //!
 //! The paper's temporal-locality experiments require "a dedicated element
 //! pool" (§4.3): linked-list-of-arrays nodes are allocated from fixed chunks
@@ -94,7 +95,9 @@ impl<T: Copy> Pool<T> {
                 let chunk_idx = self.chunks.len();
                 let bytes = (self.chunk_nodes * core::mem::size_of::<T>()) as u64;
                 let sim_base = addr.alloc(bytes, core::mem::align_of::<T>().max(64) as u64);
+                // spc-allow(hot-path-alloc): chunk growth, amortized over chunk_nodes allocs
                 self.chunks.push(Chunk {
+                    // spc-allow(hot-path-alloc): chunk growth, amortized over chunk_nodes allocs
                     nodes: vec![self.template; self.chunk_nodes].into_boxed_slice(),
                     sim_base,
                 });
@@ -104,6 +107,7 @@ impl<T: Copy> Pool<T> {
                 let base = (chunk_idx * self.chunk_nodes) as u32;
                 self.free
                     .extend((0..self.chunk_nodes as u32).rev().map(|i| base + i));
+                // spc-allow(hot-path-panic): the free list was refilled two lines up
                 self.free.pop().expect("chunk just added")
             }
         };
@@ -129,6 +133,7 @@ impl<T: Copy> Pool<T> {
             );
         }
         self.live -= 1;
+        // spc-allow(hot-path-alloc): free-list capacity was reserved at chunk creation
         self.free.push(id);
     }
 
@@ -243,6 +248,7 @@ impl<T: Copy> Pool<T> {
     /// heater registers.
     pub fn sim_regions(&self, out: &mut Vec<(u64, u64)>) {
         for c in &self.chunks {
+            // spc-allow(hot-path-alloc): heater registration path, runs per chunk not per message
             out.push((
                 c.sim_base,
                 (self.chunk_nodes * core::mem::size_of::<T>()) as u64,

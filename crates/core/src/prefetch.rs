@@ -1,4 +1,5 @@
 //! Software prefetch for the match-list hot paths.
+//! spc-scope: hot-path
 //!
 //! The paper's traversal cost model (§3.1) is dominated by cache-line
 //! fetches the hardware prefetcher cannot predict: the baseline list chases

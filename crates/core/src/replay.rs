@@ -1,4 +1,5 @@
 //! Match-traffic traces: record one process's matching operations, then
+//! spc-scope: cold
 //! replay them against any structure, architecture or locality
 //! configuration.
 //!

@@ -1,4 +1,5 @@
 //! Seqlock-style published snapshots for the sharded engine's read paths.
+//! spc-scope: hot-path
 //!
 //! [`crate::shard::ShardedEngine`] (PR 2) takes a shard mutex on every
 //! operation — including read-only probes and stats polls — so at scale
@@ -325,6 +326,7 @@ impl SnapRows {
         if n > self.max_rows {
             return false;
         }
+        out.reserve(n);
         for i in 0..n {
             let Some(row) = self.row_get(i) else {
                 return false;

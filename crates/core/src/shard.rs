@@ -1,4 +1,5 @@
 //! Sharded concurrent matching engine: per-source decomposition of the
+//! spc-scope: hot-path
 //! PRQ/UMQ across independently-locked sub-engines.
 //!
 //! [`crate::concurrent::SharedEngine`] reproduces the worst case the paper
@@ -555,7 +556,9 @@ where
                     .umq_idx
                     .iter()
                     .position(|(_, e)| e.matches(&spec))
+                    // spc-allow(hot-path-panic): seq index mirrors the structure; divergence is engine corruption
                     .expect("structure matched, so the seq index must too");
+                // spc-allow(hot-path-panic): seq index mirrors the structure; divergence is engine corruption
                 let (eseq, e) = g.umq_idx.remove(pos).expect("position exists");
                 debug_assert_eq!(e.payload, payload, "structure and index disagree");
                 snap.kill(eseq);
@@ -706,13 +709,16 @@ where
                 let out = g.eng.post_recv(spec, request);
                 let depth = g.eng.stats().umq_search.sum - pre;
                 let RecvOutcome::MatchedUnexpected { payload, .. } = out else {
+                    // spc-allow(hot-path-panic): seq index mirrors the structure; divergence is engine corruption
                     panic!("seq index found a match the structure missed");
                 };
                 let pos = g
                     .umq_idx
                     .iter()
                     .position(|(_, e)| e.matches(&spec))
+                    // spc-allow(hot-path-panic): seq index mirrors the structure; divergence is engine corruption
                     .expect("match present");
+                // spc-allow(hot-path-panic): seq index mirrors the structure; divergence is engine corruption
                 let (eseq, e) = g.umq_idx.remove(pos).expect("position exists");
                 debug_assert_eq!(e.payload, payload);
                 debug_assert_eq!(eseq, bseq);
@@ -808,14 +814,18 @@ where
         };
 
         if wild_wins {
+            // spc-allow(hot-path-panic): seq index mirrors the structure; divergence is engine corruption
             let w = wild.as_mut().expect("wild candidate implies wild lock");
             let r = w.prq.search_remove(&env, &mut crate::sink::NullSink);
+            // spc-allow(hot-path-panic): seq index mirrors the structure; divergence is engine corruption
             let recv = r.found.expect("index found a match the structure missed");
             let pos = w
                 .prq_idx
                 .iter()
                 .position(|(_, e)| e.matches(&env))
+                // spc-allow(hot-path-panic): seq index mirrors the structure; divergence is engine corruption
                 .expect("match present");
+            // spc-allow(hot-path-panic): seq index mirrors the structure; divergence is engine corruption
             let (iseq, ie) = w.prq_idx.remove(pos).expect("position exists");
             debug_assert_eq!(ie.request, recv.request);
             debug_assert_eq!(Some(iseq), wild_first);
@@ -846,7 +856,9 @@ where
                     .prq_idx
                     .iter()
                     .position(|(_, e)| e.matches(&env))
+                    // spc-allow(hot-path-panic): seq index mirrors the structure; divergence is engine corruption
                     .expect("structure matched, so the seq index must too");
+                // spc-allow(hot-path-panic): seq index mirrors the structure; divergence is engine corruption
                 let (iseq, ie) = g.prq_idx.remove(pos).expect("position exists");
                 debug_assert_eq!(ie.request, request);
                 debug_assert_eq!(Some(iseq), shard_first);
@@ -891,6 +903,7 @@ where
                     .prq_idx
                     .iter()
                     .position(|(_, e)| e.request == request)
+                    // spc-allow(hot-path-panic): seq index mirrors the structure; divergence is engine corruption
                     .expect("structure removed the entry, index must hold it");
                 g.prq_idx.remove(pos);
                 self.mirrors[si].note_occupancy(g.eng.prq_len(), g.eng.umq_len());
@@ -902,6 +915,7 @@ where
                 .prq_idx
                 .iter()
                 .position(|(_, e)| e.request == recv.request)
+                // spc-allow(hot-path-panic): seq index mirrors the structure; divergence is engine corruption
                 .expect("index holds every wild entry");
             wild.prq_idx.remove(pos);
             self.wild_mirror.note_occupancy(wild.prq.len(), 0);
@@ -972,7 +986,8 @@ where
     fn iprobe_locked(&self, spec: RecvSpec) -> (u64, Option<(u64, u32)>) {
         let guards = self.lock_all();
         let seq = self.next_seq();
-        let mut rows: Vec<(u64, u64, bool)> = Vec::new();
+        let mut rows: Vec<(u64, u64, bool)> =
+            Vec::with_capacity(guards.iter().map(|g| g.umq_idx.len()).sum());
         for g in guards.iter() {
             for (eseq, e) in g.umq_idx.iter() {
                 rows.push((*eseq, e.payload, e.matches(&spec)));

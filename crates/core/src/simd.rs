@@ -1,4 +1,5 @@
 //! SIMD batch matching over contiguous entry slabs.
+//! spc-scope: hot-path
 //!
 //! The packed match test (PR 3) is one `XOR + AND + compare` per entry; an
 //! LLA node is a contiguous slab of such entries — exactly the shape

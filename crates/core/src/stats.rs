@@ -1,4 +1,5 @@
 //! Search-depth and queue-length statistics.
+//! spc-scope: cold
 //!
 //! These are the paper's measurement primitives: Table 1 reports *mean
 //! search depths*, Figure 1 reports *queue-length histograms* sampled at
